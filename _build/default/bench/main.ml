@@ -1,0 +1,1175 @@
+(* The experiment harness: regenerates every quantitative claim and figure
+   of the paper (experiments E1-E13 of DESIGN.md), then runs Bechamel
+   micro-benchmarks over the core code paths.
+
+   Run with: dune exec bench/main.exe
+   Results are discussed against the paper in EXPERIMENTS.md. *)
+
+module N = Nsql_core.Nonstop_sql
+module Sim = Nsql_sim.Sim
+module Stats = Nsql_sim.Stats
+module Config = Nsql_sim.Config
+module Msg = Nsql_msg.Msg
+module Disk = Nsql_disk.Disk
+module Cache = Nsql_cache.Cache
+module Row = Nsql_row.Row
+module Expr = Nsql_expr.Expr
+module Fs = Nsql_fs.Fs
+module Dp = Nsql_dp.Dp
+module Dp_msg = Nsql_dp.Dp_msg
+module Tmf = Nsql_tmf.Tmf
+module Trail = Nsql_audit.Trail
+module Enscribe = Nsql_enscribe.Enscribe
+module Keycode = Nsql_util.Keycode
+module Errors = Nsql_util.Errors
+module Wisconsin = Nsql_workload.Wisconsin
+module Debitcredit = Nsql_workload.Debitcredit
+
+let get_ok = Errors.get_ok
+let printf = Format.printf
+let fpr = Printf.sprintf
+
+let heading id title paper =
+  printf "@.==== %s: %s ====@." id title;
+  printf "paper: %s@.@." paper
+
+(* ------------------------------------------------------------------ *)
+(* E1: RSBB vs record-at-a-time on an era-typical file                  *)
+(* ------------------------------------------------------------------ *)
+
+let e1_rsbb_vs_record () =
+  heading "E1" "sequential read: record-at-a-time vs SBB"
+    "\"SBB reduces FS-DP message traffic by the file's physical blocking \
+     factor ... RSBB gives a factor of three over the record-at-a-time \
+     interface\"";
+  (* a ~1.2 KB record gives the paper's blocking factor of three in 4 KB
+     blocks *)
+  let rows = 300 in
+  let record = String.make 1200 'r' in
+  let scan sbb =
+    let node = N.create_node ~volumes:1 () in
+    let file =
+      get_ok ~ctx:"create"
+        (Fs.create_enscribe_file (N.fs node) ~fname:"F"
+           ~kind:Dp_msg.K_key_sequenced
+           ~partitions:[ Fs.{ ps_lo = ""; ps_dp = (N.dps node).(0) } ])
+    in
+    let h = Enscribe.open_file (N.fs node) file ~sbb in
+    get_ok ~ctx:"load"
+      (Tmf.run (N.tmf node) (fun tx ->
+           let rec go i =
+             if i >= rows then Ok ()
+             else
+               match Enscribe.write h ~tx ~key:(Keycode.of_int i) ~record with
+               | Ok () -> go (i + 1)
+               | Error _ as e -> e
+           in
+           go 0));
+    let count = ref 0 in
+    let (), delta =
+      N.measure node (fun () ->
+          get_ok ~ctx:"scan"
+            (Tmf.run (N.tmf node) (fun tx ->
+                 let open Errors in
+                 let* () =
+                   if sbb then Enscribe.lockfile h ~tx ~lock:Dp_msg.L_shared
+                   else Ok ()
+                 in
+                 Enscribe.keyposition h ~key:"";
+                 let rec drain () =
+                   let* entry = Enscribe.readnext h ~tx ~lock:Dp_msg.L_none in
+                   match entry with
+                   | None -> Ok ()
+                   | Some _ ->
+                       incr count;
+                       drain ()
+                 in
+                 drain ())))
+    in
+    assert (!count = rows);
+    delta
+  in
+  let d_rec = scan false in
+  let d_sbb = scan true in
+  printf "%-22s %10s %12s %14s@." "interface" "messages" "reply bytes"
+    "msgs/record";
+  let line name (d : Stats.t) =
+    printf "%-22s %10d %12d %14.2f@." name d.Stats.msgs_sent
+      d.Stats.msg_reply_bytes
+      (float_of_int d.Stats.msgs_sent /. float_of_int rows)
+  in
+  line "record-at-a-time" d_rec;
+  line "SBB (RSBB)" d_sbb;
+  printf "RSBB message factor: %.1fx (paper: ~3x at blocking factor 3)@."
+    (float_of_int d_rec.Stats.msgs_sent /. float_of_int d_sbb.Stats.msgs_sent)
+
+(* ------------------------------------------------------------------ *)
+(* E2: VSBB on the Wisconsin queries                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e2_vsbb_wisconsin () =
+  heading "E2" "Wisconsin selections: record vs RSBB vs VSBB"
+    "\"RSBB gives a factor of three over the record-at-a-time interface. \
+     VSBB gives NonStop SQL an additional factor of three over RSBB on \
+     many of the Wisconsin benchmark queries\"";
+  let rows = 2000 in
+  let node = N.create_node ~volumes:1 () in
+  get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"tenktup1" ~rows ());
+  let s = N.session node in
+  printf "%-4s %-44s %8s %8s %8s %11s %11s@." "id" "query" "rec" "RSBB" "VSBB"
+    "rec/RSBB" "RSBB/VSBB";
+  List.iter
+    (fun q ->
+      let cost mode =
+        N.set_access_mode s mode;
+        let _, delta =
+          N.measure node (fun () -> N.exec_exn s q.Wisconsin.q_sql)
+        in
+        delta.Stats.msgs_sent
+      in
+      let m_rec = cost (Some Fs.A_record) in
+      let m_rsbb = cost (Some Fs.A_rsbb) in
+      let m_vsbb = cost (Some Fs.A_vsbb) in
+      printf "%-4s %-44s %8d %8d %8d %10.1fx %10.1fx@." q.Wisconsin.q_id
+        q.Wisconsin.q_desc m_rec m_rsbb m_vsbb
+        (float_of_int m_rec /. float_of_int m_rsbb)
+        (float_of_int m_rsbb /. float_of_int m_vsbb))
+    (Wisconsin.selection_queries ~table:"tenktup1" ~rows);
+  N.set_access_mode s None
+
+(* ------------------------------------------------------------------ *)
+(* E3: update at the data source                                        *)
+(* ------------------------------------------------------------------ *)
+
+let e3_update_subset () =
+  heading "E3" "UPDATE via expression vs read-then-update"
+    "\"delegating an update via update expression to the disk process \
+     eliminates the extra message which would otherwise be required for \
+     the requester to read the record before updating it\"";
+  let rows = 500 in
+  let mk () =
+    let node = N.create_node ~volumes:1 () in
+    let s = N.session node in
+    ignore
+      (N.exec_exn s
+         "CREATE TABLE account (acctno INT PRIMARY KEY, balance FLOAT NOT \
+          NULL)");
+    get_ok ~ctx:"load"
+      (Tmf.run (N.tmf node) (fun tx ->
+           let tbl =
+             get_ok ~ctx:"find" (N.Catalog.find (N.catalog node) "account")
+           in
+           let buf =
+             Fs.open_insert_buffer (N.fs node) tbl.N.Catalog.t_file ~tx
+               ~capacity:100
+           in
+           let rec go i =
+             if i >= rows then Fs.flush_insert_buffer (N.fs node) buf
+             else
+               match
+                 Fs.buffered_insert (N.fs node) buf
+                   [| Row.Vint i; Row.Vfloat (float_of_int i) |]
+               with
+               | Ok () -> go (i + 1)
+               | Error _ as e -> e
+           in
+           go 0));
+    (node, s)
+  in
+  let node1, s1 = mk () in
+  let _, d_sql =
+    N.measure node1 (fun () ->
+        match N.exec_exn s1 "UPDATE account SET balance = balance * 1.07" with
+        | N.Affected n -> assert (n = rows)
+        | _ -> assert false)
+  in
+  let node2, _s2 = mk () in
+  let tbl = get_ok ~ctx:"find" (N.Catalog.find (N.catalog node2) "account") in
+  let _, d_rmw =
+    N.measure node2 (fun () ->
+        get_ok ~ctx:"rmw"
+          (Tmf.run (N.tmf node2) (fun tx ->
+               let rec go i =
+                 if i >= rows then Ok ()
+                 else
+                   let key =
+                     get_ok ~ctx:"key"
+                       (Row.key_of_values tbl.N.Catalog.t_schema [ Row.Vint i ])
+                   in
+                   match
+                     Fs.update_row_via_key (N.fs node2) tbl.N.Catalog.t_file
+                       ~tx ~key
+                       [
+                         {
+                           Expr.target = 1;
+                           source = Expr.(Binop (Mul, Field 1, float_ 1.07));
+                         };
+                       ]
+                   with
+                   | Ok () -> go (i + 1)
+                   | Error _ as e -> e
+               in
+               go 0)))
+  in
+  printf "%-28s %10s %12s %14s@." "path" "messages" "req bytes" "msgs/record";
+  let line name (d : Stats.t) =
+    printf "%-28s %10d %12d %14.3f@." name d.Stats.msgs_sent
+      d.Stats.msg_req_bytes
+      (float_of_int d.Stats.msgs_sent /. float_of_int rows)
+  in
+  line "read + rewrite per record" d_rmw;
+  line "UPDATE^SUBSET (delegated)" d_sql;
+  printf "message factor: %.0fx@."
+    (float_of_int d_rmw.Stats.msgs_sent /. float_of_int d_sql.Stats.msgs_sent)
+
+(* ------------------------------------------------------------------ *)
+(* E4: field-compressed audit                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e4_audit_compression () =
+  heading "E4" "field-compressed vs full-image audit records"
+    "\"The resultant field-compressed audit records are generally reduced \
+     in size ... The audit buffer fills up less frequently ... each \
+     bulk-write of the audit trail commits a larger group of \
+     transactions\"";
+  let rows = 400 in
+  let mk () =
+    let config = Config.v ~audit_buffer_bytes:8192 () in
+    let node = N.create_node ~config ~volumes:1 () in
+    let s = N.session node in
+    ignore
+      (N.exec_exn s
+         "CREATE TABLE account (acctno INT PRIMARY KEY, balance FLOAT NOT \
+          NULL, filler CHAR(200) NOT NULL)");
+    for i = 0 to rows - 1 do
+      ignore (N.exec_exn s (fpr "INSERT INTO account VALUES (%d, 100.0, 'x')" i))
+    done;
+    (node, s)
+  in
+  (* all updates inside one transaction, so the only audit flushes are
+     buffer-full flushes — the frequency the paper says compression cuts *)
+  let run_txs node s ~compressed =
+    let tbl = get_ok ~ctx:"find" (N.Catalog.find (N.catalog node) "account") in
+    N.measure node (fun () ->
+        if compressed then begin
+          ignore (N.exec_exn s "BEGIN WORK");
+          for i = 0 to rows - 1 do
+            match
+              N.exec s
+                (fpr "UPDATE account SET balance = balance + 1.0 WHERE acctno = %d" i)
+            with
+            | Ok _ -> ()
+            | Error e -> failwith (Errors.to_string e)
+          done;
+          ignore (N.exec_exn s "COMMIT WORK")
+        end
+        else
+          get_ok ~ctx:"rmw"
+            (Tmf.run (N.tmf node) (fun tx ->
+                 let rec go i =
+                   if i >= rows then Ok ()
+                   else
+                     let key =
+                       get_ok ~ctx:"key"
+                         (Row.key_of_values tbl.N.Catalog.t_schema [ Row.Vint i ])
+                     in
+                     match
+                       Fs.update_row_via_key (N.fs node) tbl.N.Catalog.t_file
+                         ~tx ~key
+                         [
+                           {
+                             Expr.target = 1;
+                             source = Expr.(Binop (Add, Field 1, float_ 1.));
+                           };
+                         ]
+                     with
+                     | Ok () -> go (i + 1)
+                     | Error _ as e -> e
+                 in
+                 go 0)))
+  in
+  let node1, s1 = mk () in
+  let (), d_sql = run_txs node1 s1 ~compressed:true in
+  let node2, s2 = mk () in
+  let (), d_full = run_txs node2 s2 ~compressed:false in
+  printf "%-26s %12s %12s %18s@." "audit format" "audit bytes"
+    "bytes/update" "buffer-full flushes";
+  let line name (d : Stats.t) =
+    printf "%-26s %12d %12.0f %18d@." name d.Stats.audit_bytes
+      (float_of_int d.Stats.audit_bytes /. float_of_int rows)
+      d.Stats.audit_flush_full
+  in
+  line "full-record images" d_full;
+  line "field-compressed (SQL)" d_sql;
+  printf
+    "audit size ratio: %.1fx smaller; buffer-full flush ratio: %.1fx fewer@."
+    (float_of_int d_full.Stats.audit_bytes
+    /. float_of_int d_sql.Stats.audit_bytes)
+    (float_of_int d_full.Stats.audit_flush_full
+    /. float_of_int (max 1 d_sql.Stats.audit_flush_full))
+
+(* ------------------------------------------------------------------ *)
+(* E5: bulk I/O and pre-fetch                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e5_bulk_prefetch () =
+  heading "E5" "cache optimizations for a key-range scan"
+    "\"it reads into cache buffers sequential strings of physical blocks \
+     using bulk I/O's ... the Disk Process attempts to pre-fetch data ... \
+     allows cpu-bound processing ... in parallel with disk I/O's\"";
+  let rows = 2000 in
+  let run ~prefetch ~bulk_bytes =
+    let config =
+      Config.v ~dp_prefetch:prefetch ~bulk_io_max_bytes:bulk_bytes ()
+    in
+    let node = N.create_node ~config ~volumes:1 () in
+    get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"t" ~rows ());
+    (* cool the cache: GUARDIAN steals every frame (cleaning dirty ones) *)
+    ignore (N.vm_pressure node 0 ~frames:max_int);
+    let s = N.session node in
+    let t0 = Sim.now (N.sim node) in
+    let _, delta =
+      N.measure node (fun () ->
+          match N.exec_exn s "SELECT COUNT(*) FROM t" with
+          | N.Rows { rows = [ [| Row.Vint n |] ]; _ } -> assert (n = rows)
+          | _ -> assert false)
+    in
+    (delta, Sim.now (N.sim node) -. t0)
+  in
+  let d_plain, t_plain = run ~prefetch:false ~bulk_bytes:4096 in
+  let d_bulk, t_bulk = run ~prefetch:true ~bulk_bytes:4096 in
+  let d_pre, t_pre = run ~prefetch:true ~bulk_bytes:(28 * 1024) in
+  printf "%-34s %8s %8s %10s %12s@." "configuration" "I/Os" "blocks"
+    "blocks/IO" "elapsed(ms)";
+  let line name (d : Stats.t) t =
+    printf "%-34s %8d %8d %10.2f %12.1f@." name d.Stats.disk_reads
+      d.Stats.blocks_read
+      (float_of_int d.Stats.blocks_read
+      /. float_of_int (max 1 d.Stats.disk_reads))
+      (t /. 1000.)
+  in
+  line "per-block reads (no pre-fetch)" d_plain t_plain;
+  line "pre-fetch, 4 KB I/O limit" d_bulk t_bulk;
+  line "pre-fetch, 28 KB bulk I/O" d_pre t_pre;
+  printf "I/O count reduction: %.1fx; elapsed reduction: %.1fx@."
+    (float_of_int d_plain.Stats.disk_reads
+    /. float_of_int (max 1 d_pre.Stats.disk_reads))
+    (t_plain /. t_pre)
+
+(* ------------------------------------------------------------------ *)
+(* E6: asynchronous write-behind                                        *)
+(* ------------------------------------------------------------------ *)
+
+let e6_write_behind () =
+  heading "E6" "write-behind of dirty sequential block strings"
+    "\"This mechanism uses idle time between Disk Process requests to \
+     write out strings of sequential blocks updated under a subset ... \
+     without violating write-ahead-log protocol\"";
+  let rows = 1500 in
+  let prepare () =
+    let node = N.create_node ~volumes:1 () in
+    get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"t" ~rows ());
+    let s = N.session node in
+    (match N.exec_exn s "UPDATE t SET two = 1 - two" with
+    | N.Affected n -> assert (n = rows)
+    | _ -> assert false);
+    node
+  in
+  (* WAL check: before commit makes audit durable, write-behind refuses *)
+  let node = N.create_node ~volumes:1 () in
+  get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"t" ~rows:200 ());
+  let s = N.session node in
+  ignore (N.exec_exn s "BEGIN WORK");
+  ignore (N.exec_exn s "UPDATE t SET two = 1 - two");
+  let premature = Dp.idle (N.dps node).(0) in
+  ignore (N.exec_exn s "COMMIT WORK");
+  printf "blocks written behind before commit (WAL must forbid): %d@."
+    premature;
+  let node_wb = prepare () in
+  let dirty = Cache.dirty_count (Dp.cache (N.dps node_wb).(0)) in
+  let _, d_wb =
+    N.measure node_wb (fun () -> ignore (Dp.idle (N.dps node_wb).(0)))
+  in
+  let node_sync = prepare () in
+  let _, d_sync =
+    N.measure node_sync (fun () ->
+        Cache.flush_all (Dp.cache (N.dps node_sync).(0)))
+  in
+  printf "@.%d dirty blocks to clean after the subset update:@." dirty;
+  printf "%-30s %10s %12s@." "mechanism" "write I/Os" "bulk writes";
+  printf "%-30s %10d %12d@." "synchronous per-block" d_sync.Stats.disk_writes
+    d_sync.Stats.bulk_writes;
+  printf "%-30s %10d %12d@." "write-behind (bulk strings)"
+    d_wb.Stats.disk_writes d_wb.Stats.bulk_writes;
+  printf "write I/O reduction: %.1fx@."
+    (float_of_int d_sync.Stats.disk_writes
+    /. float_of_int (max 1 d_wb.Stats.disk_writes))
+
+(* ------------------------------------------------------------------ *)
+(* E7: group commit timers                                              *)
+(* ------------------------------------------------------------------ *)
+
+let e7_group_commit () =
+  heading "E7" "group-commit timer behaviour under load"
+    "\"timers have been introduced to force out pending commits from a \
+     partially full buffer. Response times are minimized by dynamically \
+     adjusting the timers based on such system statistics as transaction \
+     rate\" [Helland]";
+  let txs = 400 in
+  (* transactions arrive on the simulated clock and their COMMIT records
+     wait for the group-commit flush; the driver advances time in small
+     steps so concurrent commits can share one flush *)
+  let run ~interarrival_us ~timer =
+    let sim = Sim.create () in
+    let volume = Disk.create sim ~name:"$AUDIT" in
+    let trail = Trail.create sim volume in
+    (match timer with
+    | `Pinned us -> Trail.set_timer_us trail us
+    | `Adaptive -> ());
+    let update_image = String.make 60 'u' in
+    let completions = ref [] in
+    let before = Sim.snapshot sim in
+    for tx = 1 to txs do
+      Sim.charge sim interarrival_us;
+      ignore (Trail.append trail ~tx Nsql_audit.Audit_record.Begin_tx);
+      ignore
+        (Trail.append trail ~tx
+           (Nsql_audit.Audit_record.Insert
+              { file = 0; key = "k"; image = update_image }));
+      let lsn = Trail.append trail ~tx Nsql_audit.Audit_record.Commit_tx in
+      Trail.request_commit trail ~tx lsn;
+      let requested_at = Sim.now sim in
+      completions := (lsn, requested_at, ref None) :: !completions;
+      (* note completions that became durable while time passed *)
+      List.iter
+        (fun (l, _, done_at) ->
+          if !done_at = None && Int64.compare l (Trail.durable_lsn trail) <= 0
+          then done_at := Some (Sim.now sim))
+        !completions
+    done;
+    (* drain the tail *)
+    let rec settle guard =
+      if guard > 10_000 then failwith "E7: settle did not converge";
+      if
+        List.exists (fun (_, _, done_at) -> !done_at = None) !completions
+      then begin
+        Sim.charge sim 500.;
+        List.iter
+          (fun (l, _, done_at) ->
+            if
+              !done_at = None
+              && Int64.compare l (Trail.durable_lsn trail) <= 0
+            then done_at := Some (Sim.now sim))
+          !completions;
+        settle (guard + 1)
+      end
+    in
+    settle 0;
+    let after = Sim.snapshot sim in
+    let d = Stats.diff ~before ~after in
+    let total_response =
+      List.fold_left
+        (fun acc (_, t0, done_at) ->
+          match !done_at with Some t1 -> acc +. (t1 -. t0) | None -> acc)
+        0. !completions
+    in
+    (d, total_response /. float_of_int txs)
+  in
+  printf "%-22s %-12s %8s %12s %14s@." "timer" "tx rate" "flushes" "txs/flush"
+    "response(ms)";
+  List.iter
+    (fun (rate_name, interarrival_us) ->
+      List.iter
+        (fun (timer_name, timer) ->
+          let d, resp = run ~interarrival_us ~timer in
+          printf "%-22s %-12s %8d %12.2f %14.2f@." timer_name rate_name
+            d.Stats.audit_flushes
+            (float_of_int d.Stats.group_commit_txs
+            /. float_of_int (max 1 d.Stats.audit_flushes))
+            (resp /. 1000.))
+        [
+          ("timer 1 ms", `Pinned 1_000.);
+          ("timer 10 ms", `Pinned 10_000.);
+          ("timer 50 ms", `Pinned 50_000.);
+          ("adaptive (Helland)", `Adaptive);
+        ])
+    [ ("high (2k/s)", 500.); ("low (100/s)", 10_000.) ]
+
+(* ------------------------------------------------------------------ *)
+(* E8: DebitCredit, SQL vs ENSCRIBE                                     *)
+(* ------------------------------------------------------------------ *)
+
+let e8_debitcredit () =
+  heading "E8" "DebitCredit: NonStop SQL vs ENSCRIBE"
+    "\"The result is an SQL system which matches the performance of the \
+     pre-existing DBMS\" (abstract)";
+  let txs = 200 in
+  let accounts = 1000 and tellers = 100 and branches = 10 in
+  let aid i = (i * 131) mod accounts in
+  let delta_of i = float_of_int ((i mod 21) - 10) in
+  let node_sql = N.create_node ~volumes:2 () in
+  let db_sql =
+    get_ok ~ctx:"setup"
+      (Debitcredit.setup_sql node_sql ~accounts ~tellers ~branches)
+  in
+  let s = N.session node_sql in
+  let (), d_sql =
+    N.measure node_sql (fun () ->
+        for i = 0 to txs - 1 do
+          get_ok ~ctx:"tx"
+            (Debitcredit.run_sql_tx db_sql s ~aid:(aid i) ~delta:(delta_of i))
+        done)
+  in
+  let node_ens = N.create_node ~volumes:2 () in
+  let db_ens =
+    get_ok ~ctx:"setup"
+      (Debitcredit.setup_enscribe node_ens ~accounts ~tellers ~branches)
+  in
+  let (), d_ens =
+    N.measure node_ens (fun () ->
+        for i = 0 to txs - 1 do
+          get_ok ~ctx:"tx"
+            (Debitcredit.run_enscribe_tx node_ens db_ens ~aid:(aid i)
+               ~delta:(delta_of i))
+        done)
+  in
+  printf "per transaction (%d transactions):@." txs;
+  printf "%-14s %10s %12s %10s %12s %12s@." "interface" "messages" "msg bytes"
+    "disk I/Os" "CPU ticks" "audit bytes";
+  let line name (d : Stats.t) =
+    let f v = float_of_int v /. float_of_int txs in
+    printf "%-14s %10.1f %12.0f %10.2f %12.0f %12.0f@." name
+      (f d.Stats.msgs_sent)
+      (f (d.Stats.msg_req_bytes + d.Stats.msg_reply_bytes))
+      (f (d.Stats.disk_reads + d.Stats.disk_writes))
+      (f d.Stats.cpu_ticks) (f d.Stats.audit_bytes)
+  in
+  line "ENSCRIBE" d_ens;
+  line "NonStop SQL" d_sql;
+  printf
+    "SQL/ENSCRIBE: %.2fx messages, %.2fx CPU — comparable or better, as \
+     claimed@."
+    (float_of_int d_sql.Stats.msgs_sent /. float_of_int d_ens.Stats.msgs_sent)
+    (float_of_int d_sql.Stats.cpu_ticks /. float_of_int d_ens.Stats.cpu_ticks)
+
+(* ------------------------------------------------------------------ *)
+(* E9: Figure 2 message trace                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e9_figure2_trace () =
+  heading "E9" "Figure 2: access via alternate key"
+    "\"The File System in doing an update via alternate key first sends a \
+     request to the disk server managing the index to find the primary \
+     key. It then sends the update expression to the server managing the \
+     primary key partition.\"";
+  let node = N.create_node ~volumes:2 () in
+  let schema =
+    Row.schema
+      [|
+        Row.column "acctno" Row.T_int;
+        Row.column "balance" Row.T_float;
+        Row.column "owner" (Row.T_varchar 24);
+      |]
+      ~key:[ "acctno" ]
+  in
+  let file =
+    get_ok ~ctx:"create"
+      (Fs.create_file (N.fs node) ~fname:"account" ~schema
+         ~partitions:[ Fs.{ ps_lo = ""; ps_dp = (N.dps node).(0) } ]
+         ~indexes:
+           [ Fs.{ is_name = "by_owner"; is_cols = [ 2 ]; is_dp = (N.dps node).(1) } ]
+         ())
+  in
+  get_ok ~ctx:"load"
+    (Tmf.run (N.tmf node) (fun tx ->
+         let rec go i =
+           if i >= 100 then Ok ()
+           else
+             match
+               Fs.insert_row (N.fs node) file ~tx
+                 [| Row.Vint i; Row.Vfloat 100.; Row.Vstr (fpr "cust-%03d" i) |]
+             with
+             | Ok () -> go (i + 1)
+             | Error _ as e -> e
+         in
+         go 0));
+  Msg.start_trace (N.msys node);
+  let row =
+    get_ok ~ctx:"fig2"
+      (Tmf.run (N.tmf node) (fun tx ->
+           Fs.read_row_via_index (N.fs node) file ~tx ~index:"by_owner"
+             ~index_key:[ Row.Vstr "cust-042" ]))
+  in
+  let trace = Msg.stop_trace (N.msys node) in
+  (match row with
+  | Some r -> printf "row found: %a@." Row.pp_row r
+  | None -> printf "row not found!@.");
+  printf "message flow:@.";
+  List.iter (fun e -> printf "  %a@." Msg.pp_trace_entry e) trace;
+  printf "FS-DP messages for the alternate-key read: %d (paper: 2)@."
+    (List.length trace)
+
+(* ------------------------------------------------------------------ *)
+(* E10: continuation re-drive limits                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e10_redrive () =
+  heading "E10" "continuation re-drive protocol"
+    "\"To prevent a single set-oriented FS-DP request from monopolizing a \
+     Disk Process over a long period of time, limits on the ... time \
+     spent per request message are set. If exceeded, a continuation \
+     re-drive protocol is triggered.\"";
+  let rows = 2000 in
+  printf "%-24s %10s %12s %18s@." "per-request limit" "messages" "re-drives"
+    "max records/msg";
+  List.iter
+    (fun limit ->
+      let config = Config.v ~dp_records_per_request:limit () in
+      let node = N.create_node ~config ~volumes:1 () in
+      get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"t" ~rows ());
+      let s = N.session node in
+      (* a selective predicate on a non-key column: the DP must examine
+         every record but returns almost none, so only the record limit
+         triggers re-drives *)
+      let _, delta =
+        N.measure node (fun () ->
+            match N.exec_exn s "SELECT unique2 FROM t WHERE unique1 = 1" with
+            | N.Rows { rows = r; _ } -> assert (List.length r = 1)
+            | _ -> assert false)
+      in
+      printf "%-24d %10d %12d %18d@." limit delta.Stats.msgs_sent
+        delta.Stats.redrives (min limit rows))
+    [ 64; 256; 1024; 4096 ]
+
+(* ------------------------------------------------------------------ *)
+(* E11: blocked sequential inserts (future-work extension)              *)
+(* ------------------------------------------------------------------ *)
+
+let e11_blocked_insert () =
+  heading "E11" "blocked sequential insert interface"
+    "\"If a blocked interface for inserts were introduced, the message \
+     traffic between the File System and the Disk Process could be \
+     reduced by the blocking factor\" (future enhancements)";
+  let rows = 1000 in
+  let run capacity =
+    let node = N.create_node ~volumes:1 () in
+    let s = N.session node in
+    ignore
+      (N.exec_exn s "CREATE TABLE t (k INT PRIMARY KEY, v CHAR(60) NOT NULL)");
+    let tbl = get_ok ~ctx:"find" (N.Catalog.find (N.catalog node) "t") in
+    let _, delta =
+      N.measure node (fun () ->
+          get_ok ~ctx:"ins"
+            (Tmf.run (N.tmf node) (fun tx ->
+                 match capacity with
+                 | None ->
+                     let rec go i =
+                       if i >= rows then Ok ()
+                       else
+                         match
+                           Fs.insert_row (N.fs node) tbl.N.Catalog.t_file ~tx
+                             [| Row.Vint i; Row.Vstr "v" |]
+                         with
+                         | Ok () -> go (i + 1)
+                         | Error _ as e -> e
+                     in
+                     go 0
+                 | Some cap ->
+                     let buf =
+                       Fs.open_insert_buffer (N.fs node) tbl.N.Catalog.t_file
+                         ~tx ~capacity:cap
+                     in
+                     let rec go i =
+                       if i >= rows then Fs.flush_insert_buffer (N.fs node) buf
+                       else
+                         match
+                           Fs.buffered_insert (N.fs node) buf
+                             [| Row.Vint i; Row.Vstr "v" |]
+                         with
+                         | Ok () -> go (i + 1)
+                         | Error _ as e -> e
+                     in
+                     go 0)))
+    in
+    delta.Stats.msgs_sent
+  in
+  let base = run None in
+  printf "%-26s %10s %14s@." "interface" "messages" "msgs/insert";
+  printf "%-26s %10d %14.3f@." "INSERT^ROW per record" base
+    (float_of_int base /. float_of_int rows);
+  List.iter
+    (fun cap ->
+      let m = run (Some cap) in
+      printf "%-26s %10d %14.3f@." (fpr "INSERT^BLOCK of %d" cap) m
+        (float_of_int m /. float_of_int rows))
+    [ 10; 30; 100 ]
+
+(* ------------------------------------------------------------------ *)
+(* E12: virtual-block group locking                                     *)
+(* ------------------------------------------------------------------ *)
+
+let e12_vblock_locking () =
+  heading "E12" "virtual-block group locking"
+    "\"Record locking has been extended to a form of virtual block \
+     locking in which the records of the virtual block are locked as a \
+     group.\"";
+  let rows = 1000 in
+  let run access =
+    let node = N.create_node ~volumes:1 () in
+    get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"t" ~rows ());
+    let tbl = get_ok ~ctx:"find" (N.Catalog.find (N.catalog node) "t") in
+    let _, delta =
+      N.measure node (fun () ->
+          get_ok ~ctx:"scan"
+            (Tmf.run (N.tmf node) (fun tx ->
+                 let sc =
+                   Fs.open_scan (N.fs node) tbl.N.Catalog.t_file ~tx ~access
+                     ~range:Expr.full_range ~proj:[| 1 |] ~lock:Dp_msg.L_shared
+                     ()
+                 in
+                 let rec drain k =
+                   match Fs.scan_next (N.fs node) sc with
+                   | Ok (Some _) -> drain (k + 1)
+                   | Ok None ->
+                       Fs.close_scan (N.fs node) sc;
+                       assert (k = rows);
+                       Ok ()
+                   | Error _ as e -> e
+                 in
+                 drain 0)))
+    in
+    delta
+  in
+  let d_rec = run Fs.A_record in
+  let d_vsbb = run Fs.A_vsbb in
+  printf "%-24s %14s %12s@." "locking regime" "lock requests" "locks/row";
+  let line name (d : Stats.t) =
+    printf "%-24s %14d %12.3f@." name d.Stats.lock_requests
+      (float_of_int d.Stats.lock_requests /. float_of_int rows)
+  in
+  line "record locks" d_rec;
+  line "virtual-block group" d_vsbb;
+  printf "lock-acquisition reduction: %.0fx@."
+    (float_of_int d_rec.Stats.lock_requests
+    /. float_of_int (max 1 d_vsbb.Stats.lock_requests))
+
+(* ------------------------------------------------------------------ *)
+(* E13: distribution transparency over partitions                       *)
+(* ------------------------------------------------------------------ *)
+
+let e13_partitions () =
+  heading "E13" "horizontally partitioned tables (Figure 1 architecture)"
+    "\"Base files ... may be horizontally partitioned, based on record \
+     key ranges, into multiple fragments residing on a distributed set of \
+     disk volumes\"";
+  let rows = 2000 in
+  printf "%-12s %10s %10s %12s %16s@." "partitions" "messages" "remote"
+    "result rows" "rows/partition";
+  List.iter
+    (fun parts ->
+      let node = N.create_node ~volumes:4 () in
+      get_ok ~ctx:"wisc"
+        (Wisconsin.create node ~name:"t" ~rows ~partitions:parts ());
+      let s = N.session node in
+      let result, delta =
+        N.measure node (fun () ->
+            match
+              N.exec_exn s
+                "SELECT COUNT(*) FROM t WHERE unique1 >= 500 AND unique1 < 700"
+            with
+            | N.Rows { rows = [ [| Row.Vint n |] ]; _ } -> n
+            | _ -> assert false)
+      in
+      let per_part =
+        String.concat "/"
+          (List.init parts (fun i ->
+               string_of_int
+                 (Dp.record_count (N.dps node).(i)
+                    ~file:
+                      (Option.get (Dp.file_id (N.dps node).(i) (fpr "t#p%d" i))))))
+      in
+      printf "%-12d %10d %10d %12d %16s@." parts delta.Stats.msgs_sent
+        delta.Stats.msgs_remote result per_part)
+    [ 1; 2; 4 ]
+
+
+(* ------------------------------------------------------------------ *)
+(* E14: buffered update/delete where current (future-work extension)   *)
+(* ------------------------------------------------------------------ *)
+
+let e14_apply_block () =
+  heading "E14" "buffered update/delete where current"
+    "\"By allowing the updates (deletes) to occur in a buffer local to the \
+     File System, and then sending the buffer full of updates (deletes) to \
+     the Disk Process in one message, substantial message traffic savings \
+     ... could be realized\" (future enhancements)";
+  let rows = 1000 in
+  (* the cursor owner updates every third record it visits — a selection
+     the Disk Process cannot evaluate (it is the application's choice), so
+     set-oriented delegation does not apply *)
+  let run capacity =
+    let node = N.create_node ~volumes:1 () in
+    let s = N.session node in
+    ignore
+      (N.exec_exn s "CREATE TABLE t (k INT PRIMARY KEY, v FLOAT NOT NULL)");
+    let tbl = get_ok ~ctx:"find" (N.Catalog.find (N.catalog node) "t") in
+    get_ok ~ctx:"load"
+      (Tmf.run (N.tmf node) (fun tx ->
+           let buf =
+             Fs.open_insert_buffer (N.fs node) tbl.N.Catalog.t_file ~tx
+               ~capacity:100
+           in
+           let rec go i =
+             if i >= rows then Fs.flush_insert_buffer (N.fs node) buf
+             else
+               match
+                 Fs.buffered_insert (N.fs node) buf [| Row.Vint i; Row.Vfloat 1. |]
+               with
+               | Ok () -> go (i + 1)
+               | Error _ as e -> e
+           in
+           go 0));
+    let bump = [ { Expr.target = 1; source = Expr.(Binop (Add, Field 1, float_ 1.)) } ] in
+    let updated = ref 0 in
+    let _, delta =
+      N.measure node (fun () ->
+          get_ok ~ctx:"cursor"
+            (Tmf.run (N.tmf node) (fun tx ->
+                 let sc =
+                   Fs.open_scan (N.fs node) tbl.N.Catalog.t_file ~tx
+                     ~access:Fs.A_vsbb ~range:Expr.full_range ~proj:[| 0 |]
+                     ~lock:Dp_msg.L_exclusive ()
+                 in
+                 let apply_buf =
+                   match capacity with
+                   | Some cap ->
+                       Some (Fs.open_apply_buffer (N.fs node) tbl.N.Catalog.t_file ~tx ~capacity:cap)
+                   | None -> None
+                 in
+                 let rec walk () =
+                   match Fs.scan_next (N.fs node) sc with
+                   | Ok None -> (
+                       Fs.close_scan (N.fs node) sc;
+                       match apply_buf with
+                       | Some b -> Fs.flush_apply_buffer (N.fs node) b
+                       | None -> Ok ())
+                   | Ok (Some [| Row.Vint k |]) when k mod 3 = 0 -> (
+                       incr updated;
+                       let key =
+                         get_ok ~ctx:"key"
+                           (Row.key_of_values tbl.N.Catalog.t_schema [ Row.Vint k ])
+                       in
+                       match apply_buf with
+                       | Some b -> (
+                           match Fs.buffered_update (N.fs node) b ~key bump with
+                           | Ok () -> walk ()
+                           | Error _ as e -> e)
+                       | None -> (
+                           match
+                             Fs.update_row_via_key (N.fs node)
+                               tbl.N.Catalog.t_file ~tx ~key bump
+                           with
+                           | Ok () -> walk ()
+                           | Error _ as e -> e))
+                   | Ok (Some _) -> walk ()
+                   | Error _ as e -> e
+                 in
+                 walk ())))
+    in
+    (delta.Stats.msgs_sent, !updated)
+  in
+  let base, n_updated = run None in
+  printf "cursor over %d rows, %d of them updated at the requester:@." rows
+    n_updated;
+  printf "%-30s %10s %16s@." "interface" "messages" "msgs/updated row";
+  printf "%-30s %10d %16.3f@." "read + UPDATE per record" base
+    (float_of_int base /. float_of_int n_updated);
+  List.iter
+    (fun cap ->
+      let m, _ = run (Some cap) in
+      printf "%-30s %10d %16.3f@." (fpr "APPLY^BLOCK of %d" cap) m
+        (float_of_int m /. float_of_int n_updated))
+    [ 10; 50 ]
+
+(* ------------------------------------------------------------------ *)
+(* E15: remote requester — filtering at the source across the network   *)
+(* ------------------------------------------------------------------ *)
+
+let e15_remote_requester () =
+  heading "E15" "remote requester: VSBB across the network"
+    "\"In a distributed system, this produces important performance \
+     benefits due to reduced message traffic, since only selected and \
+     projected data is returned to a remote requester.\"";
+  let rows = 1000 in
+  let run ~remote mode =
+    let node = N.create_node ~remote_requester:remote ~volumes:1 () in
+    get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"t" ~rows ());
+    let s = N.session node in
+    N.set_access_mode s mode;
+    let t0 = Sim.now (N.sim node) in
+    let _, delta =
+      N.measure node (fun () ->
+          ignore
+            (N.exec_exn s
+               "SELECT unique1 FROM t WHERE tenpercent = 3"))
+    in
+    (delta, Sim.now (N.sim node) -. t0)
+  in
+  printf "%-12s %-18s %9s %12s %12s@." "requester" "interface" "msgs"
+    "reply bytes" "elapsed(ms)";
+  List.iter
+    (fun (where, remote) ->
+      List.iter
+        (fun (mode_name, mode) ->
+          let d, t = run ~remote mode in
+          printf "%-12s %-18s %9d %12d %12.1f@." where mode_name
+            d.Stats.msgs_sent d.Stats.msg_reply_bytes (t /. 1000.))
+        [ ("record-at-a-time", Some Fs.A_record); ("VSBB", Some Fs.A_vsbb) ])
+    [ ("local", false); ("remote node", true) ]
+
+
+(* ------------------------------------------------------------------ *)
+(* E16: distributed transactions — the cost of network atomicity        *)
+(* ------------------------------------------------------------------ *)
+
+let e16_distributed_tx () =
+  heading "E16" "network transactions: two-phase commit cost"
+    "\"A transaction mechanism coordinates the atomic commitment of \
+     updates by multiple processes in the network\" [Borr1] — the \
+     facility NonStop SQL inherits for distribution";
+  let schema =
+    Row.schema
+      [| Row.column "k" Row.T_int; Row.column "v" Row.T_float |]
+      ~key:[ "k" ]
+  in
+  let key i = get_ok ~ctx:"key" (Row.key_of_values schema [ Row.Vint i ]) in
+  let bump fs_ file tx i delta =
+    Fs.update_subset fs_ file ~tx
+      ~range:Expr.{ lo = key i; hi = Keycode.successor (key i) }
+      [ { Expr.target = 1; source = Expr.(Binop (Add, Field 1, float_ delta)) } ]
+  in
+  let cluster = N.create_cluster ~nodes:2 ~volumes_per_node:1 () in
+  let nodes = N.cluster_nodes cluster in
+  let mk node_id rows =
+    let node = nodes.(node_id) in
+    let file =
+      get_ok ~ctx:"create"
+        (Fs.create_file (N.fs node)
+           ~fname:(fpr "t%d" node_id)
+           ~schema
+           ~partitions:[ Fs.{ ps_lo = ""; ps_dp = (N.dps node).(0) } ]
+           ~indexes:[] ())
+    in
+    get_ok ~ctx:"load"
+      (Tmf.run (N.tmf node) (fun tx ->
+           let rec go i =
+             if i >= rows then Ok ()
+             else
+               match
+                 Fs.insert_row (N.fs node) file ~tx [| Row.Vint i; Row.Vfloat 0. |]
+               with
+               | Ok () -> go (i + 1)
+               | Error _ as e -> e
+           in
+           go 0));
+    file
+  in
+  let f0 = mk 0 100 and f1 = mk 1 100 in
+  let txs = 50 in
+  (* local transactions: both updates on node 0's file *)
+  let s0 = Nsql_sim.Sim.stats (N.sim nodes.(0)) in
+  let before = Stats.copy s0 in
+  for i = 0 to txs - 1 do
+    get_ok ~ctx:"local"
+      (Tmf.run (N.tmf nodes.(0)) (fun tx ->
+           let open Errors in
+           let* _ = bump (N.fs nodes.(0)) f0 tx (i mod 100) 1. in
+           let* _ = bump (N.fs nodes.(0)) f0 tx ((i + 7) mod 100) (-1.) in
+           Ok ()))
+  done;
+  let d_local = Stats.diff ~before ~after:(Stats.copy s0) in
+  (* network transactions: one update on each node, 2PC *)
+  let before = Stats.copy s0 in
+  for i = 0 to txs - 1 do
+    get_ok ~ctx:"dtx"
+      (let open Errors in
+       let* dtx = N.network_tx cluster ~home:0 in
+       let* _ = bump (N.fs nodes.(0)) f0 (Nsql_dtx.Dtx.coordinator_tx dtx) (i mod 100) 1. in
+       let* tx1 = Nsql_dtx.Dtx.branch dtx ~node_id:1 in
+       let* _ = bump (N.fs nodes.(0)) f1 tx1 (i mod 100) (-1.) in
+       Nsql_dtx.Dtx.commit dtx)
+  done;
+  let d_dtx = Stats.diff ~before ~after:(Stats.copy s0) in
+  printf "per transaction (%d two-update transactions):@." txs;
+  printf "%-28s %10s %12s %14s@." "transaction kind" "messages" "internode"
+    "audit flushes";
+  let line name (d : Stats.t) =
+    let f v = float_of_int v /. float_of_int txs in
+    printf "%-28s %10.1f %12.1f %14.1f@." name (f d.Stats.msgs_sent)
+      (f d.Stats.msgs_internode) (f d.Stats.audit_flushes)
+  in
+  line "local (one node)" d_local;
+  line "network (2PC, two nodes)" d_dtx;
+  printf
+    "the atomicity premium: TMF^BEGIN + TMF^PREPARE + TMF^COMMIT messages      and one extra log force per branch@."
+
+
+(* ------------------------------------------------------------------ *)
+(* A1 (ablation): VSBB reply-buffer size                               *)
+(* ------------------------------------------------------------------ *)
+
+let a1_vsbb_buffer () =
+  heading "A1" "ablation: virtual-block (reply buffer) size"
+    "design choice: the VSBB reply buffer bounds how much selected and \
+     projected data one GET message returns; larger virtual blocks mean \
+     fewer re-drives but bigger replies and coarser group locks";
+  let rows = 2000 in
+  printf "%-14s %10s %12s %14s@." "buffer" "messages" "reply bytes"
+    "lock requests";
+  List.iter
+    (fun buf_bytes ->
+      let config = Config.v ~vsbb_buffer_bytes:buf_bytes () in
+      let node = N.create_node ~config ~volumes:1 () in
+      get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"t" ~rows ());
+      let tbl = get_ok ~ctx:"find" (N.Catalog.find (N.catalog node) "t") in
+      let _, delta =
+        N.measure node (fun () ->
+            get_ok ~ctx:"scan"
+              (Tmf.run (N.tmf node) (fun tx ->
+                   let sc =
+                     Fs.open_scan (N.fs node) tbl.N.Catalog.t_file ~tx
+                       ~access:Fs.A_vsbb ~range:Expr.full_range
+                       ~proj:[| 0; 1 |] ~lock:Dp_msg.L_shared ()
+                   in
+                   let rec drain k =
+                     match Fs.scan_next (N.fs node) sc with
+                     | Ok (Some _) -> drain (k + 1)
+                     | Ok None ->
+                         Fs.close_scan (N.fs node) sc;
+                         assert (k = rows);
+                         Ok ()
+                     | Error _ as e -> e
+                   in
+                   drain 0)))
+      in
+      printf "%-14s %10d %12d %14d@."
+        (fpr "%d B" buf_bytes)
+        delta.Stats.msgs_sent delta.Stats.msg_reply_bytes
+        delta.Stats.lock_requests)
+    [ 1024; 4096; 16384 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks over the core paths                        *)
+(* ------------------------------------------------------------------ *)
+
+let micro_benchmarks () =
+  printf "@.==== Bechamel micro-benchmarks (real time per run) ====@.";
+  let open Bechamel in
+  let open Toolkit in
+  let sim = Sim.create () in
+  let disk = Disk.create sim ~name:"$B" in
+  ignore (Disk.allocate disk 4096);
+  let cache =
+    Cache.create sim disk ~capacity:256
+      ~durable_lsn:(fun () -> Int64.max_int)
+      ~force_log:(fun _ -> ())
+  in
+  let tree = Nsql_store.Btree.create sim cache ~name:"B" in
+  for i = 0 to 999 do
+    get_ok ~ctx:"ins"
+      (Nsql_store.Btree.insert tree ~key:(Keycode.of_int i)
+         ~record:(String.make 100 'x') ~lsn:1L)
+  done;
+  let schema =
+    Row.schema
+      [|
+        Row.column "a" Row.T_int;
+        Row.column "b" Row.T_float;
+        Row.column "c" (Row.T_varchar 40);
+      |]
+      ~key:[ "a" ]
+  in
+  let row = [| Row.Vint 42; Row.Vfloat 3.14; Row.Vstr "hello, tandem" |] in
+  let image = Row.encode schema row in
+  let pred =
+    Expr.(And (Cmp (Gt, Field 1, float_ 1.), Like (Field 2, "hello%")))
+  in
+  let counter = ref 1_000_000 in
+  let sql_node = N.create_node ~volumes:1 () in
+  let sql_session = N.session sql_node in
+  ignore
+    (N.exec_exn sql_session "CREATE TABLE t (k INT PRIMARY KEY, v FLOAT NOT NULL)");
+  for i = 0 to 99 do
+    ignore (N.exec_exn sql_session (fpr "INSERT INTO t VALUES (%d, 1.0)" i))
+  done;
+  let tests =
+    [
+      Test.make ~name:"keycode.of_int"
+        (Staged.stage (fun () -> Keycode.of_int 123456));
+      Test.make ~name:"row.encode" (Staged.stage (fun () -> Row.encode schema row));
+      Test.make ~name:"row.decode"
+        (Staged.stage (fun () -> Row.decode_exn schema image));
+      Test.make ~name:"expr.eval_pred"
+        (Staged.stage (fun () -> Expr.eval_pred row pred));
+      Test.make ~name:"btree.lookup"
+        (Staged.stage (fun () ->
+             Nsql_store.Btree.lookup tree (Keycode.of_int 500)));
+      Test.make ~name:"btree.insert+delete"
+        (Staged.stage (fun () ->
+             incr counter;
+             let k = Keycode.of_int !counter in
+             get_ok ~ctx:"i"
+               (Nsql_store.Btree.insert tree ~key:k ~record:"r" ~lsn:1L);
+             ignore (Nsql_store.Btree.delete tree ~key:k ~lsn:1L)));
+      Test.make ~name:"cache.read (hit)"
+        (Staged.stage (fun () -> Cache.read cache 1));
+      Test.make ~name:"sql.point select"
+        (Staged.stage (fun () -> N.exec_exn sql_session "SELECT v FROM t WHERE k = 7"));
+      Test.make ~name:"sql.update expression"
+        (Staged.stage (fun () ->
+             N.exec_exn sql_session "UPDATE t SET v = v + 1.0 WHERE k = 7"));
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ per_run ] -> printf "%-28s %12.0f ns/run@." name per_run
+          | _ -> printf "%-28s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  printf "NonStop SQL reproduction — experiment harness@.";
+  printf
+    "(see DESIGN.md for the experiment index, EXPERIMENTS.md for the \
+     paper-vs-measured discussion)@.";
+  e1_rsbb_vs_record ();
+  e2_vsbb_wisconsin ();
+  e3_update_subset ();
+  e4_audit_compression ();
+  e5_bulk_prefetch ();
+  e6_write_behind ();
+  e7_group_commit ();
+  e8_debitcredit ();
+  e9_figure2_trace ();
+  e10_redrive ();
+  e11_blocked_insert ();
+  e12_vblock_locking ();
+  e13_partitions ();
+  e14_apply_block ();
+  e15_remote_requester ();
+  e16_distributed_tx ();
+  a1_vsbb_buffer ();
+  micro_benchmarks ();
+  printf "@.all experiments complete.@."

@@ -1,0 +1,130 @@
+(* SQLCI — an interactive SQL conversational interface to the simulated
+   node, in the spirit of Tandem's SQLCI utility.
+
+   Run with: dune exec bin/sqlci.exe
+   Or a script: dune exec bin/sqlci.exe -- --script setup.sql
+   Backslash commands: \stats \reset \explain <sql> \tables \mode <m>
+   \trace <sql> \crash <i> \recover <i> \wisconsin <rows> \quit *)
+
+module N = Nsql_core.Nonstop_sql
+module Stats = Nsql_sim.Stats
+module Msg = Nsql_msg.Msg
+module Fs = Nsql_fs.Fs
+module Errors = Nsql_util.Errors
+module Wisconsin = Nsql_workload.Wisconsin
+
+let printf = Format.printf
+
+type repl = { node : N.node; session : N.session; mutable baseline : Stats.t }
+
+let show_error e = printf "error: %s@." (Errors.to_string e)
+
+let run_sql repl sql =
+  let result, delta = N.measure repl.node (fun () -> N.exec repl.session sql) in
+  match result with
+  | Ok r ->
+      printf "%a@." N.pp_exec_result r;
+      printf "-- %a@." Stats.pp_brief delta
+  | Error e -> show_error e
+
+let backslash repl line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "\\quit" ] | [ "\\q" ] -> raise Exit
+  | [ "\\stats" ] ->
+      let now = N.snapshot repl.node in
+      printf "%a@." Stats.pp (Stats.diff ~before:repl.baseline ~after:now)
+  | [ "\\reset" ] ->
+      repl.baseline <- N.snapshot repl.node;
+      printf "counters reset@."
+  | [ "\\tables" ] ->
+      List.iter (fun t -> printf "%s@." t)
+        (N.Catalog.table_names (N.catalog repl.node))
+  | "\\explain" :: rest ->
+      (match N.explain repl.session (String.concat " " rest) with
+      | Ok plan -> printf "%s@." plan
+      | Error e -> show_error e)
+  | [ "\\mode"; m ] ->
+      (match m with
+      | "record" -> N.set_access_mode repl.session (Some Fs.A_record)
+      | "rsbb" -> N.set_access_mode repl.session (Some Fs.A_rsbb)
+      | "vsbb" -> N.set_access_mode repl.session (Some Fs.A_vsbb)
+      | "auto" -> N.set_access_mode repl.session None
+      | _ -> printf "modes: record | rsbb | vsbb | auto@.");
+      printf "access mode set@."
+  | "\\trace" :: rest ->
+      Msg.start_trace (N.msys repl.node);
+      run_sql repl (String.concat " " rest);
+      List.iter
+        (fun e -> printf "  %a@." Msg.pp_trace_entry e)
+        (Msg.stop_trace (N.msys repl.node))
+  | [ "\\crash"; i ] ->
+      (match int_of_string_opt i with
+      | Some i when i >= 0 && i < Array.length (N.dps repl.node) ->
+          N.crash_volume repl.node i;
+          printf "volume %d crashed (volatile state lost)@." i
+      | _ -> printf "usage: \\crash <volume index>@.")
+  | [ "\\recover"; i ] ->
+      (match int_of_string_opt i with
+      | Some i when i >= 0 && i < Array.length (N.dps repl.node) ->
+          let o = N.recover_volume repl.node i in
+          printf "%a@." Nsql_tmf.Recovery.pp_outcome o
+      | _ -> printf "usage: \\recover <volume index>@.")
+  | [ "\\wisconsin"; rows ] ->
+      (match int_of_string_opt rows with
+      | Some rows when rows > 0 -> (
+          match Wisconsin.create repl.node ~name:"tenktup1" ~rows () with
+          | Ok () -> printf "loaded tenktup1 (%d rows)@." rows
+          | Error e -> show_error e)
+      | _ -> printf "usage: \\wisconsin <rows>@.")
+  | [ "\\help" ] | _ ->
+      printf
+        "commands: \\stats \\reset \\tables \\explain <sql> \\mode \
+         <record|rsbb|vsbb|auto> \\trace <sql> \\crash <i> \\recover <i> \
+         \\wisconsin <rows> \\quit@."
+
+let feed repl line =
+  let line = String.trim line in
+  if line = "" then ()
+  else if line.[0] = '\\' then backslash repl line
+  else run_sql repl line
+
+let repl_loop repl =
+  printf "NonStop SQL reproduction — SQLCI. \\help for commands, \\quit to \
+          exit.@.";
+  try
+    while true do
+      printf ">> @?";
+      match In_channel.input_line stdin with
+      | None -> raise Exit
+      | Some line -> feed repl line
+    done
+  with Exit -> printf "bye@."
+
+let run_script repl path =
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  match N.exec_script repl.session contents with
+  | Ok results -> List.iter (fun r -> printf "%a@." N.pp_exec_result r) results
+  | Error e -> show_error e
+
+let main script volumes =
+  let node = N.create_node ~volumes () in
+  let repl = { node; session = N.session node; baseline = N.snapshot node } in
+  match script with
+  | Some path -> run_script repl path
+  | None -> repl_loop repl
+
+open Cmdliner
+
+let script =
+  let doc = "Execute the SQL script at $(docv) instead of the interactive loop." in
+  Arg.(value & opt (some string) None & info [ "script" ] ~docv:"FILE" ~doc)
+
+let volumes =
+  let doc = "Number of disk volumes (Disk Processes) for the node." in
+  Arg.(value & opt int 2 & info [ "volumes" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "interactive SQL interface to the simulated Tandem node" in
+  Cmd.v (Cmd.info "sqlci" ~doc) Term.(const main $ script $ volumes)
+
+let () = exit (Cmd.eval cmd)

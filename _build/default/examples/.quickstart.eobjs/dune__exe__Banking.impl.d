@@ -1,0 +1,1 @@
+examples/banking.ml: Format Nsql_core Nsql_row Nsql_sim Nsql_tmf Nsql_util Nsql_workload

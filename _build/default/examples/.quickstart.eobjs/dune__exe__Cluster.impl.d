@@ -1,0 +1,1 @@
+examples/cluster.ml: Array Format List Nsql_core Nsql_dp Nsql_dtx Nsql_expr Nsql_fs Nsql_msg Nsql_row Nsql_tmf Nsql_util Printf

@@ -1,0 +1,1 @@
+examples/distributed.ml: Array Format List Nsql_core Nsql_expr Nsql_fs Nsql_msg Nsql_row Nsql_tmf Nsql_util Printf

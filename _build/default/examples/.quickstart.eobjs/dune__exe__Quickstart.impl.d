@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Nsql_core Nsql_sim

@@ -1,0 +1,1 @@
+examples/wisconsin_demo.ml: Format List Nsql_core Nsql_fs Nsql_sim Nsql_util Nsql_workload

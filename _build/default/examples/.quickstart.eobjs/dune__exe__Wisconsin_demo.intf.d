@@ -1,0 +1,1 @@
+examples/wisconsin_demo.mli:

@@ -1,0 +1,79 @@
+(* Banking: the DebitCredit workload through both interfaces, a comparison
+   of their per-transaction costs, and a crash/recovery demonstration.
+
+   Run with: dune exec examples/banking.exe *)
+
+module N = Nsql_core.Nonstop_sql
+module Stats = Nsql_sim.Stats
+module Row = Nsql_row.Row
+module Debitcredit = Nsql_workload.Debitcredit
+module Errors = Nsql_util.Errors
+
+let get_ok = Errors.get_ok
+
+let () =
+  Format.printf "=== DebitCredit through NonStop SQL ===@.";
+  let node = N.create_node ~volumes:2 () in
+  let db =
+    get_ok ~ctx:"setup"
+      (Debitcredit.setup_sql node ~accounts:500 ~tellers:50 ~branches:5)
+  in
+  let s = N.session node in
+  let txs = 100 in
+  let (), delta =
+    N.measure node (fun () ->
+        for i = 0 to txs - 1 do
+          get_ok ~ctx:"tx"
+            (Debitcredit.run_sql_tx db s ~aid:((i * 31) mod 500)
+               ~delta:(float_of_int ((i mod 21) - 10)))
+        done)
+  in
+  Format.printf "%d transactions:@.  %a@." txs Stats.pp_brief delta;
+  Format.printf "  per tx: %.1f messages, %.1f disk I/Os@."
+    (float_of_int delta.Stats.msgs_sent /. float_of_int txs)
+    (float_of_int (delta.Stats.disk_reads + delta.Stats.disk_writes)
+    /. float_of_int txs);
+  let total, hist = get_ok ~ctx:"bal" (Debitcredit.sql_balances db s) in
+  Format.printf "  sum of balances: %.0f, history rows: %d@.@." total hist;
+
+  Format.printf "=== the same workload through ENSCRIBE ===@.";
+  let node_e = N.create_node ~volumes:2 () in
+  let db_e =
+    get_ok ~ctx:"setup"
+      (Debitcredit.setup_enscribe node_e ~accounts:500 ~tellers:50 ~branches:5)
+  in
+  let (), delta_e =
+    N.measure node_e (fun () ->
+        for i = 0 to txs - 1 do
+          get_ok ~ctx:"tx"
+            (Debitcredit.run_enscribe_tx node_e db_e ~aid:((i * 31) mod 500)
+               ~delta:(float_of_int ((i mod 21) - 10)))
+        done)
+  in
+  Format.printf "%d transactions:@.  %a@." txs Stats.pp_brief delta_e;
+  Format.printf
+    "  SQL sends %.0f%% of ENSCRIBE's messages (update expressions avoid the \
+     preliminary reads)@.@."
+    (100.
+    *. float_of_int delta.Stats.msgs_sent
+    /. float_of_int delta_e.Stats.msgs_sent);
+
+  Format.printf "=== crash and recovery ===@.";
+  (* run a few more transactions, crash volume 0 mid-flight, recover *)
+  ignore (N.exec_exn s "BEGIN WORK");
+  ignore (N.exec_exn s "UPDATE account SET balance = 0.0 WHERE aid = 3");
+  (* the uncommitted update is in flight when the processor fails *)
+  Format.printf "crashing $DATA1 with one transaction in flight...@.";
+  N.crash_volume node 0;
+  N.crash_volume node 1;
+  let o0 = N.recover_volume node 0 in
+  let o1 = N.recover_volume node 1 in
+  Format.printf "recovery: %a / %a@." Nsql_tmf.Recovery.pp_outcome o0
+    Nsql_tmf.Recovery.pp_outcome o1;
+  let s2 = N.session node in
+  let total2, hist2 = get_ok ~ctx:"bal" (Debitcredit.sql_balances db s2) in
+  Format.printf
+    "after recovery: sum of balances %.0f (unchanged: %b), history rows %d@."
+    total2
+    (abs_float (total2 -. total) < 1e-6)
+    hist2

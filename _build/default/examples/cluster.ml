@@ -1,0 +1,83 @@
+(* Cluster: two nodes on one network, a funds transfer spanning both, and
+   the 2PC message flow traced — the distributed transaction management
+   NonStop SQL inherits from the pre-existing architecture [Borr1].
+
+   Run with: dune exec examples/cluster.exe *)
+
+module N = Nsql_core.Nonstop_sql
+module Dtx = Nsql_dtx.Dtx
+module Msg = Nsql_msg.Msg
+module Fs = Nsql_fs.Fs
+module Dp_msg = Nsql_dp.Dp_msg
+module Tmf = Nsql_tmf.Tmf
+module Row = Nsql_row.Row
+module Expr = Nsql_expr.Expr
+module Keycode = Nsql_util.Keycode
+module Errors = Nsql_util.Errors
+
+let get_ok = Errors.get_ok
+
+let schema =
+  Row.schema
+    [| Row.column "acctno" Row.T_int; Row.column "balance" Row.T_float |]
+    ~key:[ "acctno" ]
+
+let key i = get_ok ~ctx:"key" (Row.key_of_values schema [ Row.Vint i ])
+
+let () =
+  let cluster = N.create_cluster ~nodes:2 ~volumes_per_node:1 () in
+  let nodes = N.cluster_nodes cluster in
+  Format.printf "cluster up: \\0 and \\1, one volume each@.";
+  (* one account file per node *)
+  let mk node_id =
+    let node = nodes.(node_id) in
+    let file =
+      get_ok ~ctx:"create"
+        (Fs.create_file (N.fs node)
+           ~fname:(Printf.sprintf "accounts_n%d" node_id)
+           ~schema
+           ~partitions:[ Fs.{ ps_lo = ""; ps_dp = (N.dps node).(0) } ]
+           ~indexes:[] ())
+    in
+    get_ok ~ctx:"load"
+      (Tmf.run (N.tmf node) (fun tx ->
+           Fs.insert_row (N.fs node) file ~tx [| Row.Vint 1; Row.Vfloat 500. |]));
+    file
+  in
+  let f0 = mk 0 and f1 = mk 1 in
+  Format.printf "account 1 holds 500.00 on each node@.@.";
+
+  Format.printf "transferring 120.00 from \\0 to \\1 atomically:@.";
+  Msg.start_trace (N.msys nodes.(0));
+  let bump _node file tx delta =
+    Fs.update_subset (N.fs nodes.(0)) file ~tx
+      ~range:Expr.{ lo = key 1; hi = Keycode.successor (key 1) }
+      [ { Expr.target = 1; source = Expr.(Binop (Add, Field 1, float_ delta)) } ]
+  in
+  get_ok ~ctx:"transfer"
+    (let open Errors in
+     let* dtx = N.network_tx cluster ~home:0 in
+     let* _ = bump nodes.(0) f0 (Dtx.coordinator_tx dtx) (-120.) in
+     let* tx1 = Dtx.branch dtx ~node_id:1 in
+     let* _ = bump nodes.(1) f1 tx1 120. in
+     Dtx.commit dtx);
+  let trace = Msg.stop_trace (N.msys nodes.(0)) in
+  List.iter (fun e -> Format.printf "  %a@." Msg.pp_trace_entry e) trace;
+
+  let read node file =
+    get_ok ~ctx:"read"
+      (Tmf.run (N.tmf node) (fun tx ->
+           match
+             Fs.read (N.fs node) file ~tx ~key:(key 1) ~lock:Dp_msg.L_none
+           with
+           | Ok r -> (
+               match (Row.decode_exn schema r).(1) with
+               | Row.Vfloat f -> Ok f
+               | _ -> Errors.fail (Errors.Internal "type"))
+           | Error _ as e -> e))
+  in
+  Format.printf "@.after commit: node 0 balance %.2f, node 1 balance %.2f@."
+    (read nodes.(0) f0) (read nodes.(1) f1);
+  Format.printf
+    "(note TMF^BEGIN / TMF^PREPARE / TMF^COMMIT internode messages above — \
+     the two-phase commit)@."

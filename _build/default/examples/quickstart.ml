@@ -1,0 +1,42 @@
+(* Quickstart: bring up a simulated Tandem node and talk SQL to it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module N = Nsql_core.Nonstop_sql
+
+let () =
+  let node = N.create_node () in
+  let s = N.session node in
+  let run sql =
+    Format.printf ">> %s@." sql;
+    Format.printf "%a@.@." N.pp_exec_result (N.exec_exn s sql)
+  in
+  (* the paper's running example: the EMP table *)
+  run
+    "CREATE TABLE emp (empno INT PRIMARY KEY, name VARCHAR(32) NOT NULL, \
+     hire_date CHAR(10) NOT NULL, salary FLOAT NOT NULL)";
+  run "INSERT INTO emp VALUES (1, 'Borr', '1978-03-01', 95000.0)";
+  run "INSERT INTO emp VALUES (2, 'Putzolu', '1979-11-15', 97000.0)";
+  run "INSERT INTO emp VALUES (3, 'Gray', '1980-06-20', 99000.0)";
+  run "INSERT INTO emp VALUES (950, 'Recent Hire', '1988-06-01', 31000.0)";
+  run "INSERT INTO emp VALUES (1200, 'Out of range', '1988-06-01', 50000.0)";
+
+  (* Example (1) of the paper: selection + projection -> one GET^FIRST^VSBB *)
+  run "SELECT name, hire_date FROM emp WHERE empno <= 1000 AND salary > 32000.0";
+
+  (* Example (2): SELECT * -> real sequential block buffering *)
+  run "SELECT * FROM emp";
+
+  (* Example (3): update via expression, evaluated in the Disk Process *)
+  run "UPDATE emp SET salary = salary * 1.07 WHERE salary > 0.0";
+  run "SELECT name, salary FROM emp ORDER BY salary DESC LIMIT 3";
+
+  (* transactions *)
+  run "BEGIN WORK";
+  run "DELETE FROM emp WHERE empno = 950";
+  run "ROLLBACK WORK";
+  run "SELECT COUNT(*) FROM emp";
+
+  (* what did all of that cost? *)
+  Format.printf "--- simulation counters ---@.%a@." Nsql_sim.Stats.pp
+    (N.stats node)

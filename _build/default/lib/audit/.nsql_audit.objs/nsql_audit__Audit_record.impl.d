@@ -1,0 +1,1 @@
+lib/audit/audit_record.ml: Format List Nsql_row Nsql_util Printf String

@@ -1,0 +1,1 @@
+lib/audit/audit_record.mli: Format Nsql_row Nsql_util

@@ -1,0 +1,1 @@
+lib/audit/trail.ml: Array Audit_record Buffer Bytes Float Int64 List Nsql_disk Nsql_sim Nsql_util String

@@ -1,0 +1,1 @@
+lib/audit/trail.mli: Audit_record Nsql_disk Nsql_sim

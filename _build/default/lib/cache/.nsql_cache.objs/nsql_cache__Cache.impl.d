@@ -1,0 +1,1 @@
+lib/cache/cache.ml: Array Hashtbl Int64 List Nsql_disk Nsql_sim

@@ -1,0 +1,1 @@
+lib/core/nonstop_sql.ml: Array Format List Nsql_audit Nsql_cache Nsql_disk Nsql_dp Nsql_dtx Nsql_expr Nsql_fs Nsql_msg Nsql_row Nsql_sim Nsql_sql Nsql_tmf Nsql_util Printf

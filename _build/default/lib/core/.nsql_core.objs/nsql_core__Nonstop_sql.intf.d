@@ -1,0 +1,1 @@
+lib/core/nonstop_sql.mli: Format Nsql_audit Nsql_dp Nsql_dtx Nsql_expr Nsql_fs Nsql_msg Nsql_row Nsql_sim Nsql_sql Nsql_tmf Nsql_util

@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Array Bytes Nsql_sim Printf String

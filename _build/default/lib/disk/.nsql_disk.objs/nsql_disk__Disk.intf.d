@@ -1,0 +1,1 @@
+lib/disk/disk.mli: Nsql_sim

@@ -1,0 +1,148 @@
+module Sim = Nsql_sim.Sim
+module Stats = Nsql_sim.Stats
+module Config = Nsql_sim.Config
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  mirrored : bool;
+  mutable data : bytes array;  (** one [bytes] of [block_size] per block *)
+  mutable nblocks : int;
+  mutable last_block : int;  (** head position for sequential detection *)
+  mutable busy_until : float;  (** device queue: I/Os serialize *)
+}
+
+let create ?mirrored sim ~name =
+  let cfg = Sim.config sim in
+  let mirrored =
+    match mirrored with Some m -> m | None -> cfg.Config.mirrored
+  in
+  {
+    sim;
+    name;
+    mirrored;
+    data = [||];
+    nblocks = 0;
+    last_block = -10;
+    busy_until = 0.;
+  }
+
+let name t = t.name
+let block_size t = (Sim.config t.sim).Config.block_size
+let blocks t = t.nblocks
+
+let max_bulk_blocks t =
+  let cfg = Sim.config t.sim in
+  max 1 (cfg.Config.bulk_io_max_bytes / cfg.Config.block_size)
+
+let allocate t n =
+  let first = t.nblocks in
+  let needed = t.nblocks + n in
+  if needed > Array.length t.data then begin
+    let cap = max 64 (max needed (2 * Array.length t.data)) in
+    let bs = block_size t in
+    let data = Array.init cap (fun i ->
+        if i < t.nblocks then t.data.(i) else Bytes.make bs '\x00')
+    in
+    t.data <- data
+  end;
+  t.nblocks <- needed;
+  first
+
+let check_range t ~first ~count =
+  if first < 0 || count < 1 || first + count > t.nblocks then
+    invalid_arg
+      (Printf.sprintf "Disk(%s): blocks [%d..%d) out of range [0..%d)" t.name
+         first (first + count) t.nblocks);
+  if count > max_bulk_blocks t then
+    invalid_arg
+      (Printf.sprintf "Disk(%s): bulk I/O of %d blocks exceeds limit %d"
+         t.name count (max_bulk_blocks t))
+
+(* Service time of one I/O; the head moves to the end of the range. *)
+let io_time t ~first ~count =
+  let cfg = Sim.config t.sim in
+  let position_cost =
+    (* continuing right after — or rewriting — the last touched block is
+       physically sequential *)
+    if first = t.last_block + 1 || first = t.last_block then
+      cfg.Config.disk_sequential_us
+    else cfg.Config.disk_seek_us
+  in
+  t.last_block <- first + count - 1;
+  position_cost +. (float_of_int count *. cfg.Config.disk_per_block_us)
+
+(* An I/O enters the device queue: it starts when the device is free and the
+   caller has reached that point in time. Returns the completion time. *)
+let enqueue_io t ~first ~count =
+  let start = max t.busy_until (Sim.now t.sim) in
+  let completion = start +. io_time t ~first ~count in
+  t.busy_until <- completion;
+  completion
+
+let count_read t ~count ~prefetch =
+  let s = Sim.stats t.sim in
+  s.Stats.disk_reads <- s.Stats.disk_reads + 1;
+  s.Stats.blocks_read <- s.Stats.blocks_read + count;
+  if count > 1 then s.Stats.bulk_reads <- s.Stats.bulk_reads + 1;
+  if prefetch then s.Stats.prefetch_reads <- s.Stats.prefetch_reads + 1
+
+let count_write t ~count ~behind =
+  let s = Sim.stats t.sim in
+  let ios = if t.mirrored then 2 else 1 in
+  s.Stats.disk_writes <- s.Stats.disk_writes + ios;
+  s.Stats.blocks_written <- s.Stats.blocks_written + (count * ios);
+  if count > 1 then s.Stats.bulk_writes <- s.Stats.bulk_writes + ios;
+  if behind then
+    s.Stats.writebehind_writes <- s.Stats.writebehind_writes + ios
+
+let fetch t ~first ~count =
+  Array.init count (fun i -> Bytes.to_string t.data.(first + i))
+
+let store t ~first data =
+  Array.iteri
+    (fun i block ->
+      let bs = block_size t in
+      if String.length block <> bs then
+        invalid_arg
+          (Printf.sprintf "Disk(%s): block payload %d bytes, expected %d"
+             t.name (String.length block) bs);
+      Bytes.blit_string block 0 t.data.(first + i) 0 bs)
+    data
+
+let read_bulk t ~first ~count =
+  check_range t ~first ~count;
+  count_read t ~count ~prefetch:false;
+  let completion = enqueue_io t ~first ~count in
+  Sim.wait_until t.sim completion;
+  fetch t ~first ~count
+
+let read t i =
+  match read_bulk t ~first:i ~count:1 with
+  | [| b |] -> b
+  | _ -> assert false
+
+let write_bulk t ~first data =
+  let count = Array.length data in
+  check_range t ~first ~count;
+  count_write t ~count ~behind:false;
+  store t ~first data;
+  let completion = enqueue_io t ~first ~count in
+  Sim.wait_until t.sim completion
+
+let write t i data = write_bulk t ~first:i [| data |]
+
+let read_bulk_async t ~first ~count =
+  check_range t ~first ~count;
+  count_read t ~count ~prefetch:true;
+  let completion = enqueue_io t ~first ~count in
+  (fetch t ~first ~count, completion)
+
+let write_bulk_async t ~first data =
+  let count = Array.length data in
+  check_range t ~first ~count;
+  count_write t ~count ~behind:true;
+  store t ~first data;
+  enqueue_io t ~first ~count
+
+let io_busy_until t = t.busy_until

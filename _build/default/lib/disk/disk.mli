@@ -1,0 +1,60 @@
+(** Simulated disk volume.
+
+    A volume is a growable array of fixed-size blocks, optionally mirrored
+    on a pair of physical drives (writes go to both, reads are served by
+    one). The cost model distinguishes random access (seek + rotational
+    delay) from physically sequential access, and supports *bulk I/O*: one
+    operation transferring a string of consecutive blocks, bounded by the
+    configured maximum (the paper's 28 KB).
+
+    Asynchronous variants return a completion time instead of blocking the
+    simulated clock; the cache layer uses them for pre-fetch and
+    write-behind. *)
+
+type t
+
+(** [create sim ~name] makes an empty volume. Mirroring comes from the
+    simulation config unless overridden. *)
+val create : ?mirrored:bool -> Nsql_sim.Sim.t -> name:string -> t
+
+val name : t -> string
+val block_size : t -> int
+
+(** [blocks t] is the current number of allocated blocks. *)
+val blocks : t -> int
+
+(** [max_bulk_blocks t] is the bulk I/O limit in blocks. *)
+val max_bulk_blocks : t -> int
+
+(** [allocate t n] extends the volume by [n] zeroed blocks and returns the
+    index of the first new block. No I/O is charged (allocation is a
+    catalogue operation). *)
+val allocate : t -> int -> int
+
+(** [read t i] synchronously reads block [i]. *)
+val read : t -> int -> string
+
+(** [read_bulk t ~first ~count] synchronously reads [count] consecutive
+    blocks as one I/O. [count] must not exceed [max_bulk_blocks]. *)
+val read_bulk : t -> first:int -> count:int -> string array
+
+(** [write t i data] synchronously writes block [i]. *)
+val write : t -> int -> string -> unit
+
+(** [write_bulk t ~first data] synchronously writes consecutive blocks as
+    one I/O. *)
+val write_bulk : t -> first:int -> string array -> unit
+
+(** [read_bulk_async t ~first ~count] starts a read and returns the data
+    together with its completion time; the caller must [Sim.wait_until]
+    that time before using the data. Counted as a pre-fetch read. *)
+val read_bulk_async : t -> first:int -> count:int -> string array * float
+
+(** [write_bulk_async t ~first data] starts a write and returns its
+    completion time. Counted as a write-behind write. The block contents
+    are applied immediately (the simulated controller owns the buffer). *)
+val write_bulk_async : t -> first:int -> string array -> float
+
+(** [io_busy_until t] is the time at which the device becomes idle; I/Os
+    queue behind each other. *)
+val io_busy_until : t -> float

@@ -1,0 +1,1 @@
+lib/dp/dp.ml: Array Dp_msg Format Hashtbl List Nsql_audit Nsql_cache Nsql_disk Nsql_expr Nsql_lock Nsql_msg Nsql_row Nsql_sim Nsql_store Nsql_tmf Nsql_util Printf String

@@ -1,0 +1,1 @@
+lib/dp/dp.mli: Dp_msg Nsql_cache Nsql_disk Nsql_lock Nsql_msg Nsql_row Nsql_sim Nsql_tmf Nsql_util

@@ -1,0 +1,1 @@
+lib/dp/dp_msg.ml: Array Format List Nsql_expr Nsql_row Nsql_util Printf

@@ -1,0 +1,1 @@
+lib/dp/dp_msg.mli: Format Nsql_expr Nsql_row Nsql_util

@@ -1,0 +1,1238 @@
+module Sim = Nsql_sim.Sim
+module Stats = Nsql_sim.Stats
+module Config = Nsql_sim.Config
+module Msg = Nsql_msg.Msg
+module Disk = Nsql_disk.Disk
+module Cache = Nsql_cache.Cache
+module Lock = Nsql_lock.Lock
+module Row = Nsql_row.Row
+module Expr = Nsql_expr.Expr
+module Btree = Nsql_store.Btree
+module Relfile = Nsql_store.Relfile
+module Entryfile = Nsql_store.Entryfile
+module Tmf = Nsql_tmf.Tmf
+module Trail = Nsql_audit.Trail
+module Ar = Nsql_audit.Audit_record
+module Keycode = Nsql_util.Keycode
+module Errors = Nsql_util.Errors
+
+open Dp_msg
+
+type structure =
+  | S_btree of Btree.t
+  | S_rel of Relfile.t
+  | S_entry of Entryfile.t
+
+type file = {
+  f_id : int;
+  f_name : string;
+  f_kind : file_kind_spec;
+  f_schema : Row.schema option;
+  f_check : Expr.t option;
+  mutable f_structure : structure;
+}
+
+(* What a Subset Control Block remembers so that re-drives don't have to
+   re-send the predicate / projection / update expression. *)
+type scb_body =
+  | Scb_read of {
+      buffering : buffering;
+      pred : Expr.t option;
+      proj : int array option;
+      lock : lock_mode;
+    }
+  | Scb_update of { pred : Expr.t option; assignments : Expr.assignment list }
+  | Scb_delete of { pred : Expr.t option }
+
+type scb = {
+  scb_file : int;
+  scb_lo : string;  (** inclusive begin of the key range *)
+  scb_hi : string;  (** exclusive end of the key range *)
+  scb_body : scb_body;
+  mutable scb_prev_leaf : int;  (** pre-fetch heuristic state *)
+}
+
+type t = {
+  sim : Sim.t;
+  msys : Msg.system;
+  tmf : Tmf.t;
+  dp_name : string;
+  endpoint : Msg.endpoint;
+  volume : Disk.t;
+  cache : Cache.t;
+  locks : Lock.t;
+  files : (int, file) Hashtbl.t;
+  by_name : (string, int) Hashtbl.t;
+  scbs : (int, scb) Hashtbl.t;
+  mutable next_scb : int;
+}
+
+(* [handler] is defined at the bottom of this file (it needs the whole
+   dispatch machinery); [create] wires the endpoint through this cell. *)
+let handler_cell : (t -> string -> string) ref =
+  ref (fun _ _ -> assert false)
+
+let create sim msys tmf ~name ~processor ?backup () =
+  let volume = Disk.create sim ~name in
+  let trail = Tmf.trail tmf in
+  let cfg = Sim.config sim in
+  let cache =
+    Cache.create sim volume ~capacity:cfg.Config.cache_blocks
+      ~durable_lsn:(fun () -> Trail.durable_lsn trail)
+      ~force_log:(fun lsn -> Trail.force trail lsn)
+  in
+  let locks = Lock.create sim in
+  let endpoint =
+    Msg.register msys ~name ~processor ?backup (fun _ -> assert false)
+  in
+  let t =
+    {
+      sim;
+      msys;
+      tmf;
+      dp_name = name;
+      endpoint;
+      volume;
+      cache;
+      locks;
+      files = Hashtbl.create 16;
+      by_name = Hashtbl.create 16;
+      scbs = Hashtbl.create 16;
+      next_scb = 0;
+    }
+  in
+  (* two-phase locking: locks drop at transaction finish *)
+  Tmf.register_resource_manager tmf ~on_finish:(fun tx ->
+      Lock.release_all locks ~tx);
+  Msg.set_handler endpoint (fun payload -> !handler_cell t payload);
+  t
+
+let name t = t.dp_name
+let endpoint t = t.endpoint
+let volume t = t.volume
+let cache t = t.cache
+let locks t = t.locks
+
+let file_id t fname = Hashtbl.find_opt t.by_name fname
+
+let find_file t id =
+  match Hashtbl.find_opt t.files id with
+  | Some f -> Ok f
+  | None -> Errors.fail (Errors.File_not_found (Printf.sprintf "#%d" id))
+
+let file_schema t ~file =
+  match Hashtbl.find_opt t.files file with
+  | Some f -> f.f_schema
+  | None -> None
+
+let record_count t ~file =
+  match Hashtbl.find_opt t.files file with
+  | Some { f_structure = S_btree b; _ } -> Btree.record_count b
+  | Some { f_structure = S_rel r; _ } -> Relfile.record_count r
+  | Some { f_structure = S_entry e; _ } -> Entryfile.record_count e
+  | None -> 0
+
+(* --- small helpers ----------------------------------------------------- *)
+
+let ( let* ) = Errors.( let* )
+
+let audit t ~tx body = Trail.append (Tmf.trail t.tmf) ~tx body
+
+let require_tx t tx =
+  if tx <= 0 then Errors.fail Errors.No_transaction
+  else if not (Tmf.is_active t.tmf ~tx) then
+    Errors.fail (Errors.Tx_aborted (Printf.sprintf "tx %d not active" tx))
+  else Ok ()
+
+let btree_of f =
+  match f.f_structure with
+  | S_btree b -> Ok b
+  | S_rel _ | S_entry _ ->
+      Errors.fail (Errors.Bad_request "operation requires a key-sequenced file")
+
+let rel_of f =
+  match f.f_structure with
+  | S_rel r -> Ok r
+  | S_btree _ | S_entry _ ->
+      Errors.fail (Errors.Bad_request "operation requires a relative file")
+
+let entry_of f =
+  match f.f_structure with
+  | S_entry e -> Ok e
+  | S_btree _ | S_rel _ ->
+      Errors.fail (Errors.Bad_request "operation requires an entry-sequenced file")
+
+let lock_of_mode = function
+  | L_shared -> Some Lock.Shared
+  | L_exclusive -> Some Lock.Exclusive
+  | L_none -> None
+
+(* Acquire or report blockage. [Error] carries blockers. *)
+let try_lock t ~tx ~file resource mode =
+  match Lock.acquire t.locks ~tx ~file resource mode with
+  | Lock.Granted -> Ok ()
+  | Lock.Blocked blockers -> Error blockers
+
+type 'a lock_result = Locked of 'a | Lock_wait of int list
+
+(* --- recovery-capable primitive mutations ------------------------------ *)
+
+(* All mutations funnel through these, so normal operation, undo, and
+   replay behave identically. Each validates that the operation will
+   succeed, then audits, then applies: an audit record must never describe
+   an operation that failed, or recovery would replay it. *)
+
+let do_insert t ~tx f ~key ~record =
+  let* b = btree_of f in
+  if Btree.lookup b key <> None then Errors.fail (Errors.Duplicate_key key)
+  else if not (Btree.record_fits b ~key ~record) then
+    Errors.fail (Errors.Bad_request "record exceeds maximum size")
+  else begin
+    let lsn = audit t ~tx (Ar.Insert { file = f.f_id; key; image = record }) in
+    match Btree.insert b ~key ~record ~lsn with
+    | Ok () -> Ok lsn
+    | Error e -> failwith ("Dp.do_insert: audited insert failed: " ^ Errors.to_string e)
+  end
+
+let do_delete t ~tx f ~key =
+  let* b = btree_of f in
+  match Btree.lookup b key with
+  | None -> Errors.fail (Errors.Not_found_key key)
+  | Some image ->
+      let lsn = audit t ~tx (Ar.Delete { file = f.f_id; key; image }) in
+      let* _old = Btree.delete b ~key ~lsn in
+      Ok image
+
+let do_update_full t ~tx f ~key ~record =
+  let* b = btree_of f in
+  match Btree.lookup b key with
+  | None -> Errors.fail (Errors.Not_found_key key)
+  | Some _ when not (Btree.record_fits b ~key ~record) ->
+      Errors.fail (Errors.Bad_request "record exceeds maximum size")
+  | Some before ->
+      let lsn =
+        audit t ~tx (Ar.Update_full { file = f.f_id; key; before; after = record })
+      in
+      let* _old = Btree.update b ~key ~record ~lsn in
+      Ok before
+
+(* field-compressed update: audit only the touched fields *)
+let do_update_fields t ~tx f ~key ~before_row ~after_row ~targets schema =
+  let* b = btree_of f in
+  let record = Row.encode schema after_row in
+  if not (Btree.record_fits b ~key ~record) then
+    Errors.fail (Errors.Bad_request "record exceeds maximum size")
+  else begin
+    let fields =
+      List.map (fun i -> (i, before_row.(i), after_row.(i))) targets
+    in
+    let lsn = audit t ~tx (Ar.Update_fields { file = f.f_id; key; fields }) in
+    let* _old = Btree.update b ~key ~record ~lsn in
+    Ok ()
+  end
+
+(* undo closures registered with TMF; they re-audit (compensation) *)
+let register_undo_insert t ~tx f ~key =
+  Tmf.register_undo t.tmf ~tx (fun () ->
+      match do_delete t ~tx f ~key with
+      | Ok _ -> ()
+      | Error e -> failwith ("Dp undo-insert: " ^ Errors.to_string e))
+
+let register_undo_delete t ~tx f ~key ~image =
+  Tmf.register_undo t.tmf ~tx (fun () ->
+      match do_insert t ~tx f ~key ~record:image with
+      | Ok _ -> ()
+      | Error e -> failwith ("Dp undo-delete: " ^ Errors.to_string e))
+
+let register_undo_update t ~tx f ~key ~before =
+  Tmf.register_undo t.tmf ~tx (fun () ->
+      match do_update_full t ~tx f ~key ~record:before with
+      | Ok _ -> ()
+      | Error e -> failwith ("Dp undo-update: " ^ Errors.to_string e))
+
+(* --- constraint checking ------------------------------------------------- *)
+
+let check_constraint f row =
+  match f.f_check with
+  | None -> Ok ()
+  | Some check ->
+      if Expr.eval_pred row check then Ok ()
+      else
+        Errors.fail
+          (Errors.Constraint_violation
+             (Format.asprintf "CHECK %a rejected row %a" Expr.pp check
+                Row.pp_row row))
+
+let validate_sql_row f row =
+  match f.f_schema with
+  | None -> Ok ()
+  | Some schema -> Row.validate schema row
+
+(* --- point / record operations ------------------------------------------- *)
+
+let op_read t ~file ~tx ~key ~lock =
+  let* f = find_file t file in
+  let* b = btree_of f in
+  let locked =
+    match lock_of_mode lock with
+    | None -> Ok ()
+    | Some mode -> (
+        match try_lock t ~tx ~file (Lock.Record key) mode with
+        | Ok () -> Ok ()
+        | Error blockers -> Error blockers)
+  in
+  match locked with
+  | Error blockers ->
+      Ok (Rp_blocked { blockers; processed = 0; last_key = ""; scb = -1 })
+  | Ok () -> (
+      Sim.tick t.sim 15;
+      match Btree.lookup b key with
+      | Some record -> Ok (Rp_record { key; record })
+      | None -> Errors.fail (Errors.Not_found_key key))
+
+let op_entry_read_next t ~file ~tx ~from_addr ~inclusive =
+  ignore tx;
+  let* f = find_file t file in
+  let* e = entry_of f in
+  let start = if inclusive then from_addr else from_addr + 1 in
+  Sim.tick t.sim 10;
+  match Entryfile.next_from e ~addr:start with
+  | None -> Ok Rp_end
+  | Some (addr, record) ->
+      let st = Sim.stats t.sim in
+      st.Stats.records_read <- st.Stats.records_read + 1;
+      st.Stats.records_returned <- st.Stats.records_returned + 1;
+      Ok (Rp_record { key = Keycode.of_int addr; record })
+
+let op_read_next t ~file ~tx ~from_key ~inclusive ~lock ~sbb =
+  let* f = find_file t file in
+  match f.f_structure with
+  | S_entry _ ->
+      (* entry-sequenced sequential read: addressed by record address *)
+      let from_addr =
+        if String.equal from_key "" then -1
+        else Keycode.read_int (Nsql_util.Codec.reader from_key)
+      in
+      op_entry_read_next t ~file ~tx ~from_addr ~inclusive
+  | S_rel _ | S_btree _ ->
+  let* b = btree_of f in
+  let start = if inclusive then from_key else Keycode.successor from_key in
+  let cursor = Btree.seek b start in
+  match Btree.cursor_entry b cursor with
+  | None -> Ok Rp_end
+  | Some (key, record) ->
+      if sbb then begin
+        (* real sequential block buffering: ship the rest of this physical
+           block in one reply; only file-level locking is effective *)
+        let this_block = Btree.cursor_block cursor in
+        let rec collect c acc last =
+          match Btree.cursor_entry b c with
+          | Some (k, r) when Btree.cursor_block c = this_block ->
+              collect (Btree.advance b c) ((k, r) :: acc) k
+          | Some _ | None ->
+              (List.rev acc, last, Btree.cursor_entry b c <> None)
+        in
+        let entries, last_key, more = collect cursor [] key in
+        let s = Sim.stats t.sim in
+        s.Stats.records_read <- s.Stats.records_read + List.length entries;
+        s.Stats.records_returned <-
+          s.Stats.records_returned + List.length entries;
+        Sim.tick t.sim (10 * List.length entries);
+        Ok (Rp_block { entries; last_key; more; scb = -1 })
+      end
+      else begin
+        let locked =
+          match lock_of_mode lock with
+          | None -> Ok ()
+          | Some mode -> (
+              match try_lock t ~tx ~file (Lock.Record key) mode with
+              | Ok () -> Ok ()
+              | Error blockers -> Error blockers)
+        in
+        match locked with
+        | Error blockers ->
+            Ok
+              (Rp_blocked
+                 { blockers; processed = 0; last_key = from_key; scb = -1 })
+        | Ok () ->
+            let s = Sim.stats t.sim in
+            s.Stats.records_read <- s.Stats.records_read + 1;
+            s.Stats.records_returned <- s.Stats.records_returned + 1;
+            Sim.tick t.sim 15;
+            Ok (Rp_record { key; record })
+      end
+
+(* whole-record writes to a SQL file must still satisfy its structure and
+   CHECK constraint — the Disk Process enforces them regardless of which
+   interface carried the record *)
+let check_sql_image f record =
+  match f.f_schema with
+  | None -> Ok ()
+  | Some schema -> (
+      match Row.decode schema record with
+      | Error _ -> Errors.fail (Errors.Bad_request "malformed record image")
+      | Ok row ->
+          let* () = Row.validate schema row in
+          check_constraint f row)
+
+let op_insert t ~file ~tx ~key ~record =
+  let* () = require_tx t tx in
+  let* f = find_file t file in
+  let* () = check_sql_image f record in
+  match try_lock t ~tx ~file (Lock.Record key) Lock.Exclusive with
+  | Error blockers ->
+      Ok (Rp_blocked { blockers; processed = 0; last_key = ""; scb = -1 })
+  | Ok () ->
+      let* _lsn = do_insert t ~tx f ~key ~record in
+      register_undo_insert t ~tx f ~key;
+      Ok Rp_ok
+
+let op_update t ~file ~tx ~key ~record =
+  let* () = require_tx t tx in
+  let* f = find_file t file in
+  let* () = check_sql_image f record in
+  match try_lock t ~tx ~file (Lock.Record key) Lock.Exclusive with
+  | Error blockers ->
+      Ok (Rp_blocked { blockers; processed = 0; last_key = ""; scb = -1 })
+  | Ok () ->
+      let* before = do_update_full t ~tx f ~key ~record in
+      register_undo_update t ~tx f ~key ~before;
+      Ok Rp_ok
+
+let op_delete t ~file ~tx ~key =
+  let* () = require_tx t tx in
+  let* f = find_file t file in
+  match try_lock t ~tx ~file (Lock.Record key) Lock.Exclusive with
+  | Error blockers ->
+      Ok (Rp_blocked { blockers; processed = 0; last_key = ""; scb = -1 })
+  | Ok () ->
+      let* image = do_delete t ~tx f ~key in
+      register_undo_delete t ~tx f ~key ~image;
+      Ok Rp_ok
+
+let op_lock_file t ~file ~tx ~lock =
+  let* _f = find_file t file in
+  match lock_of_mode lock with
+  | None -> Errors.fail (Errors.Bad_request "LOCKFILE with mode none")
+  | Some mode -> (
+      match try_lock t ~tx ~file Lock.File mode with
+      | Ok () -> Ok Rp_ok
+      | Error blockers ->
+          Ok (Rp_blocked { blockers; processed = 0; last_key = ""; scb = -1 }))
+
+(* --- relative / entry-sequenced operations -------------------------------- *)
+
+let op_lock_generic t ~file ~tx ~prefix ~lock =
+  let* _f = find_file t file in
+  match lock_of_mode lock with
+  | None -> Errors.fail (Errors.Bad_request "LOCKGENERIC with mode none")
+  | Some mode -> (
+      match try_lock t ~tx ~file (Lock.Generic prefix) mode with
+      | Ok () -> Ok Rp_ok
+      | Error blockers ->
+          Ok (Rp_blocked { blockers; processed = 0; last_key = ""; scb = -1 }))
+
+let rel_key slot = Keycode.of_int slot
+
+let op_rel_read t ~file ~tx ~slot =
+  ignore tx;
+  let* f = find_file t file in
+  let* r = rel_of f in
+  let* record = Relfile.read r ~slot in
+  Ok (Rp_record { key = rel_key slot; record })
+
+let op_rel_write t ~file ~tx ~slot ~record =
+  let* () = require_tx t tx in
+  let* f = find_file t file in
+  let* r = rel_of f in
+  match try_lock t ~tx ~file (Lock.Record (rel_key slot)) Lock.Exclusive with
+  | Error blockers ->
+      Ok (Rp_blocked { blockers; processed = 0; last_key = ""; scb = -1 })
+  | Ok () ->
+      let* () =
+        if String.length record > Relfile.slot_size r then
+          Errors.fail (Errors.Bad_request "record exceeds slot size")
+        else
+          match Relfile.read r ~slot with
+          | Ok _ -> Errors.fail (Errors.Duplicate_key (string_of_int slot))
+          | Error (Errors.Not_found_key _) -> Ok ()
+          | Error e -> Errors.fail e
+      in
+      let lsn =
+        audit t ~tx (Ar.Insert { file = f.f_id; key = rel_key slot; image = record })
+      in
+      let* () = Relfile.write r ~slot ~record ~lsn in
+      Tmf.register_undo t.tmf ~tx (fun () ->
+          ignore
+            (audit t ~tx
+               (Ar.Delete { file = f.f_id; key = rel_key slot; image = record }));
+          ignore (Relfile.delete r ~slot ~lsn));
+      Ok (Rp_slot slot)
+
+let op_rel_rewrite t ~file ~tx ~slot ~record =
+  let* () = require_tx t tx in
+  let* f = find_file t file in
+  let* r = rel_of f in
+  match try_lock t ~tx ~file (Lock.Record (rel_key slot)) Lock.Exclusive with
+  | Error blockers ->
+      Ok (Rp_blocked { blockers; processed = 0; last_key = ""; scb = -1 })
+  | Ok () ->
+      let* before = Relfile.read r ~slot in
+      let* () =
+        if String.length record > Relfile.slot_size r then
+          Errors.fail (Errors.Bad_request "record exceeds slot size")
+        else Ok ()
+      in
+      let lsn =
+        audit t ~tx
+          (Ar.Update_full { file = f.f_id; key = rel_key slot; before; after = record })
+      in
+      let* _old = Relfile.rewrite r ~slot ~record ~lsn in
+      Tmf.register_undo t.tmf ~tx (fun () ->
+          ignore
+            (audit t ~tx
+               (Ar.Update_full
+                  { file = f.f_id; key = rel_key slot; before = record; after = before }));
+          ignore (Relfile.rewrite r ~slot ~record:before ~lsn));
+      Ok Rp_ok
+
+let op_rel_delete t ~file ~tx ~slot =
+  let* () = require_tx t tx in
+  let* f = find_file t file in
+  let* r = rel_of f in
+  match try_lock t ~tx ~file (Lock.Record (rel_key slot)) Lock.Exclusive with
+  | Error blockers ->
+      Ok (Rp_blocked { blockers; processed = 0; last_key = ""; scb = -1 })
+  | Ok () ->
+      let* image = Relfile.read r ~slot in
+      let lsn =
+        audit t ~tx (Ar.Delete { file = f.f_id; key = rel_key slot; image })
+      in
+      let* _old = Relfile.delete r ~slot ~lsn in
+      Tmf.register_undo t.tmf ~tx (fun () ->
+          ignore
+            (audit t ~tx (Ar.Insert { file = f.f_id; key = rel_key slot; image }));
+          ignore (Relfile.write r ~slot ~record:image ~lsn));
+      Ok Rp_ok
+
+let op_entry_append t ~file ~tx ~record =
+  let* () = require_tx t tx in
+  let* f = find_file t file in
+  let* e = entry_of f in
+  (* entry-sequenced inserts at EOF: serialize appenders via a generic
+     lock on the EOF *)
+  match try_lock t ~tx ~file (Lock.Generic "EOF") Lock.Exclusive with
+  | Error blockers ->
+      Ok (Rp_blocked { blockers; processed = 0; last_key = ""; scb = -1 })
+  | Ok () ->
+      let* () =
+        let bs = Disk.block_size t.volume in
+        if String.length record + 2 > bs then
+          Errors.fail (Errors.Bad_request "record exceeds block size")
+        else Ok ()
+      in
+      let lsn = audit t ~tx (Ar.Insert { file = f.f_id; key = ""; image = record }) in
+      let* addr = Entryfile.append e ~record ~lsn in
+      Tmf.register_undo t.tmf ~tx (fun () ->
+          ignore
+            (audit t ~tx
+               (Ar.Delete { file = f.f_id; key = Keycode.of_int addr; image = record }));
+          match Entryfile.truncate_to e ~addr ~lsn with
+          | Ok () -> ()
+          | Error err -> failwith ("Dp undo-append: " ^ Errors.to_string err));
+      Ok (Rp_slot addr)
+
+let op_entry_read t ~file ~tx ~addr =
+  ignore tx;
+  let* f = find_file t file in
+  let* e = entry_of f in
+  let* record = Entryfile.read e ~addr in
+  Ok (Rp_record { key = Keycode.of_int addr; record })
+
+(* --- set-oriented scans ---------------------------------------------------- *)
+
+let alloc_scb t scb =
+  let id = t.next_scb in
+  t.next_scb <- id + 1;
+  Hashtbl.replace t.scbs id scb;
+  id
+
+let find_scb t id =
+  match Hashtbl.find_opt t.scbs id with
+  | Some scb -> Ok scb
+  | None -> Errors.fail (Errors.Bad_request (Printf.sprintf "unknown SCB %d" id))
+
+(* Sequential pre-fetch heuristic: when the scan enters leaf block [b] and
+   the previous leaf was [b-1] (physically clustered), asynchronously read
+   ahead one bulk window. Where clustering is broken by splits, the
+   heuristic stays quiet. *)
+let maybe_prefetch t scb block =
+  if
+    (Sim.config t.sim).Config.dp_prefetch
+    && block = scb.scb_prev_leaf + 1
+    && not (Cache.resident t.cache (block + 1))
+    (* only re-arm once the previous read-ahead window has drained, so
+       each pre-fetch is a maximal bulk I/O rather than one block *)
+  then begin
+    let window = Disk.max_bulk_blocks t.volume in
+    let first = block + 1 in
+    let avail = Disk.blocks t.volume - first in
+    if avail > 0 then Cache.prefetch t.cache ~first ~count:(min window avail)
+  end;
+  scb.scb_prev_leaf <- block
+
+(* One GET^FIRST/GET^NEXT execution: fill a (virtual or real) block. *)
+let run_read_scan t ~tx f scb scb_id ~from_key =
+  let cfg = Sim.config t.sim in
+  let s = Sim.stats t.sim in
+  let* b = btree_of f in
+  match scb.scb_body with
+  | Scb_update _ | Scb_delete _ ->
+      Errors.fail (Errors.Bad_request "SCB is not a read subset")
+  | Scb_read { buffering; pred; proj; lock } -> (
+      let schema = f.f_schema in
+      let start_key = from_key in
+      let ticks0 = s.Stats.cpu_ticks in
+      let examined = ref 0 in
+      let reply_bytes = ref 0 in
+      let out = ref [] in
+      let out_count = ref 0 in
+      let last_key = ref from_key in
+      let more = ref false in
+      let first_block = ref (-1) in
+      let stop = ref false in
+      let cursor = ref (Btree.seek b from_key) in
+      while not !stop do
+        match Btree.cursor_entry b !cursor with
+        | None -> stop := true
+        | Some (key, record) ->
+            if Keycode.compare_keys key scb.scb_hi >= 0 then stop := true
+            else begin
+              (match Btree.cursor_block !cursor with
+              | Some blk ->
+                  if !first_block < 0 then first_block := blk;
+                  (* RSBB ships exactly one physical block per message *)
+                  if buffering = B_rsbb && !first_block >= 0 && blk <> !first_block
+                  then begin
+                    stop := true;
+                    more := true
+                  end
+                  else maybe_prefetch t scb blk
+              | None -> ());
+              if not !stop then begin
+                incr examined;
+                s.Stats.records_read <- s.Stats.records_read + 1;
+                Sim.tick t.sim 15;
+                let selected, row =
+                  match (pred, schema) with
+                  | None, _ -> (true, None)
+                  | Some p, Some sch ->
+                      let row = Row.decode_exn sch record in
+                      Sim.tick t.sim (2 * Expr.size p);
+                      (Expr.eval_pred row p, Some row)
+                  | Some _, None -> (true, None)
+                in
+                if selected then begin
+                  (match (buffering, proj, schema) with
+                  | B_vsbb, Some fields, Some sch ->
+                      let row =
+                        match row with
+                        | Some r -> r
+                        | None -> Row.decode_exn sch record
+                      in
+                      let projected = Row.project row fields in
+                      let w = Nsql_util.Codec.writer () in
+                      Row.encode_values w projected;
+                      reply_bytes := !reply_bytes + Nsql_util.Codec.written w;
+                      out := `Row projected :: !out
+                  | B_vsbb, None, Some sch ->
+                      let row =
+                        match row with
+                        | Some r -> r
+                        | None -> Row.decode_exn sch record
+                      in
+                      let w = Nsql_util.Codec.writer () in
+                      Row.encode_values w row;
+                      reply_bytes := !reply_bytes + Nsql_util.Codec.written w;
+                      out := `Row row :: !out
+                  | B_vsbb, _, None | B_rsbb, _, _ ->
+                      reply_bytes :=
+                        !reply_bytes + String.length key + String.length record;
+                      out := `Entry (key, record) :: !out);
+                  incr out_count;
+                  s.Stats.records_returned <- s.Stats.records_returned + 1;
+                  Sim.tick t.sim 10
+                end;
+                last_key := key;
+                cursor := Btree.advance b !cursor;
+                (* re-drive triggers: full buffer, record limit, or the
+                   processor-time slice *)
+                if
+                  !reply_bytes >= cfg.Config.vsbb_buffer_bytes
+                  || !examined >= cfg.Config.dp_records_per_request
+                  || s.Stats.cpu_ticks - ticks0 >= cfg.Config.dp_ticks_per_request
+                then begin
+                  stop := true;
+                  more := Btree.cursor_entry b !cursor <> None
+                end
+              end
+            end
+      done;
+      (* virtual-block group locking: one lock covers the whole span this
+         request processed, replacing per-record locks *)
+      let lock_outcome =
+        match lock_of_mode lock with
+        | None -> Ok ()
+        | Some mode ->
+            if Keycode.compare_keys start_key !last_key <= 0 && !examined > 0
+            then
+              try_lock t ~tx ~file:f.f_id
+                (Lock.Range (start_key, Keycode.successor !last_key))
+                mode
+            else Ok ()
+      in
+      match lock_outcome with
+      | Error blockers ->
+          Ok
+            (Rp_blocked
+               { blockers; processed = 0; last_key = from_key; scb = scb_id })
+      | Ok () ->
+          let items = List.rev !out in
+          if !out_count = 0 && not !more then Ok Rp_end
+          else
+            let rows =
+              List.filter_map (function `Row r -> Some r | `Entry _ -> None) items
+            in
+            let entries =
+              List.filter_map
+                (function `Entry e -> Some e | `Row _ -> None)
+                items
+            in
+            if buffering = B_vsbb && f.f_schema <> None then
+              Ok
+                (Rp_vblock
+                   { rows; last_key = !last_key; more = !more; scb = scb_id })
+            else
+              Ok
+                (Rp_block
+                   { entries; last_key = !last_key; more = !more; scb = scb_id }))
+
+(* One UPDATE^SUBSET / DELETE^SUBSET execution.
+
+   Restart semantics: the FIRST message starts at the range's begin key
+   (inclusive); each NEXT message carries the last fully processed key and
+   restarts strictly after it. If a record's lock is unavailable, the reply
+   reports the last key processed {e before} it (or "" if none this
+   request), so the re-drive retries the conflicting record. One update is
+   applied per matched record; updated records are never revisited because
+   the scan key always advances past them. *)
+let run_write_scan t ~tx f scb scb_id ~from_key ~inclusive =
+  let cfg = Sim.config t.sim in
+  let s = Sim.stats t.sim in
+  let* () = require_tx t tx in
+  let* b = btree_of f in
+  let* schema =
+    match f.f_schema with
+    | Some sch -> Ok sch
+    | None -> Errors.fail (Errors.Bad_request "set update requires a SQL file")
+  in
+  let pred, action =
+    match scb.scb_body with
+    | Scb_update { pred; assignments } -> (pred, `Update assignments)
+    | Scb_delete { pred } -> (pred, `Delete)
+    | Scb_read _ -> invalid_arg "Dp.run_write_scan: read SCB"
+  in
+  let apply_one key record row =
+    match action with
+    | `Update assignments ->
+        let after_row = Expr.apply_assignments row assignments in
+        Sim.tick t.sim
+          (List.fold_left
+             (fun acc a -> acc + (2 * Expr.size a.Expr.source))
+             0 assignments);
+        let* () = validate_sql_row f after_row in
+        let* () = check_constraint f after_row in
+        let targets = List.map (fun a -> a.Expr.target) assignments in
+        let* () =
+          do_update_fields t ~tx f ~key ~before_row:row ~after_row ~targets
+            schema
+        in
+        register_undo_update t ~tx f ~key ~before:record;
+        Ok ()
+    | `Delete ->
+        let* image = do_delete t ~tx f ~key in
+        register_undo_delete t ~tx f ~key ~image;
+        Ok ()
+  in
+  let ticks0 = s.Stats.cpu_ticks in
+  let examined = ref 0 in
+  let processed = ref 0 in
+  (* last key fully handled this request; "" = none yet *)
+  let last_done = ref "" in
+  let next_seek = ref (if inclusive then from_key else Keycode.successor from_key) in
+  let more = ref false in
+  let result = ref None in
+  let continue_ = ref true in
+  while !continue_ do
+    let cursor = Btree.seek b !next_seek in
+    match Btree.cursor_entry b cursor with
+    | None -> continue_ := false
+    | Some (key, record) ->
+        if Keycode.compare_keys key scb.scb_hi >= 0 then continue_ := false
+        else begin
+          (match Btree.cursor_block cursor with
+          | Some blk -> maybe_prefetch t scb blk
+          | None -> ());
+          incr examined;
+          s.Stats.records_read <- s.Stats.records_read + 1;
+          Sim.tick t.sim 15;
+          let row = Row.decode_exn schema record in
+          let selected =
+            match pred with
+            | None -> true
+            | Some p ->
+                Sim.tick t.sim (2 * Expr.size p);
+                Expr.eval_pred row p
+          in
+          if selected then begin
+            (* per-record exclusive lock for set mutations *)
+            match try_lock t ~tx ~file:f.f_id (Lock.Record key) Lock.Exclusive with
+            | Error blockers ->
+                result :=
+                  Some
+                    (Rp_blocked
+                       {
+                         blockers;
+                         processed = !processed;
+                         last_key = !last_done;
+                         scb = scb_id;
+                       });
+                continue_ := false
+            | Ok () -> (
+                match apply_one key record row with
+                | Ok () ->
+                    incr processed;
+                    last_done := key;
+                    next_seek := Keycode.successor key
+                | Error e ->
+                    result := Some (Rp_error e);
+                    continue_ := false)
+          end
+          else begin
+            last_done := key;
+            next_seek := Keycode.successor key
+          end;
+          if
+            !continue_
+            && (!examined >= cfg.Config.dp_records_per_request
+               || s.Stats.cpu_ticks - ticks0 >= cfg.Config.dp_ticks_per_request)
+          then begin
+            more := true;
+            continue_ := false
+          end
+        end
+  done;
+  match !result with
+  | Some r -> Ok r
+  | None ->
+      Ok
+        (Rp_progress
+           {
+             processed = !processed;
+             last_key = !last_done;
+             more = !more;
+             scb = scb_id;
+           })
+
+(* --- SQL row inserts --------------------------------------------------------- *)
+
+let insert_sql_row t ~tx f row =
+  let* schema =
+    match f.f_schema with
+    | Some s -> Ok s
+    | None -> Errors.fail (Errors.Bad_request "INSERT^ROW requires a SQL file")
+  in
+  let* () = Row.validate schema row in
+  let* () = check_constraint f row in
+  let key = Row.key_of_row schema row in
+  match try_lock t ~tx ~file:f.f_id (Lock.Record key) Lock.Exclusive with
+  | Error blockers -> Ok (Lock_wait blockers)
+  | Ok () ->
+      let record = Row.encode schema row in
+      let* _lsn = do_insert t ~tx f ~key ~record in
+      register_undo_insert t ~tx f ~key;
+      Ok (Locked key)
+
+let op_insert_row t ~file ~tx ~row =
+  let* () = require_tx t tx in
+  let* f = find_file t file in
+  let* r = insert_sql_row t ~tx f row in
+  match r with
+  | Locked _ -> Ok Rp_ok
+  | Lock_wait blockers ->
+      Ok (Rp_blocked { blockers; processed = 0; last_key = ""; scb = -1 })
+
+(* Blocked sequential insert (the paper's future enhancement, E11): the
+   whole target key range is locked by prior agreement, then the batch is
+   applied with one message. *)
+let op_insert_block t ~file ~tx ~rows =
+  let* () = require_tx t tx in
+  let* f = find_file t file in
+  let* schema =
+    match f.f_schema with
+    | Some s -> Ok s
+    | None -> Errors.fail (Errors.Bad_request "INSERT^BLOCK requires a SQL file")
+  in
+  match rows with
+  | [] -> Ok Rp_ok
+  | _ :: _ ->
+      let keys = List.map (fun row -> Row.key_of_row schema row) rows in
+      let lo = List.fold_left min (List.hd keys) keys in
+      let hi = Keycode.successor (List.fold_left max (List.hd keys) keys) in
+      (* the empty target range is locked before the batch lands, avoiding
+         late-detected duplicate keys *)
+      (match try_lock t ~tx ~file (Lock.Range (lo, hi)) Lock.Exclusive with
+      | Error blockers ->
+          Ok (Rp_blocked { blockers; processed = 0; last_key = ""; scb = -1 })
+      | Ok () ->
+          let rec apply n = function
+            | [] ->
+                Ok
+                  (Rp_progress
+                     { processed = n; last_key = ""; more = false; scb = -1 })
+            | row :: rest ->
+                let* () = Row.validate schema row in
+                let* () = check_constraint f row in
+                let key = Row.key_of_row schema row in
+                let record = Row.encode schema row in
+                let* _lsn = do_insert t ~tx f ~key ~record in
+                register_undo_insert t ~tx f ~key;
+                apply (n + 1) rest
+          in
+          apply 0 rows)
+
+(* A buffer of updates/deletes of specific records, applied under one
+   message. Updates are audited field-compressed; the whole batch fails on
+   the first error (the transaction's undo restores prior ops). *)
+let op_apply_block t ~file ~tx ~ops =
+  let* () = require_tx t tx in
+  let* f = find_file t file in
+  let* schema =
+    match f.f_schema with
+    | Some s -> Ok s
+    | None -> Errors.fail (Errors.Bad_request "APPLY^BLOCK requires a SQL file")
+  in
+  let* b = btree_of f in
+  let apply (key, op) =
+    match try_lock t ~tx ~file (Lock.Record key) Lock.Exclusive with
+    | Error blockers -> Error (`Blocked blockers)
+    | Ok () -> (
+        match op with
+        | Ob_delete -> (
+            match do_delete t ~tx f ~key with
+            | Ok image ->
+                register_undo_delete t ~tx f ~key ~image;
+                Ok ()
+            | Error e -> Error (`Err e))
+        | Ob_update assignments -> (
+            match Btree.lookup b key with
+            | None -> Error (`Err (Errors.Not_found_key key))
+            | Some record -> (
+                let row = Row.decode_exn schema record in
+                let after_row = Expr.apply_assignments row assignments in
+                let checked =
+                  let* () = validate_sql_row f after_row in
+                  let* () = check_constraint f after_row in
+                  let targets =
+                    List.map (fun a -> a.Expr.target) assignments
+                  in
+                  let* () =
+                    do_update_fields t ~tx f ~key ~before_row:row ~after_row
+                      ~targets schema
+                  in
+                  register_undo_update t ~tx f ~key ~before:record;
+                  Ok ()
+                in
+                match checked with Ok () -> Ok () | Error e -> Error (`Err e))))
+  in
+  let rec go n = function
+    | [] -> Ok (Rp_progress { processed = n; last_key = ""; more = false; scb = -1 })
+    | op :: rest -> (
+        match apply op with
+        | Ok () -> go (n + 1) rest
+        | Error (`Blocked blockers) ->
+            Ok (Rp_blocked { blockers; processed = n; last_key = ""; scb = -1 })
+        | Error (`Err e) -> Error e)
+  in
+  go 0 ops
+
+(* --- DDL ----------------------------------------------------------------------- *)
+
+let op_create_file t ~fname ~kind ~schema ~check =
+  if Hashtbl.mem t.by_name fname then Errors.fail (Errors.File_exists fname)
+  else if schema = None && check <> None then
+    Errors.fail (Errors.Bad_request "CHECK constraint requires a schema")
+  else begin
+    let id = Tmf.allocate_file_id t.tmf in
+    let structure =
+      match kind with
+      | K_key_sequenced ->
+          S_btree (Btree.create t.sim t.cache ~name:fname)
+      | K_relative slot_size ->
+          S_rel (Relfile.create t.sim t.cache ~name:fname ~slot_size)
+      | K_entry_sequenced -> S_entry (Entryfile.create t.sim t.cache ~name:fname)
+    in
+    let f =
+      { f_id = id; f_name = fname; f_kind = kind; f_schema = schema;
+        f_check = check; f_structure = structure }
+    in
+    Hashtbl.replace t.files id f;
+    Hashtbl.replace t.by_name fname id;
+    Ok (Rp_file id)
+  end
+
+(* The Disk Process frees a Subset Control Block itself as soon as it
+   reports the subset exhausted, so the File System never has to send a
+   CLOSE^SCB for a completed subset. *)
+let drop_scb_when_done t = function
+  | Rp_end -> ()
+  | Rp_block { more = false; scb; _ }
+  | Rp_vblock { more = false; scb; _ }
+  | Rp_progress { more = false; scb; _ } ->
+      if scb >= 0 then Hashtbl.remove t.scbs scb
+  | Rp_ok | Rp_file _ | Rp_record _ | Rp_row _ | Rp_slot _ | Rp_block _
+  | Rp_vblock _ | Rp_progress _ | Rp_blocked _ | Rp_error _ ->
+      ()
+
+(* --- dispatch -------------------------------------------------------------------- *)
+
+let dispatch t req : (reply, Errors.t) result =
+  match req with
+  | R_create_file { fname; kind; schema; check } ->
+      op_create_file t ~fname ~kind ~schema ~check
+  | R_read { file; tx; key; lock } -> op_read t ~file ~tx ~key ~lock
+  | R_read_next { file; tx; from_key; inclusive; lock; sbb } ->
+      op_read_next t ~file ~tx ~from_key ~inclusive ~lock ~sbb
+  | R_insert { file; tx; key; record } -> op_insert t ~file ~tx ~key ~record
+  | R_update { file; tx; key; record } -> op_update t ~file ~tx ~key ~record
+  | R_delete { file; tx; key } -> op_delete t ~file ~tx ~key
+  | R_lock_file { file; tx; lock } -> op_lock_file t ~file ~tx ~lock
+  | R_lock_generic { file; tx; prefix; lock } ->
+      op_lock_generic t ~file ~tx ~prefix ~lock
+  | R_rel_read { file; tx; slot } -> op_rel_read t ~file ~tx ~slot
+  | R_rel_write { file; tx; slot; record } ->
+      op_rel_write t ~file ~tx ~slot ~record
+  | R_rel_rewrite { file; tx; slot; record } ->
+      op_rel_rewrite t ~file ~tx ~slot ~record
+  | R_rel_delete { file; tx; slot } -> op_rel_delete t ~file ~tx ~slot
+  | R_entry_append { file; tx; record } -> op_entry_append t ~file ~tx ~record
+  | R_entry_read { file; tx; addr } -> op_entry_read t ~file ~tx ~addr
+  | R_get_first { file; tx; buffering; range; pred; proj; lock } ->
+      let* f = find_file t file in
+      let scb =
+        {
+          scb_file = file;
+          scb_lo = range.Expr.lo;
+          scb_hi = range.Expr.hi;
+          scb_body = Scb_read { buffering; pred; proj; lock };
+          scb_prev_leaf = -10;
+        }
+      in
+      let scb_id = alloc_scb t scb in
+      let* reply = run_read_scan t ~tx f scb scb_id ~from_key:range.Expr.lo in
+      drop_scb_when_done t reply;
+      Ok reply
+  | R_get_next { file; tx; scb; after_key } ->
+      let s = Sim.stats t.sim in
+      s.Stats.redrives <- s.Stats.redrives + 1;
+      let* f = find_file t file in
+      let* scb_rec = find_scb t scb in
+      let* reply =
+        run_read_scan t ~tx f scb_rec scb ~from_key:(Keycode.successor after_key)
+      in
+      drop_scb_when_done t reply;
+      Ok reply
+  | R_update_subset_first { file; tx; range; pred; assignments } ->
+      let* f = find_file t file in
+      (* reject primary-key updates: the scan is keyed on them *)
+      let* () =
+        match f.f_schema with
+        | Some sch ->
+            let key_cols = Array.to_list sch.Row.key_cols in
+            if
+              List.exists
+                (fun a -> List.mem a.Expr.target key_cols)
+                assignments
+            then
+              Errors.fail
+                (Errors.Bad_request "UPDATE of primary-key columns not allowed")
+            else Ok ()
+        | None -> Ok ()
+      in
+      let scb =
+        {
+          scb_file = file;
+          scb_lo = range.Expr.lo;
+          scb_hi = range.Expr.hi;
+          scb_body = Scb_update { pred; assignments };
+          scb_prev_leaf = -10;
+        }
+      in
+      let scb_id = alloc_scb t scb in
+      let* reply =
+        run_write_scan t ~tx f scb scb_id ~from_key:range.Expr.lo ~inclusive:true
+      in
+      drop_scb_when_done t reply;
+      Ok reply
+  | R_update_subset_next { file; tx; scb; after_key } ->
+      let s = Sim.stats t.sim in
+      s.Stats.redrives <- s.Stats.redrives + 1;
+      let* f = find_file t file in
+      let* scb_rec = find_scb t scb in
+      let inclusive = String.equal after_key "" in
+      let from_key = if inclusive then scb_rec.scb_lo else after_key in
+      let* reply = run_write_scan t ~tx f scb_rec scb ~from_key ~inclusive in
+      drop_scb_when_done t reply;
+      Ok reply
+  | R_delete_subset_first { file; tx; range; pred } ->
+      let* f = find_file t file in
+      let scb =
+        {
+          scb_file = file;
+          scb_lo = range.Expr.lo;
+          scb_hi = range.Expr.hi;
+          scb_body = Scb_delete { pred };
+          scb_prev_leaf = -10;
+        }
+      in
+      let scb_id = alloc_scb t scb in
+      let* reply =
+        run_write_scan t ~tx f scb scb_id ~from_key:range.Expr.lo ~inclusive:true
+      in
+      drop_scb_when_done t reply;
+      Ok reply
+  | R_delete_subset_next { file; tx; scb; after_key } ->
+      let s = Sim.stats t.sim in
+      s.Stats.redrives <- s.Stats.redrives + 1;
+      let* f = find_file t file in
+      let* scb_rec = find_scb t scb in
+      let inclusive = String.equal after_key "" in
+      let from_key = if inclusive then scb_rec.scb_lo else after_key in
+      let* reply = run_write_scan t ~tx f scb_rec scb ~from_key ~inclusive in
+      drop_scb_when_done t reply;
+      Ok reply
+  | R_insert_row { file; tx; row } -> op_insert_row t ~file ~tx ~row
+  | R_insert_block { file; tx; rows } -> op_insert_block t ~file ~tx ~rows
+  | R_apply_block { file; tx; ops } -> op_apply_block t ~file ~tx ~ops
+  | R_close_scb { scb } ->
+      Hashtbl.remove t.scbs scb;
+      Ok Rp_ok
+
+let request t req =
+  Sim.tick t.sim 20;
+  match dispatch t req with
+  | Ok reply -> reply
+  | Error e -> Rp_error e
+
+let handler t payload =
+  let req = decode_request payload in
+  let reply = request t req in
+  (* mutations checkpoint their intent to the backup half of the pair *)
+  if is_mutation req then
+    Msg.checkpoint t.msys t.endpoint ~bytes_:(String.length payload);
+  encode_reply reply
+
+let takeover t =
+  if Msg.takeover_endpoint t.endpoint then Ok ()
+  else
+    Errors.fail
+      (Errors.Bad_request (t.dp_name ^ ": process pair has no backup"))
+
+(* --- idle-time work ------------------------------------------------------------- *)
+
+let idle t = Cache.write_behind t.cache
+
+(* --- crash and recovery ----------------------------------------------------------- *)
+
+let crash t =
+  Cache.drop_all t.cache;
+  Hashtbl.reset t.scbs;
+  (* lock tables are volatile too *)
+  Lock.clear_all t.locks
+
+let recover_with_gen t ~resolve =
+  (* rebuild every structure empty (the file labels survive on disk) *)
+  Hashtbl.iter
+    (fun _ f ->
+      let structure =
+        match f.f_kind with
+        | K_key_sequenced -> S_btree (Btree.create t.sim t.cache ~name:f.f_name)
+        | K_relative slot_size ->
+            S_rel (Relfile.create t.sim t.cache ~name:f.f_name ~slot_size)
+        | K_entry_sequenced ->
+            S_entry (Entryfile.create t.sim t.cache ~name:f.f_name)
+      in
+      f.f_structure <- structure)
+    t.files;
+  let apply body =
+    let with_file file k =
+      match Hashtbl.find_opt t.files file with Some f -> k f | None -> ()
+    in
+    match body with
+    | Ar.Insert { file; key; image } ->
+        with_file file (fun f ->
+            match f.f_structure with
+            | S_btree b -> Btree.upsert b ~key ~record:image ~lsn:0L
+            | S_rel r ->
+                let slot = Keycode.read_int (Nsql_util.Codec.reader key) in
+                ignore (Relfile.write r ~slot ~record:image ~lsn:0L)
+            | S_entry e -> ignore (Entryfile.append e ~record:image ~lsn:0L))
+    | Ar.Delete { file; key; _ } ->
+        with_file file (fun f ->
+            match f.f_structure with
+            | S_btree b -> ignore (Btree.delete b ~key ~lsn:0L)
+            | S_rel r ->
+                let slot = Keycode.read_int (Nsql_util.Codec.reader key) in
+                ignore (Relfile.delete r ~slot ~lsn:0L)
+            | S_entry _ -> ())
+    | Ar.Update_full { file; key; after; _ } ->
+        with_file file (fun f ->
+            match f.f_structure with
+            | S_btree b -> Btree.upsert b ~key ~record:after ~lsn:0L
+            | S_rel r ->
+                let slot = Keycode.read_int (Nsql_util.Codec.reader key) in
+                ignore (Relfile.rewrite r ~slot ~record:after ~lsn:0L)
+            | S_entry _ -> ())
+    | Ar.Update_fields { file; key; fields } ->
+        with_file file (fun f ->
+            match (f.f_structure, f.f_schema) with
+            | S_btree b, Some schema -> (
+                match Btree.lookup b key with
+                | Some record ->
+                    let row = Row.decode_exn schema record in
+                    List.iter (fun (i, _before, after) -> row.(i) <- after) fields;
+                    Btree.upsert b ~key ~record:(Row.encode schema row) ~lsn:0L
+                | None -> ())
+            | _ -> ())
+    | Ar.Begin_tx | Ar.Commit_tx | Ar.Abort_tx | Ar.Prepare_tx _ -> ()
+  in
+  Nsql_tmf.Recovery.rollforward_with (Tmf.trail t.tmf) ~resolve ~apply
+
+let recover t =
+  recover_with_gen t
+    ~resolve:(fun ~coordinator_node:_ ~coordinator_tx:_ -> false)
+
+let recover_with t ~resolve = recover_with_gen t ~resolve
+
+let check_invariants t =
+  Hashtbl.fold
+    (fun _ f acc ->
+      match acc with
+      | Error _ -> acc
+      | Ok () -> (
+          match f.f_structure with
+          | S_btree b -> Btree.check_invariants b
+          | S_rel _ | S_entry _ -> Ok ()))
+    t.files (Ok ())
+
+let () = handler_cell := handler

@@ -1,0 +1,654 @@
+module Row = Nsql_row.Row
+module Expr = Nsql_expr.Expr
+module Codec = Nsql_util.Codec
+module Errors = Nsql_util.Errors
+
+type buffered_op = Ob_update of Expr.assignment list | Ob_delete
+
+type lock_mode = L_none | L_shared | L_exclusive
+
+let pp_lock_mode ppf = function
+  | L_none -> Format.pp_print_string ppf "none"
+  | L_shared -> Format.pp_print_string ppf "S"
+  | L_exclusive -> Format.pp_print_string ppf "X"
+
+type buffering = B_rsbb | B_vsbb
+
+type file_kind_spec = K_key_sequenced | K_relative of int | K_entry_sequenced
+
+type request =
+  | R_create_file of {
+      fname : string;
+      kind : file_kind_spec;
+      schema : Row.schema option;
+      check : Expr.t option;
+    }
+  | R_read of { file : int; tx : int; key : string; lock : lock_mode }
+  | R_read_next of {
+      file : int;
+      tx : int;
+      from_key : string;
+      inclusive : bool;
+      lock : lock_mode;
+      sbb : bool;
+    }
+  | R_insert of { file : int; tx : int; key : string; record : string }
+  | R_update of { file : int; tx : int; key : string; record : string }
+  | R_delete of { file : int; tx : int; key : string }
+  | R_lock_file of { file : int; tx : int; lock : lock_mode }
+  | R_lock_generic of { file : int; tx : int; prefix : string; lock : lock_mode }
+  | R_rel_read of { file : int; tx : int; slot : int }
+  | R_rel_write of { file : int; tx : int; slot : int; record : string }
+  | R_rel_rewrite of { file : int; tx : int; slot : int; record : string }
+  | R_rel_delete of { file : int; tx : int; slot : int }
+  | R_entry_append of { file : int; tx : int; record : string }
+  | R_entry_read of { file : int; tx : int; addr : int }
+  | R_get_first of {
+      file : int;
+      tx : int;
+      buffering : buffering;
+      range : Expr.key_range;
+      pred : Expr.t option;
+      proj : int array option;
+      lock : lock_mode;
+    }
+  | R_get_next of { file : int; tx : int; scb : int; after_key : string }
+  | R_update_subset_first of {
+      file : int;
+      tx : int;
+      range : Expr.key_range;
+      pred : Expr.t option;
+      assignments : Expr.assignment list;
+    }
+  | R_update_subset_next of { file : int; tx : int; scb : int; after_key : string }
+  | R_delete_subset_first of {
+      file : int;
+      tx : int;
+      range : Expr.key_range;
+      pred : Expr.t option;
+    }
+  | R_delete_subset_next of { file : int; tx : int; scb : int; after_key : string }
+  | R_insert_row of { file : int; tx : int; row : Row.row }
+  | R_insert_block of { file : int; tx : int; rows : Row.row list }
+  | R_apply_block of { file : int; tx : int; ops : (string * buffered_op) list }
+  | R_close_scb of { scb : int }
+
+type reply =
+  | Rp_ok
+  | Rp_file of int
+  | Rp_record of { key : string; record : string }
+  | Rp_row of Row.row
+  | Rp_slot of int
+  | Rp_block of {
+      entries : (string * string) list;
+      last_key : string;
+      more : bool;
+      scb : int;
+    }
+  | Rp_vblock of { rows : Row.row list; last_key : string; more : bool; scb : int }
+  | Rp_progress of { processed : int; last_key : string; more : bool; scb : int }
+  | Rp_end
+  | Rp_blocked of {
+      blockers : int list;
+      processed : int;
+      last_key : string;
+      scb : int;
+    }
+  | Rp_error of Errors.t
+
+let tag = function
+  | R_create_file _ -> "CREATE^FILE"
+  | R_read _ -> "READ"
+  | R_read_next { sbb = true; _ } -> "READ^NEXT^SBB"
+  | R_read_next _ -> "READ^NEXT"
+  | R_insert _ -> "WRITE"
+  | R_update _ -> "UPDATE"
+  | R_delete _ -> "DELETE"
+  | R_lock_file _ -> "LOCKFILE"
+  | R_lock_generic _ -> "LOCKGENERIC"
+  | R_rel_read _ -> "REL^READ"
+  | R_rel_write _ -> "REL^WRITE"
+  | R_rel_rewrite _ -> "REL^REWRITE"
+  | R_rel_delete _ -> "REL^DELETE"
+  | R_entry_append _ -> "ENTRY^APPEND"
+  | R_entry_read _ -> "ENTRY^READ"
+  | R_get_first { buffering = B_vsbb; _ } -> "GET^FIRST^VSBB"
+  | R_get_first { buffering = B_rsbb; _ } -> "GET^FIRST^RSBB"
+  | R_get_next _ -> "GET^NEXT"
+  | R_update_subset_first _ -> "UPDATE^SUBSET^FIRST"
+  | R_update_subset_next _ -> "UPDATE^SUBSET^NEXT"
+  | R_delete_subset_first _ -> "DELETE^SUBSET^FIRST"
+  | R_delete_subset_next _ -> "DELETE^SUBSET^NEXT"
+  | R_insert_row _ -> "INSERT^ROW"
+  | R_insert_block _ -> "INSERT^BLOCK"
+  | R_apply_block _ -> "APPLY^BLOCK"
+  | R_close_scb _ -> "CLOSE^SCB"
+
+let is_mutation = function
+  | R_insert _ | R_update _ | R_delete _ | R_rel_write _ | R_rel_rewrite _
+  | R_rel_delete _ | R_entry_append _ | R_update_subset_first _
+  | R_update_subset_next _ | R_delete_subset_first _ | R_delete_subset_next _
+  | R_insert_row _ | R_insert_block _ | R_apply_block _ | R_create_file _ ->
+      true
+  | R_read _ | R_read_next _ | R_lock_file _ | R_lock_generic _
+  | R_get_first _ | R_get_next _
+  | R_close_scb _ | R_rel_read _ | R_entry_read _ ->
+      false
+
+(* --- primitive codecs --------------------------------------------------- *)
+
+let w_lock w = function
+  | L_none -> Codec.w_u8 w 0
+  | L_shared -> Codec.w_u8 w 1
+  | L_exclusive -> Codec.w_u8 w 2
+
+let r_lock r =
+  match Codec.r_u8 r with
+  | 0 -> L_none
+  | 1 -> L_shared
+  | 2 -> L_exclusive
+  | n -> invalid_arg (Printf.sprintf "Dp_msg: bad lock mode %d" n)
+
+let w_range w (range : Expr.key_range) =
+  Codec.w_bytes w range.Expr.lo;
+  Codec.w_bytes w range.Expr.hi
+
+let r_range r =
+  let lo = Codec.r_bytes r in
+  let hi = Codec.r_bytes r in
+  Expr.{ lo; hi }
+
+let w_opt w f = function
+  | None -> Codec.w_u8 w 0
+  | Some x ->
+      Codec.w_u8 w 1;
+      f w x
+
+let r_opt r f = match Codec.r_u8 r with 0 -> None | _ -> Some (f r)
+
+let w_proj w proj =
+  Codec.w_varint w (Array.length proj);
+  Array.iter (fun i -> Codec.w_varint w i) proj
+
+let r_proj r =
+  let n = Codec.r_varint r in
+  Array.init n (fun _ -> Codec.r_varint r)
+
+let w_assignments w assignments =
+  Codec.w_varint w (List.length assignments);
+  List.iter (fun a -> Expr.encode_assignment w a) assignments
+
+let r_assignments r =
+  let n = Codec.r_varint r in
+  List.init n (fun _ -> Expr.decode_assignment r)
+
+let w_rows w rows =
+  Codec.w_varint w (List.length rows);
+  List.iter (fun row -> Row.encode_values w row) rows
+
+let r_rows r =
+  let n = Codec.r_varint r in
+  List.init n (fun _ -> Row.decode_values r)
+
+let w_error w (e : Errors.t) =
+  let tag, payload =
+    match e with
+    | Errors.Not_found_key s -> (0, s)
+    | Errors.Duplicate_key s -> (1, s)
+    | Errors.File_not_found s -> (2, s)
+    | Errors.File_exists s -> (3, s)
+    | Errors.Bad_request s -> (4, s)
+    | Errors.Lock_timeout s -> (5, s)
+    | Errors.Tx_aborted s -> (6, s)
+    | Errors.No_transaction -> (7, "")
+    | Errors.Constraint_violation s -> (8, s)
+    | Errors.Type_error s -> (9, s)
+    | Errors.Parse_error s -> (10, s)
+    | Errors.Name_error s -> (11, s)
+    | Errors.Invalid_argument_error s -> (12, s)
+    | Errors.Io_error s -> (13, s)
+    | Errors.Internal s -> (14, s)
+  in
+  Codec.w_u8 w tag;
+  Codec.w_bytes w payload
+
+let r_error r : Errors.t =
+  let tag = Codec.r_u8 r in
+  let payload = Codec.r_bytes r in
+  match tag with
+  | 0 -> Errors.Not_found_key payload
+  | 1 -> Errors.Duplicate_key payload
+  | 2 -> Errors.File_not_found payload
+  | 3 -> Errors.File_exists payload
+  | 4 -> Errors.Bad_request payload
+  | 5 -> Errors.Lock_timeout payload
+  | 6 -> Errors.Tx_aborted payload
+  | 7 -> Errors.No_transaction
+  | 8 -> Errors.Constraint_violation payload
+  | 9 -> Errors.Type_error payload
+  | 10 -> Errors.Parse_error payload
+  | 11 -> Errors.Name_error payload
+  | 12 -> Errors.Invalid_argument_error payload
+  | 13 -> Errors.Io_error payload
+  | 14 -> Errors.Internal payload
+  | n -> invalid_arg (Printf.sprintf "Dp_msg: bad error tag %d" n)
+
+(* --- request codec ------------------------------------------------------- *)
+
+let encode_request req =
+  let w = Codec.writer () in
+  (match req with
+  | R_create_file { fname; kind; schema; check } ->
+      Codec.w_u8 w 0;
+      Codec.w_bytes w fname;
+      (match kind with
+      | K_key_sequenced -> Codec.w_u8 w 0
+      | K_relative slot_size ->
+          Codec.w_u8 w 1;
+          Codec.w_varint w slot_size
+      | K_entry_sequenced -> Codec.w_u8 w 2);
+      w_opt w Row.encode_schema schema;
+      w_opt w Expr.encode check
+  | R_read { file; tx; key; lock } ->
+      Codec.w_u8 w 1;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_bytes w key;
+      w_lock w lock
+  | R_read_next { file; tx; from_key; inclusive; lock; sbb } ->
+      Codec.w_u8 w 2;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_bytes w from_key;
+      Codec.w_bool w inclusive;
+      w_lock w lock;
+      Codec.w_bool w sbb
+  | R_insert { file; tx; key; record } ->
+      Codec.w_u8 w 3;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_bytes w key;
+      Codec.w_bytes w record
+  | R_update { file; tx; key; record } ->
+      Codec.w_u8 w 4;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_bytes w key;
+      Codec.w_bytes w record
+  | R_delete { file; tx; key } ->
+      Codec.w_u8 w 5;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_bytes w key
+  | R_lock_file { file; tx; lock } ->
+      Codec.w_u8 w 6;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      w_lock w lock
+  | R_lock_generic { file; tx; prefix; lock } ->
+      Codec.w_u8 w 23;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_bytes w prefix;
+      w_lock w lock
+  | R_rel_read { file; tx; slot } ->
+      Codec.w_u8 w 7;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_varint w slot
+  | R_rel_write { file; tx; slot; record } ->
+      Codec.w_u8 w 8;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_varint w slot;
+      Codec.w_bytes w record
+  | R_rel_rewrite { file; tx; slot; record } ->
+      Codec.w_u8 w 9;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_varint w slot;
+      Codec.w_bytes w record
+  | R_rel_delete { file; tx; slot } ->
+      Codec.w_u8 w 10;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_varint w slot
+  | R_entry_append { file; tx; record } ->
+      Codec.w_u8 w 11;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_bytes w record
+  | R_entry_read { file; tx; addr } ->
+      Codec.w_u8 w 12;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_varint w addr
+  | R_get_first { file; tx; buffering; range; pred; proj; lock } ->
+      Codec.w_u8 w 13;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_u8 w (match buffering with B_rsbb -> 0 | B_vsbb -> 1);
+      w_range w range;
+      w_opt w Expr.encode pred;
+      w_opt w w_proj proj;
+      w_lock w lock
+  | R_get_next { file; tx; scb; after_key } ->
+      Codec.w_u8 w 14;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_varint w scb;
+      Codec.w_bytes w after_key
+  | R_update_subset_first { file; tx; range; pred; assignments } ->
+      Codec.w_u8 w 15;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      w_range w range;
+      w_opt w Expr.encode pred;
+      w_assignments w assignments
+  | R_update_subset_next { file; tx; scb; after_key } ->
+      Codec.w_u8 w 16;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_varint w scb;
+      Codec.w_bytes w after_key
+  | R_delete_subset_first { file; tx; range; pred } ->
+      Codec.w_u8 w 17;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      w_range w range;
+      w_opt w Expr.encode pred
+  | R_delete_subset_next { file; tx; scb; after_key } ->
+      Codec.w_u8 w 18;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_varint w scb;
+      Codec.w_bytes w after_key
+  | R_insert_row { file; tx; row } ->
+      Codec.w_u8 w 19;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Row.encode_values w row
+  | R_insert_block { file; tx; rows } ->
+      Codec.w_u8 w 20;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      w_rows w rows
+  | R_apply_block { file; tx; ops } ->
+      Codec.w_u8 w 22;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_varint w (List.length ops);
+      List.iter
+        (fun (key, op) ->
+          Codec.w_bytes w key;
+          match op with
+          | Ob_update assignments ->
+              Codec.w_u8 w 0;
+              w_assignments w assignments
+          | Ob_delete -> Codec.w_u8 w 1)
+        ops
+  | R_close_scb { scb } ->
+      Codec.w_u8 w 21;
+      Codec.w_varint w scb);
+  Codec.contents w
+
+let decode_request payload =
+  let r = Codec.reader payload in
+  match Codec.r_u8 r with
+  | 0 ->
+      let fname = Codec.r_bytes r in
+      let kind =
+        match Codec.r_u8 r with
+        | 0 -> K_key_sequenced
+        | 1 -> K_relative (Codec.r_varint r)
+        | 2 -> K_entry_sequenced
+        | n -> invalid_arg (Printf.sprintf "Dp_msg: bad file kind %d" n)
+      in
+      let schema = r_opt r Row.decode_schema in
+      let check = r_opt r Expr.decode in
+      R_create_file { fname; kind; schema; check }
+  | 1 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let key = Codec.r_bytes r in
+      let lock = r_lock r in
+      R_read { file; tx; key; lock }
+  | 2 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let from_key = Codec.r_bytes r in
+      let inclusive = Codec.r_bool r in
+      let lock = r_lock r in
+      let sbb = Codec.r_bool r in
+      R_read_next { file; tx; from_key; inclusive; lock; sbb }
+  | 3 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let key = Codec.r_bytes r in
+      let record = Codec.r_bytes r in
+      R_insert { file; tx; key; record }
+  | 4 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let key = Codec.r_bytes r in
+      let record = Codec.r_bytes r in
+      R_update { file; tx; key; record }
+  | 5 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let key = Codec.r_bytes r in
+      R_delete { file; tx; key }
+  | 6 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let lock = r_lock r in
+      R_lock_file { file; tx; lock }
+  | 7 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let slot = Codec.r_varint r in
+      R_rel_read { file; tx; slot }
+  | 8 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let slot = Codec.r_varint r in
+      let record = Codec.r_bytes r in
+      R_rel_write { file; tx; slot; record }
+  | 9 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let slot = Codec.r_varint r in
+      let record = Codec.r_bytes r in
+      R_rel_rewrite { file; tx; slot; record }
+  | 10 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let slot = Codec.r_varint r in
+      R_rel_delete { file; tx; slot }
+  | 11 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let record = Codec.r_bytes r in
+      R_entry_append { file; tx; record }
+  | 12 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let addr = Codec.r_varint r in
+      R_entry_read { file; tx; addr }
+  | 13 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let buffering = match Codec.r_u8 r with 0 -> B_rsbb | _ -> B_vsbb in
+      let range = r_range r in
+      let pred = r_opt r Expr.decode in
+      let proj = r_opt r r_proj in
+      let lock = r_lock r in
+      R_get_first { file; tx; buffering; range; pred; proj; lock }
+  | 14 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let scb = Codec.r_varint r in
+      let after_key = Codec.r_bytes r in
+      R_get_next { file; tx; scb; after_key }
+  | 15 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let range = r_range r in
+      let pred = r_opt r Expr.decode in
+      let assignments = r_assignments r in
+      R_update_subset_first { file; tx; range; pred; assignments }
+  | 16 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let scb = Codec.r_varint r in
+      let after_key = Codec.r_bytes r in
+      R_update_subset_next { file; tx; scb; after_key }
+  | 17 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let range = r_range r in
+      let pred = r_opt r Expr.decode in
+      R_delete_subset_first { file; tx; range; pred }
+  | 18 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let scb = Codec.r_varint r in
+      let after_key = Codec.r_bytes r in
+      R_delete_subset_next { file; tx; scb; after_key }
+  | 19 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let row = Row.decode_values r in
+      R_insert_row { file; tx; row }
+  | 20 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let rows = r_rows r in
+      R_insert_block { file; tx; rows }
+  | 21 ->
+      let scb = Codec.r_varint r in
+      R_close_scb { scb }
+  | 23 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let prefix = Codec.r_bytes r in
+      let lock = r_lock r in
+      R_lock_generic { file; tx; prefix; lock }
+  | 22 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let n = Codec.r_varint r in
+      let ops =
+        List.init n (fun _ ->
+            let key = Codec.r_bytes r in
+            let op =
+              match Codec.r_u8 r with
+              | 0 -> Ob_update (r_assignments r)
+              | 1 -> Ob_delete
+              | k -> invalid_arg (Printf.sprintf "Dp_msg: bad op tag %d" k)
+            in
+            (key, op))
+      in
+      R_apply_block { file; tx; ops }
+  | n -> invalid_arg (Printf.sprintf "Dp_msg: bad request tag %d" n)
+
+(* --- reply codec ----------------------------------------------------------- *)
+
+let encode_reply reply =
+  let w = Codec.writer () in
+  (match reply with
+  | Rp_ok -> Codec.w_u8 w 0
+  | Rp_file id ->
+      Codec.w_u8 w 1;
+      Codec.w_varint w id
+  | Rp_record { key; record } ->
+      Codec.w_u8 w 2;
+      Codec.w_bytes w key;
+      Codec.w_bytes w record
+  | Rp_row row ->
+      Codec.w_u8 w 3;
+      Row.encode_values w row
+  | Rp_slot slot ->
+      Codec.w_u8 w 4;
+      Codec.w_varint w slot
+  | Rp_block { entries; last_key; more; scb } ->
+      Codec.w_u8 w 5;
+      Codec.w_varint w (List.length entries);
+      List.iter
+        (fun (k, record) ->
+          Codec.w_bytes w k;
+          Codec.w_bytes w record)
+        entries;
+      Codec.w_bytes w last_key;
+      Codec.w_bool w more;
+      Codec.w_varint w (scb + 1)
+  | Rp_vblock { rows; last_key; more; scb } ->
+      Codec.w_u8 w 6;
+      w_rows w rows;
+      Codec.w_bytes w last_key;
+      Codec.w_bool w more;
+      Codec.w_varint w (scb + 1)
+  | Rp_progress { processed; last_key; more; scb } ->
+      Codec.w_u8 w 7;
+      Codec.w_varint w processed;
+      Codec.w_bytes w last_key;
+      Codec.w_bool w more;
+      Codec.w_varint w (scb + 1)
+  | Rp_end -> Codec.w_u8 w 8
+  | Rp_blocked { blockers; processed; last_key; scb } ->
+      Codec.w_u8 w 9;
+      Codec.w_varint w (List.length blockers);
+      List.iter (fun b -> Codec.w_varint w b) blockers;
+      Codec.w_varint w processed;
+      Codec.w_bytes w last_key;
+      Codec.w_varint w (scb + 1)
+  | Rp_error e ->
+      Codec.w_u8 w 10;
+      w_error w e);
+  Codec.contents w
+
+let decode_reply payload =
+  let r = Codec.reader payload in
+  match Codec.r_u8 r with
+  | 0 -> Rp_ok
+  | 1 -> Rp_file (Codec.r_varint r)
+  | 2 ->
+      let key = Codec.r_bytes r in
+      let record = Codec.r_bytes r in
+      Rp_record { key; record }
+  | 3 -> Rp_row (Row.decode_values r)
+  | 4 -> Rp_slot (Codec.r_varint r)
+  | 5 ->
+      let n = Codec.r_varint r in
+      let entries =
+        List.init n (fun _ ->
+            let k = Codec.r_bytes r in
+            let record = Codec.r_bytes r in
+            (k, record))
+      in
+      let last_key = Codec.r_bytes r in
+      let more = Codec.r_bool r in
+      let scb = Codec.r_varint r - 1 in
+      Rp_block { entries; last_key; more; scb }
+  | 6 ->
+      let rows = r_rows r in
+      let last_key = Codec.r_bytes r in
+      let more = Codec.r_bool r in
+      let scb = Codec.r_varint r - 1 in
+      Rp_vblock { rows; last_key; more; scb }
+  | 7 ->
+      let processed = Codec.r_varint r in
+      let last_key = Codec.r_bytes r in
+      let more = Codec.r_bool r in
+      let scb = Codec.r_varint r - 1 in
+      Rp_progress { processed; last_key; more; scb }
+  | 8 -> Rp_end
+  | 9 ->
+      let n = Codec.r_varint r in
+      let blockers = List.init n (fun _ -> Codec.r_varint r) in
+      let processed = Codec.r_varint r in
+      let last_key = Codec.r_bytes r in
+      let scb = Codec.r_varint r - 1 in
+      Rp_blocked { blockers; processed; last_key; scb }
+  | 10 -> Rp_error (r_error r)
+  | n -> invalid_arg (Printf.sprintf "Dp_msg: bad reply tag %d" n)

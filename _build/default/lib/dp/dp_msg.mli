@@ -1,0 +1,138 @@
+(** The FS-DP wire protocol.
+
+    Every interaction between the File System (client side) and a Disk
+    Process is one of these request/reply messages, serialized to bytes so
+    that the message system can count real payload sizes — the paper's
+    central performance quantity.
+
+    Two interface generations coexist, as in the paper:
+
+    {b The old, record-oriented ENSCRIBE interface}: point reads, single
+    record inserts/updates/deletes, record-at-a-time sequential reads, and
+    real sequential block buffering ([R_read_next] with [sbb]).
+
+    {b The new SQL interface}: set-oriented requests carrying a primary-key
+    range, an optional single-variable selection predicate, an optional
+    field projection, or update-expression assignments. The first request
+    of a set operation creates a {e Subset Control Block} in the Disk
+    Process; continuation re-drives ([R_get_next], [R_update_subset_next],
+    [R_delete_subset_next]) carry only the SCB number and the restart key —
+    measurably smaller messages.
+
+    [R_insert_block] is the paper's "future enhancement": a blocked
+    sequential-insert interface (experiment E11). *)
+
+module Row = Nsql_row.Row
+module Expr = Nsql_expr.Expr
+
+type buffered_op = Ob_update of Expr.assignment list | Ob_delete
+
+type lock_mode = L_none | L_shared | L_exclusive
+
+val pp_lock_mode : Format.formatter -> lock_mode -> unit
+
+type buffering = B_rsbb | B_vsbb
+
+type file_kind_spec = K_key_sequenced | K_relative of int | K_entry_sequenced
+
+type request =
+  | R_create_file of {
+      fname : string;
+      kind : file_kind_spec;
+      schema : Row.schema option;  (** SQL files carry their structure *)
+      check : Expr.t option;  (** CHECK integrity constraint *)
+    }
+  | R_read of { file : int; tx : int; key : string; lock : lock_mode }
+  | R_read_next of {
+      file : int;
+      tx : int;
+      from_key : string;
+      inclusive : bool;  (** start at [from_key] itself, or just after it *)
+      lock : lock_mode;
+      sbb : bool;  (** real sequential block buffering *)
+    }
+  | R_insert of { file : int; tx : int; key : string; record : string }
+  | R_update of { file : int; tx : int; key : string; record : string }
+  | R_delete of { file : int; tx : int; key : string }
+  | R_lock_file of { file : int; tx : int; lock : lock_mode }
+  | R_lock_generic of { file : int; tx : int; prefix : string; lock : lock_mode }
+  | R_rel_read of { file : int; tx : int; slot : int }
+  | R_rel_write of { file : int; tx : int; slot : int; record : string }
+  | R_rel_rewrite of { file : int; tx : int; slot : int; record : string }
+  | R_rel_delete of { file : int; tx : int; slot : int }
+  | R_entry_append of { file : int; tx : int; record : string }
+  | R_entry_read of { file : int; tx : int; addr : int }
+  | R_get_first of {
+      file : int;
+      tx : int;
+      buffering : buffering;
+      range : Expr.key_range;
+      pred : Expr.t option;
+      proj : int array option;
+      lock : lock_mode;
+    }
+  | R_get_next of { file : int; tx : int; scb : int; after_key : string }
+  | R_update_subset_first of {
+      file : int;
+      tx : int;
+      range : Expr.key_range;
+      pred : Expr.t option;
+      assignments : Expr.assignment list;
+    }
+  | R_update_subset_next of { file : int; tx : int; scb : int; after_key : string }
+  | R_delete_subset_first of {
+      file : int;
+      tx : int;
+      range : Expr.key_range;
+      pred : Expr.t option;
+    }
+  | R_delete_subset_next of { file : int; tx : int; scb : int; after_key : string }
+  | R_insert_row of { file : int; tx : int; row : Row.row }
+  | R_insert_block of { file : int; tx : int; rows : Row.row list }
+  | R_apply_block of {
+      file : int;
+      tx : int;
+      ops : (string * buffered_op) list;
+          (** updates/deletes of specific records, accumulated in the File
+              System while a cursor walked them ("update/delete where
+              current") and shipped in one message — the paper's second
+              future enhancement *)
+    }
+  | R_close_scb of { scb : int }
+
+type reply =
+  | Rp_ok
+  | Rp_file of int  (** created file id *)
+  | Rp_record of { key : string; record : string }
+  | Rp_row of Row.row  (** projected point read *)
+  | Rp_slot of int  (** relative slot / entry address *)
+  | Rp_block of {
+      entries : (string * string) list;
+      last_key : string;
+      more : bool;
+      scb : int;  (** -1 for the stateless ENSCRIBE SBB path *)
+    }
+  | Rp_vblock of { rows : Row.row list; last_key : string; more : bool; scb : int }
+  | Rp_progress of { processed : int; last_key : string; more : bool; scb : int }
+  | Rp_end  (** scan/set exhausted *)
+  | Rp_blocked of {
+      blockers : int list;  (** transactions holding conflicting locks *)
+      processed : int;  (** records already processed this request *)
+      last_key : string;  (** restart point: last key fully processed *)
+      scb : int;
+    }  (** lock conflict: the requester waits and re-drives *)
+  | Rp_error of Nsql_util.Errors.t
+
+(** [tag req] is the human-readable message-type name, in the paper's
+    GET^FIRST^VSBB style, used for tracing. *)
+val tag : request -> string
+
+val encode_request : request -> string
+val decode_request : string -> request
+
+val encode_reply : reply -> string
+val decode_reply : string -> reply
+
+(** [is_mutation req] — does the request change file state (and thus
+    checkpoint to the backup process)? *)
+val is_mutation : request -> bool

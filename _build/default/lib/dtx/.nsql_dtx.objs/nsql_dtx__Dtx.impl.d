@@ -1,0 +1,1 @@
+lib/dtx/dtx.ml: Hashtbl List Nsql_msg Nsql_tmf Nsql_util Option Printf

@@ -1,0 +1,1 @@
+lib/dtx/dtx.mli: Nsql_msg Nsql_tmf Nsql_util

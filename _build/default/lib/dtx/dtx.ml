@@ -1,0 +1,222 @@
+module Msg = Nsql_msg.Msg
+module Tmf = Nsql_tmf.Tmf
+module Codec = Nsql_util.Codec
+module Errors = Nsql_util.Errors
+
+open Errors
+
+(* --- the TMF-to-TMF wire protocol ---------------------------------------- *)
+
+type tmf_request =
+  | M_begin
+  | M_prepare of { tx : int; coordinator_node : int; coordinator_tx : int }
+  | M_commit of { tx : int }
+  | M_abort of { tx : int }
+
+type tmf_reply = M_tx of int | M_ok | M_failed of string
+
+let tag_of_request = function
+  | M_begin -> "TMF^BEGIN"
+  | M_prepare _ -> "TMF^PREPARE"
+  | M_commit _ -> "TMF^COMMIT"
+  | M_abort _ -> "TMF^ABORT"
+
+let encode_request req =
+  let w = Codec.writer () in
+  (match req with
+  | M_begin -> Codec.w_u8 w 0
+  | M_prepare { tx; coordinator_node; coordinator_tx } ->
+      Codec.w_u8 w 1;
+      Codec.w_varint w tx;
+      Codec.w_varint w coordinator_node;
+      Codec.w_varint w coordinator_tx
+  | M_commit { tx } ->
+      Codec.w_u8 w 2;
+      Codec.w_varint w tx
+  | M_abort { tx } ->
+      Codec.w_u8 w 3;
+      Codec.w_varint w tx);
+  Codec.contents w
+
+let decode_request payload =
+  let r = Codec.reader payload in
+  match Codec.r_u8 r with
+  | 0 -> M_begin
+  | 1 ->
+      let tx = Codec.r_varint r in
+      let coordinator_node = Codec.r_varint r in
+      let coordinator_tx = Codec.r_varint r in
+      M_prepare { tx; coordinator_node; coordinator_tx }
+  | 2 -> M_commit { tx = Codec.r_varint r }
+  | 3 -> M_abort { tx = Codec.r_varint r }
+  | n -> invalid_arg (Printf.sprintf "Dtx: bad TMF request tag %d" n)
+
+let encode_reply reply =
+  let w = Codec.writer () in
+  (match reply with
+  | M_tx tx ->
+      Codec.w_u8 w 0;
+      Codec.w_varint w tx
+  | M_ok -> Codec.w_u8 w 1
+  | M_failed msg_ ->
+      Codec.w_u8 w 2;
+      Codec.w_bytes w msg_);
+  Codec.contents w
+
+let decode_reply payload =
+  let r = Codec.reader payload in
+  match Codec.r_u8 r with
+  | 0 -> M_tx (Codec.r_varint r)
+  | 1 -> M_ok
+  | 2 -> M_failed (Codec.r_bytes r)
+  | n -> invalid_arg (Printf.sprintf "Dtx: bad TMF reply tag %d" n)
+
+(* --- the participant side ------------------------------------------------- *)
+
+let serve tmf payload =
+  let reply =
+    match decode_request payload with
+    | M_begin -> M_tx (Tmf.begin_tx tmf)
+    | M_prepare { tx; coordinator_node; coordinator_tx } -> (
+        match Tmf.prepare tmf ~tx ~coordinator_node ~coordinator_tx with
+        | Ok () -> M_ok
+        | Error e -> M_failed (Errors.to_string e))
+    | M_commit { tx } -> (
+        match Tmf.commit tmf ~tx with
+        | Ok () -> M_ok
+        | Error e -> M_failed (Errors.to_string e))
+    | M_abort { tx } -> (
+        match Tmf.abort tmf ~tx with
+        | Ok () -> M_ok
+        | Error e -> M_failed (Errors.to_string e))
+  in
+  encode_reply reply
+
+(* --- registry --------------------------------------------------------------- *)
+
+type registry = {
+  msys : Msg.system;
+  monitors : (int, Tmf.t * Msg.endpoint) Hashtbl.t;
+}
+
+let create_registry msys = { msys; monitors = Hashtbl.create 4 }
+
+let register_tmf reg ~node_id tmf =
+  if Hashtbl.mem reg.monitors node_id then
+    invalid_arg (Printf.sprintf "Dtx: node %d already registered" node_id);
+  let endpoint =
+    Msg.register reg.msys
+      ~name:(Printf.sprintf "$TMP%d" node_id)
+      ~processor:Msg.{ node = node_id; cpu = 0 }
+      (serve tmf)
+  in
+  Hashtbl.replace reg.monitors node_id (tmf, endpoint)
+
+let tmf_of reg ~node_id =
+  Option.map fst (Hashtbl.find_opt reg.monitors node_id)
+
+(* --- the coordinator side ----------------------------------------------------- *)
+
+type t = {
+  reg : registry;
+  from : Msg.processor;
+  home : int;
+  home_tmf : Tmf.t;
+  c_tx : int;
+  mutable branches : (int * int) list;  (** (node id, local tx) *)
+  mutable finished : bool;
+}
+
+let find_monitor reg node_id =
+  match Hashtbl.find_opt reg.monitors node_id with
+  | Some m -> Ok m
+  | None -> fail (Errors.Name_error (Printf.sprintf "no TMF on node %d" node_id))
+
+let begin_network reg ~home ~from =
+  let* home_tmf, _ = find_monitor reg home in
+  let c_tx = Tmf.begin_tx home_tmf in
+  Ok { reg; from; home; home_tmf; c_tx; branches = []; finished = false }
+
+let coordinator_tx t = t.c_tx
+
+let call t endpoint req =
+  let reply =
+    Msg.send t.reg.msys ~from:t.from ~tag:(tag_of_request req) endpoint
+      (encode_request req)
+  in
+  decode_reply reply
+
+let branch t ~node_id =
+  if node_id = t.home then Ok t.c_tx
+  else
+    match List.assoc_opt node_id t.branches with
+    | Some tx -> Ok tx
+    | None -> (
+        let* _, endpoint = find_monitor t.reg node_id in
+        match call t endpoint M_begin with
+        | M_tx tx ->
+            t.branches <- (node_id, tx) :: t.branches;
+            Ok tx
+        | M_ok | M_failed _ ->
+            fail (Errors.Internal "unexpected reply to TMF^BEGIN"))
+
+let branch_count t = List.length t.branches
+
+let abort_branches t =
+  List.iter
+    (fun (node_id, tx) ->
+      match find_monitor t.reg node_id with
+      | Ok (_, endpoint) -> ignore (call t endpoint (M_abort { tx }))
+      | Error _ -> ())
+    t.branches
+
+let abort t =
+  if t.finished then fail Errors.No_transaction
+  else begin
+    t.finished <- true;
+    abort_branches t;
+    Tmf.abort t.home_tmf ~tx:t.c_tx
+  end
+
+let commit t =
+  if t.finished then fail Errors.No_transaction
+  else begin
+    t.finished <- true;
+    (* phase 1: every remote branch prepares (forcing its trail) *)
+    let rec prepare_all = function
+      | [] -> Ok ()
+      | (node_id, tx) :: rest -> (
+          let* _, endpoint = find_monitor t.reg node_id in
+          match
+            call t endpoint
+              (M_prepare
+                 { tx; coordinator_node = t.home; coordinator_tx = t.c_tx })
+          with
+          | M_ok -> prepare_all rest
+          | M_failed msg_ ->
+              fail (Errors.Tx_aborted ("branch failed to prepare: " ^ msg_))
+          | M_tx _ -> fail (Errors.Internal "unexpected reply to TMF^PREPARE"))
+    in
+    match prepare_all t.branches with
+    | Error e ->
+        abort_branches t;
+        (match Tmf.abort t.home_tmf ~tx:t.c_tx with Ok () | Error _ -> ());
+        Error e
+    | Ok () -> (
+        (* decision point: the coordinator's durable COMMIT record *)
+        match Tmf.commit t.home_tmf ~tx:t.c_tx with
+        | Error e ->
+            abort_branches t;
+            Error e
+        | Ok () ->
+            (* phase 2: tell the branches; a branch that misses this
+               message resolves itself at recovery from our trail *)
+            List.iter
+              (fun (node_id, tx) ->
+                match find_monitor t.reg node_id with
+                | Ok (_, endpoint) ->
+                    ignore (call t endpoint (M_commit { tx }))
+                | Error _ -> ())
+              t.branches;
+            Ok ())
+  end

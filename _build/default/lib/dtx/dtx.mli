@@ -1,0 +1,64 @@
+(** Distributed transactions: TMF's network-atomic commitment.
+
+    The paper inherits distribution from the pre-existing architecture:
+    "A transaction mechanism coordinates the atomic commitment of updates
+    by multiple processes in the network" [Borr1]. This module reproduces
+    that mechanism as two-phase commit between the per-node TMF monitors:
+
+    - each node's TMF is reachable as a message endpoint (["$TMP<n>"], the
+      transaction monitor process), so BEGIN/PREPARE/COMMIT/ABORT between
+      nodes are counted messages like all other traffic;
+    - a {e network transaction} has a coordinator transaction on its home
+      node and one {e branch} transaction per participating remote node,
+      created lazily as work spreads;
+    - commit is presumed-abort 2PC: every branch PREPAREs (forcing its
+      PREPARE record to its node's audit trail), then the coordinator's
+      local commit is the decision point, then branches COMMIT;
+    - a branch that crashes between PREPARE and the decision is {e
+      in-doubt}; its recovery resolves it against the coordinator node's
+      trail ({!Nsql_tmf.Recovery.rollforward_with}). *)
+
+module Msg = Nsql_msg.Msg
+module Tmf = Nsql_tmf.Tmf
+
+(** A registry of the cluster's TMF monitors. *)
+type registry
+
+val create_registry : Msg.system -> registry
+
+(** [register_tmf reg ~node_id tmf] exposes [tmf] as endpoint
+    ["$TMP<node_id>"] on processor [{node = node_id; cpu = 0}]. *)
+val register_tmf : registry -> node_id:int -> Tmf.t -> unit
+
+(** [tmf_of reg ~node_id] looks a registered monitor up (local calls). *)
+val tmf_of : registry -> node_id:int -> Tmf.t option
+
+(** A network transaction. *)
+type t
+
+(** [begin_network reg ~home ~from] starts a network transaction whose
+    coordinator transaction lives on node [home]; [from] is the requesting
+    processor (message costs are charged from there). *)
+val begin_network :
+  registry -> home:int -> from:Msg.processor -> (t, Nsql_util.Errors.t) result
+
+(** [coordinator_tx t] is the coordinator's local transaction id — use it
+    for work against Disk Processes of the home node. *)
+val coordinator_tx : t -> int
+
+(** [branch t ~node_id] returns the local transaction id to use for work
+    on [node_id], enlisting the node (via a counted BEGIN message) on
+    first use. *)
+val branch : t -> node_id:int -> (int, Nsql_util.Errors.t) result
+
+(** [commit t] runs two-phase commit: PREPARE every remote branch, commit
+    the coordinator transaction (the decision point), then COMMIT the
+    branches. If any branch fails to prepare, everything aborts and
+    [Tx_aborted] is returned. *)
+val commit : t -> (unit, Nsql_util.Errors.t) result
+
+(** [abort t] aborts the coordinator and every enlisted branch. *)
+val abort : t -> (unit, Nsql_util.Errors.t) result
+
+(** [branch_count t] is the number of enlisted remote branches. *)
+val branch_count : t -> int

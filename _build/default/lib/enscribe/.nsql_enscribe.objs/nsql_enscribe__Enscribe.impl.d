@@ -1,0 +1,1 @@
+lib/enscribe/enscribe.ml: Nsql_dp Nsql_fs Nsql_util

@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Array Buffer Float Format List Nsql_row Nsql_util Printf String

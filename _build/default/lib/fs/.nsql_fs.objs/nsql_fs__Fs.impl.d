@@ -1,0 +1,1 @@
+lib/fs/fs.ml: Array Hashtbl List Nsql_dp Nsql_expr Nsql_msg Nsql_row Nsql_sim Nsql_util Option Printf String

@@ -1,0 +1,962 @@
+module Sim = Nsql_sim.Sim
+module Msg = Nsql_msg.Msg
+module Row = Nsql_row.Row
+module Expr = Nsql_expr.Expr
+module Dp = Nsql_dp.Dp
+module Dp_msg = Nsql_dp.Dp_msg
+module Keycode = Nsql_util.Keycode
+module Errors = Nsql_util.Errors
+
+open Errors
+
+type t = { sim : Sim.t; msys : Msg.system; my_processor : Msg.processor }
+
+type partition_spec = { ps_lo : string; ps_dp : Dp.t }
+
+type index_spec = { is_name : string; is_cols : int list; is_dp : Dp.t }
+
+type partition = { p_lo : string; p_dp : Dp.t; p_file : int }
+
+type index_ = {
+  ix_name : string;
+  ix_cols : int array;  (** base field numbers, in index-key order *)
+  ix_all_cols : int array;  (** index cols then base key cols (deduped) *)
+  ix_basekey_pos : int array;  (** where each base key col sits in ix rows *)
+  ix_schema : Row.schema;
+  ix_dp : Dp.t;
+  ix_file : int;
+}
+
+type file = {
+  fname : string;
+  schema : Row.schema option;
+  kind : Dp_msg.file_kind_spec;
+  parts : partition array;  (** sorted by [p_lo] ascending; parts.(0).p_lo = "" *)
+  indexes : index_ list;
+}
+
+let create sim msys ~my_processor = { sim; msys; my_processor }
+
+let file_name f = f.fname
+let file_schema f = f.schema
+let file_kind f = f.kind
+let partition_count f = Array.length f.parts
+let index_names f = List.map (fun ix -> ix.ix_name) f.indexes
+
+let record_count _t f =
+  Array.fold_left
+    (fun acc p -> acc + Dp.record_count p.p_dp ~file:p.p_file)
+    0 f.parts
+
+(* --- messaging --------------------------------------------------------- *)
+
+let send t dp req =
+  let payload = Dp_msg.encode_request req in
+  let reply_payload =
+    Msg.send t.msys ~from:t.my_processor ~tag:(Dp_msg.tag req)
+      (Dp.endpoint dp) payload
+  in
+  Dp_msg.decode_reply reply_payload
+
+let blocked_error blockers =
+  Errors.Lock_timeout
+    (Printf.sprintf "blocked by transactions [%s]"
+       (String.concat "; " (List.map string_of_int blockers)))
+
+let expect_ok = function
+  | Dp_msg.Rp_ok -> Ok ()
+  | Dp_msg.Rp_error e -> Error e
+  | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+  | _ -> Error (Errors.Internal "unexpected reply")
+
+let expect_file = function
+  | Dp_msg.Rp_file id -> Ok id
+  | Dp_msg.Rp_error e -> Error e
+  | _ -> Error (Errors.Internal "unexpected reply to CREATE^FILE")
+
+let expect_record = function
+  | Dp_msg.Rp_record { key; record } -> Ok (key, record)
+  | Dp_msg.Rp_error e -> Error e
+  | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+  | _ -> Error (Errors.Internal "unexpected reply to READ")
+
+(* --- partition routing --------------------------------------------------- *)
+
+(* the partition whose [lo, next-lo) interval contains [key] *)
+let route f key =
+  let n = Array.length f.parts in
+  let rec go i = if i + 1 < n && Keycode.compare_keys f.parts.(i + 1).p_lo key <= 0 then go (i + 1) else i in
+  f.parts.(go 0)
+
+(* clip [range] to each partition; returns the non-empty pieces in order *)
+let partition_ranges f (range : Expr.key_range) =
+  let n = Array.length f.parts in
+  let pieces = ref [] in
+  for i = n - 1 downto 0 do
+    let p = f.parts.(i) in
+    let p_hi = if i + 1 < n then f.parts.(i + 1).p_lo else Keycode.high_value in
+    let lo = if Keycode.compare_keys range.Expr.lo p.p_lo > 0 then range.Expr.lo else p.p_lo in
+    let hi = if Keycode.compare_keys range.Expr.hi p_hi < 0 then range.Expr.hi else p_hi in
+    if Keycode.compare_keys lo hi < 0 then
+      pieces := (p, Expr.{ lo; hi }) :: !pieces
+  done;
+  !pieces
+
+(* --- file creation --------------------------------------------------------- *)
+
+let validate_partitions partitions =
+  match partitions with
+  | [] -> fail (Errors.Invalid_argument_error "no partitions")
+  | first :: _ ->
+      if not (String.equal first.ps_lo "") then
+        fail
+          (Errors.Invalid_argument_error
+             "first partition must start at LOW-VALUE")
+      else begin
+        let rec sorted = function
+          | a :: (b :: _ as rest) ->
+              Keycode.compare_keys a.ps_lo b.ps_lo < 0 && sorted rest
+          | _ -> true
+        in
+        if sorted partitions then Ok ()
+        else fail (Errors.Invalid_argument_error "partition keys not ascending")
+      end
+
+let build_index_meta (schema : Row.schema) spec =
+  let key_cols = Array.to_list schema.Row.key_cols in
+  let ix_cols = Array.of_list spec.is_cols in
+  let extra = List.filter (fun k -> not (List.mem k spec.is_cols)) key_cols in
+  let all = Array.of_list (spec.is_cols @ extra) in
+  let cols = Array.map (fun i -> schema.Row.cols.(i)) all in
+  let names = Array.map (fun c -> c.Row.col_name) cols in
+  let ix_schema = Row.schema cols ~key:(Array.to_list names) in
+  let pos_of base_col =
+    let rec go i =
+      if i >= Array.length all then invalid_arg "Fs: index misses base key col"
+      else if all.(i) = base_col then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let ix_basekey_pos = Array.of_list (List.map pos_of key_cols) in
+  (ix_cols, all, ix_basekey_pos, ix_schema)
+
+let create_file t ~fname ~schema ?check ~partitions ~indexes () =
+  let* () = validate_partitions partitions in
+  let* parts =
+    Errors.list_map
+      (fun (i, ps) ->
+        let pname = Printf.sprintf "%s#p%d" fname i in
+        let reply =
+          send t ps.ps_dp
+            (Dp_msg.R_create_file
+               { fname = pname; kind = Dp_msg.K_key_sequenced; schema = Some schema; check })
+        in
+        let* id = expect_file reply in
+        Ok { p_lo = ps.ps_lo; p_dp = ps.ps_dp; p_file = id })
+      (List.mapi (fun i ps -> (i, ps)) partitions)
+  in
+  let* index_metas =
+    Errors.list_map
+      (fun spec ->
+        let ix_cols, ix_all_cols, ix_basekey_pos, ix_schema =
+          build_index_meta schema spec
+        in
+        let iname = Printf.sprintf "%s#ix_%s" fname spec.is_name in
+        let reply =
+          send t spec.is_dp
+            (Dp_msg.R_create_file
+               { fname = iname; kind = Dp_msg.K_key_sequenced; schema = Some ix_schema; check = None })
+        in
+        let* id = expect_file reply in
+        Ok
+          {
+            ix_name = spec.is_name;
+            ix_cols;
+            ix_all_cols;
+            ix_basekey_pos;
+            ix_schema;
+            ix_dp = spec.is_dp;
+            ix_file = id;
+          })
+      indexes
+  in
+  Ok
+    {
+      fname;
+      schema = Some schema;
+      kind = Dp_msg.K_key_sequenced;
+      parts = Array.of_list parts;
+      indexes = index_metas;
+    }
+
+let create_enscribe_file t ~fname ~kind ~partitions =
+  let* () = validate_partitions partitions in
+  let* parts =
+    Errors.list_map
+      (fun (i, ps) ->
+        let pname = Printf.sprintf "%s#p%d" fname i in
+        let reply =
+          send t ps.ps_dp
+            (Dp_msg.R_create_file { fname = pname; kind; schema = None; check = None })
+        in
+        let* id = expect_file reply in
+        Ok { p_lo = ps.ps_lo; p_dp = ps.ps_dp; p_file = id })
+      (List.mapi (fun i ps -> (i, ps)) partitions)
+  in
+  Ok { fname; schema = None; kind; parts = Array.of_list parts; indexes = [] }
+
+(* --- index helpers ------------------------------------------------------------ *)
+
+let index_row ix row = Row.project row ix.ix_all_cols
+
+let index_key ix row = Row.key_of_row ix.ix_schema (index_row ix row)
+
+let base_key_of_index_row f ix irow =
+  match f.schema with
+  | None -> invalid_arg "Fs: index on schema-less file"
+  | Some schema ->
+      let values =
+        Array.to_list (Array.map (fun p -> irow.(p)) ix.ix_basekey_pos)
+      in
+      Row.key_of_values schema values
+
+let index_schema f ~index =
+  match List.find_opt (fun ix -> String.equal ix.ix_name index) f.indexes with
+  | Some ix -> Ok ix.ix_schema
+  | None -> fail (Errors.Name_error ("unknown index " ^ index))
+
+(* --- record-at-a-time operations ------------------------------------------------ *)
+
+let read t f ~tx ~key ~lock =
+  let p = route f key in
+  let* _k, record = expect_record (send t p.p_dp (Dp_msg.R_read { file = p.p_file; tx; key; lock })) in
+  Ok record
+
+let insert t f ~tx ~key ~record =
+  let p = route f key in
+  expect_ok (send t p.p_dp (Dp_msg.R_insert { file = p.p_file; tx; key; record }))
+
+let update t f ~tx ~key ~record =
+  let p = route f key in
+  expect_ok (send t p.p_dp (Dp_msg.R_update { file = p.p_file; tx; key; record }))
+
+let append_entry t f ~tx ~record =
+  (* entry-sequenced files are unpartitioned: all appends go to EOF *)
+  let p = f.parts.(0) in
+  match send t p.p_dp (Dp_msg.R_entry_append { file = p.p_file; tx; record }) with
+  | Dp_msg.Rp_slot addr -> Ok addr
+  | Dp_msg.Rp_error e -> Error e
+  | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+  | _ -> Error (Errors.Internal "unexpected reply to ENTRY^APPEND")
+
+let delete t f ~tx ~key =
+  let p = route f key in
+  expect_ok (send t p.p_dp (Dp_msg.R_delete { file = p.p_file; tx; key }))
+
+let lock_file t f ~tx ~lock =
+  let rec go i =
+    if i >= Array.length f.parts then Ok ()
+    else
+      let p = f.parts.(i) in
+      let* () =
+        expect_ok (send t p.p_dp (Dp_msg.R_lock_file { file = p.p_file; tx; lock }))
+      in
+      go (i + 1)
+  in
+  go 0
+
+let lock_generic t f ~tx ~prefix ~lock =
+  let p = route f prefix in
+  expect_ok
+    (send t p.p_dp (Dp_msg.R_lock_generic { file = p.p_file; tx; prefix; lock }))
+
+(* --- SQL row operations ----------------------------------------------------------- *)
+
+let require_schema f =
+  match f.schema with
+  | Some s -> Ok s
+  | None -> fail (Errors.Bad_request (f.fname ^ " is not a SQL file"))
+
+let insert_row t f ~tx row =
+  let* schema = require_schema f in
+  let* () = Row.validate schema row in
+  let key = Row.key_of_row schema row in
+  let p = route f key in
+  let* () =
+    expect_ok (send t p.p_dp (Dp_msg.R_insert_row { file = p.p_file; tx; row }))
+  in
+  (* secondary-index maintenance: one message per index *)
+  Errors.list_iter
+    (fun ix ->
+      expect_ok
+        (send t ix.ix_dp
+           (Dp_msg.R_insert_row { file = ix.ix_file; tx; row = index_row ix row })))
+    f.indexes
+
+let delete_index_entries t f ~tx old_row =
+  Errors.list_iter
+    (fun ix ->
+      let key = index_key ix old_row in
+      ignore f;
+      expect_ok (send t ix.ix_dp (Dp_msg.R_delete { file = ix.ix_file; tx; key })))
+    f.indexes
+
+let update_row_via_key t f ~tx ~key assignments =
+  let* schema = require_schema f in
+  let p = route f key in
+  (* requester-side read-modify-write: costs an extra message vs. the
+     delegated update-expression path (the paper's point) *)
+  let* _k, record =
+    expect_record
+      (send t p.p_dp (Dp_msg.R_read { file = p.p_file; tx; key; lock = Dp_msg.L_exclusive }))
+  in
+  let old_row = Row.decode_exn schema record in
+  let new_row = Expr.apply_assignments old_row assignments in
+  let* () = Row.validate schema new_row in
+  let new_record = Row.encode schema new_row in
+  let* () =
+    expect_ok
+      (send t p.p_dp (Dp_msg.R_update { file = p.p_file; tx; key; record = new_record }))
+  in
+  (* index maintenance for the indices whose entries changed *)
+  Errors.list_iter
+    (fun ix ->
+      let old_ir = index_row ix old_row and new_ir = index_row ix new_row in
+      if Row.equal_row old_ir new_ir then Ok ()
+      else
+        let* () =
+          expect_ok
+            (send t ix.ix_dp
+               (Dp_msg.R_delete { file = ix.ix_file; tx; key = index_key ix old_row }))
+        in
+        expect_ok
+          (send t ix.ix_dp (Dp_msg.R_insert_row { file = ix.ix_file; tx; row = new_ir })))
+    f.indexes
+
+let delete_row_via_key t f ~tx ~key =
+  let* schema = require_schema f in
+  let p = route f key in
+  let* _k, record =
+    expect_record
+      (send t p.p_dp (Dp_msg.R_read { file = p.p_file; tx; key; lock = Dp_msg.L_exclusive }))
+  in
+  let old_row = Row.decode_exn schema record in
+  let* () = expect_ok (send t p.p_dp (Dp_msg.R_delete { file = p.p_file; tx; key })) in
+  delete_index_entries t f ~tx old_row
+
+let read_row_via_index t f ~tx ~index ~index_key:ikey_values =
+  let* schema = require_schema f in
+  match List.find_opt (fun ix -> String.equal ix.ix_name index) f.indexes with
+  | None -> fail (Errors.Name_error ("unknown index " ^ index))
+  | Some ix -> (
+      let* prefix = Row.key_of_values ix.ix_schema ikey_values in
+      (* message 1: read the first matching index record *)
+      let reply =
+        send t ix.ix_dp
+          (Dp_msg.R_read_next
+             {
+               file = ix.ix_file;
+               tx;
+               from_key = prefix;
+               inclusive = true;
+               lock = Dp_msg.L_none;
+               sbb = false;
+             })
+      in
+      match reply with
+      | Dp_msg.Rp_end -> Ok None
+      | Dp_msg.Rp_record { key; record } -> (
+          (* check the index record is within the prefix *)
+          let within =
+            String.length key >= String.length prefix
+            && String.equal (String.sub key 0 (String.length prefix)) prefix
+          in
+          ignore record;
+          if not within then Ok None
+          else begin
+            let irow = Row.decode_exn ix.ix_schema record in
+            let* base_key = base_key_of_index_row f ix irow in
+            (* message 2: read the base record on its partition *)
+            let* _k, base_record =
+              expect_record
+                (send t (route f base_key).p_dp
+                   (Dp_msg.R_read
+                      {
+                        file = (route f base_key).p_file;
+                        tx;
+                        key = base_key;
+                        lock = Dp_msg.L_none;
+                      }))
+            in
+            Ok (Some (Row.decode_exn schema base_record))
+          end)
+      | Dp_msg.Rp_error e -> Error e
+      | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+      | _ -> Error (Errors.Internal "unexpected reply to index READ^NEXT"))
+
+(* --- ENSCRIBE sequential read --------------------------------------------- *)
+
+let read_next_raw t f ~tx ~from_key ~inclusive ~lock ~sbb =
+  (* partitions at or after the one holding [from_key], in key order *)
+  let n = Array.length f.parts in
+  let rec try_part i from_key inclusive =
+    if i >= n then Ok []
+    else begin
+      let p = f.parts.(i) in
+      let reply =
+        send t p.p_dp
+          (Dp_msg.R_read_next { file = p.p_file; tx; from_key; inclusive; lock; sbb })
+      in
+      match reply with
+      | Dp_msg.Rp_end ->
+          (* this partition is exhausted: continue in the next one *)
+          if i + 1 < n then try_part (i + 1) f.parts.(i + 1).p_lo true
+          else Ok []
+      | Dp_msg.Rp_record { key; record } -> Ok [ (key, record) ]
+      | Dp_msg.Rp_block { entries; _ } -> Ok entries
+      | Dp_msg.Rp_error e -> Error e
+      | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+      | _ -> Error (Errors.Internal "unexpected reply to READ^NEXT")
+    end
+  in
+  let start_part =
+    let rec go i =
+      if i + 1 < n && Keycode.compare_keys f.parts.(i + 1).p_lo from_key <= 0
+      then go (i + 1)
+      else i
+    in
+    go 0
+  in
+  try_part start_part from_key inclusive
+
+(* --- set-oriented scans -------------------------------------------------------------- *)
+
+type access = A_record | A_rsbb | A_vsbb
+
+type scan_item = I_row of Row.row | I_entry of string * string
+
+type scan = {
+  sc_file : file;
+  sc_tx : int;
+  sc_access : access;
+  sc_pred : Expr.t option;
+  sc_proj : int array option;
+  sc_lock : Dp_msg.lock_mode;
+  mutable sc_parts : (partition * Expr.key_range) list;  (** head = current *)
+  mutable sc_scb : int option;
+  mutable sc_last_key : string;
+  mutable sc_started : bool;  (** GET^FIRST already sent in this partition *)
+  mutable sc_buf : scan_item list;
+  mutable sc_done : bool;
+}
+
+let open_scan t f ~tx ~access ~range ?pred ?proj ~lock () =
+  ignore t;
+  {
+    sc_file = f;
+    sc_tx = tx;
+    sc_access = access;
+    sc_pred = pred;
+    sc_proj = proj;
+    sc_lock = lock;
+    sc_parts = partition_ranges f range;
+    sc_scb = None;
+    sc_last_key = "";
+    sc_started = false;
+    sc_buf = [];
+    sc_done = false;
+  }
+
+let close_scan t sc =
+  (match (sc.sc_scb, sc.sc_parts) with
+  | Some scb, (p, _) :: _ ->
+      ignore (send t p.p_dp (Dp_msg.R_close_scb { scb }))
+  | _ -> ());
+  sc.sc_scb <- None;
+  sc.sc_done <- true
+
+(* move to the next partition *)
+let advance_partition t sc =
+  (match (sc.sc_scb, sc.sc_parts) with
+  | Some scb, (p, _) :: _ -> ignore (send t p.p_dp (Dp_msg.R_close_scb { scb }))
+  | _ -> ());
+  sc.sc_scb <- None;
+  sc.sc_started <- false;
+  sc.sc_last_key <- "";
+  match sc.sc_parts with
+  | [] -> sc.sc_done <- true
+  | _ :: rest ->
+      sc.sc_parts <- rest;
+      if rest = [] then sc.sc_done <- true
+
+(* client-side filtering for the record-at-a-time and RSBB paths *)
+let client_select sc key record =
+  match sc.sc_file.schema with
+  | None -> Some (I_entry (key, record))
+  | Some schema -> (
+      let row = Row.decode_exn schema record in
+      match sc.sc_pred with
+      | Some p when not (Expr.eval_pred row p) -> None
+      | _ -> (
+          match sc.sc_proj with
+          | Some fields -> Some (I_row (Row.project row fields))
+          | None -> Some (I_row row)))
+
+(* one FS-DP interaction to refill the buffer; true if the scan may continue *)
+let refill t sc =
+  match sc.sc_parts with
+  | [] ->
+      sc.sc_done <- true;
+      Ok ()
+  | (p, range) :: _ -> (
+      match sc.sc_access with
+      | A_record -> (
+          let from_key, inclusive =
+            if sc.sc_started then (sc.sc_last_key, false)
+            else (range.Expr.lo, true)
+          in
+          sc.sc_started <- true;
+          let reply =
+            send t p.p_dp
+              (Dp_msg.R_read_next
+                 {
+                   file = p.p_file;
+                   tx = sc.sc_tx;
+                   from_key;
+                   inclusive;
+                   lock = sc.sc_lock;
+                   sbb = false;
+                 })
+          in
+          match reply with
+          | Dp_msg.Rp_end ->
+              advance_partition t sc;
+              Ok ()
+          | Dp_msg.Rp_record { key; record } ->
+              if Keycode.compare_keys key range.Expr.hi >= 0 then begin
+                advance_partition t sc;
+                Ok ()
+              end
+              else begin
+                sc.sc_last_key <- key;
+                (match client_select sc key record with
+                | Some item -> sc.sc_buf <- [ item ]
+                | None -> ());
+                Ok ()
+              end
+          | Dp_msg.Rp_error e -> Error e
+          | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+          | _ -> Error (Errors.Internal "unexpected reply to READ^NEXT"))
+      | A_rsbb | A_vsbb -> (
+          let buffering =
+            match sc.sc_access with
+            | A_rsbb -> Dp_msg.B_rsbb
+            | A_vsbb | A_record -> Dp_msg.B_vsbb
+          in
+          let reply =
+            match sc.sc_scb with
+            | None when not sc.sc_started ->
+                sc.sc_started <- true;
+                send t p.p_dp
+                  (Dp_msg.R_get_first
+                     {
+                       file = p.p_file;
+                       tx = sc.sc_tx;
+                       buffering;
+                       range;
+                       pred = (if sc.sc_access = A_vsbb then sc.sc_pred else None);
+                       proj = (if sc.sc_access = A_vsbb then sc.sc_proj else None);
+                       lock = sc.sc_lock;
+                     })
+            | Some scb ->
+                send t p.p_dp
+                  (Dp_msg.R_get_next
+                     { file = p.p_file; tx = sc.sc_tx; scb; after_key = sc.sc_last_key })
+            | None ->
+                (* SCB lost but scan started: treat as exhausted *)
+                Dp_msg.Rp_end
+          in
+          match reply with
+          | Dp_msg.Rp_end ->
+              (* the Disk Process has already dropped the SCB *)
+              sc.sc_scb <- None;
+              advance_partition t sc;
+              Ok ()
+          | Dp_msg.Rp_vblock { rows; last_key; more; scb } ->
+              sc.sc_scb <- (if more then Some scb else None);
+              sc.sc_last_key <- last_key;
+              sc.sc_buf <- List.map (fun r -> I_row r) rows;
+              if not more then advance_partition t sc;
+              Ok ()
+          | Dp_msg.Rp_block { entries; last_key; more; scb } ->
+              sc.sc_scb <- (if more then Some scb else None);
+              sc.sc_last_key <- last_key;
+              sc.sc_buf <- List.filter_map (fun (k, r) -> client_select sc k r) entries;
+              if not more then advance_partition t sc;
+              Ok ()
+          | Dp_msg.Rp_error e -> Error e
+          | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+          | _ -> Error (Errors.Internal "unexpected reply to GET")))
+
+let rec scan_next_item t sc =
+  match sc.sc_buf with
+  | item :: rest ->
+      sc.sc_buf <- rest;
+      Sim.tick t.sim 3;
+      Ok (Some item)
+  | [] ->
+      if sc.sc_done then Ok None
+      else
+        let* () = refill t sc in
+        if sc.sc_buf = [] && sc.sc_done then Ok None else scan_next_item t sc
+
+let scan_next t sc =
+  let* item = scan_next_item t sc in
+  match item with
+  | None -> Ok None
+  | Some (I_row row) -> Ok (Some row)
+  | Some (I_entry (_, record)) -> (
+      match sc.sc_file.schema with
+      | Some schema -> Ok (Some (Row.decode_exn schema record))
+      | None -> Error (Errors.Bad_request "scan_next on schema-less file"))
+
+let scan_next_entry t sc =
+  let* item = scan_next_item t sc in
+  match item with
+  | None -> Ok None
+  | Some (I_entry (k, r)) -> Ok (Some (k, r))
+  | Some (I_row _) ->
+      Error (Errors.Bad_request "scan_next_entry on a projected scan")
+
+(* --- set-oriented update / delete ------------------------------------------------------ *)
+
+let assignments_touch_index f assignments =
+  List.exists
+    (fun ix ->
+      List.exists
+        (fun a -> Array.exists (fun c -> c = a.Expr.target) ix.ix_all_cols)
+        assignments)
+    f.indexes
+
+(* the delegated path: UPDATE^SUBSET / DELETE^SUBSET with re-drives *)
+let drive_subset t f ~tx ~range ~first ~next =
+  let pieces = partition_ranges f range in
+  let rec per_partition total = function
+    | [] -> Ok total
+    | (p, prange) :: rest ->
+        let rec drive total scb after_key =
+          let reply =
+            match scb with
+            | None -> send t p.p_dp (first p prange)
+            | Some scb -> send t p.p_dp (next p scb after_key)
+          in
+          match reply with
+          | Dp_msg.Rp_progress { processed; last_key; more; scb } ->
+              if more then drive (total + processed) (Some scb) last_key
+              else
+                (* subset exhausted: the Disk Process dropped the SCB *)
+                Ok (total + processed)
+          | Dp_msg.Rp_error e -> Error e
+          | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+          | _ -> Error (Errors.Internal "unexpected reply to SUBSET request")
+        in
+        let* total = drive total None "" in
+        per_partition total rest
+  in
+  ignore tx;
+  per_partition 0 pieces
+
+let update_subset t f ~tx ~range ?pred assignments =
+  let* _schema = require_schema f in
+  if assignments_touch_index f assignments then begin
+    (* not delegable: qualify with a VSBB scan projecting the key columns,
+       then per-record read-modify-write with index maintenance *)
+    let* schema = require_schema f in
+    let key_cols = schema.Row.key_cols in
+    let sc =
+      open_scan t f ~tx ~access:A_vsbb ~range ?pred ~proj:key_cols
+        ~lock:Dp_msg.L_exclusive ()
+    in
+    let rec go count =
+      let* row = scan_next t sc in
+      match row with
+      | None -> Ok count
+      | Some key_row ->
+          let* key = Row.key_of_values schema (Array.to_list key_row) in
+          let* () = update_row_via_key t f ~tx ~key assignments in
+          go (count + 1)
+    in
+    go 0
+  end
+  else
+    drive_subset t f ~tx ~range
+      ~first:(fun p prange ->
+        Dp_msg.R_update_subset_first
+          { file = p.p_file; tx; range = prange; pred; assignments })
+      ~next:(fun p scb after_key ->
+        Dp_msg.R_update_subset_next { file = p.p_file; tx; scb; after_key })
+
+let delete_subset t f ~tx ~range ?pred () =
+  let* _schema = require_schema f in
+  if f.indexes <> [] then begin
+    let* schema = require_schema f in
+    let key_cols = schema.Row.key_cols in
+    let sc =
+      open_scan t f ~tx ~access:A_vsbb ~range ?pred ~proj:key_cols
+        ~lock:Dp_msg.L_exclusive ()
+    in
+    let rec go count =
+      let* row = scan_next t sc in
+      match row with
+      | None -> Ok count
+      | Some key_row ->
+          let* key = Row.key_of_values schema (Array.to_list key_row) in
+          let* () = delete_row_via_key t f ~tx ~key in
+          go (count + 1)
+    in
+    go 0
+  end
+  else
+    drive_subset t f ~tx ~range
+      ~first:(fun p prange ->
+        Dp_msg.R_delete_subset_first { file = p.p_file; tx; range = prange; pred })
+      ~next:(fun p scb after_key ->
+        Dp_msg.R_delete_subset_next { file = p.p_file; tx; scb; after_key })
+
+(* --- blocked sequential inserts --------------------------------------------------------- *)
+
+type insert_buffer = {
+  ib_file : file;
+  ib_tx : int;
+  ib_capacity : int;
+  mutable ib_rows : Row.row list;  (** newest first *)
+}
+
+let open_insert_buffer _t f ~tx ~capacity =
+  if capacity < 1 then invalid_arg "Fs.open_insert_buffer: capacity < 1";
+  { ib_file = f; ib_tx = tx; ib_capacity = capacity; ib_rows = [] }
+
+let flush_insert_buffer t b =
+  match b.ib_rows with
+  | [] -> Ok ()
+  | rows_rev ->
+      let rows = List.rev rows_rev in
+      b.ib_rows <- [];
+      let* schema = require_schema b.ib_file in
+      (* group by partition, one INSERT^BLOCK message per partition *)
+      let groups = Hashtbl.create 4 in
+      List.iter
+        (fun row ->
+          let p = route b.ib_file (Row.key_of_row schema row) in
+          let existing =
+            Option.value ~default:[] (Hashtbl.find_opt groups p.p_file)
+          in
+          Hashtbl.replace groups p.p_file (row :: existing))
+        rows;
+      let* () =
+        Errors.list_iter
+          (fun (pfile, prows) ->
+            let p =
+              Array.to_list b.ib_file.parts
+              |> List.find (fun p -> p.p_file = pfile)
+            in
+            match
+              send t p.p_dp
+                (Dp_msg.R_insert_block
+                   { file = pfile; tx = b.ib_tx; rows = List.rev prows })
+            with
+            | Dp_msg.Rp_progress _ | Dp_msg.Rp_ok -> Ok ()
+            | Dp_msg.Rp_error e -> Error e
+            | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+            | _ -> Error (Errors.Internal "unexpected reply to INSERT^BLOCK"))
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) groups [])
+      in
+      (* index maintenance, also blocked *)
+      Errors.list_iter
+        (fun ix ->
+          let irows = List.map (fun row -> index_row ix row) rows in
+          match
+            send t ix.ix_dp
+              (Dp_msg.R_insert_block { file = ix.ix_file; tx = b.ib_tx; rows = irows })
+          with
+          | Dp_msg.Rp_progress _ | Dp_msg.Rp_ok -> Ok ()
+          | Dp_msg.Rp_error e -> Error e
+          | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+          | _ -> Error (Errors.Internal "unexpected reply to INSERT^BLOCK"))
+        b.ib_file.indexes
+
+let buffered_insert t b row =
+  b.ib_rows <- row :: b.ib_rows;
+  if List.length b.ib_rows >= b.ib_capacity then flush_insert_buffer t b
+  else Ok ()
+
+(* --- buffered update/delete where current ----------------------------------- *)
+
+type apply_buffer = {
+  ab_file : file;
+  ab_tx : int;
+  ab_capacity : int;
+  mutable ab_ops : (string * Dp_msg.buffered_op) list;  (** newest first *)
+}
+
+let open_apply_buffer _t f ~tx ~capacity =
+  if capacity < 1 then invalid_arg "Fs.open_apply_buffer: capacity < 1";
+  { ab_file = f; ab_tx = tx; ab_capacity = capacity; ab_ops = [] }
+
+let flush_apply_buffer t b =
+  match b.ab_ops with
+  | [] -> Ok ()
+  | ops_rev ->
+      let ops = List.rev ops_rev in
+      b.ab_ops <- [];
+      if b.ab_file.indexes <> [] then
+        (* index maintenance needs the requester-side path *)
+        Errors.list_iter
+          (fun (key, op) ->
+            match op with
+            | Dp_msg.Ob_update assignments ->
+                update_row_via_key t b.ab_file ~tx:b.ab_tx ~key assignments
+            | Dp_msg.Ob_delete -> delete_row_via_key t b.ab_file ~tx:b.ab_tx ~key)
+          ops
+      else begin
+        (* group by partition, one APPLY^BLOCK per partition touched *)
+        let groups = Hashtbl.create 4 in
+        List.iter
+          (fun (key, op) ->
+            let p = route b.ab_file key in
+            let existing =
+              Option.value ~default:[] (Hashtbl.find_opt groups p.p_file)
+            in
+            Hashtbl.replace groups p.p_file ((key, op) :: existing))
+          ops;
+        Errors.list_iter
+          (fun (pfile, pops) ->
+            let p =
+              Array.to_list b.ab_file.parts
+              |> List.find (fun p -> p.p_file = pfile)
+            in
+            match
+              send t p.p_dp
+                (Dp_msg.R_apply_block
+                   { file = pfile; tx = b.ab_tx; ops = List.rev pops })
+            with
+            | Dp_msg.Rp_progress _ | Dp_msg.Rp_ok -> Ok ()
+            | Dp_msg.Rp_error e -> Error e
+            | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+            | _ -> Error (Errors.Internal "unexpected reply to APPLY^BLOCK"))
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) groups [])
+      end
+
+let buffer_op t b key op =
+  b.ab_ops <- (key, op) :: b.ab_ops;
+  if List.length b.ab_ops >= b.ab_capacity then flush_apply_buffer t b
+  else Ok ()
+
+let buffered_update t b ~key assignments =
+  buffer_op t b key (Dp_msg.Ob_update assignments)
+
+let buffered_delete t b ~key = buffer_op t b key Dp_msg.Ob_delete
+
+(* --- index scans -------------------------------------------------------------------------- *)
+
+let index_scan t f ~tx ~index ~range ?pred ?proj ~lock () =
+  let* schema = require_schema f in
+  match List.find_opt (fun ix -> String.equal ix.ix_name index) f.indexes with
+  | None -> fail (Errors.Name_error ("unknown index " ^ index))
+  | Some ix ->
+      (* scan the index with VSBB: selection on index fields runs in the
+         index's Disk Process; each qualifying entry costs one base read *)
+      let ix_file : file =
+        {
+          fname = f.fname ^ "#ix_" ^ index;
+          schema = Some ix.ix_schema;
+          kind = Dp_msg.K_key_sequenced;
+          parts = [| { p_lo = ""; p_dp = ix.ix_dp; p_file = ix.ix_file } |];
+          indexes = [];
+        }
+      in
+      let sc = open_scan t ix_file ~tx ~access:A_vsbb ~range ?pred ~lock () in
+      let next () =
+        let* irow = scan_next t sc in
+        match irow with
+        | None -> Ok None
+        | Some irow ->
+            let* base_key = base_key_of_index_row f ix irow in
+            let p = route f base_key in
+            let* _k, record =
+              expect_record
+                (send t p.p_dp
+                   (Dp_msg.R_read { file = p.p_file; tx; key = base_key; lock }))
+            in
+            let row = Row.decode_exn schema record in
+            let row =
+              match proj with Some fields -> Row.project row fields | None -> row
+            in
+            Ok (Some row)
+      in
+      Ok next
+
+(* --- online index creation ------------------------------------------------ *)
+
+let add_index t f ~tx spec =
+  let* schema = require_schema f in
+  if List.exists (fun ix -> String.equal ix.ix_name spec.is_name) f.indexes
+  then fail (Errors.File_exists ("index " ^ spec.is_name))
+  else begin
+    let ix_cols, ix_all_cols, ix_basekey_pos, ix_schema =
+      build_index_meta schema spec
+    in
+    let iname = Printf.sprintf "%s#ix_%s" f.fname spec.is_name in
+    let* id =
+      expect_file
+        (send t spec.is_dp
+           (Dp_msg.R_create_file
+              { fname = iname; kind = Dp_msg.K_key_sequenced;
+                schema = Some ix_schema; check = None }))
+    in
+    let ix =
+      {
+        ix_name = spec.is_name;
+        ix_cols;
+        ix_all_cols;
+        ix_basekey_pos;
+        ix_schema;
+        ix_dp = spec.is_dp;
+        ix_file = id;
+      }
+    in
+    (* backfill: scan the base with VSBB projecting the index fields, ship
+       the entries with blocked inserts *)
+    let sc =
+      open_scan t f ~tx ~access:A_vsbb ~range:Expr.full_range
+        ~proj:ix_all_cols ~lock:Dp_msg.L_shared ()
+    in
+    let batch = ref [] in
+    let flush () =
+      match !batch with
+      | [] -> Ok ()
+      | rows -> (
+          let rows = List.rev rows in
+          batch := [];
+          match
+            send t spec.is_dp (Dp_msg.R_insert_block { file = id; tx; rows })
+          with
+          | Dp_msg.Rp_progress _ | Dp_msg.Rp_ok -> Ok ()
+          | Dp_msg.Rp_error e -> Error e
+          | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+          | _ -> Error (Errors.Internal "unexpected reply to INSERT^BLOCK"))
+    in
+    let rec fill () =
+      let* row = scan_next t sc in
+      match row with
+      | None -> flush ()
+      | Some irow ->
+          batch := irow :: !batch;
+          let* () = if List.length !batch >= 50 then flush () else Ok () in
+          fill ()
+    in
+    let* () = fill () in
+    close_scan t sc;
+    Ok { f with indexes = ix :: f.indexes }
+  end

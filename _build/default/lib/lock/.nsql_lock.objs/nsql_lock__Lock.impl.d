@@ -1,0 +1,1 @@
+lib/lock/lock.ml: Format Hashtbl List Nsql_sim Nsql_util Option String

@@ -1,0 +1,1 @@
+lib/lock/lock.mli: Format Nsql_sim

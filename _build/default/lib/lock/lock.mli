@@ -1,0 +1,78 @@
+(** The Disk Process lock manager.
+
+    Concurrency control for both SQL and ENSCRIBE data at the file, record,
+    or generic (key-prefix) level, as in the paper. SQL's virtual sequential
+    block buffering adds *virtual-block group locking*: the records of a
+    virtual block are locked as a group, which this module models as a key
+    {e range} lock.
+
+    Every resource is internally an interval of the encoded-key space, so
+    conflicts between the four granularities reduce to interval overlap:
+    - a whole-file lock covers [LOW, HIGH];
+    - a record lock covers exactly its key;
+    - a generic lock covers every key with the given prefix;
+    - a range (virtual-block group) lock covers [lo, hi).
+
+    Acquisition is non-blocking: the caller receives [Granted] or
+    [Blocked blockers] and decides whether to queue, retry, or abort; the
+    {!Waitgraph} companion detects deadlocks among waiting transactions. *)
+
+type mode = Shared | Exclusive
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type resource =
+  | File
+  | Record of string  (** encoded primary key *)
+  | Generic of string  (** encoded key prefix *)
+  | Range of string * string  (** [lo, hi) in encoded-key space *)
+
+val pp_resource : Format.formatter -> resource -> unit
+
+type outcome = Granted | Blocked of int list  (** blocking transaction ids *)
+
+type t
+
+val create : Nsql_sim.Sim.t -> t
+
+(** [acquire t ~tx ~file resource mode] requests a lock for transaction
+    [tx] on [resource] of file [file]. Re-acquisition by the same holder is
+    granted (including Shared-to-Exclusive upgrade when [tx] is the sole
+    conflicting holder). *)
+val acquire : t -> tx:int -> file:int -> resource -> mode -> outcome
+
+(** [release_all t ~tx] drops every lock of [tx] (commit/abort time —
+    two-phase locking releases nothing earlier). *)
+val release_all : t -> tx:int -> unit
+
+(** [clear_all t] empties the lock table — processor crash (lock state is
+    volatile). *)
+val clear_all : t -> unit
+
+(** [held t ~tx] is the number of locks held by [tx]. *)
+val held : t -> tx:int -> int
+
+(** [total_locks t] is the total number of granted locks (for tests). *)
+val total_locks : t -> int
+
+(** [holders t ~file resource] lists transactions whose locks overlap
+    [resource] (any mode). *)
+val holders : t -> file:int -> resource -> int list
+
+(** {1 Wait-for graph} *)
+
+module Waitgraph : sig
+  type g
+
+  val create : unit -> g
+
+  (** [set_waiting g ~tx ~on] records that [tx] waits for the transactions
+      [on] (replacing any previous edges from [tx]). *)
+  val set_waiting : g -> tx:int -> on:int list -> unit
+
+  (** [clear_waiting g ~tx] removes [tx]'s outgoing edges. *)
+  val clear_waiting : g -> tx:int -> unit
+
+  (** [find_cycle g ~tx] returns a deadlock cycle through [tx], if any. *)
+  val find_cycle : g -> tx:int -> int list option
+end

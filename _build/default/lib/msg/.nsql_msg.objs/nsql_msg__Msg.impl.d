@@ -1,0 +1,1 @@
+lib/msg/msg.ml: Format Hashtbl List Nsql_sim Printf String

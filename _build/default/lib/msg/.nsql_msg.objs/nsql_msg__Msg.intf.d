@@ -1,0 +1,1 @@
+lib/msg/msg.mli: Format Nsql_sim

@@ -1,0 +1,125 @@
+module Sim = Nsql_sim.Sim
+module Stats = Nsql_sim.Stats
+module Config = Nsql_sim.Config
+
+type processor = { node : int; cpu : int }
+
+let pp_processor ppf p = Format.fprintf ppf "\\%d.%d" p.node p.cpu
+
+type endpoint = {
+  name : string;
+  mutable processor : processor;
+  mutable backup : processor option;
+  mutable handler : string -> string;
+}
+
+type trace_entry = {
+  from_cpu : processor;
+  to_name : string;
+  to_cpu : processor;
+  tag : string;
+  req_bytes : int;
+  reply_bytes : int;
+  at_us : float;
+}
+
+type system = {
+  sim : Sim.t;
+  endpoints : (string, endpoint) Hashtbl.t;
+  mutable trace : trace_entry list option;  (** reversed while recording *)
+}
+
+let create sim = { sim; endpoints = Hashtbl.create 16; trace = None }
+
+let sim t = t.sim
+
+let register t ~name ~processor ?backup handler =
+  if Hashtbl.mem t.endpoints name then
+    invalid_arg (Printf.sprintf "Msg.register: duplicate endpoint %s" name);
+  let e = { name; processor; backup; handler } in
+  Hashtbl.replace t.endpoints name e;
+  e
+
+let set_handler e h = e.handler <- h
+
+let endpoint_name e = e.name
+let endpoint_processor e = e.processor
+
+let lookup t name = Hashtbl.find_opt t.endpoints name
+
+let distance_cost cfg ~(from : processor) ~(to_ : processor) =
+  if from.node <> to_.node then cfg.Config.msg_node_cost_us
+  else if from.cpu <> to_.cpu then cfg.Config.msg_cpu_cost_us
+  else cfg.Config.msg_local_cost_us
+
+let charge_hop t ~from ~to_ bytes =
+  let cfg = Sim.config t.sim in
+  let cost =
+    distance_cost cfg ~from ~to_
+    +. (float_of_int bytes *. cfg.Config.msg_per_byte_us)
+  in
+  Sim.charge t.sim cost
+
+let send t ~from ~tag e request =
+  let stats = Sim.stats t.sim in
+  stats.Stats.msgs_sent <- stats.Stats.msgs_sent + 1;
+  stats.Stats.msg_req_bytes <- stats.Stats.msg_req_bytes + String.length request;
+  if from.cpu <> e.processor.cpu || from.node <> e.processor.node then
+    stats.Stats.msgs_remote <- stats.Stats.msgs_remote + 1;
+  if from.node <> e.processor.node then
+    stats.Stats.msgs_internode <- stats.Stats.msgs_internode + 1;
+  charge_hop t ~from ~to_:e.processor (String.length request);
+  let reply = e.handler request in
+  stats.Stats.msg_reply_bytes <-
+    stats.Stats.msg_reply_bytes + String.length reply;
+  charge_hop t ~from:e.processor ~to_:from (String.length reply);
+  (match t.trace with
+  | None -> ()
+  | Some entries ->
+      let entry =
+        {
+          from_cpu = from;
+          to_name = e.name;
+          to_cpu = e.processor;
+          tag;
+          req_bytes = String.length request;
+          reply_bytes = String.length reply;
+          at_us = Sim.now t.sim;
+        }
+      in
+      t.trace <- Some (entry :: entries));
+  reply
+
+let checkpoint t e ~bytes_ =
+  match e.backup with
+  | None -> ()
+  | Some backup ->
+      let stats = Sim.stats t.sim in
+      stats.Stats.checkpoint_msgs <- stats.Stats.checkpoint_msgs + 1;
+      stats.Stats.checkpoint_bytes <- stats.Stats.checkpoint_bytes + bytes_;
+      charge_hop t ~from:e.processor ~to_:backup bytes_
+
+(* Process-pair takeover: the backup becomes the primary. The old primary
+   is gone; a new backup would be re-created elsewhere in the real system
+   (not modelled). *)
+let takeover_endpoint e =
+  match e.backup with
+  | None -> false
+  | Some backup ->
+      e.processor <- backup;
+      e.backup <- None;
+      true
+
+let endpoint_backup e = e.backup
+
+let start_trace t = t.trace <- Some []
+
+let stop_trace t =
+  let entries = match t.trace with None -> [] | Some es -> List.rev es in
+  t.trace <- None;
+  entries
+
+let pp_trace_entry ppf e =
+  Format.fprintf ppf "%8.0fus  %a -> %s (%a)  %-22s req=%dB reply=%dB"
+    e.at_us pp_processor e.from_cpu e.to_name pp_processor e.to_cpu e.tag
+    e.req_bytes e.reply_bytes

@@ -1,0 +1,84 @@
+(** The message system.
+
+    Tandem's GUARDIAN operating system is message-based: requesters (the
+    File System running inside application processes) talk to servers (Disk
+    Processes) exclusively through request/reply messages, whether the
+    server runs on the same processor, another processor of the node, or a
+    remote node. The bandwidth asymmetry this creates is the paper's central
+    motivation, so this module makes every message — and its payload bytes —
+    a counted, costed event.
+
+    A {!send} models one request/reply interaction: the requester blocks
+    until the reply arrives. Costs scale with distance (same processor <
+    cross-processor < cross-node) and payload size. *)
+
+type processor = { node : int; cpu : int }
+
+val pp_processor : Format.formatter -> processor -> unit
+
+type system
+
+type endpoint
+
+(** A trace entry describing one message interaction, for experiment E9
+    (Figure 2 message-flow trace). *)
+type trace_entry = {
+  from_cpu : processor;
+  to_name : string;
+  to_cpu : processor;
+  tag : string;  (** request type, e.g. "GET^FIRST^VSBB" *)
+  req_bytes : int;
+  reply_bytes : int;
+  at_us : float;
+}
+
+val create : Nsql_sim.Sim.t -> system
+
+val sim : system -> Nsql_sim.Sim.t
+
+(** [register sys ~name ~processor ?backup handler] creates a server
+    endpoint. [backup] is the hot-standby half of the process pair; when
+    given, {!checkpoint} messages to it are charged. The handler receives
+    the raw request payload and returns the reply payload. *)
+val register :
+  system ->
+  name:string ->
+  processor:processor ->
+  ?backup:processor ->
+  (string -> string) ->
+  endpoint
+
+(** [set_handler e h] replaces the endpoint's handler (used to break the
+    construction cycle between a server and its message system). *)
+val set_handler : endpoint -> (string -> string) -> unit
+
+val endpoint_name : endpoint -> string
+val endpoint_processor : endpoint -> processor
+val endpoint_backup : endpoint -> processor option
+
+(** [takeover_endpoint e] moves the endpoint to its backup processor (the
+    process-pair takeover after a primary failure); returns [false] if no
+    backup exists. Checkpointed state makes this transparent to clients. *)
+val takeover_endpoint : endpoint -> bool
+
+val lookup : system -> string -> endpoint option
+
+(** [send sys ~from ~tag endpoint request] performs one request/reply
+    interaction and returns the reply payload. Charges message costs and
+    counters on the system's simulation world. *)
+val send : system -> from:processor -> tag:string -> endpoint -> string -> string
+
+(** [checkpoint sys endpoint ~bytes] charges a primary-to-backup checkpoint
+    message of [bytes] payload, if the endpoint has a backup. State-changing
+    requests checkpoint so the backup can take over mid-transaction. *)
+val checkpoint : system -> endpoint -> bytes_:int -> unit
+
+(** {1 Tracing} *)
+
+(** [start_trace sys] begins recording every message. *)
+val start_trace : system -> unit
+
+(** [stop_trace sys] stops recording and returns the trace in order. *)
+val stop_trace : system -> trace_entry list
+
+val pp_trace_entry : Format.formatter -> trace_entry -> unit

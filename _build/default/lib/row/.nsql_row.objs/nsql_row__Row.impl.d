@@ -1,0 +1,1 @@
+lib/row/row.ml: Array Buffer Bytes Char Float Format Int64 List Nsql_util Printf String

@@ -1,0 +1,1 @@
+lib/row/row.mli: Format Nsql_util

@@ -1,0 +1,89 @@
+type t = {
+  block_size : int;
+  bulk_io_max_bytes : int;
+  cache_blocks : int;
+  vsbb_buffer_bytes : int;
+  audit_buffer_bytes : int;
+  dp_records_per_request : int;
+  dp_ticks_per_request : int;
+  dp_prefetch : bool;
+  msg_local_cost_us : float;
+  msg_cpu_cost_us : float;
+  msg_node_cost_us : float;
+  msg_per_byte_us : float;
+  disk_seek_us : float;
+  disk_sequential_us : float;
+  disk_per_block_us : float;
+  cpu_tick_us : float;
+  lock_wait_timeout_us : float;
+  group_commit_timer_us : float;
+  group_commit_adaptive : bool;
+  mirrored : bool;
+}
+
+let default =
+  {
+    block_size = 4096;
+    bulk_io_max_bytes = 28 * 1024;
+    cache_blocks = 512;
+    vsbb_buffer_bytes = 4096;
+    audit_buffer_bytes = 28 * 1024;
+    dp_records_per_request = 1024;
+    dp_ticks_per_request = 200_000;
+    dp_prefetch = true;
+    msg_local_cost_us = 300.;
+    msg_cpu_cost_us = 1_000.;
+    msg_node_cost_us = 5_000.;
+    msg_per_byte_us = 0.5;
+    disk_seek_us = 25_000.;
+    disk_sequential_us = 1_000.;
+    disk_per_block_us = 600.;
+    cpu_tick_us = 1.;
+    lock_wait_timeout_us = 2_000_000.;
+    group_commit_timer_us = 10_000.;
+    group_commit_adaptive = true;
+    mirrored = false;
+  }
+
+let v ?(block_size = default.block_size)
+    ?(bulk_io_max_bytes = default.bulk_io_max_bytes)
+    ?(cache_blocks = default.cache_blocks)
+    ?(vsbb_buffer_bytes = default.vsbb_buffer_bytes)
+    ?(audit_buffer_bytes = default.audit_buffer_bytes)
+    ?(dp_records_per_request = default.dp_records_per_request)
+    ?(dp_ticks_per_request = default.dp_ticks_per_request)
+    ?(dp_prefetch = default.dp_prefetch)
+    ?(msg_local_cost_us = default.msg_local_cost_us)
+    ?(msg_cpu_cost_us = default.msg_cpu_cost_us)
+    ?(msg_node_cost_us = default.msg_node_cost_us)
+    ?(msg_per_byte_us = default.msg_per_byte_us)
+    ?(disk_seek_us = default.disk_seek_us)
+    ?(disk_sequential_us = default.disk_sequential_us)
+    ?(disk_per_block_us = default.disk_per_block_us)
+    ?(cpu_tick_us = default.cpu_tick_us)
+    ?(lock_wait_timeout_us = default.lock_wait_timeout_us)
+    ?(group_commit_timer_us = default.group_commit_timer_us)
+    ?(group_commit_adaptive = default.group_commit_adaptive)
+    ?(mirrored = default.mirrored) () =
+  {
+    block_size;
+    bulk_io_max_bytes;
+    cache_blocks;
+    vsbb_buffer_bytes;
+    audit_buffer_bytes;
+    dp_records_per_request;
+    dp_ticks_per_request;
+    dp_prefetch;
+    msg_local_cost_us;
+    msg_cpu_cost_us;
+    msg_node_cost_us;
+    msg_per_byte_us;
+    disk_seek_us;
+    disk_sequential_us;
+    disk_per_block_us;
+    cpu_tick_us;
+    lock_wait_timeout_us;
+    group_commit_timer_us;
+    group_commit_adaptive;
+    mirrored;
+  }

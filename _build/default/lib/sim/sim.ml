@@ -1,0 +1,89 @@
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  mutable now : float;
+  events : (unit -> unit) Nsql_util.Heap.t;
+  mutable firing : bool;
+}
+
+let create ?(config = Config.default) () =
+  {
+    config;
+    stats = Stats.create ();
+    now = 0.;
+    events = Nsql_util.Heap.create ();
+    firing = false;
+  }
+
+let config t = t.config
+let stats t = t.stats
+let now t = t.now
+
+(* Events may schedule further events while firing; the loop re-examines the
+   heap top each round. [firing] guards against re-entrant firing when an
+   event handler itself advances the clock. *)
+let fire_due t =
+  if not t.firing then begin
+    t.firing <- true;
+    let rec loop () =
+      match Nsql_util.Heap.min_prio t.events with
+      | Some due when due <= t.now -> (
+          match Nsql_util.Heap.pop_min t.events with
+          | Some (_, f) ->
+              f ();
+              loop ()
+          | None -> ())
+      | Some _ | None -> ()
+    in
+    Fun.protect ~finally:(fun () -> t.firing <- false) loop
+  end
+
+let advance_to t when_ =
+  (* step through intermediate event times so each event sees a clock that
+     has just reached its due time *)
+  let rec loop () =
+    match Nsql_util.Heap.min_prio t.events with
+    | Some due when due <= when_ && due > t.now ->
+        t.now <- due;
+        fire_due t;
+        loop ()
+    | _ ->
+        if when_ > t.now then t.now <- when_;
+        fire_due t
+  in
+  loop ()
+
+let charge t us = if us > 0. then advance_to t (t.now +. us)
+
+let tick t n =
+  if n > 0 then begin
+    t.stats.Stats.cpu_ticks <- t.stats.Stats.cpu_ticks + n;
+    charge t (float_of_int n *. t.config.Config.cpu_tick_us)
+  end
+
+let wait_until t when_ = if when_ > t.now then advance_to t when_
+
+let schedule t ~at f =
+  Nsql_util.Heap.push t.events ~prio:(max at t.now) f
+
+let after t delay f = schedule t ~at:(t.now +. delay) f
+
+let flush_events t = fire_due t
+
+let drain t =
+  let rec loop () =
+    match Nsql_util.Heap.min_prio t.events with
+    | None -> ()
+    | Some due ->
+        advance_to t (max due t.now);
+        loop ()
+  in
+  loop ()
+
+let snapshot t = Stats.copy t.stats
+
+let measure t f =
+  let before = snapshot t in
+  let result = f () in
+  let after_ = snapshot t in
+  (result, Stats.diff ~before ~after:after_)

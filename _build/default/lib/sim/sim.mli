@@ -1,0 +1,50 @@
+(** The simulation world: a deterministic clock, an event queue, and the
+    statistics record every subsystem charges against.
+
+    Time is in simulated microseconds. Asynchronous activity (pre-fetch
+    completions, write-behind, group-commit timers) is modelled as events:
+    whenever the clock advances past an event's due time the event fires.
+    There is no wall-clock or randomness anywhere in the simulation. *)
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+
+val config : t -> Config.t
+val stats : t -> Stats.t
+
+(** [now t] is the current simulated time in microseconds. *)
+val now : t -> float
+
+(** [tick t n] charges [n] CPU ticks: bumps the counter and advances the
+    clock by [n * cpu_tick_us], firing any events that come due. *)
+val tick : t -> int -> unit
+
+(** [charge t us] advances the clock by [us] microseconds. *)
+val charge : t -> float -> unit
+
+(** [wait_until t when_] advances the clock to at least [when_]. Used when a
+    synchronous operation must wait for an asynchronous completion. *)
+val wait_until : t -> float -> unit
+
+(** [schedule t ~at f] registers [f] to fire when the clock reaches [at].
+    Events scheduled at or before the current time fire on the next clock
+    movement (or [flush_events]). *)
+val schedule : t -> at:float -> (unit -> unit) -> unit
+
+(** [after t delay f] is [schedule t ~at:(now t +. delay) f]. *)
+val after : t -> float -> (unit -> unit) -> unit
+
+(** [flush_events t] fires every event due at or before the current time. *)
+val flush_events : t -> unit
+
+(** [drain t] advances the clock until the event queue is empty (an idle
+    period: pending write-behind, timers, etc. all complete). *)
+val drain : t -> unit
+
+(** [snapshot t] copies the statistics for later {!Stats.diff}. *)
+val snapshot : t -> Stats.t
+
+(** [measure t f] runs [f] and returns its result together with the
+    statistics delta it produced. *)
+val measure : t -> (unit -> 'a) -> 'a * Stats.t

@@ -1,0 +1,1 @@
+lib/sort/fastsort.ml: Array Format List Nsql_sim String

@@ -1,0 +1,1 @@
+lib/sort/fastsort.mli: Format Nsql_sim

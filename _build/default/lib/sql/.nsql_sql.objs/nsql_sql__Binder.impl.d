@@ -1,0 +1,1 @@
+lib/sql/binder.ml: Array Ast List Nsql_expr Nsql_row Nsql_util Printf String

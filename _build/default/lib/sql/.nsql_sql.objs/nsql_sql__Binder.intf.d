@@ -1,0 +1,1 @@
+lib/sql/binder.mli: Ast Nsql_expr Nsql_row Nsql_util

@@ -1,0 +1,1 @@
+lib/sql/catalog.mli: Nsql_dp Nsql_expr Nsql_fs Nsql_row Nsql_util

@@ -1,0 +1,1 @@
+lib/sql/executor.ml: Array Ast Binder Catalog Format Hashtbl List Nsql_dp Nsql_expr Nsql_fs Nsql_row Nsql_sim Nsql_sort Nsql_util Planner Printf String

@@ -1,0 +1,1 @@
+lib/sql/executor.mli: Ast Catalog Format Nsql_dp Nsql_fs Nsql_row Nsql_sim Nsql_util Planner

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Format Lexer List Nsql_row Nsql_util Printf String

@@ -1,0 +1,1 @@
+lib/sql/parser.mli: Ast Nsql_util

@@ -1,0 +1,1 @@
+lib/sql/planner.ml: Array Ast Binder Catalog Format List Nsql_expr Nsql_fs Nsql_row Nsql_util Option Printf String

@@ -1,0 +1,1 @@
+lib/sql/planner.mli: Ast Catalog Format Nsql_expr Nsql_fs Nsql_row Nsql_util

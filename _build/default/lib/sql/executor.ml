@@ -1,0 +1,347 @@
+module Row = Nsql_row.Row
+module Expr = Nsql_expr.Expr
+module Fs = Nsql_fs.Fs
+module Dp_msg = Nsql_dp.Dp_msg
+module Fastsort = Nsql_sort.Fastsort
+module Errors = Nsql_util.Errors
+module Sim = Nsql_sim.Sim
+
+open Errors
+open Planner
+
+type ctx = {
+  fs : Fs.t;
+  sim : Sim.t;
+  tx : int;
+  read_lock : Dp_msg.lock_mode;
+}
+
+type rowset = { cols : string list; rows : Row.row list }
+
+let pp_rowset ppf rs =
+  Format.fprintf ppf "@[<v>%s@," (String.concat " | " rs.cols);
+  List.iter (fun row -> Format.fprintf ppf "%a@," Row.pp_row row) rs.rows;
+  Format.fprintf ppf "(%d rows)@]" (List.length rs.rows)
+
+(* --- base-table row streams -------------------------------------------------- *)
+
+(* pull all rows of the first table's access path *)
+let scan_table0 ctx (plan : select_plan) =
+  let tbl = plan.p_table in
+  match plan.p_access with
+  | Ap_primary { access; range; pred; proj } ->
+      let sc =
+        Fs.open_scan ctx.fs tbl.Catalog.t_file ~tx:ctx.tx ~access ~range ?pred
+          ?proj ~lock:ctx.read_lock ()
+      in
+      let rec go acc =
+        let* row = Fs.scan_next ctx.fs sc in
+        match row with
+        | Some row -> go (row :: acc)
+        | None ->
+            Fs.close_scan ctx.fs sc;
+            Ok (List.rev acc)
+      in
+      go []
+  | Ap_index { index; range; ipred; residual } ->
+      let* next =
+        Fs.index_scan ctx.fs tbl.Catalog.t_file ~tx:ctx.tx ~index ~range
+          ?pred:ipred ~lock:ctx.read_lock ()
+      in
+      let rec go acc =
+        let* row = next () in
+        match row with
+        | None -> Ok (List.rev acc)
+        | Some row ->
+            let keep =
+              match residual with None -> true | Some p -> Expr.eval_pred row p
+            in
+            go (if keep then row :: acc else acc)
+      in
+      go []
+
+(* one nested-loop / keyed join step: extend each prefix row *)
+let join_step ctx prefix_rows step =
+  let tbl = step.j_table in
+  let schema = tbl.Catalog.t_schema in
+  match step.j_inner with
+  | Ji_keyed { key_exprs } ->
+      (* point read per outer row *)
+      let* joined =
+        Errors.list_map
+          (fun prefix ->
+            let values = List.map (fun e -> Expr.eval prefix e) key_exprs in
+            if List.exists (fun v -> v = Row.Null) values then Ok []
+            else
+              let* key = Row.key_of_values schema values in
+              match
+                Fs.read ctx.fs tbl.Catalog.t_file ~tx:ctx.tx ~key
+                  ~lock:ctx.read_lock
+              with
+              | Ok record ->
+                  let inner = Row.decode_exn schema record in
+                  Ok [ Array.append prefix inner ]
+              | Error (Errors.Not_found_key _) -> Ok []
+              | Error e -> Error e)
+          prefix_rows
+      in
+      Ok (List.concat joined)
+  | Ji_scan { pred } ->
+      (* rescan the inner per outer row, with the inner-only predicate
+         delegated to the Disk Process — and its primary-key conjuncts
+         turned into the scan range, so the rescan touches only the
+         qualifying span *)
+      let range, pred =
+        match pred with
+        | None -> (Expr.full_range, None)
+        | Some p -> (
+            match Expr.extract_key_range schema p with
+            | range, residual -> (range, residual))
+      in
+      let* joined =
+        Errors.list_map
+          (fun prefix ->
+            let sc =
+              Fs.open_scan ctx.fs tbl.Catalog.t_file ~tx:ctx.tx
+                ~access:Fs.A_vsbb ~range ?pred ~lock:ctx.read_lock ()
+            in
+            let rec go acc =
+              let* row = Fs.scan_next ctx.fs sc in
+              match row with
+              | Some inner -> go (Array.append prefix inner :: acc)
+              | None ->
+                  Fs.close_scan ctx.fs sc;
+                  Ok (List.rev acc)
+            in
+            go [])
+          prefix_rows
+      in
+      Ok (List.concat joined)
+
+let apply_post step rows =
+  match step.j_post with
+  | None -> rows
+  | Some p -> List.filter (fun row -> Expr.eval_pred row p) rows
+
+(* --- aggregation --------------------------------------------------------------- *)
+
+type acc = {
+  mutable a_count : int;
+  mutable a_sum_f : float;
+  mutable a_sum_i : int;
+  mutable a_saw_float : bool;
+  mutable a_min : Row.value;
+  mutable a_max : Row.value;
+}
+
+let fresh_acc () =
+  {
+    a_count = 0;
+    a_sum_f = 0.;
+    a_sum_i = 0;
+    a_saw_float = false;
+    a_min = Row.Null;
+    a_max = Row.Null;
+  }
+
+let feed acc v =
+  match v with
+  | Row.Null -> ()
+  | v ->
+      acc.a_count <- acc.a_count + 1;
+      (match v with
+      | Row.Vint i -> acc.a_sum_i <- acc.a_sum_i + i
+      | Row.Vfloat f ->
+          acc.a_saw_float <- true;
+          acc.a_sum_f <- acc.a_sum_f +. f
+      | _ -> ());
+      if acc.a_min = Row.Null || Row.compare_value v acc.a_min < 0 then
+        acc.a_min <- v;
+      if acc.a_max = Row.Null || Row.compare_value v acc.a_max > 0 then
+        acc.a_max <- v
+
+let finish kind acc =
+  match kind with
+  | Ast.A_count_star | Ast.A_count -> Row.Vint acc.a_count
+  | Ast.A_sum ->
+      if acc.a_count = 0 then Row.Null
+      else if acc.a_saw_float then
+        Row.Vfloat (acc.a_sum_f +. float_of_int acc.a_sum_i)
+      else Row.Vint acc.a_sum_i
+  | Ast.A_min -> acc.a_min
+  | Ast.A_max -> acc.a_max
+  | Ast.A_avg ->
+      if acc.a_count = 0 then Row.Null
+      else
+        Row.Vfloat
+          ((acc.a_sum_f +. float_of_int acc.a_sum_i) /. float_of_int acc.a_count)
+
+let group_rows ctx (g : group_spec) rows =
+  let table = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      Sim.tick ctx.sim 5;
+      let keys = List.map (fun k -> Expr.eval row k) g.g_keys in
+      let kenc =
+        let w = Nsql_util.Codec.writer () in
+        Row.encode_values w (Array.of_list keys);
+        Nsql_util.Codec.contents w
+      in
+      let accs =
+        match Hashtbl.find_opt table kenc with
+        | Some (_, accs) -> accs
+        | None ->
+            let accs = List.map (fun _ -> fresh_acc ()) g.g_aggs in
+            Hashtbl.replace table kenc (keys, accs);
+            order := kenc :: !order;
+            accs
+      in
+      List.iter2
+        (fun (kind, arg) acc ->
+          match (kind, arg) with
+          | Ast.A_count_star, _ -> acc.a_count <- acc.a_count + 1
+          | _, Some e -> feed acc (Expr.eval row e)
+          | _, None -> acc.a_count <- acc.a_count + 1)
+        g.g_aggs accs)
+    rows;
+  (* a grand aggregate over zero rows still yields one row *)
+  if Hashtbl.length table = 0 && g.g_keys = [] then begin
+    let accs = List.map (fun _ -> fresh_acc ()) g.g_aggs in
+    Hashtbl.replace table "" ([], accs);
+    order := [ "" ]
+  end;
+  let output =
+    List.rev_map
+      (fun kenc ->
+        let keys, accs = Hashtbl.find table kenc in
+        Array.of_list
+          (keys @ List.map2 (fun (kind, _) acc -> finish kind acc) g.g_aggs accs))
+      !order
+  in
+  match g.g_having with
+  | None -> output
+  | Some h -> List.filter (fun row -> Expr.eval_pred row h) output
+
+(* --- sort / project / limit ------------------------------------------------------ *)
+
+let sort_rows ctx order rows =
+  if order = [] then rows
+  else begin
+    let decorated =
+      List.map (fun row -> (List.map (fun (e, _) -> Expr.eval row e) order, row)) rows
+    in
+    let compare_rows (ka, _) (kb, _) =
+      let rec go ks (specs : (Expr.t * bool) list) =
+        match (ks, specs) with
+        | (a, b) :: rest, (_, desc) :: specs ->
+            let c = Row.compare_value a b in
+            if c <> 0 then if desc then -c else c else go rest specs
+        | _ -> 0
+      in
+      go (List.combine ka kb) order
+    in
+    let sorted, _stats = Fastsort.sort ctx.sim ~compare:compare_rows decorated in
+    List.map snd sorted
+  end
+
+let project rows exprs =
+  List.map (fun row -> Array.of_list (List.map (fun e -> Expr.eval row e) exprs)) rows
+
+(* order-preserving de-duplication on encoded output rows *)
+let distinct rows =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun row ->
+      let w = Nsql_util.Codec.writer () in
+      Row.encode_values w row;
+      let k = Nsql_util.Codec.contents w in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    rows
+
+let limit n rows =
+  match n with
+  | None -> rows
+  | Some n ->
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | x :: rest -> x :: take (k - 1) rest
+      in
+      take n rows
+
+(* --- entry points ------------------------------------------------------------------ *)
+
+let run_select ctx (plan : select_plan) =
+  let* rows = scan_table0 ctx plan in
+  let* rows =
+    let rec steps rows = function
+      | [] -> Ok rows
+      | step :: rest ->
+          let* joined = join_step ctx rows step in
+          steps (apply_post step joined) rest
+    in
+    steps rows plan.p_joins
+  in
+  let rows =
+    match plan.p_group with
+    | Some g -> group_rows ctx g rows
+    | None -> rows
+  in
+  let rows = sort_rows ctx plan.p_order rows in
+  let rows = project rows plan.p_exprs in
+  let rows = if plan.p_distinct then distinct rows else rows in
+  let rows = limit plan.p_limit rows in
+  Sim.tick ctx.sim (2 * List.length rows);
+  Ok { cols = plan.p_names; rows }
+
+let run_update ctx (plan : update_plan) =
+  Fs.update_subset ctx.fs plan.up_table.Catalog.t_file ~tx:ctx.tx
+    ~range:plan.up_range ?pred:plan.up_pred plan.up_assignments
+
+let run_delete ctx (plan : delete_plan) =
+  Fs.delete_subset ctx.fs plan.dp_table.Catalog.t_file ~tx:ctx.tx
+    ~range:plan.dp_range ?pred:plan.dp_pred ()
+
+let run_insert ctx (tbl : Catalog.table) ~cols values =
+  let schema = tbl.Catalog.t_schema in
+  let width = Array.length schema.Row.cols in
+  let* positions =
+    match cols with
+    | None -> Ok None
+    | Some names ->
+        let* ps = Errors.list_map (Row.field_number schema) names in
+        Ok (Some ps)
+  in
+  let build literals =
+    match positions with
+    | None ->
+        if List.length literals <> width then
+          fail
+            (Errors.Type_error
+               (Printf.sprintf "INSERT supplies %d values for %d columns"
+                  (List.length literals) width))
+        else Ok (Array.of_list (List.map Binder.lit_value literals))
+    | Some ps ->
+        if List.length literals <> List.length ps then
+          fail (Errors.Type_error "INSERT column/value count mismatch")
+        else begin
+          let row = Array.make width Row.Null in
+          List.iter2
+            (fun p l -> row.(p) <- Binder.lit_value l)
+            ps literals;
+          Ok row
+        end
+  in
+  let rec go n = function
+    | [] -> Ok n
+    | literals :: rest ->
+        let* row = build literals in
+        let* () = Fs.insert_row ctx.fs tbl.Catalog.t_file ~tx:ctx.tx row in
+        go (n + 1) rest
+  in
+  go 0 values

@@ -1,0 +1,40 @@
+(** The SQL Executor: runs compiled plans by invoking the File System.
+
+    Runs in the application's process environment (the requester side);
+    every data access it performs is an FS-DP message issued by
+    {!Nsql_fs.Fs}. Join, aggregation, sort (via FastSort) and final
+    projection happen here, over the rows the Disk Processes have already
+    filtered and projected. *)
+
+module Row = Nsql_row.Row
+module Fs = Nsql_fs.Fs
+
+type ctx = {
+  fs : Fs.t;
+  sim : Nsql_sim.Sim.t;
+  tx : int;
+  read_lock : Nsql_dp.Dp_msg.lock_mode;
+      (** lock mode for SELECT scans: [L_none] is browse access (read
+          through locks), [L_shared] gives repeatable reads via
+          virtual-block group locks *)
+}
+
+(** Result rows with their output column names. *)
+type rowset = { cols : string list; rows : Row.row list }
+
+val pp_rowset : Format.formatter -> rowset -> unit
+
+val run_select :
+  ctx -> Planner.select_plan -> (rowset, Nsql_util.Errors.t) result
+
+(** [run_update ctx plan] returns the number of rows updated. *)
+val run_update : ctx -> Planner.update_plan -> (int, Nsql_util.Errors.t) result
+
+val run_delete : ctx -> Planner.delete_plan -> (int, Nsql_util.Errors.t) result
+
+(** [run_insert ctx table ~cols values] inserts literal rows, reordering
+    and null-filling per the optional column list. Returns rows
+    inserted. *)
+val run_insert :
+  ctx -> Catalog.table -> cols:string list option ->
+  Ast.literal list list -> (int, Nsql_util.Errors.t) result

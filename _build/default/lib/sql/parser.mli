@@ -1,0 +1,12 @@
+(** Recursive-descent SQL parser. *)
+
+(** [parse src] parses one statement (an optional trailing [;] is
+    allowed). *)
+val parse : string -> (Ast.statement, Nsql_util.Errors.t) result
+
+(** [parse_many src] parses a [;]-separated script. *)
+val parse_many : string -> (Ast.statement list, Nsql_util.Errors.t) result
+
+(** [parse_expr src] parses a standalone scalar expression (used by tests
+    and by programmatic CHECK constraints). *)
+val parse_expr : string -> (Ast.sexpr, Nsql_util.Errors.t) result

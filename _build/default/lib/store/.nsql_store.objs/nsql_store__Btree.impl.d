@@ -1,0 +1,1 @@
+lib/store/btree.ml: Array Format List Nsql_cache Nsql_disk Nsql_sim Nsql_util Page Printf String

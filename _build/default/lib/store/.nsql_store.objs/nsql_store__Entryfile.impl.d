@@ -1,0 +1,1 @@
+lib/store/entryfile.ml: Array Bytes Char Nsql_cache Nsql_disk Nsql_sim Nsql_util String

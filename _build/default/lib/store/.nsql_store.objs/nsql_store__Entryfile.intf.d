@@ -1,0 +1,1 @@
+lib/store/entryfile.mli: Nsql_cache Nsql_sim Nsql_util

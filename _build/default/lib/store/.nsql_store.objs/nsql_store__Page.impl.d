@@ -1,0 +1,1 @@
+lib/store/page.ml: Array Format Nsql_util Printf String

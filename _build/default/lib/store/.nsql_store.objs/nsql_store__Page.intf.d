@@ -1,0 +1,1 @@
+lib/store/page.mli: Format

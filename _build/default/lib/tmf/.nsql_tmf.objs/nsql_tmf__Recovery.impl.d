@@ -1,0 +1,1 @@
+lib/tmf/recovery.ml: Format Hashtbl List Nsql_audit

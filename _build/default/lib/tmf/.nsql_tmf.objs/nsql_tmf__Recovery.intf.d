@@ -1,0 +1,1 @@
+lib/tmf/recovery.mli: Format Nsql_audit

@@ -1,0 +1,1 @@
+lib/tmf/tmf.ml: Hashtbl List Nsql_audit Nsql_sim Nsql_util

@@ -1,0 +1,1 @@
+lib/tmf/tmf.mli: Nsql_audit Nsql_sim Nsql_util

@@ -1,0 +1,1 @@
+lib/util/codec.ml: Buffer Char Int64 String

@@ -1,0 +1,1 @@
+lib/util/keycode.ml: Buffer Bytes Char Codec Int64 Printf String

@@ -1,0 +1,1 @@
+lib/workload/debitcredit.ml: Array Nsql_core Nsql_dp Nsql_enscribe Nsql_fs Nsql_row Nsql_sql Nsql_tmf Nsql_util Printf String

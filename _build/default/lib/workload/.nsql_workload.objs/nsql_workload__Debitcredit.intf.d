@@ -1,0 +1,1 @@
+lib/workload/debitcredit.mli: Nsql_core Nsql_util

@@ -1,0 +1,1 @@
+lib/workload/wisconsin.ml: Array Bytes Int64 List Nsql_core Nsql_fs Nsql_row Nsql_tmf Nsql_util Printf String

@@ -1,0 +1,1 @@
+lib/workload/wisconsin.mli: Nsql_core Nsql_util

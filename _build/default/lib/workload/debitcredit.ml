@@ -1,0 +1,262 @@
+module N = Nsql_core.Nonstop_sql
+module Row = Nsql_row.Row
+module Fs = Nsql_fs.Fs
+module Dp_msg = Nsql_dp.Dp_msg
+module Enscribe = Nsql_enscribe.Enscribe
+module Tmf = Nsql_tmf.Tmf
+module Errors = Nsql_util.Errors
+
+open Errors
+
+(* 100-byte filler keeps record sizes in the era-typical range *)
+let filler = String.make 96 'f'
+
+type sql_db = { s_accounts : int; s_tellers : int; s_branches : int; mutable s_hid : int }
+
+let setup_sql node ~accounts ~tellers ~branches =
+  let s = N.session node in
+  let ddl =
+    [
+      "CREATE TABLE account (aid INT PRIMARY KEY, bid INT NOT NULL, balance \
+       FLOAT NOT NULL, filler CHAR(96) NOT NULL)";
+      "CREATE TABLE teller (tid INT PRIMARY KEY, bid INT NOT NULL, balance \
+       FLOAT NOT NULL, filler CHAR(96) NOT NULL)";
+      "CREATE TABLE branch (bid INT PRIMARY KEY, balance FLOAT NOT NULL, \
+       filler CHAR(96) NOT NULL)";
+      "CREATE TABLE history (hid INT PRIMARY KEY, aid INT NOT NULL, tid INT \
+       NOT NULL, bid INT NOT NULL, delta FLOAT NOT NULL, filler CHAR(96) NOT \
+       NULL)";
+    ]
+  in
+  let* () =
+    Errors.list_iter
+      (fun sql ->
+        let* _ = N.exec s sql in
+        Ok ())
+      ddl
+  in
+  (* load through blocked inserts (programmatic; load is unmeasured) *)
+  let load table rows mk =
+    let* tbl = N.Catalog.find (N.catalog node) table in
+    Tmf.run (N.tmf node) (fun tx ->
+        let buf =
+          Fs.open_insert_buffer (N.fs node) tbl.N.Catalog.t_file ~tx
+            ~capacity:100
+        in
+        let rec go i =
+          if i >= rows then Fs.flush_insert_buffer (N.fs node) buf
+          else
+            let* () = Fs.buffered_insert (N.fs node) buf (mk i) in
+            go (i + 1)
+        in
+        go 0)
+  in
+  let* () =
+    load "account" accounts (fun i ->
+        [| Row.Vint i; Row.Vint (i mod branches); Row.Vfloat 1000.; Row.Vstr filler |])
+  in
+  let* () =
+    load "teller" tellers (fun i ->
+        [| Row.Vint i; Row.Vint (i mod branches); Row.Vfloat 1000.; Row.Vstr filler |])
+  in
+  let* () =
+    load "branch" branches (fun i ->
+        [| Row.Vint i; Row.Vfloat 1000.; Row.Vstr filler |])
+  in
+  Ok { s_accounts = accounts; s_tellers = tellers; s_branches = branches; s_hid = 0 }
+
+let run_sql_tx db s ~aid ~delta =
+  let tid = aid mod db.s_tellers in
+  let bid = tid mod db.s_branches in
+  let hid = db.s_hid in
+  db.s_hid <- hid + 1;
+  let stmts =
+    [
+      Printf.sprintf "UPDATE account SET balance = balance + %f WHERE aid = %d"
+        delta aid;
+      Printf.sprintf "UPDATE teller SET balance = balance + %f WHERE tid = %d"
+        delta tid;
+      Printf.sprintf "UPDATE branch SET balance = balance + %f WHERE bid = %d"
+        delta bid;
+      Printf.sprintf
+        "INSERT INTO history VALUES (%d, %d, %d, %d, %f, '%s')" hid aid tid bid
+        delta filler;
+    ]
+  in
+  let* _ = N.exec s "BEGIN WORK" in
+  let rec go = function
+    | [] ->
+        let* _ = N.exec s "COMMIT WORK" in
+        Ok ()
+    | sql :: rest -> (
+        match N.exec s sql with
+        | Ok _ -> go rest
+        | Error e ->
+            let* _ = N.exec s "ROLLBACK WORK" in
+            Error e)
+  in
+  go stmts
+
+let sql_balances db s =
+  ignore db;
+  let* rs = N.query s "SELECT SUM(balance) FROM account" in
+  let* hist = N.query s "SELECT COUNT(*) FROM history" in
+  match (rs.Nsql_sql.Executor.rows, hist.Nsql_sql.Executor.rows) with
+  | [ [| Row.Vfloat sum |] ], [ [| Row.Vint n |] ] -> Ok (sum, n)
+  | _ -> fail (Errors.Internal "unexpected balance query shape")
+
+(* --- the ENSCRIBE implementation ------------------------------------------ *)
+
+(* the application's own record layouts, encoded with the shared codec *)
+let account_schema =
+  Row.schema
+    [|
+      Row.column "aid" Row.T_int;
+      Row.column "bid" Row.T_int;
+      Row.column "balance" Row.T_float;
+      Row.column "filler" (Row.T_char 96);
+    |]
+    ~key:[ "aid" ]
+
+let branch_schema =
+  Row.schema
+    [|
+      Row.column "bid" Row.T_int;
+      Row.column "balance" Row.T_float;
+      Row.column "filler" (Row.T_char 96);
+    |]
+    ~key:[ "bid" ]
+
+let history_schema =
+  Row.schema
+    [|
+      Row.column "hid" Row.T_int;
+      Row.column "aid" Row.T_int;
+      Row.column "tid" Row.T_int;
+      Row.column "bid" Row.T_int;
+      Row.column "delta" Row.T_float;
+      Row.column "filler" (Row.T_char 96);
+    |]
+    ~key:[ "hid" ]
+
+type enscribe_db = {
+  e_account : Enscribe.handle;
+  e_teller : Enscribe.handle;
+  e_branch : Enscribe.handle;
+  e_history : Enscribe.handle;
+  e_accounts : int;
+  e_tellers : int;
+  e_branches : int;
+  mutable e_hid : int;
+}
+
+let key_int schema i =
+  match Row.key_of_values schema [ Row.Vint i ] with
+  | Ok k -> k
+  | Error e -> failwith (Errors.to_string e)
+
+let setup_enscribe node ~accounts ~tellers ~branches =
+  let fs = N.fs node in
+  let dps = N.dps node in
+  let dp i = dps.(i mod Array.length dps) in
+  let mk name kind dpi =
+    Fs.create_enscribe_file fs ~fname:name ~kind
+      ~partitions:[ Fs.{ ps_lo = ""; ps_dp = dp dpi } ]
+  in
+  let* f_account = mk "ens_account" Dp_msg.K_key_sequenced 0 in
+  let* f_teller = mk "ens_teller" Dp_msg.K_key_sequenced 1 in
+  let* f_branch = mk "ens_branch" Dp_msg.K_key_sequenced 1 in
+  let* f_history = mk "ens_history" Dp_msg.K_entry_sequenced 0 in
+  let db =
+    {
+      e_account = Enscribe.open_file fs f_account ~sbb:false;
+      e_teller = Enscribe.open_file fs f_teller ~sbb:false;
+      e_branch = Enscribe.open_file fs f_branch ~sbb:false;
+      e_history = Enscribe.open_file fs f_history ~sbb:false;
+      e_accounts = accounts;
+      e_tellers = tellers;
+      e_branches = branches;
+      e_hid = 0;
+    }
+  in
+  (* load with record-at-a-time writes, the only interface ENSCRIBE has *)
+  Tmf.run (N.tmf node) (fun tx ->
+      let rec load_file n handle schema mk i =
+        if i >= n then Ok ()
+        else
+          let row = mk i in
+          let* () =
+            Enscribe.write handle ~tx ~key:(Row.key_of_row schema row)
+              ~record:(Row.encode schema row)
+          in
+          load_file n handle schema mk (i + 1)
+      in
+      let* () =
+        load_file accounts db.e_account account_schema
+          (fun i ->
+            [| Row.Vint i; Row.Vint (i mod branches); Row.Vfloat 1000.; Row.Vstr filler |])
+          0
+      in
+      let* () =
+        load_file tellers db.e_teller account_schema
+          (fun i ->
+            [| Row.Vint i; Row.Vint (i mod branches); Row.Vfloat 1000.; Row.Vstr filler |])
+          0
+      in
+      load_file branches db.e_branch branch_schema
+        (fun i -> [| Row.Vint i; Row.Vfloat 1000.; Row.Vstr filler |])
+        0)
+  |> fun r ->
+  match r with Ok () -> Ok db | Error e -> Error e
+
+(* read-modify-rewrite of one float field: the message pattern the paper's
+   update-expression delegation eliminates *)
+let bump_balance handle schema ~tx ~key ~field ~delta =
+  let* record = Enscribe.read handle ~tx ~key ~lock:Dp_msg.L_exclusive in
+  let row = Row.decode_exn schema record in
+  (match row.(field) with
+  | Row.Vfloat b -> row.(field) <- Row.Vfloat (b +. delta)
+  | _ -> ());
+  Enscribe.rewrite handle ~tx ~key ~record:(Row.encode schema row)
+
+let run_enscribe_tx node db ~aid ~delta =
+  let tid = aid mod db.e_tellers in
+  let bid = tid mod db.e_branches in
+  let hid = db.e_hid in
+  db.e_hid <- hid + 1;
+  Tmf.run (N.tmf node) (fun tx ->
+      let* () =
+        bump_balance db.e_account account_schema ~tx
+          ~key:(key_int account_schema aid) ~field:2 ~delta
+      in
+      let* () =
+        bump_balance db.e_teller account_schema ~tx
+          ~key:(key_int account_schema tid) ~field:2 ~delta
+      in
+      let* () =
+        bump_balance db.e_branch branch_schema ~tx
+          ~key:(key_int branch_schema bid) ~field:1 ~delta
+      in
+      let hrow =
+        [| Row.Vint hid; Row.Vint aid; Row.Vint tid; Row.Vint bid;
+           Row.Vfloat delta; Row.Vstr filler |]
+      in
+      (* history is entry-sequenced: insert at EOF *)
+      Enscribe.write db.e_history ~tx ~key:""
+        ~record:(Row.encode history_schema hrow))
+
+let enscribe_balances node db =
+  Tmf.run (N.tmf node) (fun tx ->
+      Enscribe.keyposition db.e_account ~key:"";
+      let rec sum acc =
+        let* entry = Enscribe.readnext db.e_account ~tx ~lock:Dp_msg.L_none in
+        match entry with
+        | None -> Ok acc
+        | Some (_, record) -> (
+            let row = Row.decode_exn account_schema record in
+            match row.(2) with
+            | Row.Vfloat b -> sum (acc +. b)
+            | _ -> sum acc)
+      in
+      let* total = sum 0. in
+      Ok (total, db.e_hid))

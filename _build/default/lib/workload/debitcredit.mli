@@ -1,0 +1,54 @@
+(** The DebitCredit (TP1 / ET1) banking workload.
+
+    The transaction profile of the NonStop SQL benchmark workbook: update
+    an account balance, its teller and its branch, and append a history
+    record. Implemented twice over the same logical schema:
+
+    - {b SQL}: three UPDATE statements with update expressions plus one
+      INSERT, executed by the SQL Executor — updates are delegated to the
+      Disk Processes (no preliminary read);
+    - {b ENSCRIBE}: the pre-existing record-at-a-time style — READ (lock),
+      modify in the requester, REWRITE, for each of the three records,
+      plus a WRITE to an entry-sequenced history file.
+
+    Experiment E8 compares the two implementations' message, I/O and CPU
+    costs per transaction. *)
+
+module N = Nsql_core.Nonstop_sql
+
+type sql_db
+
+(** [setup_sql node ~accounts ~tellers ~branches] creates and loads the
+    four tables through SQL DDL/DML. *)
+val setup_sql :
+  N.node -> accounts:int -> tellers:int -> branches:int ->
+  (sql_db, Nsql_util.Errors.t) result
+
+(** [run_sql_tx db session ~aid ~delta] runs one DebitCredit transaction
+    through SQL. *)
+val run_sql_tx :
+  sql_db -> N.session -> aid:int -> delta:float ->
+  (unit, Nsql_util.Errors.t) result
+
+type enscribe_db
+
+(** [setup_enscribe node ~accounts ~tellers ~branches] creates and loads
+    the ENSCRIBE files (key-sequenced account/teller/branch,
+    entry-sequenced history). *)
+val setup_enscribe :
+  N.node -> accounts:int -> tellers:int -> branches:int ->
+  (enscribe_db, Nsql_util.Errors.t) result
+
+(** [run_enscribe_tx node db ~aid ~delta] runs one transaction through the
+    record-at-a-time interface. *)
+val run_enscribe_tx :
+  N.node -> enscribe_db -> aid:int -> delta:float ->
+  (unit, Nsql_util.Errors.t) result
+
+(** [sql_balances db session] is (sum of account balances, history count) —
+    for consistency checks. *)
+val sql_balances :
+  sql_db -> N.session -> (float * int, Nsql_util.Errors.t) result
+
+val enscribe_balances :
+  N.node -> enscribe_db -> (float * int, Nsql_util.Errors.t) result

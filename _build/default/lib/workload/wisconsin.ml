@@ -1,0 +1,197 @@
+module N = Nsql_core.Nonstop_sql
+module Row = Nsql_row.Row
+module Fs = Nsql_fs.Fs
+module Tmf = Nsql_tmf.Tmf
+module Errors = Nsql_util.Errors
+
+open Errors
+
+type query = { q_id : string; q_desc : string; q_sql : string }
+
+let schema =
+  Row.schema
+    [|
+      Row.column "unique1" Row.T_int;
+      Row.column "unique2" Row.T_int;
+      Row.column "two" Row.T_int;
+      Row.column "four" Row.T_int;
+      Row.column "ten" Row.T_int;
+      Row.column "twenty" Row.T_int;
+      Row.column "onepercent" Row.T_int;
+      Row.column "tenpercent" Row.T_int;
+      Row.column "twentypercent" Row.T_int;
+      Row.column "fiftypercent" Row.T_int;
+      Row.column "unique3" Row.T_int;
+      Row.column "evenonepercent" Row.T_int;
+      Row.column "oddonepercent" Row.T_int;
+      Row.column "stringu1" (Row.T_char 52);
+      Row.column "stringu2" (Row.T_char 52);
+      Row.column "string4" (Row.T_char 52);
+    |]
+    ~key:[ "unique2" ]
+
+(* deterministic pseudo-random permutation of 0..n-1: Fisher-Yates driven
+   by a fixed-seed 64-bit LCG *)
+let permutation n =
+  let state = ref 88172645463325252L in
+  let next_int bound =
+    (* xorshift64 *)
+    let x = !state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    state := x;
+    Int64.to_int (Int64.rem (Int64.logand x Int64.max_int) (Int64.of_int bound))
+  in
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = next_int (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+(* Wisconsin string attribute: cyclic letters padded to 52 *)
+let string_of_unique u =
+  let letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+  let b = Bytes.make 7 'A' in
+  let rec fill i u =
+    if i >= 0 then begin
+      Bytes.set b i letters.[u mod 26];
+      fill (i - 1) (u / 26)
+    end
+  in
+  fill 6 u;
+  Bytes.to_string b ^ "xxxxxxxxxxxxxxxxxxxxxxxxx"
+
+let row n u1 u2 =
+  [|
+    Row.Vint u1;
+    Row.Vint u2;
+    Row.Vint (u1 mod 2);
+    Row.Vint (u1 mod 4);
+    Row.Vint (u1 mod 10);
+    Row.Vint (u1 mod 20);
+    Row.Vint (u1 mod max 1 (n / 100));
+    Row.Vint (u1 mod max 1 (n / 10));
+    Row.Vint (u1 mod max 1 (n / 5));
+    Row.Vint (u1 mod 2);
+    Row.Vint u1;
+    Row.Vint (u1 mod max 1 (n / 100) * 2);
+    Row.Vint ((u1 mod max 1 (n / 100) * 2) + 1);
+    Row.Vstr (string_of_unique u1);
+    Row.Vstr (string_of_unique u2);
+    Row.Vstr (string_of_unique (u1 mod 4));
+  |]
+
+let create node ~name ~rows ?(partitions = 1) () =
+  let dps = N.dps node in
+  if partitions > Array.length dps then
+    fail (Errors.Invalid_argument_error "more partitions than volumes")
+  else begin
+    let key_of i =
+      match Row.key_of_values schema [ Row.Vint i ] with
+      | Ok k -> k
+      | Error e -> failwith (Errors.to_string e)
+    in
+    let specs =
+      List.init partitions (fun i ->
+          Fs.
+            {
+              ps_lo = (if i = 0 then "" else key_of (i * rows / partitions));
+              ps_dp = dps.(i);
+            })
+    in
+    let* file =
+      Fs.create_file (N.fs node) ~fname:name ~schema ~partitions:specs
+        ~indexes:[] ()
+    in
+    let* () = N.Catalog.register (N.catalog node) name file in
+    let perm = permutation rows in
+    Tmf.run (N.tmf node) (fun tx ->
+        let buf = Fs.open_insert_buffer (N.fs node) file ~tx ~capacity:100 in
+        let rec load u2 =
+          if u2 >= rows then Fs.flush_insert_buffer (N.fs node) buf
+          else
+            let* () = Fs.buffered_insert (N.fs node) buf (row rows perm.(u2) u2) in
+            load (u2 + 1)
+        in
+        load 0)
+  end
+
+let selection_queries ~table ~rows =
+  let pct p = rows * p / 100 in
+  [
+    {
+      q_id = "W1";
+      q_desc = "1% clustered selection, all columns";
+      q_sql =
+        Printf.sprintf "SELECT * FROM %s WHERE unique2 >= %d AND unique2 < %d"
+          table (pct 40) (pct 41);
+    };
+    {
+      q_id = "W2";
+      q_desc = "10% clustered selection, all columns";
+      q_sql =
+        Printf.sprintf "SELECT * FROM %s WHERE unique2 >= %d AND unique2 < %d"
+          table (pct 40) (pct 50);
+    };
+    {
+      q_id = "W3";
+      q_desc = "1% non-clustered selection (unique1), all columns";
+      q_sql =
+        Printf.sprintf "SELECT * FROM %s WHERE unique1 >= %d AND unique1 < %d"
+          table (pct 40) (pct 41);
+    };
+    {
+      q_id = "W4";
+      q_desc = "1% selection with two-column projection";
+      q_sql =
+        Printf.sprintf
+          "SELECT unique1, stringu1 FROM %s WHERE unique1 >= %d AND unique1 < %d"
+          table (pct 40) (pct 41);
+    };
+    {
+      q_id = "W5";
+      q_desc = "single-tuple select by non-key attribute";
+      q_sql = Printf.sprintf "SELECT * FROM %s WHERE unique1 = %d" table (pct 50);
+    };
+    {
+      q_id = "W6";
+      q_desc = "full scan with two-column projection";
+      q_sql = Printf.sprintf "SELECT unique2, two FROM %s" table;
+    };
+  ]
+
+let agg_and_join_queries ~table ~table2 ~rows =
+  [
+    {
+      q_id = "W20";
+      q_desc = "MIN aggregate, no grouping";
+      q_sql = Printf.sprintf "SELECT MIN(unique2) FROM %s" table;
+    };
+    {
+      q_id = "W21";
+      q_desc = "MIN aggregate, 100 groups";
+      q_sql =
+        Printf.sprintf "SELECT onepercent, MIN(unique2) FROM %s GROUP BY onepercent"
+          table;
+    };
+    {
+      q_id = "W22";
+      q_desc = "SUM aggregate, 100 groups";
+      q_sql =
+        Printf.sprintf "SELECT onepercent, SUM(unique2) FROM %s GROUP BY onepercent"
+          table;
+    };
+    {
+      q_id = "W30";
+      q_desc = "joinAselB: 1-tuple join through the primary key";
+      q_sql =
+        Printf.sprintf
+          "SELECT a.unique2, b.stringu1 FROM %s a, %s b WHERE a.unique2 = \
+           b.unique2 AND a.unique1 < %d"
+          table table2 (rows / 100);
+    };
+  ]

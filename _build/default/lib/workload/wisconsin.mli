@@ -1,0 +1,31 @@
+(** The Wisconsin benchmark.
+
+    The standard synthetic relation of the Wisconsin benchmark (Bitton,
+    DeWitt, Turbyfill 1983), which [TDBG] used to evaluate NonStop SQL and
+    to which the paper's VSBB speedup claim refers. Each table has 13
+    integer attributes and three 52-character strings; [unique2] is the
+    (clustered) primary key 0..n-1, [unique1] a pseudo-random permutation.
+
+    Deterministic: the permutation comes from a fixed-seed LCG. *)
+
+module N = Nsql_core.Nonstop_sql
+
+(** [create node ~name ~rows ()] creates and loads a Wisconsin table. Uses
+    blocked inserts for loading (load traffic is not part of any
+    measurement). [partitions] splits [unique2] ranges evenly over that
+    many volumes. *)
+val create :
+  N.node -> name:string -> rows:int -> ?partitions:int -> unit ->
+  (unit, Nsql_util.Errors.t) result
+
+(** A benchmark query: id, description, SQL text. *)
+type query = { q_id : string; q_desc : string; q_sql : string }
+
+(** [selection_queries ~table ~rows] — the selection/projection queries the
+    VSBB claim is about: 1% and 10% selections, clustered and not, whole
+    rows and two-column projections, single-tuple select. *)
+val selection_queries : table:string -> rows:int -> query list
+
+(** [agg_and_join_queries ~table ~table2 ~rows] — aggregate and join
+    queries over two Wisconsin tables. *)
+val agg_and_join_queries : table:string -> table2:string -> rows:int -> query list

@@ -1,0 +1,1 @@
+test/harness.ml: Array List Nsql_audit Nsql_disk Nsql_dp Nsql_expr Nsql_fs Nsql_msg Nsql_row Nsql_sim Nsql_tmf Nsql_util Printf

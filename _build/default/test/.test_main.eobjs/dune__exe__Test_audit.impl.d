@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Format Int64 List Nsql_audit Nsql_disk Nsql_row Nsql_sim Nsql_util Printf String

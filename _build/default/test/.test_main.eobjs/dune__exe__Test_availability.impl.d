@@ -1,0 +1,1 @@
+test/test_availability.ml: Alcotest Array Dp Errors Expr Fs Harness Keycode List Nsql_core Nsql_dp Nsql_msg Nsql_row Nsql_sim Nsql_sql Printf Tmf

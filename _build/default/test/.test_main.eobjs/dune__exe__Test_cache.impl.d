@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Char Int64 List Nsql_cache Nsql_disk Nsql_sim String

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Char Float Nsql_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Array Config Dp Errors Expr Fs Harness Int64 Keycode List Nsql_audit Nsql_dp Nsql_sim Nsql_tmf Printf Row Sim String Tmf Trail

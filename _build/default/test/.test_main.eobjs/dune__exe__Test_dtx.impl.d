@@ -1,0 +1,1 @@
+test/test_dtx.ml: Alcotest Array Nsql_audit Nsql_core Nsql_dp Nsql_dtx Nsql_expr Nsql_fs Nsql_row Nsql_sim Nsql_tmf Nsql_util Printf

@@ -1,0 +1,1 @@
+test/test_enscribe.ml: Alcotest Array Errors Fs Harness Keycode List Nsql_dp Nsql_enscribe Nsql_sim Printf Sim Tmf

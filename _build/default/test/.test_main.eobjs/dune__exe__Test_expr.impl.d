@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Array Nsql_expr Nsql_row Nsql_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Array Dp Errors Expr Fs Harness Keycode List Msg Nsql_dp Nsql_sim Option Printf Row Sim

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest List Nsql_lock Nsql_sim Nsql_util Printf QCheck QCheck_alcotest String

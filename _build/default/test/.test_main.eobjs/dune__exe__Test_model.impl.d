@@ -1,0 +1,1 @@
+test/test_model.ml: Array Hashtbl Int64 List Nsql_cache Nsql_disk Nsql_sim Nsql_store Nsql_util QCheck QCheck_alcotest String

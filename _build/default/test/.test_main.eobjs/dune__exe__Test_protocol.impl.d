@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Config Dp Errors Expr Fs Harness List Nsql_cache Nsql_disk Nsql_dp Nsql_enscribe Nsql_sim Printf QCheck QCheck_alcotest Row Sim String

@@ -1,0 +1,1 @@
+test/test_relative.ml: Alcotest Array Dp Errors Harness Int64 Nsql_audit Nsql_dp String Tmf

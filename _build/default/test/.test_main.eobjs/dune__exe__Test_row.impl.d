@@ -1,0 +1,1 @@
+test/test_row.ml: Alcotest Array Gen Nsql_row Nsql_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Char List Nsql_disk Nsql_msg Nsql_sim Nsql_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sort.ml: Alcotest List Nsql_sim Nsql_sort Printf QCheck QCheck_alcotest

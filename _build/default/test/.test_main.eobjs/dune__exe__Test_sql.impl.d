@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Format List Nsql_core Nsql_fs Nsql_row Nsql_sim Nsql_sql Nsql_util Printf String

@@ -1,0 +1,1 @@
+test/test_sql_edge.ml: Alcotest Array Format List Nsql_core Nsql_dp Nsql_expr Nsql_fs Nsql_row Nsql_sql Nsql_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Format Hashtbl Int64 List Nsql_cache Nsql_disk Nsql_sim Nsql_store Nsql_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Nsql_core Nsql_row Nsql_sim Nsql_util Nsql_workload Printf

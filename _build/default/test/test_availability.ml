@@ -1,0 +1,167 @@
+(* Tests of the availability features (process-pair takeover) and of the
+   newest SQL surface (DISTINCT, DROP TABLE). *)
+
+open Harness
+module N = Nsql_core.Nonstop_sql
+module Msg = Nsql_msg.Msg
+module Dp_msg = Nsql_dp.Dp_msg
+module Row = Nsql_row.Row
+
+let takeover_preserves_service () =
+  let n, file = (fun () -> let n = node () in (n, create_accounts n)) () in
+  load_accounts n file 50;
+  let primary_before = Msg.endpoint_processor (Dp.endpoint n.dps.(0)) in
+  (* an open transaction holds locks across the takeover *)
+  let tx = Tmf.begin_tx n.tmf in
+  ignore
+    (get_ok ~ctx:"upd"
+       (Fs.update_subset n.fs file ~tx
+          ~range:Expr.{ lo = acct_key 7; hi = Keycode.successor (acct_key 7) }
+          [ { Expr.target = 1; source = Expr.(Const (Row.Vfloat 42.)) } ]));
+  (* the primary fails; the backup takes over *)
+  get_ok ~ctx:"takeover" (Dp.takeover n.dps.(0));
+  let primary_after = Msg.endpoint_processor (Dp.endpoint n.dps.(0)) in
+  Alcotest.(check bool) "endpoint moved processors" true
+    (primary_before <> primary_after);
+  (* the in-flight transaction continues: its locks survived *)
+  let tx2 = Tmf.begin_tx n.tmf in
+  (match Fs.read n.fs file ~tx:tx2 ~key:(acct_key 7) ~lock:Dp_msg.L_shared with
+  | Error (Errors.Lock_timeout _) -> ()
+  | Ok _ -> Alcotest.fail "lock lost across takeover"
+  | Error e -> Alcotest.fail (Errors.to_string e));
+  get_ok ~ctx:"abort reader" (Tmf.abort n.tmf ~tx:tx2);
+  get_ok ~ctx:"commit writer" (Tmf.commit n.tmf ~tx);
+  (* normal service continues, no recovery required *)
+  in_tx n (fun tx ->
+      let open Errors in
+      let* r = Fs.read n.fs file ~tx ~key:(acct_key 7) ~lock:Dp_msg.L_none in
+      (match (Row.decode_exn account_schema r).(1) with
+      | Row.Vfloat f -> Alcotest.(check (float 1e-9)) "update survived" 42. f
+      | _ -> Alcotest.fail "bad type");
+      Ok ());
+  (* a second takeover has no backup left *)
+  match Dp.takeover n.dps.(0) with
+  | Error (Errors.Bad_request _) -> ()
+  | Ok () -> Alcotest.fail "takeover without backup succeeded"
+  | Error e -> Alcotest.fail (Errors.to_string e)
+
+let takeover_mid_scan () =
+  let n, file = (fun () -> let n = node () in (n, create_accounts n)) () in
+  load_accounts n file 200;
+  in_tx n (fun tx ->
+      let open Errors in
+      let sc =
+        Fs.open_scan n.fs file ~tx ~access:Fs.A_vsbb ~range:full_range
+          ~proj:[| 0 |] ~lock:Dp_msg.L_none ()
+      in
+      let rec go k =
+        (* primary fails in the middle of the subset: the SCB was
+           checkpointed, so the re-drives continue on the backup *)
+        if k = 50 then get_ok ~ctx:"takeover" (Dp.takeover n.dps.(0));
+        let* row = Fs.scan_next n.fs sc in
+        match row with
+        | Some _ -> go (k + 1)
+        | None ->
+            Fs.close_scan n.fs sc;
+            Alcotest.(check int) "scan complete across takeover" 200 k;
+            Ok ()
+      in
+      go 0)
+
+let distinct_sql () =
+  let node = N.create_node () in
+  let s = N.session node in
+  ignore (N.exec_exn s "CREATE TABLE t (k INT PRIMARY KEY, g INT NOT NULL)");
+  for i = 0 to 9 do
+    ignore (N.exec_exn s (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i (i mod 3)))
+  done;
+  let rows =
+    match N.exec_exn s "SELECT DISTINCT g FROM t ORDER BY g" with
+    | N.Rows r -> r.Nsql_sql.Executor.rows
+    | _ -> Alcotest.fail "expected rows"
+  in
+  Alcotest.(check int) "three distinct values" 3 (List.length rows);
+  let plain =
+    match N.exec_exn s "SELECT g FROM t" with
+    | N.Rows r -> List.length r.Nsql_sql.Executor.rows
+    | _ -> 0
+  in
+  Alcotest.(check int) "without DISTINCT all rows" 10 plain
+
+let drop_table_sql () =
+  let node = N.create_node () in
+  let s = N.session node in
+  ignore (N.exec_exn s "CREATE TABLE t (k INT PRIMARY KEY)");
+  ignore (N.exec_exn s "INSERT INTO t VALUES (1)");
+  (match N.exec_exn s "DROP TABLE t" with
+  | N.Done -> ()
+  | _ -> Alcotest.fail "expected Done");
+  (match N.exec s "SELECT * FROM t" with
+  | Error (Errors.Name_error _) -> ()
+  | _ -> Alcotest.fail "dropped table still queryable");
+  match N.exec s "DROP TABLE t" with
+  | Error (Errors.Name_error _) -> ()
+  | _ -> Alcotest.fail "double drop accepted"
+
+let suite =
+  [
+    Alcotest.test_case "takeover preserves service + locks" `Quick
+      takeover_preserves_service;
+    Alcotest.test_case "takeover mid-scan (SCB survives)" `Quick
+      takeover_mid_scan;
+    Alcotest.test_case "SELECT DISTINCT" `Quick distinct_sql;
+    Alcotest.test_case "DROP TABLE" `Quick drop_table_sql;
+  ]
+
+(* --- read-only transactions and entry-append undo (late additions) ------- *)
+
+let readonly_tx_skips_group_commit () =
+  let node = N.create_node () in
+  let s = N.session node in
+  ignore (N.exec_exn s "CREATE TABLE t (k INT PRIMARY KEY)");
+  ignore (N.exec_exn s "INSERT INTO t VALUES (1)");
+  let stats = N.stats node in
+  let flushes = stats.Nsql_sim.Stats.audit_flushes in
+  let records = stats.Nsql_sim.Stats.audit_records in
+  let t0 = Nsql_sim.Sim.now (N.sim node) in
+  ignore (N.exec_exn s "SELECT * FROM t");
+  Alcotest.(check int) "no log flush for a read-only statement" flushes
+    stats.Nsql_sim.Stats.audit_flushes;
+  (* only the BEGIN record, no COMMIT *)
+  Alcotest.(check int) "one audit record (BEGIN)" (records + 1)
+    stats.Nsql_sim.Stats.audit_records;
+  Alcotest.(check bool) "no group-commit wait" true
+    (Nsql_sim.Sim.now (N.sim node) -. t0 < 10_000.)
+
+let entry_append_abort_undoes () =
+  let n = node () in
+  let file =
+    get_ok ~ctx:"create"
+      (Fs.create_enscribe_file n.fs ~fname:"HIST" ~kind:Dp_msg.K_entry_sequenced
+         ~partitions:[ Fs.{ ps_lo = ""; ps_dp = n.dps.(0) } ])
+  in
+  in_tx n (fun tx ->
+      let open Errors in
+      let* _ = Fs.append_entry n.fs file ~tx ~record:"committed-1" in
+      Ok ());
+  let tx = Tmf.begin_tx n.tmf in
+  ignore (get_ok ~ctx:"a1" (Fs.append_entry n.fs file ~tx ~record:"doomed-1"));
+  ignore (get_ok ~ctx:"a2" (Fs.append_entry n.fs file ~tx ~record:"doomed-2"));
+  Alcotest.(check int) "visible before abort" 3 (Fs.record_count n.fs file);
+  get_ok ~ctx:"abort" (Tmf.abort n.tmf ~tx);
+  Alcotest.(check int) "appends rolled back" 1 (Fs.record_count n.fs file);
+  (* the file still works after the truncation *)
+  in_tx n (fun tx ->
+      let open Errors in
+      let* _ = Fs.append_entry n.fs file ~tx ~record:"committed-2" in
+      Ok ());
+  Alcotest.(check int) "append after undo" 2 (Fs.record_count n.fs file)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "read-only tx skips group commit" `Quick
+        readonly_tx_skips_group_commit;
+      Alcotest.test_case "entry-append abort truncates" `Quick
+        entry_append_abort_undoes;
+    ]

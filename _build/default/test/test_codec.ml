@@ -1,0 +1,154 @@
+(* Unit and property tests for the binary codec and the order-preserving
+   key encoding. *)
+
+module Codec = Nsql_util.Codec
+module Keycode = Nsql_util.Keycode
+
+let roundtrip_ints () =
+  let w = Codec.writer () in
+  Codec.w_u8 w 0xab;
+  Codec.w_u16 w 0xbeef;
+  Codec.w_u32 w 0xdeadbeef;
+  Codec.w_i64 w (-42L);
+  Codec.w_int w min_int;
+  Codec.w_varint w 0;
+  Codec.w_varint w 127;
+  Codec.w_varint w 128;
+  Codec.w_varint w 300_000;
+  let r = Codec.reader (Codec.contents w) in
+  Alcotest.(check int) "u8" 0xab (Codec.r_u8 r);
+  Alcotest.(check int) "u16" 0xbeef (Codec.r_u16 r);
+  Alcotest.(check int) "u32" 0xdeadbeef (Codec.r_u32 r);
+  Alcotest.(check int64) "i64" (-42L) (Codec.r_i64 r);
+  Alcotest.(check int) "int" min_int (Codec.r_int r);
+  Alcotest.(check int) "varint 0" 0 (Codec.r_varint r);
+  Alcotest.(check int) "varint 127" 127 (Codec.r_varint r);
+  Alcotest.(check int) "varint 128" 128 (Codec.r_varint r);
+  Alcotest.(check int) "varint 300000" 300_000 (Codec.r_varint r);
+  Alcotest.(check bool) "drained" true (Codec.at_end r)
+
+let roundtrip_strings () =
+  let w = Codec.writer () in
+  Codec.w_bytes w "";
+  Codec.w_bytes w "hello\x00world";
+  Codec.w_float w 3.14;
+  Codec.w_bool w true;
+  let r = Codec.reader (Codec.contents w) in
+  Alcotest.(check string) "empty" "" (Codec.r_bytes r);
+  Alcotest.(check string) "nul-embedded" "hello\x00world" (Codec.r_bytes r);
+  Alcotest.(check (float 1e-12)) "float" 3.14 (Codec.r_float r);
+  Alcotest.(check bool) "bool" true (Codec.r_bool r)
+
+let truncated_raises () =
+  let r = Codec.reader "ab" in
+  Alcotest.check_raises "truncated" Codec.Truncated (fun () ->
+      ignore (Codec.r_u32 r))
+
+let unread_restores () =
+  let r = Codec.reader "abc" in
+  ignore (Codec.r_u8 r);
+  ignore (Codec.r_u8 r);
+  Codec.unread r 1;
+  Alcotest.(check int) "re-read" (Char.code 'b') (Codec.r_u8 r)
+
+(* --- keycode ---------------------------------------------------------- *)
+
+let int_order =
+  QCheck.Test.make ~name:"keycode int order-preserving" ~count:500
+    QCheck.(pair int int)
+    (fun (a, b) ->
+      compare (Keycode.of_int a) (Keycode.of_int b) = compare a b)
+
+let float_order =
+  QCheck.Test.make ~name:"keycode float order-preserving" ~count:500
+    QCheck.(pair float float)
+    (fun (a, b) ->
+      QCheck.assume (not (Float.is_nan a) && not (Float.is_nan b));
+      compare (Keycode.of_float a) (Keycode.of_float b) = Float.compare a b)
+
+let string_order =
+  QCheck.Test.make ~name:"keycode string order-preserving" ~count:500
+    QCheck.(pair string string)
+    (fun (a, b) ->
+      compare (Keycode.of_string a) (Keycode.of_string b)
+      = compare (String.compare a b) 0
+      ||
+      (* allow any sign, just require same ordering direction *)
+      compare (Keycode.of_string a) (Keycode.of_string b) * String.compare a b
+      > 0
+      || String.equal a b)
+
+let string_concat_unambiguous =
+  (* multi-field keys: ("ab","c") must not collide or misorder with
+     ("a","bc") *)
+  QCheck.Test.make ~name:"keycode concatenation keeps field boundaries"
+    ~count:500
+    QCheck.(pair (pair string string) (pair string string))
+    (fun ((a1, a2), (b1, b2)) ->
+      let ka = Keycode.of_string a1 ^ Keycode.of_string a2 in
+      let kb = Keycode.of_string b1 ^ Keycode.of_string b2 in
+      if String.equal ka kb then a1 = b1 && a2 = b2 else true)
+
+let int_roundtrip =
+  QCheck.Test.make ~name:"keycode int roundtrip" ~count:500 QCheck.int
+    (fun i ->
+      Keycode.read_int (Codec.reader (Keycode.of_int i)) = i)
+
+let string_roundtrip =
+  QCheck.Test.make ~name:"keycode string roundtrip" ~count:500 QCheck.string
+    (fun s ->
+      String.equal (Keycode.read_string (Codec.reader (Keycode.of_string s))) s)
+
+let string_roundtrip_concat =
+  QCheck.Test.make ~name:"keycode string roundtrip after concatenation"
+    ~count:500
+    QCheck.(pair string string)
+    (fun (a, b) ->
+      let r = Codec.reader (Keycode.of_string a ^ Keycode.of_string b) in
+      String.equal (Keycode.read_string r) a
+      && String.equal (Keycode.read_string r) b)
+
+let float_roundtrip =
+  QCheck.Test.make ~name:"keycode float roundtrip" ~count:500 QCheck.float
+    (fun f ->
+      QCheck.assume (not (Float.is_nan f));
+      Keycode.read_float (Codec.reader (Keycode.of_float f)) = f)
+
+let sentinels () =
+  Alcotest.(check int) "low < x" (-1)
+    (Keycode.compare_keys Keycode.low_value (Keycode.of_int 0));
+  Alcotest.(check int) "x < high" (-1)
+    (Keycode.compare_keys (Keycode.of_int max_int) Keycode.high_value);
+  Alcotest.(check int) "high = high" 0
+    (Keycode.compare_keys Keycode.high_value Keycode.high_value)
+
+let successor_bounds () =
+  let k = Keycode.of_int 5 in
+  Alcotest.(check bool) "k < succ k" true
+    (String.compare k (Keycode.successor k) < 0);
+  Alcotest.(check (option string)) "prefix ub of 0xff" None
+    (Keycode.prefix_upper_bound "\xff\xff");
+  match Keycode.prefix_upper_bound "ab" with
+  | Some ub ->
+      Alcotest.(check bool) "ab... < ub" true (String.compare "ab\xff\xff" ub < 0)
+  | None -> Alcotest.fail "expected upper bound"
+
+let suite =
+  [
+    Alcotest.test_case "codec int roundtrip" `Quick roundtrip_ints;
+    Alcotest.test_case "codec string/float/bool roundtrip" `Quick
+      roundtrip_strings;
+    Alcotest.test_case "codec truncated read raises" `Quick truncated_raises;
+    Alcotest.test_case "codec unread" `Quick unread_restores;
+    Alcotest.test_case "keycode sentinels" `Quick sentinels;
+    Alcotest.test_case "keycode successor / prefix bound" `Quick
+      successor_bounds;
+    QCheck_alcotest.to_alcotest int_order;
+    QCheck_alcotest.to_alcotest float_order;
+    QCheck_alcotest.to_alcotest string_order;
+    QCheck_alcotest.to_alcotest string_concat_unambiguous;
+    QCheck_alcotest.to_alcotest int_roundtrip;
+    QCheck_alcotest.to_alcotest string_roundtrip;
+    QCheck_alcotest.to_alcotest string_roundtrip_concat;
+    QCheck_alcotest.to_alcotest float_roundtrip;
+  ]

@@ -1,0 +1,174 @@
+(* Tests of distributed transactions: two-phase commit between the
+   per-node TMF monitors, atomicity across nodes, and in-doubt resolution
+   at recovery. *)
+
+module N = Nsql_core.Nonstop_sql
+module Dtx = Nsql_dtx.Dtx
+module Tmf = Nsql_tmf.Tmf
+module Fs = Nsql_fs.Fs
+module Dp = Nsql_dp.Dp
+module Dp_msg = Nsql_dp.Dp_msg
+module Row = Nsql_row.Row
+module Expr = Nsql_expr.Expr
+module Stats = Nsql_sim.Stats
+module Trail = Nsql_audit.Trail
+module Keycode = Nsql_util.Keycode
+module Errors = Nsql_util.Errors
+
+let get_ok = Errors.get_ok
+
+let schema =
+  Row.schema
+    [| Row.column "k" Row.T_int; Row.column "balance" Row.T_float |]
+    ~key:[ "k" ]
+
+let key i = get_ok ~ctx:"key" (Row.key_of_values schema [ Row.Vint i ])
+
+(* a two-node cluster with one account file per node, 100.0 in each row *)
+let setup () =
+  let cluster = N.create_cluster ~nodes:2 ~volumes_per_node:1 () in
+  let nodes = N.cluster_nodes cluster in
+  let mk node_id =
+    let node = nodes.(node_id) in
+    let file =
+      get_ok ~ctx:"create"
+        (Fs.create_file (N.fs node)
+           ~fname:(Printf.sprintf "acct%d" node_id)
+           ~schema
+           ~partitions:[ Fs.{ ps_lo = ""; ps_dp = (N.dps node).(0) } ]
+           ~indexes:[] ())
+    in
+    get_ok ~ctx:"load"
+      (Tmf.run (N.tmf node) (fun tx ->
+           let rec go i =
+             if i >= 5 then Ok ()
+             else
+               match
+                 Fs.insert_row (N.fs node) file ~tx
+                   [| Row.Vint i; Row.Vfloat 100. |]
+               with
+               | Ok () -> go (i + 1)
+               | Error _ as e -> e
+           in
+           go 0));
+    file
+  in
+  (cluster, nodes, mk 0, mk 1)
+
+let balance node file i =
+  get_ok ~ctx:"read"
+    (Tmf.run (N.tmf node) (fun tx ->
+         match Fs.read (N.fs node) file ~tx ~key:(key i) ~lock:Dp_msg.L_none with
+         | Ok record -> (
+             match (Row.decode_exn schema record).(1) with
+             | Row.Vfloat f -> Ok f
+             | _ -> Errors.fail (Errors.Internal "bad type"))
+         | Error _ as e -> e))
+
+let bump file node fs_node tx i delta =
+  ignore node;
+  Fs.update_subset fs_node file ~tx
+    ~range:Expr.{ lo = key i; hi = Keycode.successor (key i) }
+    [ { Expr.target = 1; source = Expr.(Binop (Add, Field 1, float_ delta)) } ]
+
+(* a cross-node transfer: -delta on node 0's file, +delta on node 1's *)
+let transfer cluster nodes f0 f1 ~i ~delta =
+  let open Errors in
+  let* dtx = N.network_tx cluster ~home:0 in
+  let* _ = bump f0 nodes.(0) (N.fs nodes.(0)) (Dtx.coordinator_tx dtx) i (-.delta) in
+  let* tx1 = Dtx.branch dtx ~node_id:1 in
+  let* _ = bump f1 nodes.(1) (N.fs nodes.(0)) tx1 i delta in
+  Ok dtx
+
+let commit_atomic_across_nodes () =
+  let cluster, nodes, f0, f1 = setup () in
+  let dtx = get_ok ~ctx:"transfer" (transfer cluster nodes f0 f1 ~i:2 ~delta:25.) in
+  Alcotest.(check int) "one remote branch" 1 (Dtx.branch_count dtx);
+  get_ok ~ctx:"2pc commit" (Dtx.commit dtx);
+  Alcotest.(check (float 1e-9)) "debited on node 0" 75. (balance nodes.(0) f0 2);
+  Alcotest.(check (float 1e-9)) "credited on node 1" 125. (balance nodes.(1) f1 2)
+
+let abort_atomic_across_nodes () =
+  let cluster, nodes, f0, f1 = setup () in
+  let dtx = get_ok ~ctx:"transfer" (transfer cluster nodes f0 f1 ~i:3 ~delta:40.) in
+  get_ok ~ctx:"abort" (Dtx.abort dtx);
+  Alcotest.(check (float 1e-9)) "node 0 untouched" 100. (balance nodes.(0) f0 3);
+  Alcotest.(check (float 1e-9)) "node 1 untouched" 100. (balance nodes.(1) f1 3)
+
+let prepare_failure_aborts_everything () =
+  let cluster, nodes, f0, f1 = setup () in
+  let dtx = get_ok ~ctx:"transfer" (transfer cluster nodes f0 f1 ~i:1 ~delta:10.) in
+  (* sabotage: the branch dies before the coordinator decides *)
+  let branch_tx = get_ok ~ctx:"branch" (Dtx.branch dtx ~node_id:1) in
+  get_ok ~ctx:"kill branch" (Tmf.abort (N.tmf nodes.(1)) ~tx:branch_tx);
+  (match Dtx.commit dtx with
+  | Error (Errors.Tx_aborted _) -> ()
+  | Ok () -> Alcotest.fail "commit succeeded despite dead branch"
+  | Error e -> Alcotest.fail (Errors.to_string e));
+  (* atomicity: the coordinator's work rolled back too *)
+  Alcotest.(check (float 1e-9)) "node 0 rolled back" 100. (balance nodes.(0) f0 1);
+  Alcotest.(check (float 1e-9)) "node 1 rolled back" 100. (balance nodes.(1) f1 1)
+
+let two_pc_messages_counted () =
+  let cluster, nodes, f0, f1 = setup () in
+  let s = Nsql_sim.Sim.stats (N.sim nodes.(0)) in
+  let before = s.Stats.msgs_internode in
+  let dtx = get_ok ~ctx:"transfer" (transfer cluster nodes f0 f1 ~i:4 ~delta:5.) in
+  get_ok ~ctx:"commit" (Dtx.commit dtx);
+  let internode = s.Stats.msgs_internode - before in
+  (* branch work + TMF^BEGIN + TMF^PREPARE + TMF^COMMIT all crossed nodes *)
+  Alcotest.(check bool)
+    (Printf.sprintf "2PC cost internode messages (%d)" internode)
+    true (internode >= 4)
+
+let in_doubt_resolved_committed () =
+  let cluster, nodes, f0, f1 = setup () in
+  (* run the transfer but emulate the participant crashing after PREPARE
+     and never hearing the decision *)
+  let dtx = get_ok ~ctx:"transfer" (transfer cluster nodes f0 f1 ~i:2 ~delta:30.) in
+  let branch_tx = get_ok ~ctx:"branch" (Dtx.branch dtx ~node_id:1) in
+  get_ok ~ctx:"prepare"
+    (Tmf.prepare (N.tmf nodes.(1)) ~tx:branch_tx ~coordinator_node:0
+       ~coordinator_tx:(Dtx.coordinator_tx dtx));
+  (* the coordinator decides COMMIT (durably), but the decision message
+     never arrives: the participant crashes *)
+  get_ok ~ctx:"coordinator commit"
+    (Tmf.commit (N.tmf nodes.(0)) ~tx:(Dtx.coordinator_tx dtx));
+  N.crash_volume nodes.(1) 0;
+  let outcome = N.recover_cluster_volume cluster ~node:1 ~volume:0 in
+  ignore outcome;
+  (* in-doubt branch resolved from the coordinator's trail: committed *)
+  Alcotest.(check (float 1e-9)) "credit survived via resolution" 130.
+    (balance nodes.(1) f1 2);
+  ignore f0
+
+let in_doubt_resolved_aborted () =
+  let cluster, nodes, f0, f1 = setup () in
+  let dtx = get_ok ~ctx:"transfer" (transfer cluster nodes f0 f1 ~i:2 ~delta:30.) in
+  let branch_tx = get_ok ~ctx:"branch" (Dtx.branch dtx ~node_id:1) in
+  get_ok ~ctx:"prepare"
+    (Tmf.prepare (N.tmf nodes.(1)) ~tx:branch_tx ~coordinator_node:0
+       ~coordinator_tx:(Dtx.coordinator_tx dtx));
+  (* the coordinator never commits; the participant crashes in doubt *)
+  N.crash_volume nodes.(1) 0;
+  ignore (N.recover_cluster_volume cluster ~node:1 ~volume:0);
+  (* presumed abort: the in-doubt credit is gone *)
+  Alcotest.(check (float 1e-9)) "in-doubt branch dropped" 100.
+    (balance nodes.(1) f1 2);
+  ignore f0
+
+let suite =
+  [
+    Alcotest.test_case "2PC commit atomic across nodes" `Quick
+      commit_atomic_across_nodes;
+    Alcotest.test_case "2PC abort atomic across nodes" `Quick
+      abort_atomic_across_nodes;
+    Alcotest.test_case "prepare failure aborts everything" `Quick
+      prepare_failure_aborts_everything;
+    Alcotest.test_case "2PC messages are counted" `Quick
+      two_pc_messages_counted;
+    Alcotest.test_case "in-doubt branch: coordinator committed" `Quick
+      in_doubt_resolved_committed;
+    Alcotest.test_case "in-doubt branch: presumed abort" `Quick
+      in_doubt_resolved_aborted;
+  ]

@@ -1,0 +1,192 @@
+(* Tests of the expression language: evaluation (incl. three-valued logic),
+   typechecking, wire codec, LIKE, and key-range extraction. *)
+
+module Row = Nsql_row.Row
+module Expr = Nsql_expr.Expr
+module Codec = Nsql_util.Codec
+module Keycode = Nsql_util.Keycode
+
+let account_schema =
+  Row.schema
+    [|
+      Row.column "acctno" Row.T_int;
+      Row.column "branch" Row.T_int;
+      Row.column ~nullable:true "balance" Row.T_float;
+      Row.column "owner" (Row.T_varchar 32);
+    |]
+    ~key:[ "branch"; "acctno" ]
+
+let row ?(balance = Some 100.) ?(owner = "smith") acct branch =
+  [|
+    Row.Vint acct;
+    Row.Vint branch;
+    (match balance with Some b -> Row.Vfloat b | None -> Row.Null);
+    Row.Vstr owner;
+  |]
+
+let eval_arith () =
+  let r = row 1 2 in
+  let e = Expr.(Binop (Add, Field 0, Field 1)) in
+  Alcotest.(check bool) "1+2=3" true (Row.equal_value (Row.Vint 3) (Expr.eval r e));
+  let e2 = Expr.(Binop (Mul, Field 2, float_ 1.07)) in
+  (match Expr.eval r e2 with
+  | Row.Vfloat f -> Alcotest.(check (float 1e-9)) "interest" 107. f
+  | _ -> Alcotest.fail "expected float");
+  let div0 = Expr.(Binop (Div, int_ 1, int_ 0)) in
+  Alcotest.(check bool) "div by zero is NULL" true
+    (Expr.eval r div0 = Row.Null)
+
+let eval_three_valued () =
+  let r = row ~balance:None 1 2 in
+  let bal_pos = Expr.(Cmp (Gt, Field 2, float_ 0.)) in
+  Alcotest.(check bool) "NULL > 0 is unknown -> filtered" false
+    (Expr.eval_pred r bal_pos);
+  Alcotest.(check bool) "NULL AND false = false" true
+    (Expr.eval r Expr.(And (bal_pos, bool_ false)) = Row.Vbool false);
+  Alcotest.(check bool) "NULL OR true = true" true
+    (Expr.eval r Expr.(Or (bal_pos, bool_ true)) = Row.Vbool true);
+  Alcotest.(check bool) "NOT NULL = NULL" true
+    (Expr.eval r Expr.(Not bal_pos) = Row.Null);
+  Alcotest.(check bool) "IS NULL" true
+    (Expr.eval_pred r Expr.(Is_null (Field 2)))
+
+let eval_like () =
+  Alcotest.(check bool) "prefix" true (Expr.like_match ~pattern:"sm%" "smith");
+  Alcotest.(check bool) "suffix" true (Expr.like_match ~pattern:"%th" "smith");
+  Alcotest.(check bool) "single char" true (Expr.like_match ~pattern:"sm_th" "smith");
+  Alcotest.(check bool) "no match" false (Expr.like_match ~pattern:"sm_th" "smyyth");
+  Alcotest.(check bool) "empty pattern" false (Expr.like_match ~pattern:"" "x");
+  Alcotest.(check bool) "all" true (Expr.like_match ~pattern:"%" "")
+
+let typecheck_ok_and_errors () =
+  let ok e =
+    match Expr.typecheck account_schema e with
+    | Ok _ -> ()
+    | Error err -> Alcotest.fail (Nsql_util.Errors.to_string err)
+  in
+  let bad e =
+    match Expr.typecheck account_schema e with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "typecheck accepted bad expression"
+  in
+  ok Expr.(Cmp (Gt, Field 2, float_ 0.));
+  ok Expr.(And (Cmp (Eq, Field 1, int_ 3), Like (Field 3, "s%")));
+  ok Expr.(Binop (Concat, Field 3, str "!"));
+  bad Expr.(Cmp (Gt, Field 3, int_ 0));
+  bad Expr.(And (Field 0, bool_ true));
+  bad Expr.(Like (Field 0, "x%"));
+  bad Expr.(Field 99)
+
+let wire_roundtrip () =
+  let e =
+    Expr.(
+      And
+        ( Or (Cmp (Ge, Field 2, float_ 10.), Is_null (Field 2)),
+          Not (Like (Field 3, "a_c%")) ))
+  in
+  let w = Codec.writer () in
+  Expr.encode w e;
+  let e' = Expr.decode (Codec.reader (Codec.contents w)) in
+  Alcotest.(check bool) "decode = original" true (Expr.equal e e')
+
+let assignment_semantics () =
+  (* SET acctno = branch, branch = acctno must swap (old-row evaluation) *)
+  let r = row 1 2 in
+  let updated =
+    Expr.apply_assignments r
+      [
+        { Expr.target = 0; source = Expr.Field 1 };
+        { Expr.target = 1; source = Expr.Field 0 };
+      ]
+  in
+  Alcotest.(check bool) "swap" true
+    (Row.equal_value (Row.Vint 2) updated.(0)
+    && Row.equal_value (Row.Vint 1) updated.(1))
+
+let key_range_simple () =
+  (* branch = 3 AND acctno <= 1000 -> range on both key columns *)
+  let pred =
+    Expr.(
+      And (Cmp (Eq, Field 1, int_ 3), Cmp (Le, Field 0, int_ 1000)))
+  in
+  let range, residual = Expr.extract_key_range account_schema pred in
+  Alcotest.(check bool) "no residual" true (residual = None);
+  let key acct branch = Row.key_of_row account_schema (row acct branch) in
+  Alcotest.(check bool) "contains (3,1000)" true
+    (Expr.range_contains range (key 1000 3));
+  Alcotest.(check bool) "contains (3,-5)" true
+    (Expr.range_contains range (key (-5) 3));
+  Alcotest.(check bool) "excludes (3,1001)" false
+    (Expr.range_contains range (key 1001 3));
+  Alcotest.(check bool) "excludes branch 2" false
+    (Expr.range_contains range (key 500 2));
+  Alcotest.(check bool) "excludes branch 4" false
+    (Expr.range_contains range (key 500 4))
+
+let key_range_residual () =
+  (* non-key conjunct stays residual *)
+  let pred =
+    Expr.(
+      And (Cmp (Eq, Field 1, int_ 3), Cmp (Gt, Field 2, float_ 0.)))
+  in
+  let range, residual = Expr.extract_key_range account_schema pred in
+  (match residual with
+  | Some r ->
+      Alcotest.(check bool) "residual is balance predicate" true
+        (Expr.equal r Expr.(Cmp (Gt, Field 2, float_ 0.)))
+  | None -> Alcotest.fail "expected residual");
+  let key acct branch = Row.key_of_row account_schema (row acct branch) in
+  Alcotest.(check bool) "branch bound kept" true
+    (Expr.range_contains range (key 77 3)
+    && not (Expr.range_contains range (key 77 4)))
+
+let key_range_none () =
+  let pred = Expr.(Cmp (Gt, Field 2, float_ 0.)) in
+  let range, residual = Expr.extract_key_range account_schema pred in
+  Alcotest.(check bool) "full range" true
+    (String.equal range.Expr.lo Keycode.low_value
+    && String.equal range.Expr.hi Keycode.high_value);
+  Alcotest.(check bool) "kept as residual" true (residual <> None)
+
+let key_range_open_bounds () =
+  (* branch > 2 (first key column, strict) *)
+  let pred = Expr.(Cmp (Gt, Field 1, int_ 2)) in
+  let range, _ = Expr.extract_key_range account_schema pred in
+  let key acct branch = Row.key_of_row account_schema (row acct branch) in
+  Alcotest.(check bool) "excludes branch 2" false
+    (Expr.range_contains range (key max_int 2));
+  Alcotest.(check bool) "includes branch 3" true
+    (Expr.range_contains range (key min_int 3))
+
+let range_matches_predicate =
+  (* soundness: every row satisfying the predicate has its key in the
+     extracted range *)
+  QCheck.Test.make ~name:"key range is sound w.r.t. predicate" ~count:500
+    QCheck.(quad (int_bound 10) (int_bound 2000) (int_bound 10) (int_bound 2000))
+    (fun (qb, qa, rb, ra) ->
+      let pred =
+        Expr.(
+          And
+            ( Cmp (Eq, Field 1, int_ qb),
+              Cmp (Le, Field 0, int_ qa) ))
+      in
+      let range, _ = Expr.extract_key_range account_schema pred in
+      let r = row ra rb in
+      if Expr.eval_pred r pred then
+        Expr.range_contains range (Row.key_of_row account_schema r)
+      else true)
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick eval_arith;
+    Alcotest.test_case "three-valued logic" `Quick eval_three_valued;
+    Alcotest.test_case "LIKE matching" `Quick eval_like;
+    Alcotest.test_case "typechecking" `Quick typecheck_ok_and_errors;
+    Alcotest.test_case "wire codec roundtrip" `Quick wire_roundtrip;
+    Alcotest.test_case "assignments use old row" `Quick assignment_semantics;
+    Alcotest.test_case "key range: eq + le" `Quick key_range_simple;
+    Alcotest.test_case "key range: residual kept" `Quick key_range_residual;
+    Alcotest.test_case "key range: none" `Quick key_range_none;
+    Alcotest.test_case "key range: strict bounds" `Quick key_range_open_bounds;
+    QCheck_alcotest.to_alcotest range_matches_predicate;
+  ]

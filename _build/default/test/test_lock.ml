@@ -1,0 +1,160 @@
+(* Tests of the lock manager: granularities, modes, upgrades, virtual-block
+   group (range) locks, release, and deadlock detection. *)
+
+module Sim = Nsql_sim.Sim
+module Lock = Nsql_lock.Lock
+module Keycode = Nsql_util.Keycode
+
+let setup () =
+  let sim = Sim.create () in
+  (sim, Lock.create sim)
+
+let k i = Keycode.of_int i
+
+let check_granted msg = function
+  | Lock.Granted -> ()
+  | Lock.Blocked bs ->
+      Alcotest.fail
+        (Printf.sprintf "%s: blocked by %s" msg
+           (String.concat "," (List.map string_of_int bs)))
+
+let check_blocked msg = function
+  | Lock.Granted -> Alcotest.fail (msg ^ ": unexpectedly granted")
+  | Lock.Blocked _ -> ()
+
+let shared_compatible () =
+  let _, m = setup () in
+  check_granted "tx1 S" (Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 5)) Lock.Shared);
+  check_granted "tx2 S" (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 5)) Lock.Shared);
+  check_blocked "tx3 X" (Lock.acquire m ~tx:3 ~file:0 (Lock.Record (k 5)) Lock.Exclusive)
+
+let exclusive_conflicts () =
+  let _, m = setup () in
+  check_granted "tx1 X" (Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 5)) Lock.Exclusive);
+  check_blocked "tx2 S" (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 5)) Lock.Shared);
+  check_granted "tx2 other key" (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 6)) Lock.Shared);
+  check_granted "tx2 other file" (Lock.acquire m ~tx:2 ~file:1 (Lock.Record (k 5)) Lock.Shared)
+
+let reentrant_and_upgrade () =
+  let _, m = setup () in
+  check_granted "S" (Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 1)) Lock.Shared);
+  check_granted "S again" (Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 1)) Lock.Shared);
+  check_granted "upgrade to X" (Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 1)) Lock.Exclusive);
+  (* now other readers must block *)
+  check_blocked "reader after upgrade"
+    (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 1)) Lock.Shared);
+  Alcotest.(check int) "single lock entry" 1 (Lock.held m ~tx:1)
+
+let upgrade_blocked_by_other_reader () =
+  let _, m = setup () in
+  check_granted "tx1 S" (Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 1)) Lock.Shared);
+  check_granted "tx2 S" (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 1)) Lock.Shared);
+  check_blocked "tx1 upgrade blocked"
+    (Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 1)) Lock.Exclusive)
+
+let file_lock_covers_records () =
+  let _, m = setup () in
+  check_granted "file X" (Lock.acquire m ~tx:1 ~file:0 Lock.File Lock.Exclusive);
+  check_blocked "record under file lock"
+    (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 9)) Lock.Shared);
+  check_blocked "file S vs file X" (Lock.acquire m ~tx:2 ~file:0 Lock.File Lock.Shared)
+
+let generic_prefix_lock () =
+  let _, m = setup () in
+  (* generic lock on int prefix 7 of a two-int key *)
+  let prefix = k 7 in
+  check_granted "generic X"
+    (Lock.acquire m ~tx:1 ~file:0 (Lock.Generic prefix) Lock.Exclusive);
+  check_blocked "record inside prefix"
+    (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (prefix ^ k 1)) Lock.Shared);
+  check_granted "record outside prefix"
+    (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 8 ^ k 1)) Lock.Shared)
+
+let range_group_lock () =
+  let _, m = setup () in
+  (* a virtual block covering keys [10, 20) locked as a group *)
+  check_granted "vblock range"
+    (Lock.acquire m ~tx:1 ~file:0 (Lock.Range (k 10, k 20)) Lock.Shared);
+  check_blocked "write inside range"
+    (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 15)) Lock.Exclusive);
+  check_granted "write outside range"
+    (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 20)) Lock.Exclusive);
+  check_granted "overlapping shared range"
+    (Lock.acquire m ~tx:3 ~file:0 (Lock.Range (k 12, k 18)) Lock.Shared);
+  check_blocked "range over the exclusive record"
+    (Lock.acquire m ~tx:3 ~file:0 (Lock.Range (k 15, k 25)) Lock.Shared)
+
+let release_all_frees () =
+  let _, m = setup () in
+  check_granted "tx1 X" (Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 5)) Lock.Exclusive);
+  check_granted "tx1 range" (Lock.acquire m ~tx:1 ~file:0 (Lock.Range (k 0, k 100)) Lock.Shared);
+  Alcotest.(check int) "two held" 2 (Lock.held m ~tx:1);
+  Lock.release_all m ~tx:1;
+  Alcotest.(check int) "none held" 0 (Lock.held m ~tx:1);
+  Alcotest.(check int) "table empty" 0 (Lock.total_locks m);
+  check_granted "tx2 free to lock"
+    (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 5)) Lock.Exclusive)
+
+let blockers_reported () =
+  let _, m = setup () in
+  check_granted "tx1" (Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 5)) Lock.Shared);
+  check_granted "tx2" (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 5)) Lock.Shared);
+  match Lock.acquire m ~tx:3 ~file:0 (Lock.Record (k 5)) Lock.Exclusive with
+  | Lock.Blocked bs -> Alcotest.(check (list int)) "both blockers" [ 1; 2 ] bs
+  | Lock.Granted -> Alcotest.fail "expected block"
+
+let waitgraph_detects_cycle () =
+  let g = Lock.Waitgraph.create () in
+  Lock.Waitgraph.set_waiting g ~tx:1 ~on:[ 2 ];
+  Lock.Waitgraph.set_waiting g ~tx:2 ~on:[ 3 ];
+  Alcotest.(check bool) "no cycle yet" true
+    (Lock.Waitgraph.find_cycle g ~tx:1 = None);
+  Lock.Waitgraph.set_waiting g ~tx:3 ~on:[ 1 ];
+  Alcotest.(check bool) "cycle found" true
+    (Lock.Waitgraph.find_cycle g ~tx:1 <> None);
+  Lock.Waitgraph.clear_waiting g ~tx:2;
+  Alcotest.(check bool) "cycle broken" true
+    (Lock.Waitgraph.find_cycle g ~tx:1 = None)
+
+let lock_counters () =
+  let sim, m = setup () in
+  let s = Sim.stats sim in
+  ignore (Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 1)) Lock.Exclusive);
+  ignore (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 1)) Lock.Exclusive);
+  Alcotest.(check int) "requests" 2 s.Nsql_sim.Stats.lock_requests;
+  Alcotest.(check int) "waits" 1 s.Nsql_sim.Stats.lock_waits
+
+let range_semantics_property =
+  (* a record lock conflicts with a range lock iff the key is inside *)
+  QCheck.Test.make ~name:"range lock covers exactly [lo,hi)" ~count:300
+    QCheck.(tup3 int int int)
+    (fun (a, b, x) ->
+      let lo = min a b and hi = max a b in
+      QCheck.assume (lo < hi);
+      let _, m = setup () in
+      (match Lock.acquire m ~tx:1 ~file:0 (Lock.Range (k lo, k hi)) Lock.Exclusive with
+      | Lock.Granted -> ()
+      | Lock.Blocked _ -> assert false);
+      let outcome = Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k x)) Lock.Shared in
+      let inside = lo <= x && x < hi in
+      match outcome with
+      | Lock.Granted -> not inside
+      | Lock.Blocked _ -> inside)
+
+let suite =
+  [
+    Alcotest.test_case "shared compatible" `Quick shared_compatible;
+    Alcotest.test_case "exclusive conflicts" `Quick exclusive_conflicts;
+    Alcotest.test_case "reentrant + upgrade" `Quick reentrant_and_upgrade;
+    Alcotest.test_case "upgrade blocked by reader" `Quick
+      upgrade_blocked_by_other_reader;
+    Alcotest.test_case "file lock covers records" `Quick
+      file_lock_covers_records;
+    Alcotest.test_case "generic (prefix) lock" `Quick generic_prefix_lock;
+    Alcotest.test_case "virtual-block range lock" `Quick range_group_lock;
+    Alcotest.test_case "release all" `Quick release_all_frees;
+    Alcotest.test_case "blockers reported" `Quick blockers_reported;
+    Alcotest.test_case "wait-for graph cycle" `Quick waitgraph_detects_cycle;
+    Alcotest.test_case "lock counters" `Quick lock_counters;
+    QCheck_alcotest.to_alcotest range_semantics_property;
+  ]

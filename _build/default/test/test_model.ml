@@ -1,0 +1,145 @@
+(* Model-based property tests: the cache against a reference "disk image"
+   model under random operation interleavings, and the B-tree under
+   multi-column string keys that force deep splits. *)
+
+module Sim = Nsql_sim.Sim
+module Config = Nsql_sim.Config
+module Disk = Nsql_disk.Disk
+module Cache = Nsql_cache.Cache
+module Btree = Nsql_store.Btree
+module Keycode = Nsql_util.Keycode
+module Errors = Nsql_util.Errors
+
+(* --- cache vs model ------------------------------------------------------- *)
+
+(* Operations over a small block space. The model is simply "the latest
+   value written per block" — whatever the pool does internally (evict,
+   steal, prefetch, write-behind, flush), reads must always return it. *)
+type cache_op =
+  | C_read of int
+  | C_write of int * char
+  | C_flush_block of int
+  | C_flush_all
+  | C_steal of int
+  | C_prefetch of int * int
+  | C_read_range of int * int
+  | C_write_behind
+  | C_advance_durable
+
+let cache_op_gen nblocks =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun b -> C_read b) (int_bound (nblocks - 1));
+        map2 (fun b c -> C_write (b, c)) (int_bound (nblocks - 1)) (char_range 'a' 'z');
+        map (fun b -> C_flush_block b) (int_bound (nblocks - 1));
+        return C_flush_all;
+        map (fun n -> C_steal (n + 1)) (int_bound 8);
+        map2 (fun f n -> C_prefetch (f, (n mod 7) + 1)) (int_bound (nblocks - 8)) (int_bound 6);
+        map2 (fun f n -> C_read_range (f, (n mod 7) + 1)) (int_bound (nblocks - 8)) (int_bound 6);
+        return C_write_behind;
+        return C_advance_durable;
+      ])
+
+let cache_matches_model =
+  QCheck.Test.make ~name:"cache serves latest writes under any interleaving"
+    ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_bound 120) (QCheck.make (cache_op_gen 32)))
+    (fun ops ->
+      let sim = Sim.create () in
+      let disk = Disk.create sim ~name:"$M" in
+      ignore (Disk.allocate disk 32);
+      let durable = ref 0L in
+      let cache =
+        Cache.create sim disk ~capacity:8
+          ~durable_lsn:(fun () -> !durable)
+          ~force_log:(fun lsn -> if lsn > !durable then durable := lsn)
+      in
+      let bs = Disk.block_size disk in
+      let model = Array.make 32 (String.make bs '\x00') in
+      let lsn = ref 0L in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if !ok then
+            match op with
+            | C_read b -> ok := String.equal (Cache.read cache b) model.(b)
+            | C_write (b, c) ->
+                lsn := Int64.add !lsn 1L;
+                let data = String.make bs c in
+                model.(b) <- data;
+                Cache.write cache b data ~lsn:!lsn
+            | C_flush_block b -> Cache.flush_block cache b
+            | C_flush_all -> Cache.flush_all cache
+            | C_steal n -> ignore (Cache.steal cache n)
+            | C_prefetch (f, n) -> Cache.prefetch cache ~first:f ~count:n
+            | C_read_range (f, n) ->
+                let datas = Cache.read_range cache ~first:f ~count:n in
+                Array.iteri
+                  (fun i d -> if not (String.equal d model.(f + i)) then ok := false)
+                  datas
+            | C_write_behind -> ignore (Cache.write_behind cache)
+            | C_advance_durable -> durable := !lsn)
+        ops;
+      (* final consistency: flush everything and compare the disk itself *)
+      durable := !lsn;
+      Cache.flush_all cache;
+      Sim.drain sim;
+      for b = 0 to 31 do
+        if not (String.equal (Disk.read disk b) model.(b)) then ok := false
+      done;
+      !ok)
+
+(* --- b-tree with composite string keys -------------------------------------- *)
+
+let word_gen =
+  QCheck.Gen.(string_size ~gen:(char_range 'a' 'f') (int_range 0 12))
+
+let btree_string_keys =
+  QCheck.Test.make ~name:"btree with composite string keys matches a map"
+    ~count:25
+    QCheck.(
+      list_of_size (QCheck.Gen.int_bound 400)
+        (pair (QCheck.make word_gen) (QCheck.make word_gen)))
+    (fun pairs ->
+      let sim = Sim.create () in
+      let disk = Disk.create sim ~name:"$B" in
+      let cache =
+        Cache.create sim disk ~capacity:64
+          ~durable_lsn:(fun () -> Int64.max_int)
+          ~force_log:(fun _ -> ())
+      in
+      let t = Btree.create sim cache ~name:"T" in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (a, b) ->
+          let key = Keycode.of_string a ^ Keycode.of_string b in
+          (* a fat record forces frequent splits *)
+          let record = a ^ "|" ^ b ^ String.make 200 'r' in
+          match Btree.insert t ~key ~record ~lsn:1L with
+          | Ok () -> Hashtbl.replace model key record
+          | Error (Errors.Duplicate_key _) -> assert (Hashtbl.mem model key)
+          | Error e -> failwith (Errors.to_string e))
+        pairs;
+      (match Btree.check_invariants t with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      (* every model entry is retrievable, and the scan is sorted + complete *)
+      Hashtbl.fold
+        (fun key record acc -> acc && Btree.lookup t key = Some record)
+        model true
+      &&
+      let rec walk c last n =
+        match Btree.cursor_entry t c with
+        | None -> n = Hashtbl.length model
+        | Some (k, _) ->
+            (match last with Some l -> String.compare l k < 0 | None -> true)
+            && walk (Btree.advance t c) (Some k) (n + 1)
+      in
+      walk (Btree.seek t Keycode.low_value) None 0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest cache_matches_model;
+    QCheck_alcotest.to_alcotest btree_string_keys;
+  ]

@@ -1,0 +1,235 @@
+(* Property tests of the FS-DP wire protocol, the processor time-slice
+   re-drive, entry-sequenced sequential reads, and mirrored volumes. *)
+
+open Harness
+module Dp_msg = Nsql_dp.Dp_msg
+module Enscribe = Nsql_enscribe.Enscribe
+module Stats = Nsql_sim.Stats
+module Disk = Nsql_disk.Disk
+
+(* --- random protocol roundtrips ------------------------------------------- *)
+
+let key_gen = QCheck.Gen.(string_size ~gen:(char_range '\x00' '\xff') (int_bound 24))
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Row.Null;
+        map (fun i -> Row.Vint i) int;
+        map (fun f -> Row.Vfloat f) (float_bound_inclusive 1e6);
+        map (fun b -> Row.Vbool b) bool;
+        map (fun s -> Row.Vstr s) (string_size (int_bound 16));
+      ])
+
+let expr_gen =
+  QCheck.Gen.(
+    fix
+      (fun self depth ->
+        if depth = 0 then
+          oneof
+            [ map (fun i -> Expr.Field i) (int_bound 10);
+              map (fun v -> Expr.Const v) value_gen ]
+        else
+          let sub = self (depth - 1) in
+          oneof
+            [
+              map (fun i -> Expr.Field i) (int_bound 10);
+              map (fun v -> Expr.Const v) value_gen;
+              map2 (fun a b -> Expr.Binop (Expr.Add, a, b)) sub sub;
+              map2 (fun a b -> Expr.Cmp (Expr.Lt, a, b)) sub sub;
+              map2 (fun a b -> Expr.And (a, b)) sub sub;
+              map (fun a -> Expr.Not a) sub;
+              map2 (fun a p -> Expr.Like (a, p)) sub (string_size (int_bound 6));
+            ])
+      3)
+
+let request_gen =
+  QCheck.Gen.(
+    let range =
+      map2 (fun lo hi -> Expr.{ lo; hi }) key_gen key_gen
+    in
+    oneof
+      [
+        map2
+          (fun file key -> Dp_msg.R_read { file; tx = 1; key; lock = Dp_msg.L_shared })
+          (int_bound 30) key_gen;
+        map2
+          (fun key record -> Dp_msg.R_insert { file = 0; tx = 2; key; record })
+          key_gen (string_size (int_bound 64));
+        map2
+          (fun r pred ->
+            Dp_msg.R_get_first
+              {
+                file = 1;
+                tx = 3;
+                buffering = Dp_msg.B_vsbb;
+                range = r;
+                pred = Some pred;
+                proj = Some [| 0; 2; 5 |];
+                lock = Dp_msg.L_none;
+              })
+          range expr_gen;
+        map2
+          (fun r pred ->
+            Dp_msg.R_update_subset_first
+              {
+                file = 2;
+                tx = 4;
+                range = r;
+                pred = Some pred;
+                assignments = [ { Expr.target = 1; source = pred } ];
+              })
+          range expr_gen;
+        map
+          (fun rows -> Dp_msg.R_insert_block { file = 3; tx = 5; rows })
+          (list_size (int_bound 6) (array_size (int_bound 4) value_gen));
+        map
+          (fun ops ->
+            Dp_msg.R_apply_block
+              { file = 4; tx = 6;
+                ops = List.map (fun k -> (k, Dp_msg.Ob_delete)) ops })
+          (list_size (int_bound 5) key_gen);
+      ])
+
+let request_roundtrip =
+  QCheck.Test.make ~name:"request codec roundtrip (random)" ~count:500
+    (QCheck.make request_gen) (fun req ->
+      let bytes1 = Dp_msg.encode_request req in
+      let req' = Dp_msg.decode_request bytes1 in
+      let bytes2 = Dp_msg.encode_request req' in
+      (* byte-level idempotence implies structural equality for this codec *)
+      String.equal bytes1 bytes2 && Dp_msg.tag req = Dp_msg.tag req')
+
+let reply_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Dp_msg.Rp_ok;
+        return Dp_msg.Rp_end;
+        map (fun id -> Dp_msg.Rp_file id) (int_bound 100);
+        map2
+          (fun key record -> Dp_msg.Rp_record { key; record })
+          key_gen (string_size (int_bound 64));
+        map2
+          (fun rows last_key ->
+            Dp_msg.Rp_vblock { rows; last_key; more = true; scb = 7 })
+          (list_size (int_bound 5) (array_size (int_bound 4) value_gen))
+          key_gen;
+        map
+          (fun blockers ->
+            Dp_msg.Rp_blocked { blockers; processed = 3; last_key = "k"; scb = 1 })
+          (list_size (int_bound 4) (int_bound 50));
+        map
+          (fun msg_ -> Dp_msg.Rp_error (Errors.Lock_timeout msg_))
+          (string_size (int_bound 20));
+      ])
+
+let reply_roundtrip =
+  QCheck.Test.make ~name:"reply codec roundtrip (random)" ~count:500
+    (QCheck.make reply_gen) (fun reply ->
+      let bytes1 = Dp_msg.encode_reply reply in
+      let bytes2 = Dp_msg.encode_reply (Dp_msg.decode_reply bytes1) in
+      String.equal bytes1 bytes2)
+
+(* --- time-slice re-drives --------------------------------------------------- *)
+
+let tick_limit_triggers_redrive () =
+  (* a tiny CPU budget per request forces re-drives even when the record
+     limit and the reply buffer would not *)
+  let config = Config.v ~dp_ticks_per_request:500 ~dp_records_per_request:100000 () in
+  let n = node ~config () in
+  let file = create_accounts n in
+  load_accounts n file 400;
+  let s = Sim.stats n.sim in
+  in_tx n (fun tx ->
+      let sc =
+        Fs.open_scan n.fs file ~tx ~access:Fs.A_vsbb ~range:full_range
+          ~pred:Expr.(Cmp (Eq, Field 2, str "nobody"))
+          ~proj:[| 0 |] ~lock:Dp_msg.L_none ()
+      in
+      let rows = drain_scan n sc in
+      Alcotest.(check int) "predicate matches nothing" 0 (List.length rows);
+      Ok ());
+  Alcotest.(check bool)
+    (Printf.sprintf "time-slice re-drives happened (%d)" s.Stats.redrives)
+    true
+    (s.Stats.redrives > 2)
+
+(* --- entry-sequenced sequential read through ENSCRIBE ------------------------ *)
+
+let entry_file_scan () =
+  let n = node () in
+  let file =
+    get_ok ~ctx:"create"
+      (Fs.create_enscribe_file n.fs ~fname:"HIST" ~kind:Dp_msg.K_entry_sequenced
+         ~partitions:[ Fs.{ ps_lo = ""; ps_dp = n.dps.(0) } ])
+  in
+  let h = Enscribe.open_file n.fs file ~sbb:false in
+  in_tx n (fun tx ->
+      let open Errors in
+      let rec go i =
+        if i >= 150 then Ok ()
+        else
+          let* () =
+            Enscribe.write h ~tx ~key:""
+              ~record:(Printf.sprintf "event-%04d-%s" i (String.make 60 'h'))
+          in
+          go (i + 1)
+      in
+      go 0);
+  in_tx n (fun tx ->
+      let open Errors in
+      Enscribe.keyposition h ~key:"";
+      let rec collect acc =
+        let* entry = Enscribe.readnext h ~tx ~lock:Dp_msg.L_none in
+        match entry with
+        | None -> Ok (List.rev acc)
+        | Some (_, r) -> collect (r :: acc)
+      in
+      let* all = collect [] in
+      Alcotest.(check int) "all history records" 150 (List.length all);
+      (* insertion order preserved *)
+      List.iteri
+        (fun i r ->
+          Alcotest.(check string) "prefix"
+            (Printf.sprintf "event-%04d" i)
+            (String.sub r 0 10))
+        all;
+      Ok ())
+
+(* --- mirrored volumes --------------------------------------------------------- *)
+
+let mirrored_volume_duplicates_writes () =
+  let config = Config.v ~mirrored:true () in
+  let n = node ~config () in
+  let file = create_accounts n in
+  let s = Sim.stats n.sim in
+  let before_w = s.Stats.disk_writes in
+  load_accounts n file 100;
+  Nsql_cache.Cache.flush_all (Dp.cache n.dps.(0));
+  let writes = s.Stats.disk_writes - before_w in
+  Alcotest.(check bool) "writes doubled by mirroring" true (writes mod 2 = 0 && writes > 0);
+  (* reads are served by one drive: a cold scan costs single reads *)
+  ignore (Nsql_cache.Cache.steal (Dp.cache n.dps.(0)) max_int);
+  let before_r = s.Stats.disk_reads in
+  in_tx n (fun tx ->
+      let sc =
+        Fs.open_scan n.fs file ~tx ~access:Fs.A_vsbb ~range:full_range
+          ~proj:[| 0 |] ~lock:Dp_msg.L_none ()
+      in
+      ignore (drain_scan n sc);
+      Ok ());
+  Alcotest.(check bool) "reads not doubled" true (s.Stats.disk_reads - before_r > 0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest request_roundtrip;
+    QCheck_alcotest.to_alcotest reply_roundtrip;
+    Alcotest.test_case "CPU time-slice forces re-drives" `Quick
+      tick_limit_triggers_redrive;
+    Alcotest.test_case "entry-sequenced scan via ENSCRIBE" `Quick
+      entry_file_scan;
+    Alcotest.test_case "mirrored volume write doubling" `Quick
+      mirrored_volume_duplicates_writes;
+  ]

@@ -1,0 +1,108 @@
+(* Tests of ENSCRIBE relative-file operations through the full FS-DP
+   message path, including transactional undo and crash recovery. *)
+
+open Harness
+module Dp_msg = Nsql_dp.Dp_msg
+module Trail = Nsql_audit.Trail
+
+let setup () =
+  let n = node () in
+  let dp = n.dps.(0) in
+  let reply =
+    Dp.request dp
+      (Dp_msg.R_create_file
+         { fname = "RELF"; kind = Dp_msg.K_relative 80; schema = None; check = None })
+  in
+  let file =
+    match reply with
+    | Dp_msg.Rp_file id -> id
+    | _ -> Alcotest.fail "create failed"
+  in
+  (n, dp, file)
+
+let expect_ok = function
+  | Dp_msg.Rp_ok | Dp_msg.Rp_slot _ -> ()
+  | Dp_msg.Rp_error e -> Alcotest.fail (Errors.to_string e)
+  | _ -> Alcotest.fail "unexpected reply"
+
+let rel_write_read_cycle () =
+  let n, dp, file = setup () in
+  in_tx n (fun tx ->
+      expect_ok (Dp.request dp (Dp_msg.R_rel_write { file; tx; slot = 3; record = "three" }));
+      expect_ok (Dp.request dp (Dp_msg.R_rel_write { file; tx; slot = 7; record = "seven" }));
+      Ok ());
+  in_tx n (fun tx ->
+      (match Dp.request dp (Dp_msg.R_rel_read { file; tx; slot = 3 }) with
+      | Dp_msg.Rp_record { record = "three"; _ } -> ()
+      | _ -> Alcotest.fail "read slot 3");
+      (match Dp.request dp (Dp_msg.R_rel_read { file; tx; slot = 4 }) with
+      | Dp_msg.Rp_error (Errors.Not_found_key _) -> ()
+      | _ -> Alcotest.fail "empty slot readable");
+      expect_ok (Dp.request dp (Dp_msg.R_rel_rewrite { file; tx; slot = 7; record = "SEVEN" }));
+      expect_ok (Dp.request dp (Dp_msg.R_rel_delete { file; tx; slot = 3 }));
+      Ok ());
+  Alcotest.(check int) "one slot occupied" 1 (Dp.record_count dp ~file)
+
+let rel_double_write_rejected () =
+  let n, dp, file = setup () in
+  in_tx n (fun tx ->
+      expect_ok (Dp.request dp (Dp_msg.R_rel_write { file; tx; slot = 1; record = "a" }));
+      (match Dp.request dp (Dp_msg.R_rel_write { file; tx; slot = 1; record = "b" }) with
+      | Dp_msg.Rp_error (Errors.Duplicate_key _) -> ()
+      | _ -> Alcotest.fail "occupied slot overwritten");
+      (match
+         Dp.request dp
+           (Dp_msg.R_rel_write { file; tx; slot = 2; record = String.make 200 'x' })
+       with
+      | Dp_msg.Rp_error (Errors.Bad_request _) -> ()
+      | _ -> Alcotest.fail "oversized record accepted");
+      Ok ())
+
+let rel_abort_undoes () =
+  let n, dp, file = setup () in
+  in_tx n (fun tx ->
+      expect_ok (Dp.request dp (Dp_msg.R_rel_write { file; tx; slot = 5; record = "keep" }));
+      Ok ());
+  let tx = Tmf.begin_tx n.tmf in
+  expect_ok (Dp.request dp (Dp_msg.R_rel_rewrite { file; tx; slot = 5; record = "clobber" }));
+  expect_ok (Dp.request dp (Dp_msg.R_rel_write { file; tx; slot = 6; record = "ghost" }));
+  expect_ok (Dp.request dp (Dp_msg.R_rel_delete { file; tx; slot = 5 }));
+  get_ok ~ctx:"abort" (Tmf.abort n.tmf ~tx);
+  in_tx n (fun tx2 ->
+      (match Dp.request dp (Dp_msg.R_rel_read { file; tx = tx2; slot = 5 }) with
+      | Dp_msg.Rp_record { record = "keep"; _ } -> ()
+      | Dp_msg.Rp_record { record; _ } -> Alcotest.fail ("slot 5 is " ^ record)
+      | _ -> Alcotest.fail "slot 5 lost");
+      (match Dp.request dp (Dp_msg.R_rel_read { file; tx = tx2; slot = 6 }) with
+      | Dp_msg.Rp_error (Errors.Not_found_key _) -> ()
+      | _ -> Alcotest.fail "aborted write survived");
+      Ok ())
+
+let rel_crash_recovery () =
+  let n, dp, file = setup () in
+  in_tx n (fun tx ->
+      expect_ok (Dp.request dp (Dp_msg.R_rel_write { file; tx; slot = 0; record = "zero" }));
+      expect_ok (Dp.request dp (Dp_msg.R_rel_write { file; tx; slot = 9; record = "nine" }));
+      Ok ());
+  in_tx n (fun tx ->
+      expect_ok (Dp.request dp (Dp_msg.R_rel_rewrite { file; tx; slot = 9; record = "NINE" }));
+      Ok ());
+  Trail.force n.trail (Int64.pred (Trail.next_lsn n.trail));
+  Dp.crash dp;
+  ignore (Dp.recover dp);
+  Alcotest.(check int) "slots recovered" 2 (Dp.record_count dp ~file);
+  in_tx n (fun tx ->
+      (match Dp.request dp (Dp_msg.R_rel_read { file; tx; slot = 9 }) with
+      | Dp_msg.Rp_record { record = "NINE"; _ } -> ()
+      | _ -> Alcotest.fail "rewrite lost in recovery");
+      Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "relative write/read/rewrite/delete" `Quick
+      rel_write_read_cycle;
+    Alcotest.test_case "relative duplicate/oversize rejected" `Quick
+      rel_double_write_rejected;
+    Alcotest.test_case "relative abort undoes" `Quick rel_abort_undoes;
+    Alcotest.test_case "relative crash recovery" `Quick rel_crash_recovery;
+  ]

@@ -1,0 +1,203 @@
+(* Tests of the simulation world: clock, events, heap, stats, message
+   system, disk cost model. *)
+
+module Heap = Nsql_util.Heap
+module Sim = Nsql_sim.Sim
+module Stats = Nsql_sim.Stats
+module Config = Nsql_sim.Config
+module Msg = Nsql_msg.Msg
+module Disk = Nsql_disk.Disk
+
+let heap_orders () =
+  let h = Heap.create () in
+  List.iter (fun (p, v) -> Heap.push h ~prio:p v)
+    [ (3., "c"); (1., "a"); (2., "b"); (1., "a2") ];
+  let pop () = match Heap.pop_min h with Some (_, v) -> v | None -> "END" in
+  let p1 = pop () in
+  let p2 = pop () in
+  let p3 = pop () in
+  let p4 = pop () in
+  let p5 = pop () in
+  let popped = [ p1; p2; p3; p4; p5 ] in
+  Alcotest.(check (list string)) "order with FIFO ties"
+    [ "a"; "a2"; "b"; "c"; "END" ]
+    popped
+
+let heap_property =
+  QCheck.Test.make ~name:"heap pops in nondecreasing priority" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun prios ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h ~prio:p ()) prios;
+      let rec drain last =
+        match Heap.pop_min h with
+        | None -> true
+        | Some (p, ()) -> p >= last && drain p
+      in
+      drain neg_infinity)
+
+let clock_advances () =
+  let sim = Sim.create () in
+  Alcotest.(check (float 0.)) "starts at 0" 0. (Sim.now sim);
+  Sim.charge sim 100.;
+  Alcotest.(check (float 0.)) "charge" 100. (Sim.now sim);
+  Sim.tick sim 50;
+  Alcotest.(check (float 0.)) "ticks move clock" 150. (Sim.now sim);
+  Alcotest.(check int) "ticks counted" 50 (Sim.stats sim).Stats.cpu_ticks
+
+let events_fire_in_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~at:50. (fun () -> log := "b" :: !log);
+  Sim.schedule sim ~at:10. (fun () -> log := "a" :: !log);
+  Sim.schedule sim ~at:90. (fun () -> log := "c" :: !log);
+  Sim.charge sim 60.;
+  Alcotest.(check (list string)) "due events fired" [ "a"; "b" ] (List.rev !log);
+  Sim.drain sim;
+  Alcotest.(check (list string)) "drained" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 0.)) "clock at last event" 90. (Sim.now sim)
+
+let event_schedules_event () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  Sim.schedule sim ~at:10. (fun () ->
+      incr fired;
+      Sim.schedule sim ~at:20. (fun () -> incr fired));
+  Sim.drain sim;
+  Alcotest.(check int) "both fired" 2 !fired
+
+let measure_diffs () =
+  let sim = Sim.create () in
+  Sim.tick sim 7;
+  let (), delta = Sim.measure sim (fun () -> Sim.tick sim 5) in
+  Alcotest.(check int) "delta isolated" 5 delta.Stats.cpu_ticks
+
+(* --- message system ---------------------------------------------------- *)
+
+let msg_roundtrip_and_counters () =
+  let sim = Sim.create () in
+  let sys = Msg.create sim in
+  let proc_a = Msg.{ node = 0; cpu = 0 } in
+  let proc_b = Msg.{ node = 0; cpu = 1 } in
+  let server =
+    Msg.register sys ~name:"$DATA" ~processor:proc_b (fun req ->
+        req ^ "-reply")
+  in
+  let reply = Msg.send sys ~from:proc_a ~tag:"TEST" server "hello" in
+  Alcotest.(check string) "handler ran" "hello-reply" reply;
+  let s = Sim.stats sim in
+  Alcotest.(check int) "one message" 1 s.Stats.msgs_sent;
+  Alcotest.(check int) "req bytes" 5 s.Stats.msg_req_bytes;
+  Alcotest.(check int) "reply bytes" 11 s.Stats.msg_reply_bytes;
+  Alcotest.(check int) "remote" 1 s.Stats.msgs_remote
+
+let msg_local_vs_remote_cost () =
+  let sim = Sim.create () in
+  let sys = Msg.create sim in
+  let p0 = Msg.{ node = 0; cpu = 0 } in
+  let p1 = Msg.{ node = 0; cpu = 1 } in
+  let n1 = Msg.{ node = 1; cpu = 0 } in
+  let mk name proc = Msg.register sys ~name ~processor:proc (fun _ -> "") in
+  let local = mk "$LOCAL" p0 in
+  let cross = mk "$CROSS" p1 in
+  let remote = mk "$REMOTE" n1 in
+  let cost target =
+    let t0 = Sim.now sim in
+    ignore (Msg.send sys ~from:p0 ~tag:"T" target "x");
+    Sim.now sim -. t0
+  in
+  let cl = cost local and cc = cost cross and cr = cost remote in
+  Alcotest.(check bool) "local < cross" true (cl < cc);
+  Alcotest.(check bool) "cross < node" true (cc < cr)
+
+let msg_trace () =
+  let sim = Sim.create () in
+  let sys = Msg.create sim in
+  let p0 = Msg.{ node = 0; cpu = 0 } in
+  let server = Msg.register sys ~name:"$D1" ~processor:p0 (fun _ -> "ok") in
+  Msg.start_trace sys;
+  ignore (Msg.send sys ~from:p0 ~tag:"READ" server "req");
+  let trace = Msg.stop_trace sys in
+  Alcotest.(check int) "one entry" 1 (List.length trace);
+  let e = List.hd trace in
+  Alcotest.(check string) "tag" "READ" e.Msg.tag;
+  Alcotest.(check string) "target" "$D1" e.Msg.to_name
+
+(* --- disk --------------------------------------------------------------- *)
+
+let disk_roundtrip () =
+  let sim = Sim.create () in
+  let d = Disk.create sim ~name:"$DATA" in
+  let first = Disk.allocate d 10 in
+  let bs = Disk.block_size d in
+  let payload = String.init bs (fun i -> Char.chr (i mod 256)) in
+  Disk.write d (first + 3) payload;
+  Alcotest.(check string) "read back" payload (Disk.read d (first + 3));
+  Alcotest.(check string) "other block zero"
+    (String.make bs '\x00')
+    (Disk.read d first)
+
+let disk_bulk_counts () =
+  let sim = Sim.create () in
+  let d = Disk.create sim ~name:"$DATA" in
+  ignore (Disk.allocate d 20);
+  let s = Sim.stats sim in
+  ignore (Disk.read_bulk d ~first:0 ~count:7);
+  Alcotest.(check int) "one io" 1 s.Nsql_sim.Stats.disk_reads;
+  Alcotest.(check int) "seven blocks" 7 s.Nsql_sim.Stats.blocks_read;
+  Alcotest.(check int) "bulk" 1 s.Nsql_sim.Stats.bulk_reads;
+  Alcotest.check_raises "bulk limit enforced"
+    (Invalid_argument
+       "Disk($DATA): bulk I/O of 8 blocks exceeds limit 7") (fun () ->
+      ignore (Disk.read_bulk d ~first:0 ~count:8))
+
+let disk_sequential_cheaper () =
+  let sim = Sim.create () in
+  let d = Disk.create sim ~name:"$DATA" in
+  ignore (Disk.allocate d 100);
+  ignore (Disk.read d 10);
+  let t0 = Sim.now sim in
+  ignore (Disk.read d 11);
+  let sequential = Sim.now sim -. t0 in
+  let t1 = Sim.now sim in
+  ignore (Disk.read d 50);
+  let random = Sim.now sim -. t1 in
+  Alcotest.(check bool) "sequential cheaper" true (sequential < random)
+
+let disk_mirrored_writes () =
+  let sim = Sim.create () in
+  let d = Disk.create ~mirrored:true sim ~name:"$MIR" in
+  ignore (Disk.allocate d 4);
+  let bs = Disk.block_size d in
+  Disk.write d 0 (String.make bs 'x');
+  let s = Sim.stats sim in
+  Alcotest.(check int) "two physical writes" 2 s.Nsql_sim.Stats.disk_writes;
+  Alcotest.(check int) "two blocks" 2 s.Nsql_sim.Stats.blocks_written
+
+let disk_async_completion () =
+  let sim = Sim.create () in
+  let d = Disk.create sim ~name:"$DATA" in
+  ignore (Disk.allocate d 20);
+  let t0 = Sim.now sim in
+  let _data, completion = Disk.read_bulk_async d ~first:0 ~count:7 in
+  Alcotest.(check (float 0.)) "clock did not advance" t0 (Sim.now sim);
+  Alcotest.(check bool) "completion in the future" true (completion > t0)
+
+let suite =
+  [
+    Alcotest.test_case "heap ordering" `Quick heap_orders;
+    QCheck_alcotest.to_alcotest heap_property;
+    Alcotest.test_case "clock advances" `Quick clock_advances;
+    Alcotest.test_case "events fire in order" `Quick events_fire_in_order;
+    Alcotest.test_case "event schedules event" `Quick event_schedules_event;
+    Alcotest.test_case "measure diffs stats" `Quick measure_diffs;
+    Alcotest.test_case "msg roundtrip and counters" `Quick
+      msg_roundtrip_and_counters;
+    Alcotest.test_case "msg distance costs" `Quick msg_local_vs_remote_cost;
+    Alcotest.test_case "msg trace" `Quick msg_trace;
+    Alcotest.test_case "disk roundtrip" `Quick disk_roundtrip;
+    Alcotest.test_case "disk bulk I/O counters" `Quick disk_bulk_counts;
+    Alcotest.test_case "disk sequential cost" `Quick disk_sequential_cheaper;
+    Alcotest.test_case "disk mirrored writes" `Quick disk_mirrored_writes;
+    Alcotest.test_case "disk async completion" `Quick disk_async_completion;
+  ]

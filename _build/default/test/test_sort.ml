@@ -1,0 +1,62 @@
+(* Tests of FastSort: correctness, determinism, stats, parallel speedup. *)
+
+module Sim = Nsql_sim.Sim
+module Fastsort = Nsql_sort.Fastsort
+
+let sorts_correctly () =
+  let sim = Sim.create () in
+  let items = List.init 1000 (fun i -> (i * 7919) mod 1000) in
+  let sorted, stats = Fastsort.sort sim ~compare items in
+  Alcotest.(check (list int)) "sorted" (List.init 1000 (fun i -> i)) sorted;
+  Alcotest.(check bool) "did work" true (stats.Fastsort.comparisons > 0)
+
+let stable_for_equal_compare () =
+  (* a comparator ignoring the payload: merge phases must not lose items *)
+  let sim = Sim.create () in
+  let items = List.init 500 (fun i -> (i mod 7, i)) in
+  let sorted, _ = Fastsort.sort sim ~compare:(fun (a, _) (b, _) -> compare a b) items in
+  Alcotest.(check int) "no items lost" 500 (List.length sorted)
+
+let empty_and_singleton () =
+  let sim = Sim.create () in
+  let e, _ = Fastsort.sort sim ~compare ([] : int list) in
+  Alcotest.(check (list int)) "empty" [] e;
+  let s, _ = Fastsort.sort sim ~compare [ 42 ] in
+  Alcotest.(check (list int)) "singleton" [ 42 ] s
+
+let keyed_sort () =
+  let sim = Sim.create () in
+  let items = [ ("b", 2); ("a", 1); ("c", 3) ] in
+  let sorted, _ = Fastsort.sort_keyed sim items in
+  Alcotest.(check (list int)) "by key" [ 1; 2; 3 ] (List.map snd sorted)
+
+let parallel_speedup () =
+  (* same work, more sub-sorters: simulated elapsed must shrink *)
+  let run ways =
+    let sim = Sim.create () in
+    let items = List.init 4000 (fun i -> (i * 104729) mod 4000) in
+    let _, stats = Fastsort.sort ~ways ~run_capacity:64 sim ~compare items in
+    stats.Fastsort.elapsed_us
+  in
+  let t1 = run 1 and t4 = run 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4-way (%.0fus) faster than 1-way (%.0fus)" t4 t1)
+    true (t4 < t1)
+
+let random_matches_stdlib =
+  QCheck.Test.make ~name:"fastsort matches List.sort" ~count:100
+    QCheck.(list int)
+    (fun items ->
+      let sim = Sim.create () in
+      let sorted, _ = Fastsort.sort ~ways:3 ~run_capacity:8 sim ~compare items in
+      sorted = List.sort compare items)
+
+let suite =
+  [
+    Alcotest.test_case "sorts correctly" `Quick sorts_correctly;
+    Alcotest.test_case "no items lost on ties" `Quick stable_for_equal_compare;
+    Alcotest.test_case "empty / singleton" `Quick empty_and_singleton;
+    Alcotest.test_case "keyed sort" `Quick keyed_sort;
+    Alcotest.test_case "parallel sub-sorts are faster" `Quick parallel_speedup;
+    QCheck_alcotest.to_alcotest random_matches_stdlib;
+  ]

@@ -1,0 +1,152 @@
+(* Tests of the workload generators: Wisconsin determinism and schema
+   properties; DebitCredit consistency across the SQL and ENSCRIBE
+   implementations. *)
+
+module N = Nsql_core.Nonstop_sql
+module Row = Nsql_row.Row
+module Wisconsin = Nsql_workload.Wisconsin
+module Debitcredit = Nsql_workload.Debitcredit
+module Errors = Nsql_util.Errors
+
+let get_ok = Errors.get_ok
+
+let wisconsin_loads () =
+  let node = N.create_node () in
+  get_ok ~ctx:"wisc"
+    (Wisconsin.create node ~name:"tenktup1" ~rows:1000 ());
+  let s = N.session node in
+  (match N.exec_exn s "SELECT COUNT(*) FROM tenktup1" with
+  | N.Rows { rows = [ [| Row.Vint n |] ]; _ } ->
+      Alcotest.(check int) "row count" 1000 n
+  | _ -> Alcotest.fail "bad count");
+  (* unique1 is a permutation: min 0, max n-1, all distinct *)
+  (match
+     N.exec_exn s "SELECT MIN(unique1), MAX(unique1), COUNT(*) FROM tenktup1"
+   with
+  | N.Rows { rows = [ [| Row.Vint mn; Row.Vint mx; Row.Vint c |] ]; _ } ->
+      Alcotest.(check int) "min" 0 mn;
+      Alcotest.(check int) "max" 999 mx;
+      Alcotest.(check int) "count" 1000 c
+  | _ -> Alcotest.fail "bad permutation stats");
+  (* selectivity sanity: the 1% predicate selects 1% *)
+  match
+    N.exec_exn s "SELECT COUNT(*) FROM tenktup1 WHERE unique1 >= 400 AND unique1 < 410"
+  with
+  | N.Rows { rows = [ [| Row.Vint n |] ]; _ } ->
+      Alcotest.(check int) "1% selection" 10 n
+  | _ -> Alcotest.fail "bad selectivity"
+
+let wisconsin_deterministic () =
+  let load () =
+    let node = N.create_node () in
+    get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"t" ~rows:200 ());
+    let s = N.session node in
+    match N.exec_exn s "SELECT unique1 FROM t WHERE unique2 < 5 ORDER BY unique2" with
+    | N.Rows { rows; _ } ->
+        List.map (fun r -> match r.(0) with Row.Vint i -> i | _ -> -1) rows
+    | _ -> Alcotest.fail "bad rows"
+  in
+  Alcotest.(check (list int)) "two loads identical" (load ()) (load ())
+
+let wisconsin_partitioned () =
+  let node = N.create_node ~volumes:4 () in
+  get_ok ~ctx:"wisc"
+    (Wisconsin.create node ~name:"t" ~rows:400 ~partitions:4 ());
+  let s = N.session node in
+  match N.exec_exn s "SELECT COUNT(*) FROM t" with
+  | N.Rows { rows = [ [| Row.Vint 400 |] ]; _ } -> ()
+  | _ -> Alcotest.fail "partitioned load wrong"
+
+let queries_run () =
+  let node = N.create_node () in
+  get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"a" ~rows:500 ());
+  get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"b" ~rows:500 ());
+  let s = N.session node in
+  List.iter
+    (fun q ->
+      match N.exec s q.Wisconsin.q_sql with
+      | Ok (N.Rows _) -> ()
+      | Ok _ -> Alcotest.fail (q.Wisconsin.q_id ^ ": no rows result")
+      | Error e ->
+          Alcotest.fail (q.Wisconsin.q_id ^ ": " ^ Errors.to_string e))
+    (Wisconsin.selection_queries ~table:"a" ~rows:500
+    @ Wisconsin.agg_and_join_queries ~table:"a" ~table2:"b" ~rows:500)
+
+let debitcredit_consistent () =
+  (* run the same transaction mix through both implementations; final
+     account totals and history counts must agree *)
+  let txs = 50 in
+  let deltas = List.init txs (fun i -> float_of_int ((i mod 19) - 9)) in
+  let aids = List.init txs (fun i -> (i * 37) mod 200) in
+  (* SQL side *)
+  let node_sql = N.create_node () in
+  let db_sql =
+    get_ok ~ctx:"sql setup"
+      (Debitcredit.setup_sql node_sql ~accounts:200 ~tellers:20 ~branches:2)
+  in
+  let s = N.session node_sql in
+  List.iter2
+    (fun aid delta ->
+      get_ok ~ctx:"sql tx" (Debitcredit.run_sql_tx db_sql s ~aid ~delta))
+    aids deltas;
+  let sql_total, sql_hist = get_ok ~ctx:"sql bal" (Debitcredit.sql_balances db_sql s) in
+  (* ENSCRIBE side *)
+  let node_ens = N.create_node () in
+  let db_ens =
+    get_ok ~ctx:"ens setup"
+      (Debitcredit.setup_enscribe node_ens ~accounts:200 ~tellers:20 ~branches:2)
+  in
+  List.iter2
+    (fun aid delta ->
+      get_ok ~ctx:"ens tx" (Debitcredit.run_enscribe_tx node_ens db_ens ~aid ~delta))
+    aids deltas;
+  let ens_total, ens_hist =
+    get_ok ~ctx:"ens bal" (Debitcredit.enscribe_balances node_ens db_ens)
+  in
+  Alcotest.(check (float 1e-6)) "totals agree" sql_total ens_total;
+  Alcotest.(check int) "history counts agree" sql_hist ens_hist;
+  let expected = 200_000. +. List.fold_left ( +. ) 0. deltas in
+  Alcotest.(check (float 1e-6)) "conservation" expected sql_total
+
+let debitcredit_sql_cheaper_messages () =
+  (* the headline integration claim: the SQL transaction needs no
+     preliminary reads, so it sends fewer FS-DP messages than ENSCRIBE *)
+  let node_sql = N.create_node () in
+  let db_sql =
+    get_ok ~ctx:"setup" (Debitcredit.setup_sql node_sql ~accounts:100 ~tellers:10 ~branches:1)
+  in
+  let s = N.session node_sql in
+  let _, d_sql =
+    N.measure node_sql (fun () ->
+        for i = 0 to 19 do
+          get_ok ~ctx:"tx" (Debitcredit.run_sql_tx db_sql s ~aid:i ~delta:1.)
+        done)
+  in
+  let node_ens = N.create_node () in
+  let db_ens =
+    get_ok ~ctx:"setup"
+      (Debitcredit.setup_enscribe node_ens ~accounts:100 ~tellers:10 ~branches:1)
+  in
+  let _, d_ens =
+    N.measure node_ens (fun () ->
+        for i = 0 to 19 do
+          get_ok ~ctx:"tx" (Debitcredit.run_enscribe_tx node_ens db_ens ~aid:i ~delta:1.)
+        done)
+  in
+  let m_sql = d_sql.Nsql_sim.Stats.msgs_sent in
+  let m_ens = d_ens.Nsql_sim.Stats.msgs_sent in
+  Alcotest.(check bool)
+    (Printf.sprintf "SQL %d msgs < ENSCRIBE %d msgs" m_sql m_ens)
+    true (m_sql < m_ens)
+
+let suite =
+  [
+    Alcotest.test_case "wisconsin loads correctly" `Quick wisconsin_loads;
+    Alcotest.test_case "wisconsin deterministic" `Quick wisconsin_deterministic;
+    Alcotest.test_case "wisconsin partitioned" `Quick wisconsin_partitioned;
+    Alcotest.test_case "benchmark queries run" `Quick queries_run;
+    Alcotest.test_case "debitcredit SQL = ENSCRIBE results" `Quick
+      debitcredit_consistent;
+    Alcotest.test_case "debitcredit SQL cheaper in messages" `Quick
+      debitcredit_sql_cheaper_messages;
+  ]
