@@ -113,6 +113,30 @@ let main script volumes =
   | Some path -> run_script repl path
   | None -> repl_loop repl
 
+(* chaos subcommand: replay one seed of the deterministic chaos harness *)
+
+module Chaos = Nsql_chaos.Chaos
+
+let run_chaos seed txs plan_only topology =
+  let topology =
+    match topology with
+    | Some "single" -> Some Chaos.Single
+    | Some "cluster" -> Some Chaos.Cluster
+    | Some t ->
+        printf "unknown topology %S (single | cluster)@." t;
+        exit 2
+    | None -> None
+  in
+  if plan_only then begin
+    printf "%a@." Chaos.pp_plan (Chaos.plan ~txs ?topology ~seed ());
+    0
+  end
+  else begin
+    let r = Chaos.run ~txs ?topology ~seed () in
+    printf "%a@." Chaos.pp_report r;
+    if r.Chaos.r_violations = [] then 0 else 1
+  end
+
 open Cmdliner
 
 let script =
@@ -123,8 +147,39 @@ let volumes =
   let doc = "Number of disk volumes (Disk Processes) for the node." in
   Arg.(value & opt int 2 & info [ "volumes" ] ~docv:"N" ~doc)
 
+let repl_cmd =
+  let doc = "interactive SQL interface to the simulated Tandem node" in
+  Cmd.v (Cmd.info "repl" ~doc)
+    Term.(const (fun s v -> main s v; 0) $ script $ volumes)
+
+let seed =
+  let doc = "Fault-plan seed to replay." in
+  Arg.(required & pos 0 (some int) None & info [] ~docv:"SEED" ~doc)
+
+let txs =
+  let doc = "Number of workload transactions to drive." in
+  Arg.(value & opt int 120 & info [ "txs" ] ~docv:"N" ~doc)
+
+let plan_only =
+  let doc = "Print the materialized fault plan without running it." in
+  Arg.(value & flag & info [ "plan" ] ~doc)
+
+let topology =
+  let doc = "Force the topology: $(b,single) or $(b,cluster) \
+             (default: derived from the seed)." in
+  Arg.(value & opt (some string) None & info [ "topology" ] ~docv:"T" ~doc)
+
+let chaos_cmd =
+  let doc = "replay a deterministic chaos run and verify ACID vs the oracle" in
+  Cmd.v
+    (Cmd.info "chaos" ~doc)
+    Term.(const run_chaos $ seed $ txs $ plan_only $ topology)
+
 let cmd =
   let doc = "interactive SQL interface to the simulated Tandem node" in
-  Cmd.v (Cmd.info "sqlci" ~doc) Term.(const main $ script $ volumes)
+  Cmd.group
+    ~default:Term.(const (fun s v -> main s v; 0) $ script $ volumes)
+    (Cmd.info "sqlci" ~doc)
+    [ repl_cmd; chaos_cmd ]
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -22,6 +22,10 @@ type flush_reason = Flush_full | Flush_timer | Flush_force
 
 val create : Nsql_sim.Sim.t -> Nsql_disk.Disk.t -> t
 
+(** [volume t] is the audit volume the trail writes to — exposed so the
+    chaos layer can stall it. *)
+val volume : t -> Nsql_disk.Disk.t
+
 (** [append t ~tx body] stages a record and returns its LSN. May trigger a
     buffer-full flush. *)
 val append : t -> tx:int -> Audit_record.body -> int64

@@ -1,0 +1,119 @@
+(** Deterministic chaos harness.
+
+    From a single integer seed this module materializes a {e fault plan} —
+    a fixed list of (simulated time, fault) pairs — then runs a mixed
+    SQL/File-System transactional workload against a simulated node (or a
+    two-node cluster) while the plan's faults fire from the {!Nsql_sim.Sim}
+    event queue. Every transaction the harness sees commit is mirrored
+    into the {!Nsql_oracle.Oracle} reference model; at the end of the run
+    every volume is crashed and recovered once more, and the surviving
+    state is dumped and compared against the oracle.
+
+    There is no wall-clock time and no use of [Random] anywhere: the plan,
+    the workload and every fault are drawn from a splitmix64 stream seeded
+    by the caller, so one seed replays byte-identically — the final
+    {!Nsql_sim.Stats.t} of two runs of the same seed are equal, which is
+    what makes a failing seed a reproducible bug report.
+
+    Fault repertoire: message delays and path failures (resent on the
+    alternate path, as GUARDIAN does), Disk Process primary takeover by
+    the process-pair backup, full volume crash + audit-trail recovery,
+    transient disk I/O errors, buffer-cache pressure from the memory
+    manager, audit-volume stalls, and — on clusters — coordinator and
+    participant crashes between the two phases of network commit. *)
+
+module Stats = Nsql_sim.Stats
+
+(** {1 Deterministic pseudo-random stream} *)
+
+(** A splitmix64 generator — deliberately {e not} [Stdlib.Random], which
+    keeps hidden global state. Everything the harness draws comes from a
+    stream derived from the run's seed. *)
+module Prng : sig
+  type t
+
+  val create : seed:int -> t
+
+  (** [split t] derives an independent stream (and advances [t]). *)
+  val split : t -> t
+
+  (** [int t bound] is uniform in [\[0, bound)]. *)
+  val int : t -> int -> int
+
+  (** [float t bound] is uniform in [\[0., bound)]. *)
+  val float : t -> float -> float
+
+  val bool : t -> bool
+
+  (** [pick t xs] draws one element of a non-empty list. *)
+  val pick : t -> 'a list -> 'a
+end
+
+(** {1 Fault plans} *)
+
+type fault =
+  | F_msg_delay of { victim : string; delay_us : float; count : int }
+      (** the next [count] messages to endpoint [victim] suffer extra
+          queueing delay *)
+  | F_msg_flap of { victim : string; retry_us : float; count : int }
+      (** the next [count] messages to [victim] fail on the primary path
+          and are resent on the alternate *)
+  | F_takeover of { node : int; volume : int }
+      (** the volume's primary Disk Process fails; the backup takes over *)
+  | F_crash of { node : int; volume : int }
+      (** the volume's process pair is lost entirely; applied at the next
+          operation boundary, any open transaction is aborted, and the
+          volume recovers by audit-trail rollforward *)
+  | F_disk_transient of {
+      node : int;
+      volume : int;
+      penalty_us : float;
+      count : int;
+    }  (** the next [count] I/Os on the volume fail once and are retried *)
+  | F_vm_pressure of { node : int; volume : int; frames : int }
+      (** the memory manager steals buffer-cache frames *)
+  | F_audit_stall of { node : int; stall_us : float }
+      (** the node's audit volume stops serving for a while — group commit
+          backs up behind it *)
+  | F_2pc_crash of { commit : bool; participant_crash : bool }
+      (** (clusters) the next network transfer loses its coordinator
+          between PREPARE and the decision; the prepared branch is
+          in-doubt and resolves against the coordinator's trail. With
+          [participant_crash] the participant volume also crashes while
+          in-doubt and must resolve during recovery *)
+
+type event = { due : float;  (** microseconds after workload start *) fault : fault }
+
+type topology = Single | Cluster
+
+type plan = { p_seed : int; p_topology : topology; p_events : event list }
+
+(** [plan ?txs ?topology ~seed ()] materializes the fault schedule for
+    [seed] — the same plan {!run} will execute. [topology] defaults to a
+    seed-determined choice; [txs] scales the time horizon. *)
+val plan : ?txs:int -> ?topology:topology -> seed:int -> unit -> plan
+
+val pp_fault : Format.formatter -> fault -> unit
+val pp_plan : Format.formatter -> plan -> unit
+
+(** {1 Running} *)
+
+type report = {
+  r_seed : int;
+  r_topology : topology;
+  r_txs_attempted : int;
+  r_txs_committed : int;
+  r_txs_aborted : int;  (** chaos- and deliberately-aborted *)
+  r_faults : (string * int) list;  (** faults actually applied, by kind *)
+  r_recoveries : int;  (** volume recoveries, incl. the final sweep *)
+  r_violations : string list;  (** empty = ACID held *)
+  r_stats : Stats.t;  (** full counter record — determinism witness *)
+}
+
+(** [run ?txs ?topology ~seed ()] executes the whole experiment: set up,
+    load, run [txs] transactions under the fault plan, drain, crash and
+    recover every volume, then verify against the oracle. Never raises on
+    ACID violations — they are returned in [r_violations]. *)
+val run : ?txs:int -> ?topology:topology -> seed:int -> unit -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -282,4 +282,7 @@ let recover_cluster_volume c ~node ~volume =
 let crash_volume n i = Dp.crash n.dps.(i)
 let recover_volume n i = Dp.recover n.dps.(i)
 
+let takeover_volume n i =
+  match Dp.takeover n.dps.(i) with Ok () -> true | Error _ -> false
+
 let vm_pressure n i ~frames = Nsql_cache.Cache.steal (Dp.cache n.dps.(i)) frames

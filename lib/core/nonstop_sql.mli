@@ -143,6 +143,11 @@ val crash_volume : node -> int -> unit
 
 val recover_volume : node -> int -> Nsql_tmf.Recovery.outcome
 
+(** [takeover_volume node i] fails the primary of the i-th Disk Process
+    pair; the hot-standby backup keeps serving (no recovery needed).
+    Returns [false] when the pair has no backup left. *)
+val takeover_volume : node -> int -> bool
+
 (** [vm_pressure node i ~frames] steals buffer frames from volume [i]'s
     cache, as the GUARDIAN memory manager does. Returns frames freed. *)
 val vm_pressure : node -> int -> frames:int -> int

@@ -10,6 +10,9 @@ type t = {
   mutable nblocks : int;
   mutable last_block : int;  (** head position for sequential detection *)
   mutable busy_until : float;  (** device queue: I/Os serialize *)
+  mutable fault_hook : (unit -> float option) option;
+      (** transient I/O errors: [Some penalty_us] makes this I/O fail once
+          and be retried (mirror read / recalibrate), costing [penalty_us] *)
 }
 
 let create ?mirrored sim ~name =
@@ -25,7 +28,16 @@ let create ?mirrored sim ~name =
     nblocks = 0;
     last_block = -10;
     busy_until = 0.;
+    fault_hook = None;
   }
+
+let set_fault_hook t h = t.fault_hook <- h
+
+(* [stall t ~us] makes the device unavailable for [us] microseconds from
+   now: queued and future I/Os wait it out. Models a controller hiccup or
+   an own-path retry storm on the (audit) volume. *)
+let stall t ~us =
+  t.busy_until <- max t.busy_until (Sim.now t.sim) +. us
 
 let name t = t.name
 let block_size t = (Sim.config t.sim).Config.block_size
@@ -76,7 +88,19 @@ let io_time t ~first ~count =
    caller has reached that point in time. Returns the completion time. *)
 let enqueue_io t ~first ~count =
   let start = max t.busy_until (Sim.now t.sim) in
-  let completion = start +. io_time t ~first ~count in
+  let retry_penalty =
+    match t.fault_hook with
+    | None -> 0.
+    | Some hook -> (
+        match hook () with
+        | None -> 0.
+        | Some penalty ->
+            let s = Sim.stats t.sim in
+            s.Stats.disk_transient_errors <-
+              s.Stats.disk_transient_errors + 1;
+            penalty)
+  in
+  let completion = start +. io_time t ~first ~count +. retry_penalty in
   t.busy_until <- completion;
   completion
 

@@ -58,3 +58,17 @@ val write_bulk_async : t -> first:int -> string array -> float
 (** [io_busy_until t] is the time at which the device becomes idle; I/Os
     queue behind each other. *)
 val io_busy_until : t -> float
+
+(** {1 Fault injection} *)
+
+(** [set_fault_hook t (Some h)] consults [h] on every I/O; returning
+    [Some penalty_us] makes that I/O suffer a transient error — it is
+    retried (from the mirror, or after recalibration) and completes
+    [penalty_us] later. Data always gets through; only latency and the
+    {!Nsql_sim.Stats.t} transient-error counter change. *)
+val set_fault_hook : t -> (unit -> float option) option -> unit
+
+(** [stall t ~us] holds the device busy for [us] microseconds from now
+    (queued I/Os wait), modelling a controller hiccup — used by the chaos
+    layer for audit-volume stalls. *)
+val stall : t -> us:float -> unit

@@ -233,19 +233,19 @@ let do_update_fields t ~tx f ~key ~before_row ~after_row ~targets schema =
 
 (* undo closures registered with TMF; they re-audit (compensation) *)
 let register_undo_insert t ~tx f ~key =
-  Tmf.register_undo t.tmf ~tx (fun () ->
+  Tmf.register_undo t.tmf ~tx ~owner:t.dp_name (fun () ->
       match do_delete t ~tx f ~key with
       | Ok _ -> ()
       | Error e -> failwith ("Dp undo-insert: " ^ Errors.to_string e))
 
 let register_undo_delete t ~tx f ~key ~image =
-  Tmf.register_undo t.tmf ~tx (fun () ->
+  Tmf.register_undo t.tmf ~tx ~owner:t.dp_name (fun () ->
       match do_insert t ~tx f ~key ~record:image with
       | Ok _ -> ()
       | Error e -> failwith ("Dp undo-delete: " ^ Errors.to_string e))
 
 let register_undo_update t ~tx f ~key ~before =
-  Tmf.register_undo t.tmf ~tx (fun () ->
+  Tmf.register_undo t.tmf ~tx ~owner:t.dp_name (fun () ->
       match do_update_full t ~tx f ~key ~record:before with
       | Ok _ -> ()
       | Error e -> failwith ("Dp undo-update: " ^ Errors.to_string e))
@@ -462,7 +462,7 @@ let op_rel_write t ~file ~tx ~slot ~record =
         audit t ~tx (Ar.Insert { file = f.f_id; key = rel_key slot; image = record })
       in
       let* () = Relfile.write r ~slot ~record ~lsn in
-      Tmf.register_undo t.tmf ~tx (fun () ->
+      Tmf.register_undo t.tmf ~tx ~owner:t.dp_name (fun () ->
           ignore
             (audit t ~tx
                (Ar.Delete { file = f.f_id; key = rel_key slot; image = record }));
@@ -488,7 +488,7 @@ let op_rel_rewrite t ~file ~tx ~slot ~record =
           (Ar.Update_full { file = f.f_id; key = rel_key slot; before; after = record })
       in
       let* _old = Relfile.rewrite r ~slot ~record ~lsn in
-      Tmf.register_undo t.tmf ~tx (fun () ->
+      Tmf.register_undo t.tmf ~tx ~owner:t.dp_name (fun () ->
           ignore
             (audit t ~tx
                (Ar.Update_full
@@ -509,7 +509,7 @@ let op_rel_delete t ~file ~tx ~slot =
         audit t ~tx (Ar.Delete { file = f.f_id; key = rel_key slot; image })
       in
       let* _old = Relfile.delete r ~slot ~lsn in
-      Tmf.register_undo t.tmf ~tx (fun () ->
+      Tmf.register_undo t.tmf ~tx ~owner:t.dp_name (fun () ->
           ignore
             (audit t ~tx (Ar.Insert { file = f.f_id; key = rel_key slot; image }));
           ignore (Relfile.write r ~slot ~record:image ~lsn));
@@ -533,7 +533,7 @@ let op_entry_append t ~file ~tx ~record =
       in
       let lsn = audit t ~tx (Ar.Insert { file = f.f_id; key = ""; image = record }) in
       let* addr = Entryfile.append e ~record ~lsn in
-      Tmf.register_undo t.tmf ~tx (fun () ->
+      Tmf.register_undo t.tmf ~tx ~owner:t.dp_name (fun () ->
           ignore
             (audit t ~tx
                (Ar.Delete { file = f.f_id; key = Keycode.of_int addr; image = record }));
@@ -1158,7 +1158,11 @@ let crash t =
   Cache.drop_all t.cache;
   Hashtbl.reset t.scbs;
   (* lock tables are volatile too *)
-  Lock.clear_all t.locks
+  Lock.clear_all t.locks;
+  (* in-flight transactions lose their compensations against this volume:
+     restart recovery treats them as losers here, and the transactions can
+     still abort cleanly on surviving volumes *)
+  Tmf.forget_owner t.tmf ~owner:t.dp_name
 
 let recover_with_gen t ~resolve =
   (* rebuild every structure empty (the file labels survive on disk) *)

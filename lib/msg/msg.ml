@@ -23,13 +23,25 @@ type trace_entry = {
   at_us : float;
 }
 
+type fault_action =
+  | Fault_pass
+  | Fault_delay of float
+  | Fault_path_retry of float
+
+type fault_filter =
+  from:processor -> to_name:string -> tag:string -> fault_action
+
 type system = {
   sim : Sim.t;
   endpoints : (string, endpoint) Hashtbl.t;
   mutable trace : trace_entry list option;  (** reversed while recording *)
+  mutable fault_filter : fault_filter option;
 }
 
-let create sim = { sim; endpoints = Hashtbl.create 16; trace = None }
+let create sim =
+  { sim; endpoints = Hashtbl.create 16; trace = None; fault_filter = None }
+
+let set_fault_filter t f = t.fault_filter <- f
 
 let sim t = t.sim
 
@@ -68,6 +80,20 @@ let send t ~from ~tag e request =
     stats.Stats.msgs_remote <- stats.Stats.msgs_remote + 1;
   if from.node <> e.processor.node then
     stats.Stats.msgs_internode <- stats.Stats.msgs_internode + 1;
+  (* fault injection: the chaos engine may delay this interaction or fail
+     the first path, in which case GUARDIAN transparently resends over the
+     alternate path — the requester only sees added latency *)
+  (match t.fault_filter with
+  | None -> ()
+  | Some filter -> (
+      match filter ~from ~to_name:e.name ~tag with
+      | Fault_pass -> ()
+      | Fault_delay d -> Sim.charge t.sim d
+      | Fault_path_retry d ->
+          stats.Stats.msg_path_retries <- stats.Stats.msg_path_retries + 1;
+          (* the failed attempt still cost a hop before the timeout *)
+          charge_hop t ~from ~to_:e.processor (String.length request);
+          Sim.charge t.sim d));
   charge_hop t ~from ~to_:e.processor (String.length request);
   let reply = e.handler request in
   stats.Stats.msg_reply_bytes <-

@@ -36,6 +36,26 @@ val create : Nsql_sim.Sim.t -> system
 
 val sim : system -> Nsql_sim.Sim.t
 
+(** {1 Fault injection}
+
+    GUARDIAN sends every interprocess message over one of two paths and
+    transparently resends over the alternate path when the first fails; a
+    chaos layer can observe and perturb every send through a filter. *)
+
+type fault_action =
+  | Fault_pass  (** deliver normally *)
+  | Fault_delay of float  (** extra queueing delay in microseconds *)
+  | Fault_path_retry of float
+      (** the primary path fails: the request hop is charged twice plus
+          this retry delay; delivery still succeeds (alternate path) *)
+
+type fault_filter =
+  from:processor -> to_name:string -> tag:string -> fault_action
+
+(** [set_fault_filter sys (Some f)] consults [f] on every {!send};
+    [set_fault_filter sys None] removes the filter. *)
+val set_fault_filter : system -> fault_filter option -> unit
+
 (** [register sys ~name ~processor ?backup handler] creates a server
     endpoint. [backup] is the hot-standby half of the process pair; when
     given, {!checkpoint} messages to it are charged. The handler receives

@@ -33,6 +33,9 @@ type t = {
   mutable records_read : int;
   mutable records_returned : int;
   mutable redrives : int;
+  mutable faults_injected : int;
+  mutable msg_path_retries : int;
+  mutable disk_transient_errors : int;
 }
 
 let create () =
@@ -71,6 +74,9 @@ let create () =
     records_read = 0;
     records_returned = 0;
     redrives = 0;
+    faults_injected = 0;
+    msg_path_retries = 0;
+    disk_transient_errors = 0;
   }
 
 let copy t = { t with msgs_sent = t.msgs_sent }
@@ -113,6 +119,9 @@ let map2 f a b =
     records_read = f a.records_read b.records_read;
     records_returned = f a.records_returned b.records_returned;
     redrives = f a.redrives b.redrives;
+    faults_injected = f a.faults_injected b.faults_injected;
+    msg_path_retries = f a.msg_path_retries b.msg_path_retries;
+    disk_transient_errors = f a.disk_transient_errors b.disk_transient_errors;
   }
 
 let diff ~before ~after = map2 (fun a b -> a - b) after before
@@ -153,7 +162,10 @@ let reset t =
   t.tx_aborted <- 0;
   t.records_read <- 0;
   t.records_returned <- 0;
-  t.redrives <- 0
+  t.redrives <- 0;
+  t.faults_injected <- 0;
+  t.msg_path_retries <- 0;
+  t.disk_transient_errors <- 0
 
 let to_assoc t =
   [
@@ -191,6 +203,9 @@ let to_assoc t =
     ("records_read", t.records_read);
     ("records_returned", t.records_returned);
     ("redrives", t.redrives);
+    ("faults_injected", t.faults_injected);
+    ("msg_path_retries", t.msg_path_retries);
+    ("disk_transient_errors", t.disk_transient_errors);
   ]
 
 let pp ppf t =

@@ -40,6 +40,9 @@ type t = {
   mutable records_read : int;  (** records examined by the Disk Process *)
   mutable records_returned : int;  (** records shipped to the requester *)
   mutable redrives : int;  (** continuation re-drive messages *)
+  mutable faults_injected : int;  (** faults applied by the chaos engine *)
+  mutable msg_path_retries : int;  (** message-path failures retried *)
+  mutable disk_transient_errors : int;  (** transient I/O errors retried *)
 }
 
 val create : unit -> t

@@ -6,7 +6,14 @@ module Errors = Nsql_util.Errors
 
 type tx_state = Active | Prepared | Committed | Aborted
 
-type tx_entry = { mutable tx_state : tx_state; mutable undo : (unit -> unit) list }
+(* Undo actions are tagged with the resource manager (volume) that
+   registered them: when that volume crashes, its actions become
+   meaningless (the volume's state is rebuilt from the audit trail, where
+   an unfinished transaction is a loser) and must be forgotten so the
+   transaction can still abort cleanly on the surviving volumes. *)
+type undo_entry = { u_owner : string option; u_act : unit -> unit }
+
+type tx_entry = { mutable tx_state : tx_state; mutable undo : undo_entry list }
 
 type t = {
   sim : Sim.t;
@@ -55,10 +62,21 @@ let state t ~tx =
 let is_active t ~tx =
   match state t ~tx with Some Active -> true | Some _ | None -> false
 
-let register_undo t ~tx undo =
+let register_undo t ~tx ?owner undo =
   match Hashtbl.find_opt t.table tx with
-  | Some e when e.tx_state = Active -> e.undo <- undo :: e.undo
+  | Some e when e.tx_state = Active ->
+      e.undo <- { u_owner = owner; u_act = undo } :: e.undo
   | Some _ | None -> invalid_arg "Tmf.register_undo: transaction not active"
+
+let forget_owner t ~owner =
+  Hashtbl.iter
+    (fun _ e ->
+      match e.tx_state with
+      | Active | Prepared ->
+          e.undo <-
+            List.filter (fun u -> u.u_owner <> Some owner) e.undo
+      | Committed | Aborted -> ())
+    t.table
 
 let finish t tx = List.iter (fun f -> f tx) t.on_finish
 
@@ -102,7 +120,7 @@ let abort t ~tx =
   | Some e ->
       (* undo in reverse registration order; actions were pushed, so the
          list is already newest-first *)
-      List.iter (fun f -> f ()) e.undo;
+      List.iter (fun u -> u.u_act ()) e.undo;
       e.undo <- [];
       ignore (Trail.append t.trail ~tx Ar.Abort_tx);
       e.tx_state <- Aborted;

@@ -39,8 +39,18 @@ val state : t -> tx:int -> tx_state option
 (** [is_active t ~tx] is true for in-flight transactions. *)
 val is_active : t -> tx:int -> bool
 
-(** [register_undo t ~tx undo] pushes a compensation action. *)
-val register_undo : t -> tx:int -> (unit -> unit) -> unit
+(** [register_undo t ~tx ?owner undo] pushes a compensation action.
+    [owner] names the resource manager (volume) whose state the action
+    compensates — see {!forget_owner}. *)
+val register_undo : t -> tx:int -> ?owner:string -> (unit -> unit) -> unit
+
+(** [forget_owner t ~owner] drops, from every in-flight (active or
+    prepared) transaction, the undo actions registered by [owner]. Called
+    when that volume crashes: its volatile state is gone, and restart
+    recovery will treat the unfinished transactions as losers there, so
+    running their compensations would double-undo. The transactions can
+    then still abort cleanly on the surviving volumes. *)
+val forget_owner : t -> owner:string -> unit
 
 (** [prepare t ~tx ~coordinator_node ~coordinator_tx] makes the
     transaction a ready branch of a network transaction: its PREPARE

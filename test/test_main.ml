@@ -22,4 +22,5 @@ let () =
       ("dtx", Test_dtx.suite);
       ("model", Test_model.suite);
       ("relative", Test_relative.suite);
+      ("chaos", Test_chaos.suite);
     ]

@@ -138,8 +138,68 @@ let btree_string_keys =
       in
       walk (Btree.seek t Keycode.low_value) None 0)
 
+(* --- keycode encoding is order-preserving ------------------------------------ *)
+
+module Row = Nsql_row.Row
+
+(* Everything in the system — primary keys, index keys, generic locks,
+   partition boundaries — relies on one property: byte-comparison of the
+   encoded key equals lexicographic comparison of the typed key columns.
+   Check it over random multi-column (int, string, float, bool) rows. *)
+let multikey_schema =
+  Row.schema
+    [|
+      Row.column "a" Row.T_int;
+      Row.column "b" (Row.T_varchar 16);
+      Row.column "c" Row.T_float;
+      Row.column "d" Row.T_bool;
+      Row.column "payload" (Row.T_varchar 8);
+    |]
+    ~key:[ "a"; "b"; "c"; "d" ]
+
+let multikey_row_gen =
+  QCheck.Gen.(
+    (* small domains make every field's tie-then-differ case likely;
+       floats come from a grid (no NaN — NaN has no order to preserve) *)
+    let int_part = int_range (-6) 6 in
+    let str_part =
+      string_size ~gen:(oneofl [ 'a'; 'b'; '\x00'; '\xff' ]) (int_bound 4)
+    in
+    let float_part = map (fun i -> float_of_int i /. 4.) (int_range (-9) 9) in
+    map
+      (fun (a, b, c, d) ->
+        [| Row.Vint a; Row.Vstr b; Row.Vfloat c; Row.Vbool d; Row.Vstr "p" |])
+      (quad int_part str_part float_part bool))
+
+let sign i = compare i 0
+
+let lex_compare ra rb =
+  let rec go = function
+    | [] -> 0
+    | c :: rest ->
+        let d = Row.compare_value ra.(c) rb.(c) in
+        if d <> 0 then d else go rest
+  in
+  go [ 0; 1; 2; 3 ]
+
+let keycode_order_preserving =
+  QCheck.Test.make
+    ~name:"keycode: multi-column encoding preserves row order" ~count:1000
+    QCheck.(pair (QCheck.make multikey_row_gen) (QCheck.make multikey_row_gen))
+    (fun (ra, rb) ->
+      let ka = Row.key_of_row multikey_schema ra
+      and kb = Row.key_of_row multikey_schema rb in
+      let want = sign (lex_compare ra rb)
+      and got = sign (String.compare ka kb) in
+      if want <> got then
+        QCheck.Test.fail_reportf
+          "rows compare %d but encoded keys compare %d:@.%a@.%a@.%S@.%S" want
+          got Row.pp_row ra Row.pp_row rb ka kb;
+      true)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest cache_matches_model;
     QCheck_alcotest.to_alcotest btree_string_keys;
+    QCheck_alcotest.to_alcotest keycode_order_preserving;
   ]

@@ -198,6 +198,93 @@ let entry_file_scan () =
         all;
       Ok ())
 
+(* --- re-drive under random bounds and fault points ---------------------------- *)
+
+(* A scan is chopped into continuation re-drives by whatever per-request
+   record and CPU-tick budgets the Disk Process is configured with; the
+   session control block must make the resumption exact no matter where
+   the cut falls — and no matter whether the message path flaps, the
+   reply is delayed, or the primary DP dies and the backup takes over
+   mid-scan. The observable contract: the requester sees every row
+   exactly once, in key order. *)
+let scan_redrive_exactly_once =
+  QCheck.Test.make
+    ~name:"re-drive: random bounds + fault points lose/duplicate nothing"
+    ~count:30
+    QCheck.(
+      quad (int_range 1 40) (int_range 150 4000) (int_range 30 220)
+        (int_bound 100_000))
+    (fun (recs, ticks, count, salt) ->
+      let config =
+        Config.v ~dp_records_per_request:recs ~dp_ticks_per_request:ticks
+          ~vsbb_buffer_bytes:(512 + (salt mod 7 * 256))
+          ()
+      in
+      let n = node ~config ~dps:2 () in
+      let file = create_accounts ~parts:2 ~split:((count + 1) / 2) n in
+      load_accounts n file count;
+      let access = if salt land 1 = 0 then Fs.A_vsbb else Fs.A_rsbb in
+      let fault_at = salt mod count in
+      let fault_kind = salt / 7 mod 3 in
+      let inject () =
+        match fault_kind with
+        | 0 ->
+            (* next few messages fail on the primary path and are resent *)
+            let remaining = ref 3 in
+            Msg.set_fault_filter n.msys
+              (Some
+                 (fun ~from:_ ~to_name:_ ~tag:_ ->
+                   if !remaining > 0 then begin
+                     decr remaining;
+                     Msg.Fault_path_retry 400.
+                   end
+                   else Msg.Fault_pass))
+        | 1 ->
+            let remaining = ref 4 in
+            Msg.set_fault_filter n.msys
+              (Some
+                 (fun ~from:_ ~to_name:_ ~tag:_ ->
+                   if !remaining > 0 then begin
+                     decr remaining;
+                     Msg.Fault_delay 2_000.
+                   end
+                   else Msg.Fault_pass))
+        | _ ->
+            (* the primary of one volume dies; the backup takes over and
+               the scan's next re-drive lands on it transparently *)
+            get_ok ~ctx:"takeover" (Dp.takeover n.dps.(salt land 1))
+      in
+      let rows =
+        in_tx n (fun tx ->
+            let sc =
+              Fs.open_scan n.fs file ~tx ~access ~range:full_range
+                ~lock:Dp_msg.L_none ()
+            in
+            let rec go i acc =
+              if i = fault_at then inject ();
+              match get_ok ~ctx:"scan_next" (Fs.scan_next n.fs sc) with
+              | Some row -> go (i + 1) (row :: acc)
+              | None -> List.rev acc
+            in
+            let rows = go 0 [] in
+            Fs.close_scan n.fs sc;
+            Ok rows)
+      in
+      Msg.set_fault_filter n.msys None;
+      if List.length rows <> count then
+        QCheck.Test.fail_reportf "expected %d rows, got %d" count
+          (List.length rows);
+      List.iteri
+        (fun i row ->
+          match row.(0) with
+          | Row.Vint acct when acct = i -> ()
+          | v ->
+              QCheck.Test.fail_reportf
+                "row %d: expected acctno %d, got %s (lost/dup/reordered)" i i
+                (Format.asprintf "%a" Row.pp_value v))
+        rows;
+      true)
+
 (* --- mirrored volumes --------------------------------------------------------- *)
 
 let mirrored_volume_duplicates_writes () =
@@ -232,4 +319,5 @@ let suite =
       entry_file_scan;
     Alcotest.test_case "mirrored volume write doubling" `Quick
       mirrored_volume_duplicates_writes;
+    QCheck_alcotest.to_alcotest scan_redrive_exactly_once;
   ]
