@@ -1,0 +1,46 @@
+(* nsql-lint: static analysis over the repository's own sources.
+
+   Usage: nsql_lint [--allow FILE] [--no-allow] [DIR-or-FILE ...]
+
+   Parses every .ml under the given roots (default: lib) with
+   compiler-libs and enforces the determinism / protocol / lock-discipline
+   rules described in DESIGN.md §6. Exit code 1 on any unsuppressed
+   finding or stale allowlist entry. *)
+
+module Engine = Nsql_lint_lib.Engine
+module Allow = Nsql_lint_lib.Allow
+module Diag = Nsql_lint_lib.Diag
+
+let () =
+  let allow_path = ref "lint/allow.sexp" in
+  let no_allow = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ( "--allow",
+        Arg.Set_string allow_path,
+        "FILE allowlist of audited exceptions (default lint/allow.sexp)" );
+      ("--no-allow", Arg.Set no_allow, " ignore the allowlist entirely");
+    ]
+  in
+  let usage = "nsql_lint [--allow FILE] [--no-allow] [DIR-or-FILE ...]" in
+  Arg.parse spec (fun root -> roots := root :: !roots) usage;
+  let roots = match List.rev !roots with [] -> [ "lib" ] | rs -> rs in
+  let allow_file =
+    if !no_allow then None
+    else if Sys.file_exists !allow_path then Some !allow_path
+    else None
+  in
+  let report = Engine.run ~allow_file ~roots () in
+  List.iter (fun d -> print_endline (Diag.to_string d)) report.Engine.diags;
+  List.iter
+    (fun e ->
+      Printf.printf "%s:0:0 [ALLOW-STALE] allowlist entry %s matched nothing\n"
+        !allow_path (Allow.describe e))
+    report.Engine.stale_allows;
+  let findings = List.length report.Engine.diags in
+  let stale = List.length report.Engine.stale_allows in
+  Printf.eprintf "nsql-lint: %d files scanned, %d findings (%d suppressed)%s\n"
+    report.Engine.files_scanned findings report.Engine.suppressed
+    (if stale > 0 then Printf.sprintf ", %d stale allow entries" stale else "");
+  exit (if findings > 0 || stale > 0 then 1 else 0)

@@ -1,6 +1,7 @@
 module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
 module Disk = Nsql_disk.Disk
+module Tbl = Nsql_util.Tbl
 
 type frame = {
   block : int;
@@ -217,15 +218,11 @@ let prefetch t ~first ~count =
    write them asynchronously. *)
 let write_behind t =
   let durable = t.durable_lsn () in
-  let eligible =
-    Hashtbl.fold
-      (fun block f acc ->
-        if f.dirty && Int64.compare f.page_lsn durable <= 0 then
-          (block, f) :: acc
-        else acc)
-      t.table []
+  let sorted =
+    List.filter
+      (fun (_, f) -> f.dirty && Int64.compare f.page_lsn durable <= 0)
+      (Tbl.sorted_bindings t.table)
   in
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) eligible in
   let limit = Disk.max_bulk_blocks t.disk in
   let queued = ref 0 in
   let flush_string frames =
@@ -265,9 +262,11 @@ let flush_block t block =
   | None -> ()
 
 let flush_all t =
-  Hashtbl.iter (fun _ f -> if f.dirty then clean_frame t f) t.table;
+  List.iter (fun (_, f) -> if f.dirty then clean_frame t f)
+    (Tbl.sorted_bindings t.table);
   (* wait for in-flight write-behind too *)
-  Hashtbl.iter (fun _ f -> Sim.wait_until t.sim f.durable_at) t.table
+  List.iter (fun (_, f) -> Sim.wait_until t.sim f.durable_at)
+    (Tbl.sorted_bindings t.table)
 
 let steal t n =
   let s = Sim.stats t.sim in
@@ -292,4 +291,4 @@ let is_dirty t block =
   | None -> false
 
 let dirty_count t =
-  Hashtbl.fold (fun _ f acc -> if f.dirty then acc + 1 else acc) t.table 0
+  List.length (List.filter (fun (_, f) -> f.dirty) (Tbl.sorted_bindings t.table))

@@ -191,7 +191,7 @@ let do_insert t ~tx f ~key ~record =
     let lsn = audit t ~tx (Ar.Insert { file = f.f_id; key; image = record }) in
     match Btree.insert b ~key ~record ~lsn with
     | Ok () -> Ok lsn
-    | Error e -> failwith ("Dp.do_insert: audited insert failed: " ^ Errors.to_string e)
+    | Error e -> Errors.fatal ("Dp.do_insert: audited insert failed: " ^ Errors.to_string e)
   end
 
 let do_delete t ~tx f ~key =
@@ -236,19 +236,19 @@ let register_undo_insert t ~tx f ~key =
   Tmf.register_undo t.tmf ~tx ~owner:t.dp_name (fun () ->
       match do_delete t ~tx f ~key with
       | Ok _ -> ()
-      | Error e -> failwith ("Dp undo-insert: " ^ Errors.to_string e))
+      | Error e -> Errors.fatal ("Dp undo-insert: " ^ Errors.to_string e))
 
 let register_undo_delete t ~tx f ~key ~image =
   Tmf.register_undo t.tmf ~tx ~owner:t.dp_name (fun () ->
       match do_insert t ~tx f ~key ~record:image with
       | Ok _ -> ()
-      | Error e -> failwith ("Dp undo-delete: " ^ Errors.to_string e))
+      | Error e -> Errors.fatal ("Dp undo-delete: " ^ Errors.to_string e))
 
 let register_undo_update t ~tx f ~key ~before =
   Tmf.register_undo t.tmf ~tx ~owner:t.dp_name (fun () ->
       match do_update_full t ~tx f ~key ~record:before with
       | Ok _ -> ()
-      | Error e -> failwith ("Dp undo-update: " ^ Errors.to_string e))
+      | Error e -> Errors.fatal ("Dp undo-update: " ^ Errors.to_string e))
 
 (* --- constraint checking ------------------------------------------------- *)
 
@@ -466,7 +466,9 @@ let op_rel_write t ~file ~tx ~slot ~record =
           ignore
             (audit t ~tx
                (Ar.Delete { file = f.f_id; key = rel_key slot; image = record }));
-          ignore (Relfile.delete r ~slot ~lsn));
+          match Relfile.delete r ~slot ~lsn with
+          | Ok _ -> ()
+          | Error err -> Errors.fatal ("Dp undo-rel-insert: " ^ Errors.to_string err));
       Ok (Rp_slot slot)
 
 let op_rel_rewrite t ~file ~tx ~slot ~record =
@@ -493,7 +495,9 @@ let op_rel_rewrite t ~file ~tx ~slot ~record =
             (audit t ~tx
                (Ar.Update_full
                   { file = f.f_id; key = rel_key slot; before = record; after = before }));
-          ignore (Relfile.rewrite r ~slot ~record:before ~lsn));
+          match Relfile.rewrite r ~slot ~record:before ~lsn with
+          | Ok _ -> ()
+          | Error err -> Errors.fatal ("Dp undo-rel-rewrite: " ^ Errors.to_string err));
       Ok Rp_ok
 
 let op_rel_delete t ~file ~tx ~slot =
@@ -512,7 +516,9 @@ let op_rel_delete t ~file ~tx ~slot =
       Tmf.register_undo t.tmf ~tx ~owner:t.dp_name (fun () ->
           ignore
             (audit t ~tx (Ar.Insert { file = f.f_id; key = rel_key slot; image }));
-          ignore (Relfile.write r ~slot ~record:image ~lsn));
+          match Relfile.write r ~slot ~record:image ~lsn with
+          | Ok () -> ()
+          | Error err -> Errors.fatal ("Dp undo-rel-delete: " ^ Errors.to_string err));
       Ok Rp_ok
 
 let op_entry_append t ~file ~tx ~record =
@@ -539,7 +545,7 @@ let op_entry_append t ~file ~tx ~record =
                (Ar.Delete { file = f.f_id; key = Keycode.of_int addr; image = record }));
           match Entryfile.truncate_to e ~addr ~lsn with
           | Ok () -> ()
-          | Error err -> failwith ("Dp undo-append: " ^ Errors.to_string err));
+          | Error err -> Errors.fatal ("Dp undo-append: " ^ Errors.to_string err));
       Ok (Rp_slot addr)
 
 let op_entry_read t ~file ~tx ~addr =
@@ -1135,12 +1141,18 @@ let request t req =
   | Error e -> Rp_error e
 
 let handler t payload =
-  let req = decode_request payload in
-  let reply = request t req in
-  (* mutations checkpoint their intent to the backup half of the pair *)
-  if is_mutation req then
-    Msg.checkpoint t.msys t.endpoint ~bytes_:(String.length payload);
-  encode_reply reply
+  match decode_request payload with
+  | Error e ->
+      encode_reply
+        (Rp_error
+           (Errors.Bad_request
+              ("malformed request: " ^ decode_error_to_string e)))
+  | Ok req ->
+      let reply = request t req in
+      (* mutations checkpoint their intent to the backup half of the pair *)
+      if is_mutation req then
+        Msg.checkpoint t.msys t.endpoint ~bytes_:(String.length payload);
+      encode_reply reply
 
 let takeover t =
   if Msg.takeover_endpoint t.endpoint then Ok ()
@@ -1165,9 +1177,10 @@ let crash t =
   Tmf.forget_owner t.tmf ~owner:t.dp_name
 
 let recover_with_gen t ~resolve =
-  (* rebuild every structure empty (the file labels survive on disk) *)
-  Hashtbl.iter
-    (fun _ f ->
+  (* rebuild every structure empty (the file labels survive on disk), in
+     file-id order: creation order decides cache/disk allocation *)
+  List.iter
+    (fun (_, f) ->
       let structure =
         match f.f_kind with
         | K_key_sequenced -> S_btree (Btree.create t.sim t.cache ~name:f.f_name)
@@ -1177,7 +1190,7 @@ let recover_with_gen t ~resolve =
             S_entry (Entryfile.create t.sim t.cache ~name:f.f_name)
       in
       f.f_structure <- structure)
-    t.files;
+    (Nsql_util.Tbl.sorted_bindings t.files);
   let apply body =
     let with_file file k =
       match Hashtbl.find_opt t.files file with Some f -> k f | None -> ()
@@ -1189,15 +1202,15 @@ let recover_with_gen t ~resolve =
             | S_btree b -> Btree.upsert b ~key ~record:image ~lsn:0L
             | S_rel r ->
                 let slot = Keycode.read_int (Nsql_util.Codec.reader key) in
-                ignore (Relfile.write r ~slot ~record:image ~lsn:0L)
-            | S_entry e -> ignore (Entryfile.append e ~record:image ~lsn:0L))
+                Errors.swallow (Relfile.write r ~slot ~record:image ~lsn:0L)
+            | S_entry e -> Errors.swallow (Entryfile.append e ~record:image ~lsn:0L))
     | Ar.Delete { file; key; _ } ->
         with_file file (fun f ->
             match f.f_structure with
-            | S_btree b -> ignore (Btree.delete b ~key ~lsn:0L)
+            | S_btree b -> Errors.swallow (Btree.delete b ~key ~lsn:0L)
             | S_rel r ->
                 let slot = Keycode.read_int (Nsql_util.Codec.reader key) in
-                ignore (Relfile.delete r ~slot ~lsn:0L)
+                Errors.swallow (Relfile.delete r ~slot ~lsn:0L)
             | S_entry _ -> ())
     | Ar.Update_full { file; key; after; _ } ->
         with_file file (fun f ->
@@ -1205,7 +1218,7 @@ let recover_with_gen t ~resolve =
             | S_btree b -> Btree.upsert b ~key ~record:after ~lsn:0L
             | S_rel r ->
                 let slot = Keycode.read_int (Nsql_util.Codec.reader key) in
-                ignore (Relfile.rewrite r ~slot ~record:after ~lsn:0L)
+                Errors.swallow (Relfile.rewrite r ~slot ~record:after ~lsn:0L)
             | S_entry _ -> ())
     | Ar.Update_fields { file; key; fields } ->
         with_file file (fun f ->
@@ -1229,14 +1242,15 @@ let recover t =
 let recover_with t ~resolve = recover_with_gen t ~resolve
 
 let check_invariants t =
-  Hashtbl.fold
-    (fun _ f acc ->
+  List.fold_left
+    (fun acc (_, f) ->
       match acc with
       | Error _ -> acc
       | Ok () -> (
           match f.f_structure with
           | S_btree b -> Btree.check_invariants b
           | S_rel _ | S_entry _ -> Ok ()))
-    t.files (Ok ())
+    (Ok ())
+    (Nsql_util.Tbl.sorted_bindings t.files)
 
 let () = handler_cell := handler

@@ -135,6 +135,25 @@ let is_mutation = function
   | R_close_scb _ | R_rel_read _ | R_entry_read _ ->
       false
 
+(* --- decode errors ------------------------------------------------------- *)
+
+(* A malformed payload is a peer bug or corruption, not a caller error:
+   decoding returns [result] so the transport layer can answer with a
+   protocol-level error instead of unwinding the process. *)
+type decode_error =
+  | Bad_tag of { field : string; tag : int }
+  | Truncated
+
+let decode_error_to_string = function
+  | Bad_tag { field; tag } -> Printf.sprintf "bad %s tag %d" field tag
+  | Truncated -> "truncated payload"
+
+(* internal: unwinds the recursive-descent decoders; callers only ever
+   see the [result] *)
+exception Bad_tag_exn of string * int
+
+let bad_tag field tag = raise (Bad_tag_exn (field, tag))
+
 (* --- primitive codecs --------------------------------------------------- *)
 
 let w_lock w = function
@@ -147,7 +166,7 @@ let r_lock r =
   | 0 -> L_none
   | 1 -> L_shared
   | 2 -> L_exclusive
-  | n -> invalid_arg (Printf.sprintf "Dp_msg: bad lock mode %d" n)
+  | n -> bad_tag "lock mode" n
 
 let w_range w (range : Expr.key_range) =
   Codec.w_bytes w range.Expr.lo;
@@ -231,7 +250,7 @@ let r_error r : Errors.t =
   | 12 -> Errors.Invalid_argument_error payload
   | 13 -> Errors.Io_error payload
   | 14 -> Errors.Internal payload
-  | n -> invalid_arg (Printf.sprintf "Dp_msg: bad error tag %d" n)
+  | n -> bad_tag "error" n
 
 (* --- request codec ------------------------------------------------------- *)
 
@@ -392,7 +411,7 @@ let encode_request req =
       Codec.w_varint w scb);
   Codec.contents w
 
-let decode_request payload =
+let decode_request_exn payload =
   let r = Codec.reader payload in
   match Codec.r_u8 r with
   | 0 ->
@@ -402,7 +421,7 @@ let decode_request payload =
         | 0 -> K_key_sequenced
         | 1 -> K_relative (Codec.r_varint r)
         | 2 -> K_entry_sequenced
-        | n -> invalid_arg (Printf.sprintf "Dp_msg: bad file kind %d" n)
+        | n -> bad_tag "file kind" n
       in
       let schema = r_opt r Row.decode_schema in
       let check = r_opt r Expr.decode in
@@ -545,12 +564,12 @@ let decode_request payload =
               match Codec.r_u8 r with
               | 0 -> Ob_update (r_assignments r)
               | 1 -> Ob_delete
-              | k -> invalid_arg (Printf.sprintf "Dp_msg: bad op tag %d" k)
+              | k -> bad_tag "buffered op" k
             in
             (key, op))
       in
       R_apply_block { file; tx; ops }
-  | n -> invalid_arg (Printf.sprintf "Dp_msg: bad request tag %d" n)
+  | n -> bad_tag "request" n
 
 (* --- reply codec ----------------------------------------------------------- *)
 
@@ -607,7 +626,7 @@ let encode_reply reply =
       w_error w e);
   Codec.contents w
 
-let decode_reply payload =
+let decode_reply_exn payload =
   let r = Codec.reader payload in
   match Codec.r_u8 r with
   | 0 -> Rp_ok
@@ -651,4 +670,14 @@ let decode_reply payload =
       let scb = Codec.r_varint r - 1 in
       Rp_blocked { blockers; processed; last_key; scb }
   | 10 -> Rp_error (r_error r)
-  | n -> invalid_arg (Printf.sprintf "Dp_msg: bad reply tag %d" n)
+  | n -> bad_tag "reply" n
+
+let guard decode payload =
+  match decode payload with
+  | v -> Ok v
+  | exception Bad_tag_exn (field, tag) -> Error (Bad_tag { field; tag })
+  | exception Codec.Truncated -> Error Truncated
+
+let decode_request payload = guard decode_request_exn payload
+
+let decode_reply payload = guard decode_reply_exn payload

@@ -127,11 +127,22 @@ type reply =
     GET^FIRST^VSBB style, used for tracing. *)
 val tag : request -> string
 
+(** Why decoding can fail: a tag byte outside the known range for a
+    field, or a payload that ends mid-field. A malformed payload is a
+    peer bug or corruption, so decoders return [result] and the
+    transport layer answers with a protocol-level error instead of
+    unwinding the process. *)
+type decode_error =
+  | Bad_tag of { field : string; tag : int }
+  | Truncated
+
+val decode_error_to_string : decode_error -> string
+
 val encode_request : request -> string
-val decode_request : string -> request
+val decode_request : string -> (request, decode_error) result
 
 val encode_reply : reply -> string
-val decode_reply : string -> reply
+val decode_reply : string -> (reply, decode_error) result
 
 (** [is_mutation req] — does the request change file state (and thus
     checkpoint to the backup process)? *)

@@ -6,6 +6,7 @@ module Dp = Nsql_dp.Dp
 module Dp_msg = Nsql_dp.Dp_msg
 module Keycode = Nsql_util.Keycode
 module Errors = Nsql_util.Errors
+module Tbl = Nsql_util.Tbl
 
 open Errors
 
@@ -56,7 +57,12 @@ let send t dp req =
     Msg.send t.msys ~from:t.my_processor ~tag:(Dp_msg.tag req)
       (Dp.endpoint dp) payload
   in
-  Dp_msg.decode_reply reply_payload
+  match Dp_msg.decode_reply reply_payload with
+  | Ok reply -> reply
+  | Error e ->
+      Dp_msg.Rp_error
+        (Errors.Internal
+           ("malformed reply: " ^ Dp_msg.decode_error_to_string e))
 
 let blocked_error blockers =
   Errors.Lock_timeout
@@ -270,6 +276,40 @@ let lock_generic t f ~tx ~prefix ~lock =
   let p = route f prefix in
   expect_ok
     (send t p.p_dp (Dp_msg.R_lock_generic { file = p.p_file; tx; prefix; lock }))
+
+(* relative and entry-sequenced files are unpartitioned: every request goes
+   through the first (only) partition, like [append_entry] *)
+
+let rel_read t f ~tx ~slot =
+  let p = f.parts.(0) in
+  let* _k, record =
+    expect_record (send t p.p_dp (Dp_msg.R_rel_read { file = p.p_file; tx; slot }))
+  in
+  Ok record
+
+let rel_write t f ~tx ~slot ~record =
+  let p = f.parts.(0) in
+  match send t p.p_dp (Dp_msg.R_rel_write { file = p.p_file; tx; slot; record }) with
+  | Dp_msg.Rp_slot s -> Ok s
+  | Dp_msg.Rp_error e -> Error e
+  | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+  | _ -> Error (Errors.Internal "unexpected reply to REL^WRITE")
+
+let rel_rewrite t f ~tx ~slot ~record =
+  let p = f.parts.(0) in
+  expect_ok
+    (send t p.p_dp (Dp_msg.R_rel_rewrite { file = p.p_file; tx; slot; record }))
+
+let rel_delete t f ~tx ~slot =
+  let p = f.parts.(0) in
+  expect_ok (send t p.p_dp (Dp_msg.R_rel_delete { file = p.p_file; tx; slot }))
+
+let entry_read t f ~tx ~addr =
+  let p = f.parts.(0) in
+  let* _k, record =
+    expect_record (send t p.p_dp (Dp_msg.R_entry_read { file = p.p_file; tx; addr }))
+  in
+  Ok record
 
 (* --- SQL row operations ----------------------------------------------------------- *)
 
@@ -770,7 +810,7 @@ let flush_insert_buffer t b =
             | Dp_msg.Rp_error e -> Error e
             | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
             | _ -> Error (Errors.Internal "unexpected reply to INSERT^BLOCK"))
-          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) groups [])
+          (Tbl.sorted_bindings groups)
       in
       (* index maintenance, also blocked *)
       Errors.list_iter
@@ -845,7 +885,7 @@ let flush_apply_buffer t b =
             | Dp_msg.Rp_error e -> Error e
             | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
             | _ -> Error (Errors.Internal "unexpected reply to APPLY^BLOCK"))
-          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) groups [])
+          (Tbl.sorted_bindings groups)
       end
 
 let buffer_op t b key op =

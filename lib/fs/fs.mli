@@ -125,6 +125,30 @@ val lock_generic :
   t -> file -> tx:int -> prefix:string -> lock:Dp_msg.lock_mode ->
   (unit, Nsql_util.Errors.t) result
 
+(** [rel_read t file ~tx ~slot] reads one slot of a relative file. *)
+val rel_read :
+  t -> file -> tx:int -> slot:int -> (string, Nsql_util.Errors.t) result
+
+(** [rel_write t file ~tx ~slot ~record] writes an empty slot and returns
+    the slot number (ENSCRIBE REL^WRITE). *)
+val rel_write :
+  t -> file -> tx:int -> slot:int -> record:string ->
+  (int, Nsql_util.Errors.t) result
+
+(** [rel_rewrite t file ~tx ~slot ~record] overwrites an occupied slot. *)
+val rel_rewrite :
+  t -> file -> tx:int -> slot:int -> record:string ->
+  (unit, Nsql_util.Errors.t) result
+
+(** [rel_delete t file ~tx ~slot] empties a slot. *)
+val rel_delete :
+  t -> file -> tx:int -> slot:int -> (unit, Nsql_util.Errors.t) result
+
+(** [entry_read t file ~tx ~addr] reads the entry at [addr] of an
+    entry-sequenced file (addresses come from {!append_entry}). *)
+val entry_read :
+  t -> file -> tx:int -> addr:int -> (string, Nsql_util.Errors.t) result
+
 (** {1 SQL row operations (with index maintenance)} *)
 
 (** [insert_row t file ~tx row] validates DP-side, inserts into the right

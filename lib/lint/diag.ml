@@ -1,0 +1,30 @@
+(* A single lint finding. [file] is the path as the engine discovered it
+   (relative to the lint invocation's cwd), which is what both the printed
+   diagnostic and allowlist suffix-matching use. *)
+
+type t = { rule : string; file : string; line : int; col : int; msg : string }
+
+let v ~rule ~file ~line ~col msg = { rule; file; line; col; msg }
+
+let of_loc ~rule ~file (loc : Location.t) msg =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    msg;
+  }
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d [%s] %s" d.file d.line d.col d.rule d.msg
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule

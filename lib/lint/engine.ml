@@ -1,0 +1,70 @@
+(* Orchestration: discover sources, parse, build the result-returning
+   function index from interfaces, run every rule, apply the allowlist.
+
+   The engine is itself deterministic — file lists and diagnostics are
+   sorted — so CI output is stable and diffable. *)
+
+type report = {
+  diags : Diag.t list;  (** unsuppressed findings, sorted *)
+  suppressed : int;  (** findings silenced by the allowlist *)
+  stale_allows : Allow.entry list;  (** allow entries that matched nothing *)
+  files_scanned : int;
+}
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.equal (String.sub s (l - ls) ls) suffix
+
+let run ?(allow_file = None) ~roots () =
+  let ml = Source.ml_files roots in
+  let parsed, parse_diags =
+    List.fold_left
+      (fun (ok, bad) path ->
+        match Source.parse_impl path with
+        | Ok structure -> ((path, structure) :: ok, bad)
+        | Error d -> (ok, d :: bad))
+      ([], []) ml
+  in
+  let parsed = List.rev parsed in
+  let index = Rules.Result_index.create () in
+  List.iter
+    (fun path ->
+      match Source.parse_intf path with
+      | Ok signature ->
+          Rules.Result_index.add_signature index
+            ~module_name:(Source.module_name path) signature
+      | Error _ -> ())
+    (Source.mli_files roots);
+  let file_diags =
+    List.concat_map
+      (fun (path, structure) -> Rules.per_file ~path ~index structure)
+      parsed
+  in
+  let find suffix = List.find_opt (fun (p, _) -> ends_with ~suffix p) parsed in
+  let proto_diags =
+    match (find "dp/dp_msg.ml", find "dp/dp.ml") with
+    | Some msg, Some dispatch ->
+        let requesters =
+          List.filter (fun (p, _) -> not (Rules.under "lib/dp" p)) parsed
+        in
+        Rules.proto_exhaust ~msg ~dispatch ~requesters
+    | _ -> []
+  in
+  let all = parse_diags @ file_diags @ proto_diags in
+  let entries =
+    match allow_file with
+    | None -> []
+    | Some path -> (
+        match Allow.load path with
+        | Ok entries -> entries
+        | Error msg ->
+            (* a broken allowlist must not silently allow everything *)
+            failwith msg)
+  in
+  let kept, suppressed = Allow.apply entries all in
+  {
+    diags = List.sort_uniq Diag.compare kept;
+    suppressed;
+    stale_allows = Allow.stale entries;
+    files_scanned = List.length ml;
+  }

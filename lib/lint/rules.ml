@@ -1,0 +1,448 @@
+(* The rule engine: six repo-specific rules over compiler-libs parse trees.
+
+   Every rule is a pure function from a parse tree (plus whatever cross-file
+   context it needs) to a list of diagnostics. Traversal uses
+   [Ast_iterator.default_iterator] and touches only AST constructors that
+   are stable across OCaml 5.1/5.2 (idents, applications, constructs,
+   cases, type declarations), so the lint builds on both compilers in CI.
+
+   | rule         | invariant it protects                                   |
+   |--------------|---------------------------------------------------------|
+   | DET-RANDOM   | all randomness flows from the chaos seed                |
+   | SIM-CLOCK    | all time flows from the simulation clock                |
+   | DET-HASHITER | no unordered hash traversal reaches state or output     |
+   | ERR-SWALLOW  | protocol paths neither drop results nor raise untyped   |
+   | LOCK-ORDER   | acquisitions follow the declared volume→file→key order  |
+   | PROTO-EXHAUST| every DP request is dispatched and has a requester path |
+*)
+
+open Parsetree
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1)) in
+  go 0
+
+(* [under "lib/sim" "lib/sim/sim.ml"] — directory test on '/'-separated
+   paths, robust to absolute roots *)
+let under dir path =
+  let needle = dir ^ "/" in
+  (String.length path >= String.length needle
+  && String.equal (String.sub path 0 (String.length needle)) needle)
+  || contains ~needle:("/" ^ needle) path
+
+let ident_path expr =
+  match expr.pexp_desc with
+  | Pexp_ident { txt; _ } -> ( try Some (Longident.flatten txt) with _ -> None)
+  | _ -> None
+
+(* treat [Stdlib.Random.int] and [Random.int] alike *)
+let normalize = function "Stdlib" :: rest -> rest | path -> path
+
+let iter_exprs structure f =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          f e;
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure it structure
+
+(* --- DET-RANDOM --------------------------------------------------------- *)
+
+(* Nondeterministic randomness breaks byte-identical seed replay (PR 1's
+   chaos harness). lib/sim is exempt: it owns the config that could one day
+   seed legitimate randomness. The chaos harness's own [Prng] is a distinct
+   seeded module and is untouched by this rule. *)
+let det_random ~path structure =
+  if under "lib/sim" path then []
+  else begin
+    let diags = ref [] in
+    iter_exprs structure (fun e ->
+        match Option.map normalize (ident_path e) with
+        | Some ("Random" :: _ as p) ->
+            diags :=
+              Diag.of_loc ~rule:"DET-RANDOM" ~file:path e.pexp_loc
+                (Printf.sprintf
+                   "nondeterministic randomness source %s; derive randomness \
+                    from a seeded Prng instead"
+                   (String.concat "." p))
+              :: !diags
+        | _ -> ())
+  ;
+    List.rev !diags
+  end
+
+(* --- SIM-CLOCK ----------------------------------------------------------- *)
+
+let wall_clock_reads =
+  [
+    [ "Unix"; "time" ];
+    [ "Unix"; "gettimeofday" ];
+    [ "Unix"; "sleep" ];
+    [ "Unix"; "sleepf" ];
+    [ "Unix"; "localtime" ];
+    [ "Unix"; "gmtime" ];
+    [ "Sys"; "time" ];
+  ]
+
+let sim_clock ~path structure =
+  let diags = ref [] in
+  iter_exprs structure (fun e ->
+      match Option.map normalize (ident_path e) with
+      | Some p
+        when List.mem p wall_clock_reads
+             || (match p with
+                | ("Ptime_clock" | "Mtime_clock") :: _ -> true
+                | _ -> false) ->
+          diags :=
+            Diag.of_loc ~rule:"SIM-CLOCK" ~file:path e.pexp_loc
+              (Printf.sprintf
+                 "wall-clock read %s; all time must come from Sim.now / the \
+                  simulation clock"
+                 (String.concat "." p))
+            :: !diags
+      | _ -> ());
+  List.rev !diags
+
+(* --- DET-HASHITER -------------------------------------------------------- *)
+
+let hashtbl_traversals =
+  [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+(* lib/util/tbl.ml is the sanctioned wrapper and the one place allowed to
+   touch raw traversal. *)
+let det_hashiter ~path structure =
+  if Filename.check_suffix path "lib/util/tbl.ml" then []
+  else begin
+    let diags = ref [] in
+    iter_exprs structure (fun e ->
+        match Option.map normalize (ident_path e) with
+        | Some [ "Hashtbl"; f ] when List.mem f hashtbl_traversals ->
+            diags :=
+              Diag.of_loc ~rule:"DET-HASHITER" ~file:path e.pexp_loc
+                (Printf.sprintf
+                   "unordered traversal Hashtbl.%s; use \
+                    Nsql_util.Tbl.sorted_bindings, or allowlist a provably \
+                    order-insensitive use"
+                   f)
+              :: !diags
+        | _ -> ())
+  ;
+    List.rev !diags
+  end
+
+(* --- ERR-SWALLOW --------------------------------------------------------- *)
+
+let protocol_dirs = [ "lib/dp"; "lib/fs"; "lib/msg"; "lib/dtx"; "lib/tmf" ]
+
+let in_protocol_path path = List.exists (fun d -> under d path) protocol_dirs
+
+(* The cross-file ingredient: the set of (Module, value) pairs whose
+   declared type returns a [result], harvested from every .mli in the
+   tree. Ignoring such a call discards an error. *)
+module Result_index = struct
+  type t = (string * string, unit) Hashtbl.t
+
+  let create () : t = Hashtbl.create 256
+
+  let rec returns_result ty =
+    match ty.ptyp_desc with
+    | Ptyp_arrow (_, _, ret) -> returns_result ret
+    | Ptyp_constr ({ txt; _ }, _) -> (
+        match try Longident.flatten txt with _ -> [] with
+        | l -> ( match List.rev l with "result" :: _ -> true | _ -> false))
+    | Ptyp_poly (_, ty) -> returns_result ty
+    | _ -> false
+
+  let add_signature (t : t) ~module_name signature =
+    List.iter
+      (fun item ->
+        match item.psig_desc with
+        | Psig_value { pval_name; pval_type; _ } ->
+            if returns_result pval_type then
+              Hashtbl.replace t (module_name, pval_name.txt) ()
+        | _ -> ())
+      signature
+
+  let mem (t : t) ~module_name ~value = Hashtbl.mem t (module_name, value)
+end
+
+let err_swallow ~path ~(index : Result_index.t) structure =
+  if not (in_protocol_path path) then []
+  else begin
+    let self = Source.module_name path in
+    let diags = ref [] in
+    let flag loc msg = diags := Diag.of_loc ~rule:"ERR-SWALLOW" ~file:path loc msg :: !diags in
+    iter_exprs structure (fun e ->
+        match e.pexp_desc with
+        | Pexp_ident _ when ident_path e |> Option.map normalize = Some [ "failwith" ] ->
+            flag e.pexp_loc
+              "bare failwith in a protocol path; use Errors.fatal for \
+               invariant violations or return a typed error"
+        | Pexp_apply (fn, [ (Asttypes.Nolabel, arg) ])
+          when ident_path fn |> Option.map normalize = Some [ "ignore" ] -> (
+            match arg.pexp_desc with
+            | Pexp_apply (callee, _) -> (
+                match Option.map normalize (ident_path callee) with
+                | Some callee_path -> (
+                    let hit =
+                      match List.rev callee_path with
+                      | value :: m :: _ ->
+                          Result_index.mem index ~module_name:m ~value
+                      | [ value ] ->
+                          Result_index.mem index ~module_name:self ~value
+                      | [] -> false
+                    in
+                    match hit with
+                    | true ->
+                        flag e.pexp_loc
+                          (Printf.sprintf
+                             "ignore of result-returning %s discards an \
+                              error; handle it or mark the intent with \
+                              Errors.swallow"
+                             (String.concat "." callee_path))
+                    | false -> ())
+                | None -> ())
+            | _ -> ())
+        | _ -> ());
+    List.rev !diags
+  end
+
+(* --- LOCK-ORDER ---------------------------------------------------------- *)
+
+let lock_dirs = [ "lib/dp"; "lib/tmf"; "lib/dtx" ]
+
+(* The declared acquisition order is volume → file → key: a FILE lock may
+   be followed by generic/range locks which may be followed by record
+   locks, never the other way around within one code path. Ranks follow
+   that coarse-to-fine ladder. *)
+let rank_name = function
+  | 0 -> "FILE"
+  | 1 -> "GENERIC/RANGE"
+  | 2 -> "RECORD"
+  | _ -> "?"
+
+let resource_rank expr =
+  match expr.pexp_desc with
+  | Pexp_construct ({ txt; _ }, _) -> (
+      match try List.rev (Longident.flatten txt) with _ -> [] with
+      | "File" :: _ -> Some 0
+      | "Generic" :: _ | "Range" :: _ -> Some 1
+      | "Record" :: _ -> Some 2
+      | _ -> None)
+  | _ -> None
+
+let is_acquire_callee expr =
+  match Option.map List.rev (ident_path expr) with
+  | Some ("acquire" :: _) | Some ("try_lock" :: _) -> Some ()
+  | _ -> None
+
+(* Collect acquisition sites per top-level binding (interprocedural
+   ordering is out of scope; each exported operation acquires its locks
+   within one top-level definition in this codebase). *)
+let lock_order ~path structure =
+  if not (List.exists (fun d -> under d path) lock_dirs) then []
+  else begin
+    let diags = ref [] in
+    List.iter
+      (fun item ->
+        let sites = ref [] in
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun it e ->
+                (match e.pexp_desc with
+                | Pexp_apply (fn, args) when is_acquire_callee fn <> None ->
+                    let rank =
+                      List.find_map (fun (_, a) -> resource_rank a) args
+                    in
+                    sites := (e.pexp_loc, rank, fn) :: !sites
+                | _ -> ());
+                Ast_iterator.default_iterator.expr it e);
+          }
+        in
+        it.structure_item it item;
+        let sites = List.rev !sites in
+        let coarsest = ref (-1) in
+        List.iter
+          (fun (loc, rank, fn) ->
+            match rank with
+            | None ->
+                let name =
+                  match ident_path fn with
+                  | Some p -> String.concat "." p
+                  | None -> "<fn>"
+                in
+                diags :=
+                  Diag.of_loc ~rule:"LOCK-ORDER" ~file:path loc
+                    (Printf.sprintf
+                       "cannot prove lock order: resource argument of %s is \
+                        not a literal Lock resource constructor"
+                       name)
+                  :: !diags
+            | Some r ->
+                if r < !coarsest then
+                  diags :=
+                    Diag.of_loc ~rule:"LOCK-ORDER" ~file:path loc
+                      (Printf.sprintf
+                         "%s lock acquired after a %s lock; acquisitions \
+                          must follow the volume→file→key order"
+                         (rank_name r) (rank_name !coarsest))
+                    :: !diags
+                else coarsest := max !coarsest r)
+          sites)
+      structure;
+    List.rev !diags
+  end
+
+(* --- PROTO-EXHAUST ------------------------------------------------------- *)
+
+(* Three obligations tie the wire protocol together:
+   1. no match over DP requests (in the message or dispatch module) hides
+      behind a catch-all — adding a request must not silently no-op;
+   2. every request constructor is dispatched by name in the DP;
+   3. every request constructor is constructed somewhere FS-side, i.e. the
+      protocol carries no dead or DP-only requests. *)
+
+let request_constructors structure =
+  List.concat_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_type (_, decls) ->
+          List.concat_map
+            (fun d ->
+              if String.equal d.ptype_name.txt "request" then
+                match d.ptype_kind with
+                | Ptype_variant ctors ->
+                    List.map
+                      (fun c -> (c.pcd_name.txt, c.pcd_name.loc))
+                      ctors
+                | _ -> []
+              else [])
+            decls
+      | _ -> [])
+    structure
+
+let rec pattern_heads in_set pat =
+  match pat.ppat_desc with
+  | Ppat_construct ({ txt; _ }, arg) ->
+      let head =
+        match try List.rev (Longident.flatten txt) with _ -> [] with
+        | name :: _ when in_set name -> [ name ]
+        | _ -> []
+      in
+      head
+      @ (match arg with
+        | Some (_, p) -> pattern_heads in_set p
+        | None -> [])
+  | Ppat_or (a, b) -> pattern_heads in_set a @ pattern_heads in_set b
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_open (_, p) ->
+      pattern_heads in_set p
+  | Ppat_tuple ps -> List.concat_map (pattern_heads in_set) ps
+  | _ -> []
+
+let is_catch_all pat =
+  match pat.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias ({ ppat_desc = Ppat_any; _ }, _) -> true
+  | _ -> false
+
+(* Scan every case list in [structure] (match, function, try — the [cases]
+   iterator hook sees them all). A case list "is over requests" when at
+   least one of its patterns mentions a request constructor. *)
+let scan_request_matches ~path ~in_set structure =
+  let matched = Hashtbl.create 32 in
+  let diags = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      cases =
+        (fun it cs ->
+          let heads =
+            List.concat_map (fun c -> pattern_heads in_set c.pc_lhs) cs
+          in
+          if heads <> [] then begin
+            List.iter (fun h -> Hashtbl.replace matched h ()) heads;
+            List.iter
+              (fun c ->
+                if is_catch_all c.pc_lhs then
+                  diags :=
+                    Diag.of_loc ~rule:"PROTO-EXHAUST" ~file:path
+                      c.pc_lhs.ppat_loc
+                      "catch-all pattern in a match over DP requests; new \
+                       request constructors must be handled explicitly"
+                    :: !diags)
+              cs
+          end;
+          Ast_iterator.default_iterator.cases it cs);
+    }
+  in
+  it.structure it structure;
+  (matched, List.rev !diags)
+
+let record_constructed ~in_set built structure =
+  iter_exprs structure (fun e ->
+      match e.pexp_desc with
+      | Pexp_construct ({ txt; _ }, _) -> (
+          match try List.rev (Longident.flatten txt) with _ -> [] with
+          | name :: _ when in_set name -> Hashtbl.replace built name ()
+          | _ -> ())
+      | _ -> ())
+
+let proto_exhaust ~msg:(msg_path, msg_structure)
+    ~dispatch:(dispatch_path, dispatch_structure) ~requesters =
+  let ctors = request_constructors msg_structure in
+  if ctors = [] then []
+  else begin
+    let in_set name = List.mem_assoc name ctors in
+    let dispatched, dispatch_diags =
+      scan_request_matches ~path:dispatch_path ~in_set dispatch_structure
+    in
+    let _, msg_diags =
+      scan_request_matches ~path:msg_path ~in_set msg_structure
+    in
+    let requester_built = Hashtbl.create 32 in
+    List.iter
+      (fun (_, structure) -> record_constructed ~in_set requester_built structure)
+      requesters;
+    let missing_dispatch =
+      List.filter_map
+        (fun (name, loc) ->
+          if Hashtbl.mem dispatched name then None
+          else
+            Some
+              (Diag.of_loc ~rule:"PROTO-EXHAUST" ~file:msg_path loc
+                 (Printf.sprintf
+                    "request constructor %s is not dispatched in %s" name
+                    dispatch_path)))
+        ctors
+    in
+    let missing_requester =
+      List.filter_map
+        (fun (name, loc) ->
+          if Hashtbl.mem requester_built name then None
+          else
+            Some
+              (Diag.of_loc ~rule:"PROTO-EXHAUST" ~file:msg_path loc
+                 (Printf.sprintf
+                    "request constructor %s has no FS-side requester or \
+                     continuation path"
+                    name)))
+        ctors
+    in
+    msg_diags @ dispatch_diags @ missing_dispatch @ missing_requester
+  end
+
+(* --- the per-file bundle -------------------------------------------------- *)
+
+let per_file ~path ~index structure =
+  det_random ~path structure
+  @ sim_clock ~path structure
+  @ det_hashiter ~path structure
+  @ err_swallow ~path ~index structure
+  @ lock_order ~path structure

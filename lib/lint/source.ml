@@ -1,0 +1,81 @@
+(* File discovery and parsing.
+
+   Discovery is deterministic: directories are walked recursively and every
+   result list is sorted, so diagnostics come out in a stable order no
+   matter the filesystem. Parsing goes through compiler-libs [Parse], the
+   same front end the build uses. *)
+
+let is_dir p = try Sys.is_directory p with Sys_error _ -> false
+
+let skip_dir name =
+  String.length name > 0 && (name.[0] = '.' || name.[0] = '_')
+
+let rec walk acc path =
+  if is_dir path then
+    Array.fold_left
+      (fun acc name ->
+        if skip_dir name then acc else walk acc (Filename.concat path name))
+      acc (Sys.readdir path)
+  else path :: acc
+
+let files_with_ext ext roots =
+  let all = List.fold_left walk [] roots in
+  List.sort String.compare
+    (List.filter (fun p -> Filename.check_suffix p ext) all)
+
+let ml_files roots = files_with_ext ".ml" roots
+let mli_files roots = files_with_ext ".mli" roots
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  src
+
+let lexbuf_for ~path src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  lexbuf
+
+(* [module_name "lib/tmf/tmf.ml"] = "Tmf": the module a compilation unit
+   defines, used to resolve unqualified calls against its own .mli. *)
+let module_name path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let syntax_error_diag ~path exn =
+  let of_location loc msg = Diag.of_loc ~rule:"LINT-PARSE" ~file:path loc msg in
+  match exn with
+  | Syntaxerr.Error err ->
+      Some (of_location (Syntaxerr.location_of_error err) "syntax error")
+  | Lexer.Error (_, loc) -> Some (of_location loc "lexer error")
+  | _ -> None
+
+let parse_impl path =
+  let src = read_file path in
+  match Parse.implementation (lexbuf_for ~path src) with
+  | structure -> Ok structure
+  | exception exn -> (
+      match syntax_error_diag ~path exn with
+      | Some d -> Error d
+      | None ->
+          Error
+            (Diag.v ~rule:"LINT-PARSE" ~file:path ~line:1 ~col:0
+               (Printexc.to_string exn)))
+
+let parse_intf path =
+  let src = read_file path in
+  match Parse.interface (lexbuf_for ~path src) with
+  | signature -> Ok signature
+  | exception exn -> (
+      match syntax_error_diag ~path exn with
+      | Some d -> Error d
+      | None ->
+          Error
+            (Diag.v ~rule:"LINT-PARSE" ~file:path ~line:1 ~col:0
+               (Printexc.to_string exn)))
+
+(* For test fixtures: parse an inline snippet under a pretend path. *)
+let parse_string ~path src = Parse.implementation (lexbuf_for ~path src)
+
+let parse_intf_string ~path src = Parse.interface (lexbuf_for ~path src)

@@ -171,7 +171,10 @@ let held t ~tx =
   | None -> 0
 
 let total_locks t =
-  Hashtbl.fold (fun _ es acc -> acc + List.length !es) t.by_tx 0
+  List.fold_left
+    (fun acc (_, es) -> acc + List.length !es)
+    0
+    (Nsql_util.Tbl.sorted_bindings t.by_tx)
 
 let holders t ~file res =
   let ft = file_table t file in

@@ -38,8 +38,7 @@ let find t name =
   | Some tbl -> Ok tbl
   | None -> fail (Errors.Name_error ("unknown table " ^ name))
 
-let table_names t =
-  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [])
+let table_names t = List.map fst (Nsql_util.Tbl.sorted_bindings t.tables)
 
 let create_table t ~name ~schema ?check () =
   let name = canonical name in

@@ -32,12 +32,13 @@ let rollforward_with trail ~resolve ~apply =
       | Ar.Update_fields _ ->
           ())
     records;
-  (* in-doubt resolution *)
-  Hashtbl.iter
-    (fun tx (coordinator_node, coordinator_tx) ->
+  (* in-doubt resolution, in ascending-tx order: [resolve] may message the
+     coordinator, so iteration order is part of the replayed schedule *)
+  List.iter
+    (fun (tx, (coordinator_node, coordinator_tx)) ->
       if resolve ~coordinator_node ~coordinator_tx then
         Hashtbl.replace committed tx ())
-    prepared;
+    (Nsql_util.Tbl.sorted_bindings prepared);
   (* pass 2: replay winners' data operations in LSN order *)
   let replayed = ref 0 in
   List.iter

@@ -69,14 +69,14 @@ let register_undo t ~tx ?owner undo =
   | Some _ | None -> invalid_arg "Tmf.register_undo: transaction not active"
 
 let forget_owner t ~owner =
-  Hashtbl.iter
-    (fun _ e ->
+  List.iter
+    (fun (_, e) ->
       match e.tx_state with
       | Active | Prepared ->
           e.undo <-
             List.filter (fun u -> u.u_owner <> Some owner) e.undo
       | Committed | Aborted -> ())
-    t.table
+    (Nsql_util.Tbl.sorted_bindings t.table)
 
 let finish t tx = List.iter (fun f -> f tx) t.on_finish
 
@@ -131,9 +131,10 @@ let abort t ~tx =
       Ok ()
 
 let active_count t =
-  Hashtbl.fold
-    (fun _ e acc -> if e.tx_state = Active then acc + 1 else acc)
-    t.table 0
+  List.length
+    (List.filter
+       (fun (_, e) -> e.tx_state = Active)
+       (Nsql_util.Tbl.sorted_bindings t.table))
 
 let run t f =
   let tx = begin_tx t in
@@ -144,5 +145,5 @@ let run t f =
       (match abort t ~tx with
       | Ok () -> ()
       | Error e2 ->
-          failwith ("Tmf.run: abort failed: " ^ Errors.to_string e2));
+          Errors.fatal ("Tmf.run: abort failed: " ^ Errors.to_string e2));
       Error err

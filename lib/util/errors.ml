@@ -59,3 +59,9 @@ let list_map f xs =
 let get_ok ~ctx = function
   | Ok x -> x
   | Error e -> failwith (Printf.sprintf "%s: %s" ctx (to_string e))
+
+exception Fatal of string
+
+let fatal msg = raise (Fatal msg)
+
+let swallow : ('a, t) result -> unit = function Ok _ | Error _ -> ()

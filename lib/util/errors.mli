@@ -45,3 +45,21 @@ val list_map : ('a -> ('b, t) result) -> 'a list -> ('b list, t) result
 (** [get_ok ~ctx r] unwraps [r], raising [Failure] with [ctx] and the error
     text if [r] is an [Error]. Only for tests, examples and benches. *)
 val get_ok : ctx:string -> ('a, t) result -> 'a
+
+(** Unrecoverable invariant violation in a protocol path: an audited
+    operation failed to apply, an undo action could not compensate, or an
+    abort could not complete. Distinct from [Failure] so callers cannot
+    confuse a corruption signal with an ordinary error message. *)
+exception Fatal of string
+
+(** [fatal msg] raises {!Fatal}. The nsql-lint rule ERR-SWALLOW bans bare
+    [failwith] in protocol paths ([lib/dp], [lib/fs], [lib/msg], [lib/dtx],
+    [lib/tmf]); this is the sanctioned replacement for genuine
+    can't-happen failures. *)
+val fatal : string -> 'a
+
+(** [swallow r] deliberately discards a [result] in a path where failure is
+    acceptable (best-effort cleanup, idempotent recovery replay). A
+    greppable, audited marker: ERR-SWALLOW flags [ignore] of a
+    result-returning call but accepts [swallow]. *)
+val swallow : ('a, t) result -> unit

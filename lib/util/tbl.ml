@@ -1,0 +1,3 @@
+let sorted_bindings ?(compare = Stdlib.compare) tbl =
+  let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  List.sort (fun (a, _) (b, _) -> compare a b) all

@@ -1,0 +1,16 @@
+(** Deterministic views of hash tables.
+
+    [Hashtbl] traversal order depends on the table's insertion history (and
+    on hash randomization when enabled), so any [Hashtbl.iter]/[fold] whose
+    effects reach state mutation or output silently breaks byte-identical
+    seed replay. The nsql-lint rule DET-HASHITER bans raw traversal across
+    [lib/]; this module is the sanctioned replacement. *)
+
+val sorted_bindings :
+  ?compare:('a -> 'a -> int) -> ('a, 'b) Hashtbl.t -> ('a * 'b) list
+(** [sorted_bindings tbl] is the bindings of [tbl] sorted by key
+    ([Stdlib.compare] by default). When a key was bound several times with
+    [Hashtbl.add], every binding appears; tables maintained with
+    [Hashtbl.replace] (the norm in this codebase) contribute one binding per
+    key. O(n log n) — fine for the checkpoint/recovery/diagnostic paths it
+    serves; keep hot paths on point lookups. *)

@@ -39,7 +39,11 @@ let codec_roundtrip () =
   in
   List.iter
     (fun req ->
-      let req' = Dp_msg.decode_request (Dp_msg.encode_request req) in
+      let req' =
+        match Dp_msg.decode_request (Dp_msg.encode_request req) with
+        | Ok r -> r
+        | Error e -> failwith (Dp_msg.decode_error_to_string e)
+      in
       Alcotest.(check string) "request roundtrip (by tag+size)"
         (Dp_msg.tag req ^ string_of_int (String.length (Dp_msg.encode_request req)))
         (Dp_msg.tag req' ^ string_of_int (String.length (Dp_msg.encode_request req'))))
@@ -56,7 +60,11 @@ let codec_roundtrip () =
   in
   List.iter
     (fun reply ->
-      let reply' = Dp_msg.decode_reply (Dp_msg.encode_reply reply) in
+      let reply' =
+        match Dp_msg.decode_reply (Dp_msg.encode_reply reply) with
+        | Ok r -> r
+        | Error e -> failwith (Dp_msg.decode_error_to_string e)
+      in
       Alcotest.(check string) "reply roundtrip"
         (String.length (Dp_msg.encode_reply reply) |> string_of_int)
         (String.length (Dp_msg.encode_reply reply') |> string_of_int))

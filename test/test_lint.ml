@@ -1,0 +1,292 @@
+(* Per-rule fixtures for nsql-lint: each rule gets a known-bad source
+   that must fire and a known-good source that must stay clean, plus
+   allowlist behaviour and a whole-repo "lib/ lints clean" check — the
+   same invariant CI enforces, kept here so `dune runtest` catches a
+   violation before the lint job does. *)
+
+module Diag = Nsql_lint_lib.Diag
+module Rules = Nsql_lint_lib.Rules
+module Source = Nsql_lint_lib.Source
+module Allow = Nsql_lint_lib.Allow
+module Engine = Nsql_lint_lib.Engine
+
+let parse ~path src = Source.parse_string ~path src
+
+let rules_of diags = List.map (fun d -> d.Diag.rule) diags
+
+let check_rules name expected diags =
+  Alcotest.(check (list string)) name expected (rules_of diags)
+
+(* --- DET-RANDOM ---------------------------------------------------------- *)
+
+let det_random () =
+  let bad = parse ~path:"lib/sql/fixture.ml" "let x () = Random.int 5" in
+  check_rules "Random.int fires" [ "DET-RANDOM" ]
+    (Rules.det_random ~path:"lib/sql/fixture.ml" bad);
+  let qualified =
+    parse ~path:"lib/sql/fixture.ml" "let x () = Stdlib.Random.bits ()"
+  in
+  check_rules "Stdlib.Random fires" [ "DET-RANDOM" ]
+    (Rules.det_random ~path:"lib/sql/fixture.ml" qualified);
+  (* the simulation layer owns the seeded generator *)
+  let sim = parse ~path:"lib/sim/fixture.ml" "let x () = Random.int 5" in
+  check_rules "lib/sim is exempt" [] (Rules.det_random ~path:"lib/sim/fixture.ml" sim);
+  let good = parse ~path:"lib/sql/fixture.ml" "let x p = Prng.int p 5" in
+  check_rules "seeded Prng is clean" []
+    (Rules.det_random ~path:"lib/sql/fixture.ml" good)
+
+(* --- SIM-CLOCK ----------------------------------------------------------- *)
+
+let sim_clock () =
+  let bad =
+    parse ~path:"lib/tmf/fixture.ml" "let now () = Unix.gettimeofday ()"
+  in
+  check_rules "Unix.gettimeofday fires" [ "SIM-CLOCK" ]
+    (Rules.sim_clock ~path:"lib/tmf/fixture.ml" bad);
+  let sys = parse ~path:"lib/tmf/fixture.ml" "let now () = Sys.time ()" in
+  check_rules "Sys.time fires" [ "SIM-CLOCK" ]
+    (Rules.sim_clock ~path:"lib/tmf/fixture.ml" sys);
+  let good = parse ~path:"lib/tmf/fixture.ml" "let now sim = Sim.now sim" in
+  check_rules "Sim.now is clean" []
+    (Rules.sim_clock ~path:"lib/tmf/fixture.ml" good)
+
+(* --- DET-HASHITER -------------------------------------------------------- *)
+
+let det_hashiter () =
+  let bad =
+    parse ~path:"lib/cache/fixture.ml"
+      "let f t = Hashtbl.iter (fun _ v -> print_int v) t"
+  in
+  check_rules "Hashtbl.iter fires" [ "DET-HASHITER" ]
+    (Rules.det_hashiter ~path:"lib/cache/fixture.ml" bad);
+  let fold =
+    parse ~path:"lib/cache/fixture.ml"
+      "let f t = Hashtbl.fold (fun _ v acc -> v + acc) t 0"
+  in
+  check_rules "Hashtbl.fold fires" [ "DET-HASHITER" ]
+    (Rules.det_hashiter ~path:"lib/cache/fixture.ml" fold);
+  let good =
+    parse ~path:"lib/cache/fixture.ml"
+      "let f t = List.iter print_int (List.map snd (Nsql_util.Tbl.sorted_bindings t))\n\
+       let g t k = Hashtbl.replace t k 1"
+  in
+  check_rules "sorted_bindings and point ops are clean" []
+    (Rules.det_hashiter ~path:"lib/cache/fixture.ml" good);
+  (* the sanctioned wrapper is the one place allowed raw traversal *)
+  let wrapper =
+    parse ~path:"lib/util/tbl.ml"
+      "let sorted_bindings t = Hashtbl.fold (fun k v a -> (k, v) :: a) t []"
+  in
+  check_rules "lib/util/tbl.ml is exempt" []
+    (Rules.det_hashiter ~path:"lib/util/tbl.ml" wrapper)
+
+(* --- ERR-SWALLOW --------------------------------------------------------- *)
+
+let result_index () =
+  let index = Rules.Result_index.create () in
+  let sg =
+    Source.parse_intf_string ~path:"relfile.mli"
+      "type t\n\
+       val write : t -> slot:int -> (unit, string) result\n\
+       val slot_size : t -> int"
+  in
+  Rules.Result_index.add_signature index ~module_name:"Relfile" sg;
+  index
+
+let err_swallow () =
+  let index = result_index () in
+  let bad =
+    parse ~path:"lib/dp/fixture.ml"
+      "let f r = ignore (Relfile.write r ~slot:3)"
+  in
+  check_rules "ignore of result fires" [ "ERR-SWALLOW" ]
+    (Rules.err_swallow ~path:"lib/dp/fixture.ml" ~index bad);
+  let fw =
+    parse ~path:"lib/dp/fixture.ml" "let f () = failwith \"boom\""
+  in
+  check_rules "bare failwith fires" [ "ERR-SWALLOW" ]
+    (Rules.err_swallow ~path:"lib/dp/fixture.ml" ~index fw);
+  (* discarding a plain value is fine; so is the same code off-protocol *)
+  let good =
+    parse ~path:"lib/dp/fixture.ml" "let f r = ignore (Relfile.slot_size r)"
+  in
+  check_rules "ignore of non-result is clean" []
+    (Rules.err_swallow ~path:"lib/dp/fixture.ml" ~index good);
+  let off =
+    parse ~path:"lib/sort/fixture.ml"
+      "let f r = ignore (Relfile.write r ~slot:3)"
+  in
+  check_rules "non-protocol path is out of scope" []
+    (Rules.err_swallow ~path:"lib/sort/fixture.ml" ~index off)
+
+(* --- LOCK-ORDER ---------------------------------------------------------- *)
+
+let lock_order () =
+  let bad =
+    parse ~path:"lib/dp/fixture.ml"
+      "let f t tx =\n\
+      \  ignore (Lock.acquire t ~tx ~file:0 (Lock.Record \"k\") Lock.Exclusive);\n\
+      \  ignore (Lock.acquire t ~tx ~file:0 Lock.File Lock.Shared)"
+  in
+  check_rules "record-then-file fires" [ "LOCK-ORDER" ]
+    (Rules.lock_order ~path:"lib/dp/fixture.ml" bad);
+  let good =
+    parse ~path:"lib/dp/fixture.ml"
+      "let f t tx =\n\
+      \  ignore (Lock.acquire t ~tx ~file:0 Lock.File Lock.Shared);\n\
+      \  ignore (Lock.acquire t ~tx ~file:0 (Lock.Generic \"p\") Lock.Shared);\n\
+      \  ignore (Lock.acquire t ~tx ~file:0 (Lock.Record \"k\") Lock.Exclusive)"
+  in
+  check_rules "coarse-to-fine is clean" []
+    (Rules.lock_order ~path:"lib/dp/fixture.ml" good);
+  let opaque =
+    parse ~path:"lib/dp/fixture.ml"
+      "let f t tx res = ignore (Lock.acquire t ~tx ~file:0 res Lock.Shared)"
+  in
+  check_rules "non-literal resource is unprovable" [ "LOCK-ORDER" ]
+    (Rules.lock_order ~path:"lib/dp/fixture.ml" opaque);
+  (* ordering is per top-level binding, so separate operations don't mix *)
+  let split =
+    parse ~path:"lib/dp/fixture.ml"
+      "let f t tx = ignore (Lock.acquire t ~tx ~file:0 (Lock.Record \"k\") Lock.Shared)\n\
+       let g t tx = ignore (Lock.acquire t ~tx ~file:0 Lock.File Lock.Shared)"
+  in
+  check_rules "separate bindings don't interact" []
+    (Rules.lock_order ~path:"lib/dp/fixture.ml" split)
+
+(* --- PROTO-EXHAUST ------------------------------------------------------- *)
+
+let proto_msg =
+  "type request = R_ping of int | R_pong\n\
+   let tag = function R_ping _ -> \"PING\" | R_pong -> \"PONG\""
+
+let proto_exhaust () =
+  let msg = ("lib/dp/dp_msg.ml", parse ~path:"lib/dp/dp_msg.ml" proto_msg) in
+  let dispatch_good =
+    ( "lib/dp/dp.ml",
+      parse ~path:"lib/dp/dp.ml"
+        "let dispatch t = function R_ping n -> n + t | R_pong -> t" )
+  in
+  let requester_good =
+    ( "lib/fs/fs.ml",
+      parse ~path:"lib/fs/fs.ml"
+        "let send () = ignore (R_ping 3); ignore R_pong" )
+  in
+  check_rules "complete protocol is clean" []
+    (Rules.proto_exhaust ~msg ~dispatch:dispatch_good
+       ~requesters:[ requester_good ]);
+  (* a catch-all hides new constructors and R_pong loses its dispatch *)
+  let dispatch_bad =
+    ( "lib/dp/dp.ml",
+      parse ~path:"lib/dp/dp.ml"
+        "let dispatch t = function R_ping n -> n + t | _ -> t" )
+  in
+  check_rules "catch-all + undispatched constructor fire"
+    [ "PROTO-EXHAUST"; "PROTO-EXHAUST" ]
+    (Rules.proto_exhaust ~msg ~dispatch:dispatch_bad
+       ~requesters:[ requester_good ]);
+  (* a constructor nobody sends is dead protocol *)
+  let requester_partial =
+    ("lib/fs/fs.ml", parse ~path:"lib/fs/fs.ml" "let send () = ignore (R_ping 3)")
+  in
+  check_rules "requester-less constructor fires" [ "PROTO-EXHAUST" ]
+    (Rules.proto_exhaust ~msg ~dispatch:dispatch_good
+       ~requesters:[ requester_partial ])
+
+(* --- allowlist ----------------------------------------------------------- *)
+
+let with_allow_file contents f =
+  (* cwd during runtest is inside _build, so this stays in the sandbox *)
+  let path = "test_lint_allow.sexp" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let allowlist () =
+  let d =
+    Diag.v ~rule:"DET-HASHITER" ~file:"lib/lock/lock.ml" ~line:85 ~col:6
+      "unordered traversal"
+  in
+  with_allow_file
+    "((rule DET-HASHITER) (file lib/lock/lock.ml) (line 85) (note \"audited\"))\n\
+     ((rule SIM-CLOCK) (file lib/tmf/tmf.ml) (note \"never matches\"))"
+    (fun path ->
+      match Allow.load path with
+      | Error msg -> Alcotest.fail msg
+      | Ok entries ->
+          let kept, suppressed = Allow.apply entries [ d ] in
+          Alcotest.(check int) "finding suppressed" 0 (List.length kept);
+          Alcotest.(check int) "suppression counted" 1 suppressed;
+          Alcotest.(check (list string)) "unused entry is stale"
+            [ "SIM-CLOCK" ]
+            (List.map (fun e -> e.Allow.a_rule) (Allow.stale entries)))
+
+let allowlist_line_mismatch () =
+  let d =
+    Diag.v ~rule:"DET-HASHITER" ~file:"lib/lock/lock.ml" ~line:99 ~col:6 "x"
+  in
+  with_allow_file
+    "((rule DET-HASHITER) (file lib/lock/lock.ml) (line 85) (note \"pinned\"))"
+    (fun path ->
+      match Allow.load path with
+      | Error msg -> Alcotest.fail msg
+      | Ok entries ->
+          let kept, suppressed = Allow.apply entries [ d ] in
+          Alcotest.(check int) "wrong line is not suppressed" 1
+            (List.length kept);
+          Alcotest.(check int) "nothing counted" 0 suppressed)
+
+(* --- diagnostics format --------------------------------------------------- *)
+
+let diag_format () =
+  let d = Diag.v ~rule:"SIM-CLOCK" ~file:"lib/a.ml" ~line:3 ~col:7 "msg" in
+  Alcotest.(check string) "grep-able format" "lib/a.ml:3:7 [SIM-CLOCK] msg"
+    (Diag.to_string d)
+
+(* --- the repository itself lints clean ------------------------------------ *)
+
+let repo_root () =
+  (* runtest executes inside _build; walk up to the checkout, recognised
+     by the allowlist file (dune does not copy lint/ into _build) *)
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "lint/allow.sexp") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let repo_is_clean () =
+  match repo_root () with
+  | None -> Alcotest.skip ()
+  | Some root ->
+      let report =
+        Engine.run
+          ~allow_file:(Some (Filename.concat root "lint/allow.sexp"))
+          ~roots:[ Filename.concat root "lib" ]
+          ()
+      in
+      List.iter
+        (fun d -> Printf.printf "unsuppressed: %s\n" (Diag.to_string d))
+        report.Engine.diags;
+      Alcotest.(check int) "no unsuppressed findings in lib/" 0
+        (List.length report.Engine.diags);
+      Alcotest.(check int) "no stale allow entries" 0
+        (List.length report.Engine.stale_allows);
+      Alcotest.(check bool) "scanned a plausible number of files" true
+        (report.Engine.files_scanned > 20)
+
+let suite =
+  [
+    Alcotest.test_case "DET-RANDOM fixtures" `Quick det_random;
+    Alcotest.test_case "SIM-CLOCK fixtures" `Quick sim_clock;
+    Alcotest.test_case "DET-HASHITER fixtures" `Quick det_hashiter;
+    Alcotest.test_case "ERR-SWALLOW fixtures" `Quick err_swallow;
+    Alcotest.test_case "LOCK-ORDER fixtures" `Quick lock_order;
+    Alcotest.test_case "PROTO-EXHAUST fixtures" `Quick proto_exhaust;
+    Alcotest.test_case "allowlist suppresses and reports stale" `Quick allowlist;
+    Alcotest.test_case "allowlist line pinning" `Quick allowlist_line_mismatch;
+    Alcotest.test_case "diagnostic format" `Quick diag_format;
+    Alcotest.test_case "whole repo lints clean" `Quick repo_is_clean;
+  ]

@@ -23,4 +23,5 @@ let () =
       ("model", Test_model.suite);
       ("relative", Test_relative.suite);
       ("chaos", Test_chaos.suite);
+      ("lint", Test_lint.suite);
     ]

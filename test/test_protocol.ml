@@ -96,7 +96,11 @@ let request_roundtrip =
   QCheck.Test.make ~name:"request codec roundtrip (random)" ~count:500
     (QCheck.make request_gen) (fun req ->
       let bytes1 = Dp_msg.encode_request req in
-      let req' = Dp_msg.decode_request bytes1 in
+      let req' =
+        match Dp_msg.decode_request bytes1 with
+        | Ok r -> r
+        | Error e -> failwith (Dp_msg.decode_error_to_string e)
+      in
       let bytes2 = Dp_msg.encode_request req' in
       (* byte-level idempotence implies structural equality for this codec *)
       String.equal bytes1 bytes2 && Dp_msg.tag req = Dp_msg.tag req')
@@ -129,8 +133,9 @@ let reply_roundtrip =
   QCheck.Test.make ~name:"reply codec roundtrip (random)" ~count:500
     (QCheck.make reply_gen) (fun reply ->
       let bytes1 = Dp_msg.encode_reply reply in
-      let bytes2 = Dp_msg.encode_reply (Dp_msg.decode_reply bytes1) in
-      String.equal bytes1 bytes2)
+      match Dp_msg.decode_reply bytes1 with
+      | Error e -> failwith (Dp_msg.decode_error_to_string e)
+      | Ok reply' -> String.equal bytes1 (Dp_msg.encode_reply reply'))
 
 (* --- time-slice re-drives --------------------------------------------------- *)
 
@@ -309,9 +314,31 @@ let mirrored_volume_duplicates_writes () =
       Ok ());
   Alcotest.(check bool) "reads not doubled" true (s.Stats.disk_reads - before_r > 0)
 
+(* a malformed payload must surface as a typed decode error, never an
+   exception out of the transport layer *)
+let malformed_payload_is_typed_error () =
+  (match Dp_msg.decode_request "\xff" with
+  | Error (Dp_msg.Bad_tag { field = "request"; tag = 255 }) -> ()
+  | Error e ->
+      Alcotest.failf "unexpected error: %s" (Dp_msg.decode_error_to_string e)
+  | Ok _ -> Alcotest.fail "decoded a garbage request");
+  (match Dp_msg.decode_reply "" with
+  | Error Dp_msg.Truncated -> ()
+  | Error e ->
+      Alcotest.failf "unexpected error: %s" (Dp_msg.decode_error_to_string e)
+  | Ok _ -> Alcotest.fail "decoded an empty reply");
+  (* tag 1 = R_read, with its fields cut off *)
+  match Dp_msg.decode_request "\x01" with
+  | Error Dp_msg.Truncated -> ()
+  | Error e ->
+      Alcotest.failf "unexpected error: %s" (Dp_msg.decode_error_to_string e)
+  | Ok _ -> Alcotest.fail "decoded a truncated request"
+
 let suite =
   [
     QCheck_alcotest.to_alcotest request_roundtrip;
+    Alcotest.test_case "malformed payloads are typed errors" `Quick
+      malformed_payload_is_typed_error;
     QCheck_alcotest.to_alcotest reply_roundtrip;
     Alcotest.test_case "CPU time-slice forces re-drives" `Quick
       tick_limit_triggers_redrive;

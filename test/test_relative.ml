@@ -97,10 +97,49 @@ let rel_crash_recovery () =
       | _ -> Alcotest.fail "rewrite lost in recovery");
       Ok ())
 
+(* the same operations through the FS wrappers, i.e. the requester path
+   an application (and PROTO-EXHAUST) sees *)
+let fs_rel_and_entry_wrappers () =
+  let n = node () in
+  let ok ~ctx = function
+    | Ok v -> v
+    | Error e -> Alcotest.fail (ctx ^ ": " ^ Errors.to_string e)
+  in
+  let relf =
+    ok ~ctx:"create rel"
+      (Fs.create_enscribe_file n.fs ~fname:"RELW" ~kind:(Dp_msg.K_relative 80)
+         ~partitions:[ { Fs.ps_lo = ""; ps_dp = n.dps.(0) } ])
+  in
+  let entf =
+    ok ~ctx:"create entry"
+      (Fs.create_enscribe_file n.fs ~fname:"ENTW" ~kind:Dp_msg.K_entry_sequenced
+         ~partitions:[ { Fs.ps_lo = ""; ps_dp = n.dps.(0) } ])
+  in
+  let addr = ref (-1) in
+  in_tx n (fun tx ->
+      let slot = ok ~ctx:"rel_write" (Fs.rel_write n.fs relf ~tx ~slot:5 ~record:"five") in
+      Alcotest.(check int) "slot echoed" 5 slot;
+      Alcotest.(check string) "rel_read" "five"
+        (ok ~ctx:"rel_read" (Fs.rel_read n.fs relf ~tx ~slot:5));
+      ok ~ctx:"rel_rewrite" (Fs.rel_rewrite n.fs relf ~tx ~slot:5 ~record:"FIVE");
+      Alcotest.(check string) "rewrite visible" "FIVE"
+        (ok ~ctx:"rel_read2" (Fs.rel_read n.fs relf ~tx ~slot:5));
+      ok ~ctx:"rel_delete" (Fs.rel_delete n.fs relf ~tx ~slot:5);
+      (match Fs.rel_read n.fs relf ~tx ~slot:5 with
+      | Error (Errors.Not_found_key _) -> ()
+      | _ -> Alcotest.fail "deleted slot still readable");
+      addr := ok ~ctx:"append_entry" (Fs.append_entry n.fs entf ~tx ~record:"logline");
+      Ok ());
+  in_tx n (fun tx ->
+      Alcotest.(check string) "entry_read" "logline"
+        (ok ~ctx:"entry_read" (Fs.entry_read n.fs entf ~tx ~addr:!addr));
+      Ok ())
+
 let suite =
   [
     Alcotest.test_case "relative write/read/rewrite/delete" `Quick
       rel_write_read_cycle;
+    Alcotest.test_case "FS rel/entry wrappers" `Quick fs_rel_and_entry_wrappers;
     Alcotest.test_case "relative duplicate/oversize rejected" `Quick
       rel_double_write_rejected;
     Alcotest.test_case "relative abort undoes" `Quick rel_abort_undoes;
