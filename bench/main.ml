@@ -33,6 +33,31 @@ let heading id title paper =
   printf "@.==== %s: %s ====@." id title;
   printf "paper: %s@.@." paper
 
+(* --- machine-readable results ------------------------------------- *)
+
+(* every experiment emits at least one headline datum; all values are
+   simulation statistics, so a given seed reproduces the file byte for
+   byte — which is what the CI smoke job diffs against its checked-in
+   expectation *)
+let json_records : (string * string * float) list ref = ref []
+
+let emit id metric value = json_records := (id, metric, value) :: !json_records
+
+let write_json path =
+  let recs = List.rev !json_records in
+  let n = List.length recs in
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (id, metric, v) ->
+      Printf.fprintf oc "  {\"id\": \"%s\", \"metric\": \"%s\", \"value\": %s}%s\n"
+        id metric
+        (Printf.sprintf "%.6g" v)
+        (if i = n - 1 then "" else ","))
+    recs;
+  output_string oc "]\n";
+  close_out oc
+
 (* ------------------------------------------------------------------ *)
 (* E1: RSBB vs record-at-a-time on an era-typical file                  *)
 (* ------------------------------------------------------------------ *)
@@ -100,8 +125,11 @@ let e1_rsbb_vs_record () =
   in
   line "record-at-a-time" d_rec;
   line "SBB (RSBB)" d_sbb;
-  printf "RSBB message factor: %.1fx (paper: ~3x at blocking factor 3)@."
-    (float_of_int d_rec.Stats.msgs_sent /. float_of_int d_sbb.Stats.msgs_sent)
+  let factor =
+    float_of_int d_rec.Stats.msgs_sent /. float_of_int d_sbb.Stats.msgs_sent
+  in
+  printf "RSBB message factor: %.1fx (paper: ~3x at blocking factor 3)@." factor;
+  emit "e1" "rsbb_message_factor" factor
 
 (* ------------------------------------------------------------------ *)
 (* E2: VSBB on the Wisconsin queries                                    *)
@@ -118,6 +146,7 @@ let e2_vsbb_wisconsin () =
   let s = N.session node in
   printf "%-4s %-44s %8s %8s %8s %11s %11s@." "id" "query" "rec" "RSBB" "VSBB"
     "rec/RSBB" "RSBB/VSBB";
+  let vsbb_total = ref 0 in
   List.iter
     (fun q ->
       let cost mode =
@@ -130,12 +159,14 @@ let e2_vsbb_wisconsin () =
       let m_rec = cost (Some Fs.A_record) in
       let m_rsbb = cost (Some Fs.A_rsbb) in
       let m_vsbb = cost (Some Fs.A_vsbb) in
+      vsbb_total := !vsbb_total + m_vsbb;
       printf "%-4s %-44s %8d %8d %8d %10.1fx %10.1fx@." q.Wisconsin.q_id
         q.Wisconsin.q_desc m_rec m_rsbb m_vsbb
         (float_of_int m_rec /. float_of_int m_rsbb)
         (float_of_int m_rsbb /. float_of_int m_vsbb))
     (Wisconsin.selection_queries ~table:"tenktup1" ~rows);
-  N.set_access_mode s None
+  N.set_access_mode s None;
+  emit "e2" "vsbb_messages_total" (float_of_int !vsbb_total)
 
 (* ------------------------------------------------------------------ *)
 (* E3: update at the data source                                        *)
@@ -219,8 +250,11 @@ let e3_update_subset () =
   in
   line "read + rewrite per record" d_rmw;
   line "UPDATE^SUBSET (delegated)" d_sql;
-  printf "message factor: %.0fx@."
-    (float_of_int d_rmw.Stats.msgs_sent /. float_of_int d_sql.Stats.msgs_sent)
+  let factor =
+    float_of_int d_rmw.Stats.msgs_sent /. float_of_int d_sql.Stats.msgs_sent
+  in
+  printf "message factor: %.0fx@." factor;
+  emit "e3" "update_message_factor" factor
 
 (* ------------------------------------------------------------------ *)
 (* E4: field-compressed audit                                           *)
@@ -301,12 +335,16 @@ let e4_audit_compression () =
   in
   line "full-record images" d_full;
   line "field-compressed (SQL)" d_sql;
+  let ratio =
+    float_of_int d_full.Stats.audit_bytes
+    /. float_of_int d_sql.Stats.audit_bytes
+  in
   printf
     "audit size ratio: %.1fx smaller; buffer-full flush ratio: %.1fx fewer@."
-    (float_of_int d_full.Stats.audit_bytes
-    /. float_of_int d_sql.Stats.audit_bytes)
+    ratio
     (float_of_int d_full.Stats.audit_flush_full
-    /. float_of_int (max 1 d_sql.Stats.audit_flush_full))
+    /. float_of_int (max 1 d_sql.Stats.audit_flush_full));
+  emit "e4" "audit_size_ratio" ratio
 
 (* ------------------------------------------------------------------ *)
 (* E5: bulk I/O and pre-fetch                                           *)
@@ -351,10 +389,13 @@ let e5_bulk_prefetch () =
   line "per-block reads (no pre-fetch)" d_plain t_plain;
   line "pre-fetch, 4 KB I/O limit" d_bulk t_bulk;
   line "pre-fetch, 28 KB bulk I/O" d_pre t_pre;
-  printf "I/O count reduction: %.1fx; elapsed reduction: %.1fx@."
-    (float_of_int d_plain.Stats.disk_reads
-    /. float_of_int (max 1 d_pre.Stats.disk_reads))
-    (t_plain /. t_pre)
+  let io_reduction =
+    float_of_int d_plain.Stats.disk_reads
+    /. float_of_int (max 1 d_pre.Stats.disk_reads)
+  in
+  printf "I/O count reduction: %.1fx; elapsed reduction: %.1fx@." io_reduction
+    (t_plain /. t_pre);
+  emit "e5" "io_reduction" io_reduction
 
 (* ------------------------------------------------------------------ *)
 (* E6: asynchronous write-behind                                        *)
@@ -401,9 +442,12 @@ let e6_write_behind () =
     d_sync.Stats.bulk_writes;
   printf "%-30s %10d %12d@." "write-behind (bulk strings)"
     d_wb.Stats.disk_writes d_wb.Stats.bulk_writes;
-  printf "write I/O reduction: %.1fx@."
-    (float_of_int d_sync.Stats.disk_writes
-    /. float_of_int (max 1 d_wb.Stats.disk_writes))
+  let reduction =
+    float_of_int d_sync.Stats.disk_writes
+    /. float_of_int (max 1 d_wb.Stats.disk_writes)
+  in
+  printf "write I/O reduction: %.1fx@." reduction;
+  emit "e6" "write_io_reduction" reduction
 
 (* ------------------------------------------------------------------ *)
 (* E7: group commit timers                                              *)
@@ -477,11 +521,13 @@ let e7_group_commit () =
   in
   printf "%-22s %-12s %8s %12s %14s@." "timer" "tx rate" "flushes" "txs/flush"
     "response(ms)";
+  let flushes_total = ref 0 in
   List.iter
     (fun (rate_name, interarrival_us) ->
       List.iter
         (fun (timer_name, timer) ->
           let d, resp = run ~interarrival_us ~timer in
+          flushes_total := !flushes_total + d.Stats.audit_flushes;
           printf "%-22s %-12s %8d %12.2f %14.2f@." timer_name rate_name
             d.Stats.audit_flushes
             (float_of_int d.Stats.group_commit_txs
@@ -493,7 +539,8 @@ let e7_group_commit () =
           ("timer 50 ms", `Pinned 50_000.);
           ("adaptive (Helland)", `Adaptive);
         ])
-    [ ("high (2k/s)", 500.); ("low (100/s)", 10_000.) ]
+    [ ("high (2k/s)", 500.); ("low (100/s)", 10_000.) ];
+  emit "e7" "audit_flushes_total" (float_of_int !flushes_total)
 
 (* ------------------------------------------------------------------ *)
 (* E8: DebitCredit, SQL vs ENSCRIBE                                     *)
@@ -546,11 +593,15 @@ let e8_debitcredit () =
   in
   line "ENSCRIBE" d_ens;
   line "NonStop SQL" d_sql;
+  let msg_ratio =
+    float_of_int d_sql.Stats.msgs_sent /. float_of_int d_ens.Stats.msgs_sent
+  in
   printf
     "SQL/ENSCRIBE: %.2fx messages, %.2fx CPU — comparable or better, as \
      claimed@."
-    (float_of_int d_sql.Stats.msgs_sent /. float_of_int d_ens.Stats.msgs_sent)
-    (float_of_int d_sql.Stats.cpu_ticks /. float_of_int d_ens.Stats.cpu_ticks)
+    msg_ratio
+    (float_of_int d_sql.Stats.cpu_ticks /. float_of_int d_ens.Stats.cpu_ticks);
+  emit "e8" "sql_enscribe_msg_ratio" msg_ratio
 
 (* ------------------------------------------------------------------ *)
 (* E9: Figure 2 message trace                                           *)
@@ -607,7 +658,8 @@ let e9_figure2_trace () =
   printf "message flow:@.";
   List.iter (fun e -> printf "  %a@." Msg.pp_trace_entry e) trace;
   printf "FS-DP messages for the alternate-key read: %d (paper: 2)@."
-    (List.length trace)
+    (List.length trace);
+  emit "e9" "fs_dp_messages" (float_of_int (List.length trace))
 
 (* ------------------------------------------------------------------ *)
 (* E10: continuation re-drive limits                                    *)
@@ -622,6 +674,7 @@ let e10_redrive () =
   let rows = 2000 in
   printf "%-24s %10s %12s %18s@." "per-request limit" "messages" "re-drives"
     "max records/msg";
+  let msgs_total = ref 0 in
   List.iter
     (fun limit ->
       let config = Config.v ~dp_records_per_request:limit () in
@@ -637,9 +690,11 @@ let e10_redrive () =
             | N.Rows { rows = r; _ } -> assert (List.length r = 1)
             | _ -> assert false)
       in
+      msgs_total := !msgs_total + delta.Stats.msgs_sent;
       printf "%-24d %10d %12d %18d@." limit delta.Stats.msgs_sent
         delta.Stats.redrives (min limit rows))
-    [ 64; 256; 1024; 4096 ]
+    [ 64; 256; 1024; 4096 ];
+  emit "e10" "messages_total" (float_of_int !msgs_total)
 
 (* ------------------------------------------------------------------ *)
 (* E11: blocked sequential inserts (future-work extension)              *)
@@ -702,7 +757,8 @@ let e11_blocked_insert () =
       let m = run (Some cap) in
       printf "%-26s %10d %14.3f@." (fpr "INSERT^BLOCK of %d" cap) m
         (float_of_int m /. float_of_int rows))
-    [ 10; 30; 100 ]
+    [ 10; 30; 100 ];
+  emit "e11" "msgs_per_insert_unblocked" (float_of_int base /. float_of_int rows)
 
 (* ------------------------------------------------------------------ *)
 (* E12: virtual-block group locking                                     *)
@@ -749,9 +805,12 @@ let e12_vblock_locking () =
   in
   line "record locks" d_rec;
   line "virtual-block group" d_vsbb;
-  printf "lock-acquisition reduction: %.0fx@."
-    (float_of_int d_rec.Stats.lock_requests
-    /. float_of_int (max 1 d_vsbb.Stats.lock_requests))
+  let reduction =
+    float_of_int d_rec.Stats.lock_requests
+    /. float_of_int (max 1 d_vsbb.Stats.lock_requests)
+  in
+  printf "lock-acquisition reduction: %.0fx@." reduction;
+  emit "e12" "lock_reduction" reduction
 
 (* ------------------------------------------------------------------ *)
 (* E13: distribution transparency over partitions                       *)
@@ -765,6 +824,7 @@ let e13_partitions () =
   let rows = 2000 in
   printf "%-12s %10s %10s %12s %16s@." "partitions" "messages" "remote"
     "result rows" "rows/partition";
+  let msgs_total = ref 0 in
   List.iter
     (fun parts ->
       let node = N.create_node ~volumes:4 () in
@@ -788,9 +848,11 @@ let e13_partitions () =
                     ~file:
                       (Option.get (Dp.file_id (N.dps node).(i) (fpr "t#p%d" i))))))
       in
+      msgs_total := !msgs_total + delta.Stats.msgs_sent;
       printf "%-12d %10d %10d %12d %16s@." parts delta.Stats.msgs_sent
         delta.Stats.msgs_remote result per_part)
-    [ 1; 2; 4 ]
+    [ 1; 2; 4 ];
+  emit "e13" "messages_total" (float_of_int !msgs_total)
 
 
 (* ------------------------------------------------------------------ *)
@@ -889,7 +951,8 @@ let e14_apply_block () =
       let m, _ = run (Some cap) in
       printf "%-30s %10d %16.3f@." (fpr "APPLY^BLOCK of %d" cap) m
         (float_of_int m /. float_of_int n_updated))
-    [ 10; 50 ]
+    [ 10; 50 ];
+  emit "e14" "messages_unbuffered" (float_of_int base)
 
 (* ------------------------------------------------------------------ *)
 (* E15: remote requester — filtering at the source across the network   *)
@@ -917,15 +980,18 @@ let e15_remote_requester () =
   in
   printf "%-12s %-18s %9s %12s %12s@." "requester" "interface" "msgs"
     "reply bytes" "elapsed(ms)";
+  let msgs_total = ref 0 in
   List.iter
     (fun (where, remote) ->
       List.iter
         (fun (mode_name, mode) ->
           let d, t = run ~remote mode in
+          msgs_total := !msgs_total + d.Stats.msgs_sent;
           printf "%-12s %-18s %9d %12d %12.1f@." where mode_name
             d.Stats.msgs_sent d.Stats.msg_reply_bytes (t /. 1000.))
         [ ("record-at-a-time", Some Fs.A_record); ("VSBB", Some Fs.A_vsbb) ])
-    [ ("local", false); ("remote node", true) ]
+    [ ("local", false); ("remote node", true) ];
+  emit "e15" "messages_total" (float_of_int !msgs_total)
 
 
 (* ------------------------------------------------------------------ *)
@@ -1011,8 +1077,128 @@ let e16_distributed_tx () =
   line "local (one node)" d_local;
   line "network (2PC, two nodes)" d_dtx;
   printf
-    "the atomicity premium: TMF^BEGIN + TMF^PREPARE + TMF^COMMIT messages      and one extra log force per branch@."
+    "the atomicity premium: TMF^BEGIN + TMF^PREPARE + TMF^COMMIT messages      and one extra log force per branch@.";
+  emit "e16" "network_msgs_per_tx"
+    (float_of_int d_dtx.Stats.msgs_sent /. float_of_int txs)
 
+
+(* ------------------------------------------------------------------ *)
+(* E17: nowait fan-out across partitions                                *)
+(* ------------------------------------------------------------------ *)
+
+let e17_parallel_scan () =
+  heading "E17" "parallel partitioned scan via nowait fan-out"
+    "\"requests may be issued nowait ... the File System overlaps requests \
+     to the Disk Processes managing the partitions\" — the GUARDIAN nowait \
+     message primitive lets one requester keep every partition's Disk \
+     Process busy at once";
+  let rows = 2000 in
+  let parts = 4 in
+  let run fanout =
+    let config = Config.v ~fs_fanout:fanout () in
+    let node = N.create_node ~config ~volumes:4 () in
+    get_ok ~ctx:"wisc"
+      (Wisconsin.create node ~name:"t" ~rows ~partitions:parts ());
+    let tbl = get_ok ~ctx:"find" (N.Catalog.find (N.catalog node) "t") in
+    let t0 = Sim.now (N.sim node) in
+    let _, delta =
+      N.measure node (fun () ->
+          get_ok ~ctx:"scan"
+            (Tmf.run (N.tmf node) (fun tx ->
+                 let sc =
+                   Fs.open_scan (N.fs node) tbl.N.Catalog.t_file ~tx
+                     ~access:Fs.A_vsbb ~range:Expr.full_range
+                     ~proj:[| 0; 1 |] ~lock:Dp_msg.L_shared ()
+                 in
+                 let rec drain k =
+                   match Fs.scan_next (N.fs node) sc with
+                   | Ok (Some _) -> drain (k + 1)
+                   | Ok None ->
+                       Fs.close_scan (N.fs node) sc;
+                       assert (k = rows);
+                       Ok ()
+                   | Error _ as e -> e
+                 in
+                 drain 0)))
+    in
+    (delta, Sim.now (N.sim node) -. t0)
+  in
+  let d_seq, t_seq = run false in
+  let d_par, t_par = run true in
+  printf "full scan of %d rows over %d partitions:@." rows parts;
+  printf "%-26s %10s %12s %12s@." "driver" "messages" "reply bytes"
+    "elapsed(ms)";
+  let line name (d : Stats.t) t =
+    printf "%-26s %10d %12d %12.1f@." name d.Stats.msgs_sent
+      d.Stats.msg_reply_bytes (t /. 1000.)
+  in
+  line "sequential (one at a time)" d_seq t_seq;
+  line "nowait fan-out" d_par t_par;
+  let speedup = t_seq /. t_par in
+  printf
+    "elapsed reduction: %.1fx with identical message (%b) and byte (%b) \
+     counts — the fan-out pays only the slowest partition per round@."
+    speedup
+    (d_seq.Stats.msgs_sent = d_par.Stats.msgs_sent)
+    (d_seq.Stats.msg_reply_bytes = d_par.Stats.msg_reply_bytes);
+  assert (d_seq.Stats.msgs_sent = d_par.Stats.msgs_sent);
+  assert (d_seq.Stats.msg_reply_bytes = d_par.Stats.msg_reply_bytes);
+  emit "e17" "elapsed_speedup" speedup;
+  emit "e17" "messages_fanout" (float_of_int d_par.Stats.msgs_sent);
+  emit "e17" "messages_sequential" (float_of_int d_seq.Stats.msgs_sent);
+  emit "e17" "reply_bytes_fanout" (float_of_int d_par.Stats.msg_reply_bytes)
+
+(* ------------------------------------------------------------------ *)
+(* E18: aggregate pushdown to the Disk Process                          *)
+(* ------------------------------------------------------------------ *)
+
+let e18_agg_pushdown () =
+  heading "E18" "aggregate evaluation at the data source"
+    "\"passing ... operations directly to the Disk Process\" taken one \
+     step further: COUNT/SUM/MIN/MAX fold inside the Disk Process's \
+     re-drive budget and the reply carries accumulator state instead of \
+     rows";
+  let rows = 2000 in
+  let parts = 4 in
+  let sql = "SELECT COUNT(*), SUM(unique1), MIN(unique2), MAX(unique2) FROM t" in
+  let run pushdown =
+    let node = N.create_node ~volumes:4 () in
+    get_ok ~ctx:"wisc"
+      (Wisconsin.create node ~name:"t" ~rows ~partitions:parts ());
+    let s = N.session node in
+    (* pinning the access mode disables pushdown, so the baseline ships
+       the (projected) rows and aggregates at the requester *)
+    if not pushdown then N.set_access_mode s (Some Fs.A_vsbb);
+    let result, delta =
+      N.measure node (fun () ->
+          match N.exec_exn s sql with
+          | N.Rows { rows = [ row ]; _ } -> row
+          | _ -> assert false)
+    in
+    (result, delta)
+  in
+  let r_client, d_client = run false in
+  let r_push, d_push = run true in
+  assert (r_client = r_push);
+  printf "%s@.  over %d rows in %d partitions (both return %a):@." sql rows
+    parts Row.pp_row r_push;
+  printf "%-28s %10s %12s@." "evaluation" "messages" "reply bytes";
+  let line name (d : Stats.t) =
+    printf "%-28s %10d %12d@." name d.Stats.msgs_sent d.Stats.msg_reply_bytes
+  in
+  line "requester-side (VSBB scan)" d_client;
+  line "pushed to Disk Process" d_push;
+  let byte_ratio =
+    float_of_int d_client.Stats.msg_reply_bytes
+    /. float_of_int d_push.Stats.msg_reply_bytes
+  in
+  printf "reply-byte reduction: %.0fx; message reduction: %.1fx@." byte_ratio
+    (float_of_int d_client.Stats.msgs_sent
+    /. float_of_int d_push.Stats.msgs_sent);
+  emit "e18" "reply_byte_ratio" byte_ratio;
+  emit "e18" "reply_bytes_pushdown" (float_of_int d_push.Stats.msg_reply_bytes);
+  emit "e18" "reply_bytes_client" (float_of_int d_client.Stats.msg_reply_bytes);
+  emit "e18" "messages_pushdown" (float_of_int d_push.Stats.msgs_sent)
 
 (* ------------------------------------------------------------------ *)
 (* A1 (ablation): VSBB reply-buffer size                               *)
@@ -1026,6 +1212,7 @@ let a1_vsbb_buffer () =
   let rows = 2000 in
   printf "%-14s %10s %12s %14s@." "buffer" "messages" "reply bytes"
     "lock requests";
+  let msgs_total = ref 0 in
   List.iter
     (fun buf_bytes ->
       let config = Config.v ~vsbb_buffer_bytes:buf_bytes () in
@@ -1052,11 +1239,13 @@ let a1_vsbb_buffer () =
                    in
                    drain 0)))
       in
+      msgs_total := !msgs_total + delta.Stats.msgs_sent;
       printf "%-14s %10d %12d %14d@."
         (fpr "%d B" buf_bytes)
         delta.Stats.msgs_sent delta.Stats.msg_reply_bytes
         delta.Stats.lock_requests)
-    [ 1024; 4096; 16384 ]
+    [ 1024; 4096; 16384 ];
+  emit "a1" "messages_total" (float_of_int !msgs_total)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks over the core paths                        *)
@@ -1148,28 +1337,78 @@ let micro_benchmarks () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* the experiment registry and command line                             *)
+(* ------------------------------------------------------------------ *)
+
+let registry =
+  [
+    ("e1", e1_rsbb_vs_record);
+    ("e2", e2_vsbb_wisconsin);
+    ("e3", e3_update_subset);
+    ("e4", e4_audit_compression);
+    ("e5", e5_bulk_prefetch);
+    ("e6", e6_write_behind);
+    ("e7", e7_group_commit);
+    ("e8", e8_debitcredit);
+    ("e9", e9_figure2_trace);
+    ("e10", e10_redrive);
+    ("e11", e11_blocked_insert);
+    ("e12", e12_vblock_locking);
+    ("e13", e13_partitions);
+    ("e14", e14_apply_block);
+    ("e15", e15_remote_requester);
+    ("e16", e16_distributed_tx);
+    ("e17", e17_parallel_scan);
+    ("e18", e18_agg_pushdown);
+    ("a1", a1_vsbb_buffer);
+    ("micro", micro_benchmarks);
+  ]
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--only e1,e17,...] [--json results.json]\n\
+     experiment ids: e1-e18, a1, micro";
+  exit 2
 
 let () =
+  let json_path = ref None in
+  let only = ref None in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse_args rest
+    | "--only" :: ids :: rest ->
+        let ids =
+          String.split_on_char ',' ids
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        List.iter
+          (fun id ->
+            if not (List.mem_assoc id registry) then begin
+              prerr_endline ("unknown experiment id: " ^ id);
+              usage ()
+            end)
+          ids;
+        only := Some ids;
+        parse_args rest
+    | _ -> usage ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let chosen =
+    match !only with
+    | None -> registry
+    | Some ids -> List.filter (fun (id, _) -> List.mem id ids) registry
+  in
   printf "NonStop SQL reproduction — experiment harness@.";
   printf
     "(see DESIGN.md for the experiment index, EXPERIMENTS.md for the \
      paper-vs-measured discussion)@.";
-  e1_rsbb_vs_record ();
-  e2_vsbb_wisconsin ();
-  e3_update_subset ();
-  e4_audit_compression ();
-  e5_bulk_prefetch ();
-  e6_write_behind ();
-  e7_group_commit ();
-  e8_debitcredit ();
-  e9_figure2_trace ();
-  e10_redrive ();
-  e11_blocked_insert ();
-  e12_vblock_locking ();
-  e13_partitions ();
-  e14_apply_block ();
-  e15_remote_requester ();
-  e16_distributed_tx ();
-  a1_vsbb_buffer ();
-  micro_benchmarks ();
+  List.iter (fun (_, f) -> f ()) chosen;
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+      write_json path;
+      printf "@.machine-readable results written to %s@." path);
   printf "@.all experiments complete.@."

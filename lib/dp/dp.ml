@@ -43,6 +43,18 @@ type scb_body =
     }
   | Scb_update of { pred : Expr.t option; assignments : Expr.assignment list }
   | Scb_delete of { pred : Expr.t option }
+  | Scb_agg of {
+      pred : Expr.t option;
+      group_keys : int array;
+      aggs : agg_spec list;
+      lock : lock_mode;
+      (* partial state accumulated across re-drives, keyed by the encoded
+         group-key values; [ag_order] remembers first-seen order (= key
+         order, since the scan is key-ordered) so the final reply never
+         depends on hash-table traversal order *)
+      ag_groups : (string, Row.row * agg_acc list) Hashtbl.t;
+      mutable ag_order : string list;  (** reversed *)
+    }
 
 type scb = {
   scb_file : int;
@@ -593,7 +605,7 @@ let run_read_scan t ~tx f scb scb_id ~from_key =
   let s = Sim.stats t.sim in
   let* b = btree_of f in
   match scb.scb_body with
-  | Scb_update _ | Scb_delete _ ->
+  | Scb_update _ | Scb_delete _ | Scb_agg _ ->
       Errors.fail (Errors.Bad_request "SCB is not a read subset")
   | Scb_read { buffering; pred; proj; lock } -> (
       let schema = f.f_schema in
@@ -723,6 +735,111 @@ let run_read_scan t ~tx f scb scb_id ~from_key =
                 (Rp_block
                    { entries; last_key = !last_key; more = !more; scb = scb_id }))
 
+(* One AGGREGATE^FIRST/AGGREGATE^NEXT execution: fold qualifying records
+   into the SCB's per-group accumulators under the same re-drive budget as
+   a read scan. Intermediate replies carry no group data (the partials
+   stay in the SCB); the final reply ships every group's accumulator state
+   in first-seen order — which is key order, because the scan is. *)
+let run_agg_scan t ~tx f scb scb_id ~from_key =
+  let cfg = Sim.config t.sim in
+  let s = Sim.stats t.sim in
+  let* b = btree_of f in
+  match scb.scb_body with
+  | Scb_read _ | Scb_update _ | Scb_delete _ ->
+      Errors.fail (Errors.Bad_request "SCB is not an aggregate subset")
+  | Scb_agg ({ pred; group_keys; aggs; lock; ag_groups; _ } as ag) -> (
+      let* schema =
+        match f.f_schema with
+        | Some sch -> Ok sch
+        | None ->
+            Errors.fail (Errors.Bad_request "AGGREGATE requires a SQL file")
+      in
+      let start_key = from_key in
+      let ticks0 = s.Stats.cpu_ticks in
+      let examined = ref 0 in
+      let last_key = ref from_key in
+      let more = ref false in
+      let stop = ref false in
+      let cursor = ref (Btree.seek b from_key) in
+      while not !stop do
+        match Btree.cursor_entry b !cursor with
+        | None -> stop := true
+        | Some (key, record) ->
+            if Keycode.compare_keys key scb.scb_hi >= 0 then stop := true
+            else begin
+              (match Btree.cursor_block !cursor with
+              | Some blk -> maybe_prefetch t scb blk
+              | None -> ());
+              incr examined;
+              s.Stats.records_read <- s.Stats.records_read + 1;
+              Sim.tick t.sim 15;
+              let row = Row.decode_exn schema record in
+              let selected =
+                match pred with
+                | None -> true
+                | Some p ->
+                    Sim.tick t.sim (2 * Expr.size p);
+                    Expr.eval_pred row p
+              in
+              if selected then begin
+                let key_vals = Array.map (fun i -> row.(i)) group_keys in
+                let w = Nsql_util.Codec.writer () in
+                Row.encode_values w key_vals;
+                let gk = Nsql_util.Codec.contents w in
+                let accs =
+                  match Hashtbl.find_opt ag_groups gk with
+                  | Some (_, accs) -> accs
+                  | None ->
+                      let accs = List.map (fun _ -> fresh_acc ()) aggs in
+                      Hashtbl.replace ag_groups gk (key_vals, accs);
+                      ag.ag_order <- gk :: ag.ag_order;
+                      accs
+                in
+                List.iter2 (fun acc spec -> feed_spec acc spec row) accs aggs;
+                Sim.tick t.sim 5
+              end;
+              last_key := key;
+              cursor := Btree.advance b !cursor;
+              if
+                !examined >= cfg.Config.dp_records_per_request
+                || s.Stats.cpu_ticks - ticks0 >= cfg.Config.dp_ticks_per_request
+              then begin
+                stop := true;
+                more := Btree.cursor_entry b !cursor <> None
+              end
+            end
+      done;
+      (* virtual-block group locking, exactly as a read scan: one range
+         lock covers the span this request examined *)
+      let lock_outcome =
+        match lock_of_mode lock with
+        | None -> Ok ()
+        | Some mode ->
+            if Keycode.compare_keys start_key !last_key <= 0 && !examined > 0
+            then
+              try_lock t ~tx ~file:f.f_id
+                (Lock.Range (start_key, Keycode.successor !last_key))
+                mode
+            else Ok ()
+      in
+      match lock_outcome with
+      | Error blockers ->
+          Ok
+            (Rp_blocked
+               { blockers; processed = 0; last_key = from_key; scb = scb_id })
+      | Ok () ->
+          let groups =
+            if !more then []
+            else
+              List.rev_map
+                (fun gk ->
+                  match Hashtbl.find_opt ag_groups gk with
+                  | Some g -> g
+                  | None -> Errors.fatal "Dp.run_agg_scan: group order desync")
+                ag.ag_order
+          in
+          Ok (Rp_agg { groups; last_key = !last_key; more = !more; scb = scb_id }))
+
 (* One UPDATE^SUBSET / DELETE^SUBSET execution.
 
    Restart semantics: the FIRST message starts at the range's begin key
@@ -746,7 +863,7 @@ let run_write_scan t ~tx f scb scb_id ~from_key ~inclusive =
     match scb.scb_body with
     | Scb_update { pred; assignments } -> (pred, `Update assignments)
     | Scb_delete { pred } -> (pred, `Delete)
-    | Scb_read _ -> invalid_arg "Dp.run_write_scan: read SCB"
+    | Scb_read _ | Scb_agg _ -> invalid_arg "Dp.run_write_scan: read SCB"
   in
   let apply_one key record row =
     match action with
@@ -1004,10 +1121,11 @@ let drop_scb_when_done t = function
   | Rp_end -> ()
   | Rp_block { more = false; scb; _ }
   | Rp_vblock { more = false; scb; _ }
-  | Rp_progress { more = false; scb; _ } ->
+  | Rp_progress { more = false; scb; _ }
+  | Rp_agg { more = false; scb; _ } ->
       if scb >= 0 then Hashtbl.remove t.scbs scb
   | Rp_ok | Rp_file _ | Rp_record _ | Rp_row _ | Rp_slot _ | Rp_block _
-  | Rp_vblock _ | Rp_progress _ | Rp_blocked _ | Rp_error _ ->
+  | Rp_vblock _ | Rp_progress _ | Rp_agg _ | Rp_blocked _ | Rp_error _ ->
       ()
 
 (* --- dispatch -------------------------------------------------------------------- *)
@@ -1133,6 +1251,43 @@ let dispatch t req : (reply, Errors.t) result =
   | R_close_scb { scb } ->
       Hashtbl.remove t.scbs scb;
       Ok Rp_ok
+  | R_agg_first { file; tx; range; pred; group_keys; aggs; lock } ->
+      let* f = find_file t file in
+      let scb =
+        {
+          scb_file = file;
+          scb_lo = range.Expr.lo;
+          scb_hi = range.Expr.hi;
+          scb_body =
+            Scb_agg
+              {
+                pred;
+                group_keys;
+                aggs;
+                lock;
+                ag_groups = Hashtbl.create 16;
+                ag_order = [];
+              };
+          scb_prev_leaf = -10;
+        }
+      in
+      let scb_id = alloc_scb t scb in
+      let* reply = run_agg_scan t ~tx f scb scb_id ~from_key:range.Expr.lo in
+      drop_scb_when_done t reply;
+      Ok reply
+  | R_agg_next { file; tx; scb; after_key } ->
+      let s = Sim.stats t.sim in
+      s.Stats.redrives <- s.Stats.redrives + 1;
+      let* f = find_file t file in
+      let* scb_rec = find_scb t scb in
+      let* reply =
+        run_agg_scan t ~tx f scb_rec scb ~from_key:(Keycode.successor after_key)
+      in
+      drop_scb_when_done t reply;
+      Ok reply
+  | R_record_count { file } ->
+      let* _f = find_file t file in
+      Ok (Rp_slot (record_count t ~file))
 
 let request t req =
   Sim.tick t.sim 20;

@@ -16,6 +16,98 @@ type buffering = B_rsbb | B_vsbb
 
 type file_kind_spec = K_key_sequenced | K_relative of int | K_entry_sequenced
 
+(* --- aggregate pushdown ------------------------------------------------- *)
+
+(* The Disk Process evaluates COUNT/SUM/MIN/MAX/AVG at the source and
+   ships accumulator state instead of rows. One accumulator carries every
+   kind's partial state so that merging partials from several partitions
+   (or several re-drives) is uniform. *)
+
+type agg_kind = Agg_count_star | Agg_count | Agg_sum | Agg_min | Agg_max | Agg_avg
+
+type agg_spec = {
+  ag_kind : agg_kind;
+  ag_arg : Expr.t option;  (** [None] only for [Agg_count_star] *)
+}
+
+type agg_acc = {
+  mutable aa_count : int;  (** non-Null inputs seen (all rows for [*]) *)
+  mutable aa_sum_i : int;
+  mutable aa_sum_f : float;
+  mutable aa_saw_float : bool;
+  mutable aa_min : Row.value;  (** [Null] while no input seen *)
+  mutable aa_max : Row.value;
+}
+
+let fresh_acc () =
+  {
+    aa_count = 0;
+    aa_sum_i = 0;
+    aa_sum_f = 0.;
+    aa_saw_float = false;
+    aa_min = Row.Null;
+    aa_max = Row.Null;
+  }
+
+let feed_acc acc (v : Row.value) =
+  match v with
+  | Row.Null -> ()
+  | v ->
+      acc.aa_count <- acc.aa_count + 1;
+      (match v with
+      | Row.Vint n -> acc.aa_sum_i <- acc.aa_sum_i + n
+      | Row.Vfloat f ->
+          acc.aa_sum_f <- acc.aa_sum_f +. f;
+          acc.aa_saw_float <- true
+      | _ -> ());
+      (match acc.aa_min with
+      | Row.Null -> acc.aa_min <- v
+      | m -> if Row.compare_value v m < 0 then acc.aa_min <- v);
+      (match acc.aa_max with
+      | Row.Null -> acc.aa_max <- v
+      | m -> if Row.compare_value v m > 0 then acc.aa_max <- v)
+
+let feed_spec acc spec row =
+  match (spec.ag_kind, spec.ag_arg) with
+  | Agg_count_star, _ -> acc.aa_count <- acc.aa_count + 1
+  | _, Some e -> feed_acc acc (Expr.eval row e)
+  | _, None -> ()
+
+let merge_acc ~into acc =
+  into.aa_count <- into.aa_count + acc.aa_count;
+  into.aa_sum_i <- into.aa_sum_i + acc.aa_sum_i;
+  into.aa_sum_f <- into.aa_sum_f +. acc.aa_sum_f;
+  into.aa_saw_float <- into.aa_saw_float || acc.aa_saw_float;
+  (match acc.aa_min with
+  | Row.Null -> ()
+  | v -> (
+      match into.aa_min with
+      | Row.Null -> into.aa_min <- v
+      | m -> if Row.compare_value v m < 0 then into.aa_min <- v));
+  match acc.aa_max with
+  | Row.Null -> ()
+  | v -> (
+      match into.aa_max with
+      | Row.Null -> into.aa_max <- v
+      | m -> if Row.compare_value v m > 0 then into.aa_max <- v)
+
+let finish_acc kind acc : Row.value =
+  match kind with
+  | Agg_count_star | Agg_count -> Row.Vint acc.aa_count
+  | Agg_sum ->
+      if acc.aa_count = 0 then Row.Null
+      else if acc.aa_saw_float then
+        Row.Vfloat (acc.aa_sum_f +. float_of_int acc.aa_sum_i)
+      else Row.Vint acc.aa_sum_i
+  | Agg_min -> acc.aa_min
+  | Agg_max -> acc.aa_max
+  | Agg_avg ->
+      if acc.aa_count = 0 then Row.Null
+      else
+        Row.Vfloat
+          ((acc.aa_sum_f +. float_of_int acc.aa_sum_i)
+          /. float_of_int acc.aa_count)
+
 type request =
   | R_create_file of {
       fname : string;
@@ -72,6 +164,17 @@ type request =
   | R_insert_block of { file : int; tx : int; rows : Row.row list }
   | R_apply_block of { file : int; tx : int; ops : (string * buffered_op) list }
   | R_close_scb of { scb : int }
+  | R_agg_first of {
+      file : int;
+      tx : int;
+      range : Expr.key_range;
+      pred : Expr.t option;
+      group_keys : int array;
+      aggs : agg_spec list;
+      lock : lock_mode;
+    }
+  | R_agg_next of { file : int; tx : int; scb : int; after_key : string }
+  | R_record_count of { file : int }
 
 type reply =
   | Rp_ok
@@ -92,6 +195,12 @@ type reply =
       blockers : int list;
       processed : int;
       last_key : string;
+      scb : int;
+    }
+  | Rp_agg of {
+      groups : (Row.row * agg_acc list) list;
+      last_key : string;
+      more : bool;
       scb : int;
     }
   | Rp_error of Errors.t
@@ -123,6 +232,9 @@ let tag = function
   | R_insert_block _ -> "INSERT^BLOCK"
   | R_apply_block _ -> "APPLY^BLOCK"
   | R_close_scb _ -> "CLOSE^SCB"
+  | R_agg_first _ -> "AGGREGATE^FIRST"
+  | R_agg_next _ -> "AGGREGATE^NEXT"
+  | R_record_count _ -> "RECORD^COUNT"
 
 let is_mutation = function
   | R_insert _ | R_update _ | R_delete _ | R_rel_write _ | R_rel_rewrite _
@@ -132,7 +244,8 @@ let is_mutation = function
       true
   | R_read _ | R_read_next _ | R_lock_file _ | R_lock_generic _
   | R_get_first _ | R_get_next _
-  | R_close_scb _ | R_rel_read _ | R_entry_read _ ->
+  | R_close_scb _ | R_rel_read _ | R_entry_read _
+  | R_agg_first _ | R_agg_next _ | R_record_count _ ->
       false
 
 (* --- decode errors ------------------------------------------------------- *)
@@ -208,6 +321,75 @@ let w_rows w rows =
 let r_rows r =
   let n = Codec.r_varint r in
   List.init n (fun _ -> Row.decode_values r)
+
+let w_agg_kind w k =
+  Codec.w_u8 w
+    (match k with
+    | Agg_count_star -> 0
+    | Agg_count -> 1
+    | Agg_sum -> 2
+    | Agg_min -> 3
+    | Agg_max -> 4
+    | Agg_avg -> 5)
+
+let r_agg_kind r =
+  match Codec.r_u8 r with
+  | 0 -> Agg_count_star
+  | 1 -> Agg_count
+  | 2 -> Agg_sum
+  | 3 -> Agg_min
+  | 4 -> Agg_max
+  | 5 -> Agg_avg
+  | n -> bad_tag "aggregate kind" n
+
+let w_agg_specs w specs =
+  Codec.w_varint w (List.length specs);
+  List.iter
+    (fun s ->
+      w_agg_kind w s.ag_kind;
+      w_opt w Expr.encode s.ag_arg)
+    specs
+
+let r_agg_specs r =
+  let n = Codec.r_varint r in
+  List.init n (fun _ ->
+      let ag_kind = r_agg_kind r in
+      let ag_arg = r_opt r Expr.decode in
+      { ag_kind; ag_arg })
+
+let w_agg_acc w acc =
+  Codec.w_varint w acc.aa_count;
+  Codec.w_int w acc.aa_sum_i;
+  Codec.w_float w acc.aa_sum_f;
+  Codec.w_bool w acc.aa_saw_float;
+  Row.encode_value w acc.aa_min;
+  Row.encode_value w acc.aa_max
+
+let r_agg_acc r =
+  let aa_count = Codec.r_varint r in
+  let aa_sum_i = Codec.r_int r in
+  let aa_sum_f = Codec.r_float r in
+  let aa_saw_float = Codec.r_bool r in
+  let aa_min = Row.decode_value r in
+  let aa_max = Row.decode_value r in
+  { aa_count; aa_sum_i; aa_sum_f; aa_saw_float; aa_min; aa_max }
+
+let w_groups w groups =
+  Codec.w_varint w (List.length groups);
+  List.iter
+    (fun (key_vals, accs) ->
+      Row.encode_values w key_vals;
+      Codec.w_varint w (List.length accs);
+      List.iter (fun acc -> w_agg_acc w acc) accs)
+    groups
+
+let r_groups r =
+  let n = Codec.r_varint r in
+  List.init n (fun _ ->
+      let key_vals = Row.decode_values r in
+      let k = Codec.r_varint r in
+      let accs = List.init k (fun _ -> r_agg_acc r) in
+      (key_vals, accs))
 
 let w_error w (e : Errors.t) =
   let tag, payload =
@@ -408,7 +590,25 @@ let encode_request req =
         ops
   | R_close_scb { scb } ->
       Codec.w_u8 w 21;
-      Codec.w_varint w scb);
+      Codec.w_varint w scb
+  | R_agg_first { file; tx; range; pred; group_keys; aggs; lock } ->
+      Codec.w_u8 w 24;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      w_range w range;
+      w_opt w Expr.encode pred;
+      w_proj w group_keys;
+      w_agg_specs w aggs;
+      w_lock w lock
+  | R_agg_next { file; tx; scb; after_key } ->
+      Codec.w_u8 w 25;
+      Codec.w_varint w file;
+      Codec.w_varint w tx;
+      Codec.w_varint w scb;
+      Codec.w_bytes w after_key
+  | R_record_count { file } ->
+      Codec.w_u8 w 26;
+      Codec.w_varint w file);
   Codec.contents w
 
 let decode_request_exn payload =
@@ -569,6 +769,24 @@ let decode_request_exn payload =
             (key, op))
       in
       R_apply_block { file; tx; ops }
+  | 24 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let range = r_range r in
+      let pred = r_opt r Expr.decode in
+      let group_keys = r_proj r in
+      let aggs = r_agg_specs r in
+      let lock = r_lock r in
+      R_agg_first { file; tx; range; pred; group_keys; aggs; lock }
+  | 25 ->
+      let file = Codec.r_varint r in
+      let tx = Codec.r_varint r in
+      let scb = Codec.r_varint r in
+      let after_key = Codec.r_bytes r in
+      R_agg_next { file; tx; scb; after_key }
+  | 26 ->
+      let file = Codec.r_varint r in
+      R_record_count { file }
   | n -> bad_tag "request" n
 
 (* --- reply codec ----------------------------------------------------------- *)
@@ -621,6 +839,12 @@ let encode_reply reply =
       Codec.w_varint w processed;
       Codec.w_bytes w last_key;
       Codec.w_varint w (scb + 1)
+  | Rp_agg { groups; last_key; more; scb } ->
+      Codec.w_u8 w 11;
+      w_groups w groups;
+      Codec.w_bytes w last_key;
+      Codec.w_bool w more;
+      Codec.w_varint w (scb + 1)
   | Rp_error e ->
       Codec.w_u8 w 10;
       w_error w e);
@@ -670,6 +894,12 @@ let decode_reply_exn payload =
       let scb = Codec.r_varint r - 1 in
       Rp_blocked { blockers; processed; last_key; scb }
   | 10 -> Rp_error (r_error r)
+  | 11 ->
+      let groups = r_groups r in
+      let last_key = Codec.r_bytes r in
+      let more = Codec.r_bool r in
+      let scb = Codec.r_varint r - 1 in
+      Rp_agg { groups; last_key; more; scb }
   | n -> bad_tag "reply" n
 
 let guard decode payload =

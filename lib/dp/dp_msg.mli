@@ -35,6 +35,53 @@ type buffering = B_rsbb | B_vsbb
 
 type file_kind_spec = K_key_sequenced | K_relative of int | K_entry_sequenced
 
+(** {1 Aggregate pushdown}
+
+    The SQL interface lets the Disk Process evaluate COUNT/SUM/MIN/MAX/AVG
+    at the source ([R_agg_first]/[R_agg_next]): instead of shipping every
+    qualifying row up in virtual blocks, the DP folds rows into accumulator
+    state inside the re-drive budget and the final reply carries one
+    accumulator per (group, aggregate) — bytes proportional to the number
+    of groups, not the number of rows. *)
+
+type agg_kind = Agg_count_star | Agg_count | Agg_sum | Agg_min | Agg_max | Agg_avg
+
+type agg_spec = {
+  ag_kind : agg_kind;
+  ag_arg : Expr.t option;  (** [None] only for [Agg_count_star] *)
+}
+
+(** One aggregate's partial state. A single representation serves every
+    kind so that partials from different partitions (or re-drives) merge
+    uniformly; [finish_acc] extracts the kind's final value. *)
+type agg_acc = {
+  mutable aa_count : int;  (** non-Null inputs seen (all rows for [*]) *)
+  mutable aa_sum_i : int;
+  mutable aa_sum_f : float;
+  mutable aa_saw_float : bool;
+  mutable aa_min : Row.value;  (** [Null] while no input seen *)
+  mutable aa_max : Row.value;
+}
+
+val fresh_acc : unit -> agg_acc
+
+(** [feed_acc acc v] folds one input value; [Null] is skipped (SQL
+    aggregate semantics). *)
+val feed_acc : agg_acc -> Row.value -> unit
+
+(** [feed_spec acc spec row] evaluates the spec's argument against [row]
+    and feeds it ([Agg_count_star] counts the row unconditionally). *)
+val feed_spec : agg_acc -> agg_spec -> Row.row -> unit
+
+(** [merge_acc ~into acc] folds a partial into another — the requester-side
+    combine step for per-partition partials. *)
+val merge_acc : into:agg_acc -> agg_acc -> unit
+
+(** [finish_acc kind acc] is the aggregate's final value: COUNT of zero
+    rows is 0, every other kind over zero rows is [Null], SUM stays
+    integer unless a float was seen. *)
+val finish_acc : agg_kind -> agg_acc -> Row.value
+
 type request =
   | R_create_file of {
       fname : string;
@@ -99,6 +146,19 @@ type request =
               future enhancement *)
     }
   | R_close_scb of { scb : int }
+  | R_agg_first of {
+      file : int;
+      tx : int;
+      range : Expr.key_range;
+      pred : Expr.t option;
+      group_keys : int array;
+          (** grouping fields, a prefix of the file's key columns *)
+      aggs : agg_spec list;
+      lock : lock_mode;
+    }
+  | R_agg_next of { file : int; tx : int; scb : int; after_key : string }
+  | R_record_count of { file : int }
+      (** catalog-style cardinality probe, one per partition *)
 
 type reply =
   | Rp_ok
@@ -121,6 +181,15 @@ type reply =
       last_key : string;  (** restart point: last key fully processed *)
       scb : int;
     }  (** lock conflict: the requester waits and re-drives *)
+  | Rp_agg of {
+      groups : (Row.row * agg_acc list) list;
+          (** group-key values paired with one accumulator per spec, in
+              first-seen (= key) order; empty on intermediate re-drives —
+              the partials stay in the SCB until the subset is exhausted *)
+      last_key : string;
+      more : bool;
+      scb : int;
+    }
   | Rp_error of Nsql_util.Errors.t
 
 (** [tag req] is the human-readable message-type name, in the paper's

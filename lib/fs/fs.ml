@@ -1,4 +1,5 @@
 module Sim = Nsql_sim.Sim
+module Config = Nsql_sim.Config
 module Msg = Nsql_msg.Msg
 module Row = Nsql_row.Row
 module Expr = Nsql_expr.Expr
@@ -44,25 +45,49 @@ let file_kind f = f.kind
 let partition_count f = Array.length f.parts
 let index_names f = List.map (fun ix -> ix.ix_name) f.indexes
 
-let record_count _t f =
-  Array.fold_left
-    (fun acc p -> acc + Dp.record_count p.p_dp ~file:p.p_file)
-    0 f.parts
+(* nowait fan-out across partitions, unless configured off for A/B runs *)
+let fanout t = (Sim.config t.sim).Config.fs_fanout
 
 (* --- messaging --------------------------------------------------------- *)
 
-let send t dp req =
-  let payload = Dp_msg.encode_request req in
-  let reply_payload =
-    Msg.send t.msys ~from:t.my_processor ~tag:(Dp_msg.tag req)
-      (Dp.endpoint dp) payload
-  in
+let decode_or_internal reply_payload =
   match Dp_msg.decode_reply reply_payload with
   | Ok reply -> reply
   | Error e ->
       Dp_msg.Rp_error
         (Errors.Internal
            ("malformed reply: " ^ Dp_msg.decode_error_to_string e))
+
+let send t dp req =
+  let payload = Dp_msg.encode_request req in
+  decode_or_internal
+    (Msg.send t.msys ~from:t.my_processor ~tag:(Dp_msg.tag req)
+       (Dp.endpoint dp) payload)
+
+(* overlapped request: issue now, collect the reply (and the latency) at
+   the await. Every completion returned here must be awaited. *)
+let send_nowait t dp req =
+  Msg.send_nowait t.msys ~from:t.my_processor ~tag:(Dp_msg.tag req)
+    (Dp.endpoint dp) (Dp_msg.encode_request req)
+
+let await_reply t c = decode_or_internal (Msg.await t.msys c)
+
+let record_count t f =
+  (* one RECORD^COUNT message per partition; overlapped when fan-out is on *)
+  let count_of = function Dp_msg.Rp_slot n -> n | _ -> 0 in
+  if fanout t then begin
+    let cs =
+      Array.map
+        (fun p -> send_nowait t p.p_dp (Dp_msg.R_record_count { file = p.p_file }))
+        f.parts
+    in
+    Array.fold_left (fun acc c -> acc + count_of (await_reply t c)) 0 cs
+  end
+  else
+    Array.fold_left
+      (fun acc p ->
+        acc + count_of (send t p.p_dp (Dp_msg.R_record_count { file = p.p_file })))
+      0 f.parts
 
 let blocked_error blockers =
   Errors.Lock_timeout
@@ -261,16 +286,31 @@ let delete t f ~tx ~key =
   expect_ok (send t p.p_dp (Dp_msg.R_delete { file = p.p_file; tx; key }))
 
 let lock_file t f ~tx ~lock =
-  let rec go i =
-    if i >= Array.length f.parts then Ok ()
-    else
-      let p = f.parts.(i) in
-      let* () =
-        expect_ok (send t p.p_dp (Dp_msg.R_lock_file { file = p.p_file; tx; lock }))
-      in
-      go (i + 1)
-  in
-  go 0
+  if fanout t && Array.length f.parts > 1 then begin
+    (* overlap the per-partition LOCKFILE round trips; every completion is
+       awaited (first failing partition wins, in partition order) *)
+    let cs =
+      Array.map
+        (fun p -> send_nowait t p.p_dp (Dp_msg.R_lock_file { file = p.p_file; tx; lock }))
+        f.parts
+    in
+    Array.fold_left
+      (fun acc c ->
+        let reply = await_reply t c in
+        match acc with Error _ -> acc | Ok () -> expect_ok reply)
+      (Ok ()) cs
+  end
+  else
+    let rec go i =
+      if i >= Array.length f.parts then Ok ()
+      else
+        let p = f.parts.(i) in
+        let* () =
+          expect_ok (send t p.p_dp (Dp_msg.R_lock_file { file = p.p_file; tx; lock }))
+        in
+        go (i + 1)
+    in
+    go 0
 
 let lock_generic t f ~tx ~prefix ~lock =
   let p = route f prefix in
@@ -476,7 +516,8 @@ type access = A_record | A_rsbb | A_vsbb
 
 type scan_item = I_row of Row.row | I_entry of string * string
 
-type scan = {
+(* the blocking driver: one partition at a time, one outstanding request *)
+type seq_scan = {
   sc_file : file;
   sc_tx : int;
   sc_access : access;
@@ -491,24 +532,104 @@ type scan = {
   mutable sc_done : bool;
 }
 
-let open_scan t f ~tx ~access ~range ?pred ?proj ~lock () =
-  ignore t;
-  {
-    sc_file = f;
-    sc_tx = tx;
-    sc_access = access;
-    sc_pred = pred;
-    sc_proj = proj;
-    sc_lock = lock;
-    sc_parts = partition_ranges f range;
-    sc_scb = None;
-    sc_last_key = "";
-    sc_started = false;
-    sc_buf = [];
-    sc_done = false;
-  }
+(* the nowait driver: every partition keeps one outstanding re-drive *)
+type par_part = {
+  pp_part : partition;
+  pp_range : Expr.key_range;
+  mutable pp_scb : int option;
+  mutable pp_last_key : string;
+  mutable pp_pending : Msg.completion option;
+  mutable pp_front : scan_item list;
+  mutable pp_chunks : scan_item list list;  (** newest first *)
+  mutable pp_done : bool;  (** partition exhausted on the DP side *)
+}
 
-let close_scan t sc =
+type par_scan = {
+  pr_file : file;
+  pr_tx : int;
+  pr_access : access;  (** [A_rsbb] or [A_vsbb] *)
+  pr_pred : Expr.t option;
+  pr_proj : int array option;
+  pr_lock : Dp_msg.lock_mode;
+  pr_ordered : bool;
+  pr_parts : par_part array;
+  mutable pr_cur : int;  (** ordered: next partition to consume *)
+  mutable pr_front : scan_item list;  (** unordered: arrival-order queue *)
+  mutable pr_chunks : scan_item list list;
+  mutable pr_started : bool;
+  mutable pr_dead : bool;  (** closed or failed: yield nothing more *)
+}
+
+type scan = Seq of seq_scan | Par of par_scan
+
+let open_scan t f ~tx ~access ~range ?pred ?proj ?(ordered = true) ~lock () =
+  let pieces = partition_ranges f range in
+  (* the record-at-a-time path stays blocking: it is the old-interface
+     baseline, and its lock acquisition is inherently one-at-a-time *)
+  if fanout t && access <> A_record && List.length pieces > 1 then
+    Par
+      {
+        pr_file = f;
+        pr_tx = tx;
+        pr_access = access;
+        pr_pred = pred;
+        pr_proj = proj;
+        pr_lock = lock;
+        pr_ordered = ordered;
+        pr_parts =
+          Array.of_list
+            (List.map
+               (fun (p, r) ->
+                 {
+                   pp_part = p;
+                   pp_range = r;
+                   pp_scb = None;
+                   pp_last_key = "";
+                   pp_pending = None;
+                   pp_front = [];
+                   pp_chunks = [];
+                   pp_done = false;
+                 })
+               pieces);
+        pr_cur = 0;
+        pr_front = [];
+        pr_chunks = [];
+        pr_started = false;
+        pr_dead = false;
+      }
+  else
+    Seq
+      {
+        sc_file = f;
+        sc_tx = tx;
+        sc_access = access;
+        sc_pred = pred;
+        sc_proj = proj;
+        sc_lock = lock;
+        sc_parts = pieces;
+        sc_scb = None;
+        sc_last_key = "";
+        sc_started = false;
+        sc_buf = [];
+        sc_done = false;
+      }
+
+(* client-side filtering for the record-at-a-time and RSBB paths *)
+let client_select_gen ~schema ~pred ~proj key record =
+  match schema with
+  | None -> Some (I_entry (key, record))
+  | Some schema -> (
+      let row = Row.decode_exn schema record in
+      match pred with
+      | Some p when not (Expr.eval_pred row p) -> None
+      | _ -> (
+          match proj with
+          | Some fields -> Some (I_row (Row.project row fields))
+          | None -> Some (I_row row)))
+
+(* --- sequential (blocking) scan driver ----------------------------------- *)
+
+let seq_close t sc =
   (match (sc.sc_scb, sc.sc_parts) with
   | Some scb, (p, _) :: _ ->
       ignore (send t p.p_dp (Dp_msg.R_close_scb { scb }))
@@ -530,18 +651,9 @@ let advance_partition t sc =
       sc.sc_parts <- rest;
       if rest = [] then sc.sc_done <- true
 
-(* client-side filtering for the record-at-a-time and RSBB paths *)
 let client_select sc key record =
-  match sc.sc_file.schema with
-  | None -> Some (I_entry (key, record))
-  | Some schema -> (
-      let row = Row.decode_exn schema record in
-      match sc.sc_pred with
-      | Some p when not (Expr.eval_pred row p) -> None
-      | _ -> (
-          match sc.sc_proj with
-          | Some fields -> Some (I_row (Row.project row fields))
-          | None -> Some (I_row row)))
+  client_select_gen ~schema:sc.sc_file.schema ~pred:sc.sc_pred
+    ~proj:sc.sc_proj key record
 
 (* one FS-DP interaction to refill the buffer; true if the scan may continue *)
 let refill t sc =
@@ -639,7 +751,7 @@ let refill t sc =
           | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
           | _ -> Error (Errors.Internal "unexpected reply to GET")))
 
-let rec scan_next_item t sc =
+let rec seq_next_item t sc =
   match sc.sc_buf with
   | item :: rest ->
       sc.sc_buf <- rest;
@@ -649,7 +761,210 @@ let rec scan_next_item t sc =
       if sc.sc_done then Ok None
       else
         let* () = refill t sc in
-        if sc.sc_buf = [] && sc.sc_done then Ok None else scan_next_item t sc
+        if sc.sc_buf = [] && sc.sc_done then Ok None else seq_next_item t sc
+
+(* --- parallel (nowait) scan driver ---------------------------------------- *)
+
+(* pop one buffered item; chunks hold whole replies, newest first *)
+let chunk_take ~front ~chunks ~set_front ~set_chunks =
+  match front with
+  | it :: rest ->
+      set_front rest;
+      Some it
+  | [] -> (
+      match List.concat (List.rev chunks) with
+      | [] -> None
+      | it :: rest ->
+          set_chunks [];
+          set_front rest;
+          Some it)
+
+let pp_take pp =
+  chunk_take ~front:pp.pp_front ~chunks:pp.pp_chunks
+    ~set_front:(fun l -> pp.pp_front <- l)
+    ~set_chunks:(fun l -> pp.pp_chunks <- l)
+
+let pr_take ps =
+  chunk_take ~front:ps.pr_front ~chunks:ps.pr_chunks
+    ~set_front:(fun l -> ps.pr_front <- l)
+    ~set_chunks:(fun l -> ps.pr_chunks <- l)
+
+(* ordered scans buffer per partition (ranges are disjoint and ascending,
+   so partition order IS key order); unordered scans queue arrivals *)
+let par_absorb ps pp items =
+  match items with
+  | [] -> ()
+  | items ->
+      if ps.pr_ordered then pp.pp_chunks <- items :: pp.pp_chunks
+      else ps.pr_chunks <- items :: ps.pr_chunks
+
+(* launch: one GET^FIRST^VSBB (or RSBB) per partition, all overlapped *)
+let par_issue_first t ps =
+  ps.pr_started <- true;
+  Array.iter
+    (fun pp ->
+      let vsbb = ps.pr_access = A_vsbb in
+      let req =
+        Dp_msg.R_get_first
+          {
+            file = pp.pp_part.p_file;
+            tx = ps.pr_tx;
+            buffering = (if vsbb then Dp_msg.B_vsbb else Dp_msg.B_rsbb);
+            range = pp.pp_range;
+            pred = (if vsbb then ps.pr_pred else None);
+            proj = (if vsbb then ps.pr_proj else None);
+            lock = ps.pr_lock;
+          }
+      in
+      pp.pp_pending <- Some (send_nowait t pp.pp_part.p_dp req))
+    ps.pr_parts
+
+(* fold one reply into the partition state; keep one re-drive outstanding *)
+let par_process t ps pp reply =
+  match reply with
+  | Dp_msg.Rp_end ->
+      pp.pp_scb <- None;
+      pp.pp_done <- true;
+      Ok ()
+  | Dp_msg.Rp_vblock { rows; last_key; more; scb } ->
+      pp.pp_last_key <- last_key;
+      par_absorb ps pp (List.map (fun r -> I_row r) rows);
+      if more then begin
+        pp.pp_scb <- Some scb;
+        pp.pp_pending <-
+          Some
+            (send_nowait t pp.pp_part.p_dp
+               (Dp_msg.R_get_next
+                  { file = pp.pp_part.p_file; tx = ps.pr_tx; scb; after_key = last_key }))
+      end
+      else begin
+        pp.pp_scb <- None;
+        pp.pp_done <- true
+      end;
+      Ok ()
+  | Dp_msg.Rp_block { entries; last_key; more; scb } ->
+      pp.pp_last_key <- last_key;
+      par_absorb ps pp
+        (List.filter_map
+           (fun (k, r) ->
+             client_select_gen ~schema:ps.pr_file.schema ~pred:ps.pr_pred
+               ~proj:ps.pr_proj k r)
+           entries);
+      if more then begin
+        pp.pp_scb <- Some scb;
+        pp.pp_pending <-
+          Some
+            (send_nowait t pp.pp_part.p_dp
+               (Dp_msg.R_get_next
+                  { file = pp.pp_part.p_file; tx = ps.pr_tx; scb; after_key = last_key }))
+      end
+      else begin
+        pp.pp_scb <- None;
+        pp.pp_done <- true
+      end;
+      Ok ()
+  | Dp_msg.Rp_error e -> Error e
+  | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+  | _ -> Error (Errors.Internal "unexpected reply to GET")
+
+(* drain every outstanding completion (charging its latency); called on
+   error and on close so no completion is ever leaked *)
+let par_quiesce t ps =
+  Array.iter
+    (fun pp ->
+      match pp.pp_pending with
+      | None -> ()
+      | Some c ->
+          pp.pp_pending <- None;
+          (match await_reply t c with
+          | Dp_msg.Rp_vblock { more; scb; _ } | Dp_msg.Rp_block { more; scb; _ } ->
+              pp.pp_scb <- (if more then Some scb else None)
+          | Dp_msg.Rp_blocked { scb; _ } when scb >= 0 -> pp.pp_scb <- Some scb
+          | _ -> pp.pp_scb <- None);
+          pp.pp_done <- true)
+    ps.pr_parts
+
+(* await the earliest outstanding completion across ALL partitions (ties
+   break to the lowest partition index — pure function of simulated time)
+   and fold its reply in; [Ok false] when nothing was outstanding *)
+let par_await_some t ps =
+  let idxs = ref [] in
+  Array.iteri
+    (fun i pp -> if pp.pp_pending <> None then idxs := i :: !idxs)
+    ps.pr_parts;
+  match List.rev !idxs with
+  | [] -> Ok false
+  | idxs -> (
+      let cs = List.map (fun i -> Option.get ps.pr_parts.(i).pp_pending) idxs in
+      let which, payload = Msg.await_any t.msys cs in
+      let pp = ps.pr_parts.(List.nth idxs which) in
+      pp.pp_pending <- None;
+      match par_process t ps pp (decode_or_internal payload) with
+      | Ok () -> Ok true
+      | Error e ->
+          par_quiesce t ps;
+          ps.pr_dead <- true;
+          Error e)
+
+let rec par_next_item t ps =
+  if ps.pr_dead then Ok None
+  else begin
+    if not ps.pr_started then par_issue_first t ps;
+    if ps.pr_ordered then begin
+      if ps.pr_cur >= Array.length ps.pr_parts then Ok None
+      else begin
+        let pp = ps.pr_parts.(ps.pr_cur) in
+        match pp_take pp with
+        | Some it ->
+            Sim.tick t.sim 3;
+            Ok (Some it)
+        | None ->
+            if pp.pp_done && pp.pp_pending = None then begin
+              ps.pr_cur <- ps.pr_cur + 1;
+              par_next_item t ps
+            end
+            else
+              let* progressed = par_await_some t ps in
+              if progressed then par_next_item t ps else Ok None
+      end
+    end
+    else begin
+      match pr_take ps with
+      | Some it ->
+          Sim.tick t.sim 3;
+          Ok (Some it)
+      | None ->
+          let all_done =
+            Array.for_all (fun pp -> pp.pp_done && pp.pp_pending = None) ps.pr_parts
+          in
+          if all_done then Ok None
+          else
+            let* progressed = par_await_some t ps in
+            if progressed then par_next_item t ps else Ok None
+    end
+  end
+
+(* --- common scan interface -------------------------------------------------- *)
+
+let scan_next_item t = function
+  | Seq sc -> seq_next_item t sc
+  | Par ps -> par_next_item t ps
+
+let scan_file = function Seq sc -> sc.sc_file | Par ps -> ps.pr_file
+
+let close_scan t = function
+  | Seq sc -> seq_close t sc
+  | Par ps ->
+      par_quiesce t ps;
+      Array.iter
+        (fun pp ->
+          match pp.pp_scb with
+          | Some scb ->
+              pp.pp_scb <- None;
+              ignore (send t pp.pp_part.p_dp (Dp_msg.R_close_scb { scb }))
+          | None -> ())
+        ps.pr_parts;
+      ps.pr_dead <- true
 
 let scan_next t sc =
   let* item = scan_next_item t sc in
@@ -657,7 +972,7 @@ let scan_next t sc =
   | None -> Ok None
   | Some (I_row row) -> Ok (Some row)
   | Some (I_entry (_, record)) -> (
-      match sc.sc_file.schema with
+      match (scan_file sc).schema with
       | Some schema -> Ok (Some (Row.decode_exn schema record))
       | None -> Error (Errors.Bad_request "scan_next on schema-less file"))
 
@@ -679,33 +994,74 @@ let assignments_touch_index f assignments =
         assignments)
     f.indexes
 
-(* the delegated path: UPDATE^SUBSET / DELETE^SUBSET with re-drives *)
+(* the delegated path: UPDATE^SUBSET / DELETE^SUBSET with re-drives.
+   Under fan-out every partition keeps one re-drive outstanding; the
+   completion loop folds replies in earliest-completion order. *)
 let drive_subset t f ~tx ~range ~first ~next =
-  let pieces = partition_ranges f range in
-  let rec per_partition total = function
-    | [] -> Ok total
-    | (p, prange) :: rest ->
-        let rec drive total scb after_key =
-          let reply =
-            match scb with
-            | None -> send t p.p_dp (first p prange)
-            | Some scb -> send t p.p_dp (next p scb after_key)
-          in
-          match reply with
-          | Dp_msg.Rp_progress { processed; last_key; more; scb } ->
-              if more then drive (total + processed) (Some scb) last_key
-              else
-                (* subset exhausted: the Disk Process dropped the SCB *)
-                Ok (total + processed)
-          | Dp_msg.Rp_error e -> Error e
-          | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-          | _ -> Error (Errors.Internal "unexpected reply to SUBSET request")
-        in
-        let* total = drive total None "" in
-        per_partition total rest
-  in
   ignore tx;
-  per_partition 0 pieces
+  let pieces = partition_ranges f range in
+  if fanout t && List.length pieces > 1 then begin
+    let parts = Array.of_list pieces in
+    let pending =
+      Array.map (fun (p, prange) -> Some (send_nowait t p.p_dp (first p prange))) parts
+    in
+    let total = ref 0 in
+    let err = ref None in
+    let rec loop () =
+      let idxs = ref [] in
+      Array.iteri (fun i c -> if c <> None then idxs := i :: !idxs) pending;
+      match List.rev !idxs with
+      | [] -> ()
+      | idxs ->
+          let cs = List.map (fun i -> Option.get pending.(i)) idxs in
+          let which, payload = Msg.await_any t.msys cs in
+          let i = List.nth idxs which in
+          pending.(i) <- None;
+          let p, _ = parts.(i) in
+          (match decode_or_internal payload with
+          | Dp_msg.Rp_progress { processed; last_key; more; scb } ->
+              total := !total + processed;
+              if more then
+                if !err = None then
+                  pending.(i) <- Some (send_nowait t p.p_dp (next p scb last_key))
+                else
+                  (* a sibling partition failed: abandon this subset *)
+                  ignore (send t p.p_dp (Dp_msg.R_close_scb { scb }))
+          | Dp_msg.Rp_error e -> if !err = None then err := Some e
+          | Dp_msg.Rp_blocked { blockers; _ } ->
+              if !err = None then err := Some (blocked_error blockers)
+          | _ ->
+              if !err = None then
+                err := Some (Errors.Internal "unexpected reply to SUBSET request"));
+          loop ()
+    in
+    loop ();
+    match !err with Some e -> Error e | None -> Ok !total
+  end
+  else
+    let rec per_partition total = function
+      | [] -> Ok total
+      | (p, prange) :: rest ->
+          let rec drive total scb after_key =
+            let reply =
+              match scb with
+              | None -> send t p.p_dp (first p prange)
+              | Some scb -> send t p.p_dp (next p scb after_key)
+            in
+            match reply with
+            | Dp_msg.Rp_progress { processed; last_key; more; scb } ->
+                if more then drive (total + processed) (Some scb) last_key
+                else
+                  (* subset exhausted: the Disk Process dropped the SCB *)
+                  Ok (total + processed)
+            | Dp_msg.Rp_error e -> Error e
+            | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
+            | _ -> Error (Errors.Internal "unexpected reply to SUBSET request")
+          in
+          let* total = drive total None "" in
+          per_partition total rest
+    in
+    per_partition 0 pieces
 
 let update_subset t f ~tx ~range ?pred assignments =
   let* _schema = require_schema f in
@@ -763,6 +1119,114 @@ let delete_subset t f ~tx ~range ?pred () =
         Dp_msg.R_delete_subset_first { file = p.p_file; tx; range = prange; pred })
       ~next:(fun p scb after_key ->
         Dp_msg.R_delete_subset_next { file = p.p_file; tx; scb; after_key })
+
+(* --- aggregate pushdown ------------------------------------------------------ *)
+
+(* drive one partition's AGGREGATE^FIRST / AGGREGATE^NEXT chain to its
+   final reply; intermediate replies carry no groups (the partials stay in
+   the Disk Process SCB) *)
+let agg_fold_reply reply ~redrive ~finish ~fail =
+  match reply with
+  | Dp_msg.Rp_agg { groups; last_key; more; scb } ->
+      if more then redrive scb last_key else finish groups
+  | Dp_msg.Rp_error e -> fail e
+  | Dp_msg.Rp_blocked { blockers; _ } -> fail (blocked_error blockers)
+  | _ -> fail (Errors.Internal "unexpected reply to AGGREGATE request")
+
+(* merge per-partition group lists in partition (= key) order; a group
+   whose rows straddle a partition boundary merges accumulator-wise *)
+let merge_partition_groups per_part =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iter
+    (fun groups ->
+      List.iter
+        (fun (keyvals, accs) ->
+          let gk =
+            let w = Nsql_util.Codec.writer () in
+            Row.encode_values w keyvals;
+            Nsql_util.Codec.contents w
+          in
+          match Hashtbl.find_opt tbl gk with
+          | None ->
+              Hashtbl.replace tbl gk (keyvals, accs);
+              order := gk :: !order
+          | Some (_, into_accs) ->
+              List.iter2 (fun into acc -> Dp_msg.merge_acc ~into acc) into_accs accs)
+        groups)
+    per_part;
+  List.rev_map
+    (fun gk ->
+      match Hashtbl.find_opt tbl gk with
+      | Some g -> g
+      | None -> Errors.fatal "Fs.aggregate: group order desync")
+    !order
+
+let aggregate t f ~tx ~range ?pred ~group_keys ~aggs ~lock () =
+  let* _schema = require_schema f in
+  let first p prange =
+    Dp_msg.R_agg_first
+      { file = p.p_file; tx; range = prange; pred; group_keys; aggs; lock }
+  in
+  let next p scb after_key =
+    Dp_msg.R_agg_next { file = p.p_file; tx; scb; after_key }
+  in
+  let pieces = partition_ranges f range in
+  let parts = Array.of_list pieces in
+  let per_part = Array.make (Array.length parts) [] in
+  if fanout t && Array.length parts > 1 then begin
+    let pending =
+      Array.map (fun (p, prange) -> Some (send_nowait t p.p_dp (first p prange))) parts
+    in
+    let err = ref None in
+    let rec loop () =
+      let idxs = ref [] in
+      Array.iteri (fun i c -> if c <> None then idxs := i :: !idxs) pending;
+      match List.rev !idxs with
+      | [] -> ()
+      | idxs ->
+          let cs = List.map (fun i -> Option.get pending.(i)) idxs in
+          let which, payload = Msg.await_any t.msys cs in
+          let i = List.nth idxs which in
+          pending.(i) <- None;
+          let p, _ = parts.(i) in
+          agg_fold_reply (decode_or_internal payload)
+            ~redrive:(fun scb last_key ->
+              if !err = None then
+                pending.(i) <- Some (send_nowait t p.p_dp (next p scb last_key))
+              else ignore (send t p.p_dp (Dp_msg.R_close_scb { scb })))
+            ~finish:(fun groups -> per_part.(i) <- groups)
+            ~fail:(fun e -> if !err = None then err := Some e);
+          loop ()
+    in
+    loop ();
+    match !err with
+    | Some e -> Error e
+    | None -> Ok (merge_partition_groups per_part)
+  end
+  else begin
+    let rec per_partition i =
+      if i >= Array.length parts then Ok (merge_partition_groups per_part)
+      else
+        let p, prange = parts.(i) in
+        let rec drive scb after_key =
+          let reply =
+            match scb with
+            | None -> send t p.p_dp (first p prange)
+            | Some scb -> send t p.p_dp (next p scb after_key)
+          in
+          agg_fold_reply reply
+            ~redrive:(fun scb last_key -> drive (Some scb) last_key)
+            ~finish:(fun groups ->
+              per_part.(i) <- groups;
+              Ok ())
+            ~fail:(fun e -> Error e)
+        in
+        let* () = drive None "" in
+        per_partition (i + 1)
+    in
+    per_partition 0
+  end
 
 (* --- blocked sequential inserts --------------------------------------------------------- *)
 

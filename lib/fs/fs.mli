@@ -77,8 +77,9 @@ val file_kind : file -> Dp_msg.file_kind_spec
 val partition_count : file -> int
 val index_names : file -> string list
 
-(** [record_count t file] sums the partitions' live record counts (a local
-    catalog convenience, not a message). *)
+(** [record_count t file] sums the partitions' live record counts: one
+    RECORD^COUNT message per partition, overlapped (nowait) when
+    {!Nsql_sim.Config.t.fs_fanout} is on. *)
 val record_count : t -> file -> int
 
 (** {1 Record-at-a-time operations (ENSCRIBE-style)} *)
@@ -114,7 +115,8 @@ val append_entry :
 val delete :
   t -> file -> tx:int -> key:string -> (unit, Nsql_util.Errors.t) result
 
-(** [lock_file t file ~tx ~lock] locks every partition of the file. *)
+(** [lock_file t file ~tx ~lock] locks every partition of the file; the
+    per-partition round trips are overlapped under fan-out. *)
 val lock_file :
   t -> file -> tx:int -> lock:Dp_msg.lock_mode ->
   (unit, Nsql_util.Errors.t) result
@@ -194,11 +196,23 @@ type access =
 
 type scan
 
-(** [open_scan t file ~tx ~access ~range ?pred ?proj ~lock ()] starts a
-    scan of the primary-key [range]. Under [A_vsbb] the predicate and
-    projection execute in the Disk Process; under [A_rsbb] whole blocks
-    are shipped and filtering happens here; under [A_record] each record
-    costs one message (and per-record locks). *)
+(** [open_scan t file ~tx ~access ~range ?pred ?proj ?ordered ~lock ()]
+    starts a scan of the primary-key [range]. Under [A_vsbb] the predicate
+    and projection execute in the Disk Process; under [A_rsbb] whole
+    blocks are shipped and filtering happens here; under [A_record] each
+    record costs one message (and per-record locks).
+
+    When the range spans several partitions and
+    {!Nsql_sim.Config.t.fs_fanout} is on, the block-buffered scans drive
+    every partition with overlapped (nowait) requests, one outstanding
+    re-drive per partition: per-partition message sequences — and thus
+    message and byte counts — are identical to the blocking driver, but
+    the elapsed time of requests in flight together is the max of their
+    latencies, not the sum. [ordered] (default [true]) merges partitions
+    in key order (partition ranges are disjoint and ascending, so this
+    buffers not-yet-current partitions locally); [ordered:false] yields
+    rows in completion order — earliest simulated completion first, ties
+    to the lowest partition — which is still deterministic. *)
 val open_scan :
   t ->
   file ->
@@ -207,6 +221,7 @@ val open_scan :
   range:Expr.key_range ->
   ?pred:Expr.t ->
   ?proj:int array ->
+  ?ordered:bool ->
   lock:Dp_msg.lock_mode ->
   unit ->
   scan
@@ -237,6 +252,24 @@ val update_subset :
 val delete_subset :
   t -> file -> tx:int -> range:Expr.key_range -> ?pred:Expr.t -> unit ->
   (int, Nsql_util.Errors.t) result
+
+(** {1 Aggregate pushdown}
+
+    [aggregate t file ~tx ~range ?pred ~group_keys ~aggs ~lock ()]
+    evaluates grouped aggregates at the data source: one
+    AGGREGATE^FIRST / AGGREGATE^NEXT re-drive chain per partition
+    (overlapped under fan-out), each final reply carrying one accumulator
+    per (group, aggregate) instead of the qualifying rows. Partition
+    results are combined here with {!Dp_msg.merge_acc} — groups whose rows
+    straddle a partition boundary merge exactly. [group_keys] must be a
+    prefix of the file's primary-key columns (the planner's legality
+    rule), which makes first-seen order equal key order, so the group
+    order is identical to a client-side scan's. *)
+val aggregate :
+  t -> file -> tx:int -> range:Expr.key_range -> ?pred:Expr.t ->
+  group_keys:int array -> aggs:Dp_msg.agg_spec list -> lock:Dp_msg.lock_mode ->
+  unit ->
+  ((Row.row * Dp_msg.agg_acc list) list, Nsql_util.Errors.t) result
 
 (** {1 Blocked sequential insert (extension, experiment E11)} *)
 

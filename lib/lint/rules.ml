@@ -14,6 +14,7 @@
    | ERR-SWALLOW  | protocol paths neither drop results nor raise untyped   |
    | LOCK-ORDER   | acquisitions follow the declared volume→file→key order  |
    | PROTO-EXHAUST| every DP request is dispatched and has a requester path |
+   | NOWAIT-LEAK  | every send_nowait completion is bound and awaited       |
 *)
 
 open Parsetree
@@ -438,6 +439,83 @@ let proto_exhaust ~msg:(msg_path, msg_structure)
     msg_diags @ dispatch_diags @ missing_dispatch @ missing_requester
   end
 
+(* --- NOWAIT-LEAK ---------------------------------------------------------- *)
+
+(* A [send_nowait] whose completion is never awaited silently discards the
+   latency of a request whose effects already happened — the overlapped
+   request becomes free, which corrupts every elapsed-time measurement.
+   Full data-flow tracking is out of scope (like LOCK-ORDER, the rule is a
+   conservative syntactic check): flag the shapes that provably drop the
+   handle — [ignore (send_nowait ...)], a statement-position call, a
+   wildcard binding, and a named binding unused in its scope. A handle
+   stored in a record field or passed along is accepted; the structure
+   holding it is then responsible for awaiting. *)
+
+let is_send_nowait_app e =
+  match e.pexp_desc with
+  | Pexp_apply (callee, _) -> (
+      match Option.map List.rev (ident_path callee) with
+      | Some ("send_nowait" :: _) -> true
+      | _ -> false)
+  | _ -> false
+
+(* does [name] occur as an identifier anywhere in [e]? (conservative:
+   shadowing counts as a use) *)
+let uses_var name e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it x ->
+          (match x.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident n; _ } when String.equal n name ->
+              found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it x);
+    }
+  in
+  it.expr it e;
+  !found
+
+let nowait_leak ~path structure =
+  let diags = ref [] in
+  let flag loc msg =
+    diags := Diag.of_loc ~rule:"NOWAIT-LEAK" ~file:path loc msg :: !diags
+  in
+  iter_exprs structure (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (fn, [ (Asttypes.Nolabel, arg) ])
+        when ident_path fn |> Option.map normalize = Some [ "ignore" ]
+             && is_send_nowait_app arg ->
+          flag e.pexp_loc
+            "completion of send_nowait discarded with ignore; every \
+             overlapped request must be awaited"
+      | Pexp_sequence (e1, _) when is_send_nowait_app e1 ->
+          flag e1.pexp_loc
+            "send_nowait in statement position discards its completion; \
+             bind the handle and await it"
+      | Pexp_let (_, vbs, body) ->
+          List.iter
+            (fun vb ->
+              if is_send_nowait_app vb.pvb_expr then
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_any ->
+                    flag vb.pvb_pat.ppat_loc
+                      "completion of send_nowait bound to _ is never \
+                       awaited"
+                | Ppat_var { txt = name; _ } ->
+                    if not (uses_var name body) then
+                      flag vb.pvb_pat.ppat_loc
+                        (Printf.sprintf
+                           "completion %s of send_nowait is never used; \
+                            await it on every path"
+                           name)
+                | _ -> ())
+            vbs
+      | _ -> ());
+  List.rev !diags
+
 (* --- the per-file bundle -------------------------------------------------- *)
 
 let per_file ~path ~index structure =
@@ -446,3 +524,4 @@ let per_file ~path ~index structure =
   @ det_hashiter ~path structure
   @ err_swallow ~path ~index structure
   @ lock_order ~path structure
+  @ nowait_leak ~path structure

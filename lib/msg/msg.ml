@@ -116,6 +116,45 @@ let send t ~from ~tag e request =
       t.trace <- Some (entry :: entries));
   reply
 
+(* --- nowait (overlapped) requests -------------------------------------- *)
+
+type completion = { c_reply : string; c_done_at : float }
+
+(* GUARDIAN nowait I/O: issue the interaction under a clock capture so its
+   full latency (hops, Disk Process work, disk waits) is measured but not
+   yet charged; the completion records when the reply lands. A batch of
+   nowait sends issued back-to-back therefore costs the max of the
+   individual latencies once awaited — never the sum — while every message,
+   byte, CPU-tick and lock counter is identical to the blocking path.
+   Handlers still run at issue time, in issue order: server-side state
+   changes are deterministic and independent of await order. *)
+let send_nowait t ~from ~tag e request =
+  let reply, elapsed = Sim.capture t.sim (fun () -> send t ~from ~tag e request) in
+  { c_reply = reply; c_done_at = Sim.now t.sim +. elapsed }
+
+let await t c =
+  Sim.wait_until t.sim c.c_done_at;
+  c.c_reply
+
+let done_at c = c.c_done_at
+
+let await_any t cs =
+  match cs with
+  | [] -> invalid_arg "Msg.await_any: empty completion list"
+  | first :: rest ->
+      (* earliest simulated completion wins; ties break to the lowest list
+         index so the choice never depends on anything but the sim clock *)
+      let _, best_i, best =
+        List.fold_left
+          (fun (i, best_i, best) c ->
+            let i = i + 1 in
+            if c.c_done_at < best.c_done_at then (i, i, c)
+            else (i, best_i, best))
+          (0, 0, first) rest
+      in
+      Sim.wait_until t.sim best.c_done_at;
+      (best_i, best.c_reply)
+
 let checkpoint t e ~bytes_ =
   match e.backup with
   | None -> ()

@@ -88,6 +88,43 @@ val lookup : system -> string -> endpoint option
     counters on the system's simulation world. *)
 val send : system -> from:processor -> tag:string -> endpoint -> string -> string
 
+(** {1 Nowait (overlapped) requests}
+
+    GUARDIAN lets a requester issue an I/O without blocking and collect the
+    completion later ("nowait I/O") — the mechanism the real File System
+    used to drive several Disk Processes in parallel. [send_nowait] models
+    it on the deterministic clock: the interaction runs at issue time under
+    a {!Nsql_sim.Sim.capture}, so all counters (messages, bytes, CPU ticks,
+    locks) are charged exactly as a blocking {!send}, but the elapsed time
+    is only charged when the completion is awaited. Awaiting a batch of
+    overlapped requests costs the {e max} of their latencies, not the sum.
+
+    Every completion must be awaited (see the [NOWAIT-LEAK] lint rule):
+    dropping one silently discards the latency of a request whose effects
+    already happened. *)
+
+type completion
+
+(** [send_nowait sys ~from ~tag endpoint request] issues one interaction
+    without blocking and returns its completion handle. The server handler
+    runs immediately (in issue order), so replies and server state are
+    deterministic regardless of await order. *)
+val send_nowait :
+  system -> from:processor -> tag:string -> endpoint -> string -> completion
+
+(** [await sys c] advances the clock to the completion time (a no-op if
+    already past) and returns the reply payload. Idempotent. *)
+val await : system -> completion -> string
+
+(** [done_at c] is the simulated time at which the reply lands. *)
+val done_at : completion -> float
+
+(** [await_any sys cs] waits for the earliest completion in [cs] and
+    returns its index and reply. Ties break to the lowest index, so the
+    order is a pure function of simulated time. Raises [Invalid_argument]
+    on the empty list. *)
+val await_any : system -> completion list -> int * string
+
 (** [checkpoint sys endpoint ~bytes] charges a primary-to-backup checkpoint
     message of [bytes] payload, if the endpoint has a backup. State-changing
     requests checkpoint so the backup can take over mid-transaction. *)

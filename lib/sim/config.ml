@@ -7,6 +7,10 @@ type t = {
   dp_records_per_request : int;
   dp_ticks_per_request : int;
   dp_prefetch : bool;
+  fs_fanout : bool;
+      (** drive partitioned files with overlapped (nowait) requests; when
+          false the File System falls back to the blocking one-partition-
+          at-a-time driver (the pre-nowait behaviour, kept for A/B runs) *)
   msg_local_cost_us : float;
   msg_cpu_cost_us : float;
   msg_node_cost_us : float;
@@ -31,6 +35,7 @@ let default =
     dp_records_per_request = 1024;
     dp_ticks_per_request = 200_000;
     dp_prefetch = true;
+    fs_fanout = true;
     msg_local_cost_us = 300.;
     msg_cpu_cost_us = 1_000.;
     msg_node_cost_us = 5_000.;
@@ -53,6 +58,7 @@ let v ?(block_size = default.block_size)
     ?(dp_records_per_request = default.dp_records_per_request)
     ?(dp_ticks_per_request = default.dp_ticks_per_request)
     ?(dp_prefetch = default.dp_prefetch)
+    ?(fs_fanout = default.fs_fanout)
     ?(msg_local_cost_us = default.msg_local_cost_us)
     ?(msg_cpu_cost_us = default.msg_cpu_cost_us)
     ?(msg_node_cost_us = default.msg_node_cost_us)
@@ -74,6 +80,7 @@ let v ?(block_size = default.block_size)
     dp_records_per_request;
     dp_ticks_per_request;
     dp_prefetch;
+    fs_fanout;
     msg_local_cost_us;
     msg_cpu_cost_us;
     msg_node_cost_us;

@@ -18,6 +18,10 @@ type t = {
   dp_ticks_per_request : int;
       (** continuation re-drive limit: max CPU ticks per request *)
   dp_prefetch : bool;  (** asynchronous sequential pre-fetch in the DP *)
+  fs_fanout : bool;
+      (** drive partitioned files with overlapped (nowait) requests; when
+          false the File System uses the blocking one-partition-at-a-time
+          driver (the pre-nowait behaviour, kept for A/B comparison) *)
   msg_local_cost_us : float;  (** fixed cost, same-processor message *)
   msg_cpu_cost_us : float;  (** fixed cost, cross-processor message *)
   msg_node_cost_us : float;  (** fixed cost, cross-node message *)
@@ -44,6 +48,7 @@ val v :
   ?dp_records_per_request:int ->
   ?dp_ticks_per_request:int ->
   ?dp_prefetch:bool ->
+  ?fs_fanout:bool ->
   ?msg_local_cost_us:float ->
   ?msg_cpu_cost_us:float ->
   ?msg_node_cost_us:float ->

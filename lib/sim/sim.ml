@@ -1,9 +1,12 @@
+type capture = { cap_base : float; mutable cap_accum : float }
+
 type t = {
   config : Config.t;
   stats : Stats.t;
   mutable now : float;
   events : (unit -> unit) Nsql_util.Heap.t;
   mutable firing : bool;
+  mutable capture : capture option;
 }
 
 let create ?(config = Config.default) () =
@@ -13,11 +16,16 @@ let create ?(config = Config.default) () =
     now = 0.;
     events = Nsql_util.Heap.create ();
     firing = false;
+    capture = None;
   }
 
 let config t = t.config
 let stats t = t.stats
-let now t = t.now
+
+let now t =
+  match t.capture with
+  | None -> t.now
+  | Some c -> c.cap_base +. c.cap_accum
 
 (* Events may schedule further events while firing; the loop re-examines the
    heap top each round. [firing] guards against re-entrant firing when an
@@ -53,7 +61,11 @@ let advance_to t when_ =
   in
   loop ()
 
-let charge t us = if us > 0. then advance_to t (t.now +. us)
+let charge t us =
+  if us > 0. then
+    match t.capture with
+    | None -> advance_to t (t.now +. us)
+    | Some c -> c.cap_accum <- c.cap_accum +. us
 
 let tick t n =
   if n > 0 then begin
@@ -61,7 +73,26 @@ let tick t n =
     charge t (float_of_int n *. t.config.Config.cpu_tick_us)
   end
 
-let wait_until t when_ = if when_ > t.now then advance_to t when_
+let wait_until t when_ =
+  match t.capture with
+  | None -> if when_ > t.now then advance_to t when_
+  | Some c ->
+      if when_ -. c.cap_base > c.cap_accum then
+        c.cap_accum <- when_ -. c.cap_base
+
+(* Run [f] with the real clock frozen: every [charge] and [wait_until]
+   accumulates virtual elapsed time instead of advancing [t.now], while
+   counters ([tick], stats) and persistent resource state (disk busy
+   windows, cache stamps) mutate exactly as in a blocking run. Events
+   scheduled during the capture keep their virtual due times and fire
+   once the real clock later advances past them. Captures nest: an inner
+   capture bases itself on the outer one's virtual clock. *)
+let capture t f =
+  let saved = t.capture in
+  let c = { cap_base = now t; cap_accum = 0. } in
+  t.capture <- Some c;
+  let result = Fun.protect ~finally:(fun () -> t.capture <- saved) f in
+  (result, c.cap_accum)
 
 let schedule t ~at f =
   Nsql_util.Heap.push t.events ~prio:(max at t.now) f

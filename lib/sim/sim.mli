@@ -42,6 +42,19 @@ val flush_events : t -> unit
     period: pending write-behind, timers, etc. all complete). *)
 val drain : t -> unit
 
+(** [capture t f] runs [f] with the real clock frozen and returns its
+    result together with the virtual elapsed time [f] would have taken.
+    Inside the capture, [charge] and [wait_until] accumulate into the
+    virtual clock ([now] reports base + accumulated), while CPU-tick and
+    statistics counters — and persistent resource state such as disk busy
+    windows — mutate exactly as in a blocking run. This is the substrate
+    for nowait (overlapped) requests: issue each request under its own
+    capture from the same base time, then the batch costs the {e max} of
+    the captured elapsed times rather than their sum, with identical
+    counters. Captures nest: an inner capture bases itself on the outer
+    virtual clock. *)
+val capture : t -> (unit -> 'a) -> 'a * float
+
 (** [snapshot t] copies the statistics for later {!Stats.diff}. *)
 val snapshot : t -> Stats.t
 

@@ -123,60 +123,16 @@ let apply_post step rows =
   | None -> rows
   | Some p -> List.filter (fun row -> Expr.eval_pred row p) rows
 
-(* --- aggregation --------------------------------------------------------------- *)
+(* --- aggregation ---------------------------------------------------------------
 
-type acc = {
-  mutable a_count : int;
-  mutable a_sum_f : float;
-  mutable a_sum_i : int;
-  mutable a_saw_float : bool;
-  mutable a_min : Row.value;
-  mutable a_max : Row.value;
-}
+   The client-side group path and the pushed-down path (Disk Process
+   partials combined with [Dp_msg.merge_acc]) use the same accumulators,
+   so both produce identical values and group order. *)
 
-let fresh_acc () =
-  {
-    a_count = 0;
-    a_sum_f = 0.;
-    a_sum_i = 0;
-    a_saw_float = false;
-    a_min = Row.Null;
-    a_max = Row.Null;
-  }
-
-let feed acc v =
-  match v with
-  | Row.Null -> ()
-  | v ->
-      acc.a_count <- acc.a_count + 1;
-      (match v with
-      | Row.Vint i -> acc.a_sum_i <- acc.a_sum_i + i
-      | Row.Vfloat f ->
-          acc.a_saw_float <- true;
-          acc.a_sum_f <- acc.a_sum_f +. f
-      | _ -> ());
-      if acc.a_min = Row.Null || Row.compare_value v acc.a_min < 0 then
-        acc.a_min <- v;
-      if acc.a_max = Row.Null || Row.compare_value v acc.a_max > 0 then
-        acc.a_max <- v
-
-let finish kind acc =
-  match kind with
-  | Ast.A_count_star | Ast.A_count -> Row.Vint acc.a_count
-  | Ast.A_sum ->
-      if acc.a_count = 0 then Row.Null
-      else if acc.a_saw_float then
-        Row.Vfloat (acc.a_sum_f +. float_of_int acc.a_sum_i)
-      else Row.Vint acc.a_sum_i
-  | Ast.A_min -> acc.a_min
-  | Ast.A_max -> acc.a_max
-  | Ast.A_avg ->
-      if acc.a_count = 0 then Row.Null
-      else
-        Row.Vfloat
-          ((acc.a_sum_f +. float_of_int acc.a_sum_i) /. float_of_int acc.a_count)
+let finish_spec spec acc = Dp_msg.finish_acc spec.Dp_msg.ag_kind acc
 
 let group_rows ctx (g : group_spec) rows =
+  let specs = List.map dp_agg_spec g.g_aggs in
   let table = Hashtbl.create 64 in
   let order = ref [] in
   List.iter
@@ -192,22 +148,16 @@ let group_rows ctx (g : group_spec) rows =
         match Hashtbl.find_opt table kenc with
         | Some (_, accs) -> accs
         | None ->
-            let accs = List.map (fun _ -> fresh_acc ()) g.g_aggs in
+            let accs = List.map (fun _ -> Dp_msg.fresh_acc ()) specs in
             Hashtbl.replace table kenc (keys, accs);
             order := kenc :: !order;
             accs
       in
-      List.iter2
-        (fun (kind, arg) acc ->
-          match (kind, arg) with
-          | Ast.A_count_star, _ -> acc.a_count <- acc.a_count + 1
-          | _, Some e -> feed acc (Expr.eval row e)
-          | _, None -> acc.a_count <- acc.a_count + 1)
-        g.g_aggs accs)
+      List.iter2 (fun spec acc -> Dp_msg.feed_spec acc spec row) specs accs)
     rows;
   (* a grand aggregate over zero rows still yields one row *)
   if Hashtbl.length table = 0 && g.g_keys = [] then begin
-    let accs = List.map (fun _ -> fresh_acc ()) g.g_aggs in
+    let accs = List.map (fun _ -> Dp_msg.fresh_acc ()) specs in
     Hashtbl.replace table "" ([], accs);
     order := [ "" ]
   end;
@@ -215,8 +165,7 @@ let group_rows ctx (g : group_spec) rows =
     List.rev_map
       (fun kenc ->
         let keys, accs = Hashtbl.find table kenc in
-        Array.of_list
-          (keys @ List.map2 (fun (kind, _) acc -> finish kind acc) g.g_aggs accs))
+        Array.of_list (keys @ List.map2 finish_spec specs accs))
       !order
   in
   match g.g_having with
@@ -276,21 +225,57 @@ let limit n rows =
 
 (* --- entry points ------------------------------------------------------------------ *)
 
-let run_select ctx (plan : select_plan) =
-  let* rows = scan_table0 ctx plan in
-  let* rows =
-    let rec steps rows = function
-      | [] -> Ok rows
-      | step :: rest ->
-          let* joined = join_step ctx rows step in
-          steps (apply_post step joined) rest
-    in
-    steps rows plan.p_joins
+(* pushed-down aggregation: no scan — one AGGREGATE re-drive chain per
+   partition, the File System merges partials, and the group-output rows
+   (keys then finished aggregate values, in first-seen = key order) are
+   identical to what [group_rows] would have produced *)
+let pushdown_group_rows ctx (plan : select_plan) (g : group_spec)
+    (ap : agg_pushdown) =
+  let* groups =
+    Fs.aggregate ctx.fs plan.p_table.Catalog.t_file ~tx:ctx.tx
+      ~range:ap.ap_range ?pred:ap.ap_pred ~group_keys:ap.ap_group_keys
+      ~aggs:ap.ap_aggs ~lock:ctx.read_lock ()
   in
   let rows =
-    match plan.p_group with
-    | Some g -> group_rows ctx g rows
-    | None -> rows
+    List.map
+      (fun (keyvals, accs) ->
+        Sim.tick ctx.sim 2;
+        Array.append keyvals
+          (Array.of_list (List.map2 finish_spec ap.ap_aggs accs)))
+      groups
+  in
+  (* a grand aggregate over zero rows still yields one row *)
+  let rows =
+    if rows = [] && Array.length ap.ap_group_keys = 0 then
+      [
+        Array.of_list
+          (List.map (fun spec -> finish_spec spec (Dp_msg.fresh_acc ())) ap.ap_aggs);
+      ]
+    else rows
+  in
+  match g.g_having with
+  | None -> Ok rows
+  | Some h -> Ok (List.filter (fun row -> Expr.eval_pred row h) rows)
+
+let run_select ctx (plan : select_plan) =
+  let* rows =
+    match (plan.p_group, plan.p_pushdown) with
+    | Some g, Some ap -> pushdown_group_rows ctx plan g ap
+    | _ ->
+        let* rows = scan_table0 ctx plan in
+        let* rows =
+          let rec steps rows = function
+            | [] -> Ok rows
+            | step :: rest ->
+                let* joined = join_step ctx rows step in
+                steps (apply_post step joined) rest
+          in
+          steps rows plan.p_joins
+        in
+        Ok
+          (match plan.p_group with
+          | Some g -> group_rows ctx g rows
+          | None -> rows)
   in
   let rows = sort_rows ctx plan.p_order rows in
   let rows = project rows plan.p_exprs in

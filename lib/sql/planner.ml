@@ -1,6 +1,7 @@
 module Row = Nsql_row.Row
 module Expr = Nsql_expr.Expr
 module Fs = Nsql_fs.Fs
+module Dp_msg = Nsql_dp.Dp_msg
 module Keycode = Nsql_util.Keycode
 module Errors = Nsql_util.Errors
 
@@ -37,12 +38,26 @@ type group_spec = {
   g_having : Expr.t option;
 }
 
+(** Aggregate pushdown: the whole GROUP BY evaluates at the data source
+    (one AGGREGATE^FIRST/NEXT chain per partition). Legal only for a
+    single-table primary scan whose group keys are bare columns forming a
+    prefix of the primary key — then per-partition first-seen order is key
+    order and partials merge exactly. Fields are in base numbering: the
+    pushdown bypasses the scan-side projection remap. *)
+type agg_pushdown = {
+  ap_range : Expr.key_range;
+  ap_pred : Expr.t option;
+  ap_group_keys : int array;
+  ap_aggs : Dp_msg.agg_spec list;
+}
+
 type select_plan = {
   p_distinct : bool;
   p_table : Catalog.table;
   p_access : access_path;
   p_joins : join_step list;
   p_group : group_spec option;
+  p_pushdown : agg_pushdown option;
   p_order : (Expr.t * bool) list;
   p_exprs : Expr.t list;
   p_names : string list;
@@ -95,7 +110,10 @@ let pp_select_plan ppf p =
         | Ji_keyed _ -> "keyed point read"))
     p.p_joins;
   (match p.p_group with
-  | Some g -> Format.fprintf ppf "@,group keys=%d aggs=%d" (List.length g.g_keys) (List.length g.g_aggs)
+  | Some g ->
+      Format.fprintf ppf "@,group keys=%d aggs=%d%s" (List.length g.g_keys)
+        (List.length g.g_aggs)
+        (if p.p_pushdown <> None then " (pushed to DP)" else "")
   | None -> ());
   if p.p_order <> [] then Format.fprintf ppf "@,sort (%d keys)" (List.length p.p_order);
   Format.fprintf ppf "@]"
@@ -103,6 +121,18 @@ let pp_select_plan ppf p =
 (* --- helpers ------------------------------------------------------------ *)
 
 let conjoin_opt = function [] -> None | cs -> Some (Expr.conjoin cs)
+
+(* wire spec for one aggregate; COUNT with no argument counts rows, like
+   a star-count *)
+let dp_agg_spec (kind, arg) =
+  match (kind, arg) with
+  | Ast.A_count_star, _ | Ast.A_count, None ->
+      { Dp_msg.ag_kind = Dp_msg.Agg_count_star; ag_arg = None }
+  | Ast.A_count, a -> { Dp_msg.ag_kind = Dp_msg.Agg_count; ag_arg = a }
+  | Ast.A_sum, a -> { Dp_msg.ag_kind = Dp_msg.Agg_sum; ag_arg = a }
+  | Ast.A_min, a -> { Dp_msg.ag_kind = Dp_msg.Agg_min; ag_arg = a }
+  | Ast.A_max, a -> { Dp_msg.ag_kind = Dp_msg.Agg_max; ag_arg = a }
+  | Ast.A_avg, a -> { Dp_msg.ag_kind = Dp_msg.Agg_avg; ag_arg = a }
 
 (* structural equality of surface expressions, for GROUP BY matching *)
 let rec sexpr_equal a b =
@@ -436,6 +466,7 @@ let plan_select cat ?access_override (stmt : Ast.select_stmt) =
         p_access = access0;
         p_joins = joins;
         p_group = None;
+        p_pushdown = None;
         p_order = order;
         p_exprs = exprs;
         p_names = names;
@@ -549,6 +580,38 @@ let plan_select cat ?access_override (stmt : Ast.select_stmt) =
               Ok (kind, Some a))
         (List.rev !aggs)
     in
+    (* aggregate pushdown legality — decided in base-field numbering,
+       before the projection remap below. A single-table primary scan with
+       no access override whose group keys are bare columns forming a
+       (set-wise) prefix of the primary key delegates the whole GROUP BY
+       to the Disk Processes; anything else falls back to the client-side
+       group path. *)
+    let p_pushdown =
+      match (access0, joins, access_override) with
+      | `Primary (range, pred), [], None -> (
+          let key_cols = t0.Catalog.t_schema.Row.key_cols in
+          let nkeys = List.length g_keys in
+          let rec bare_fields acc = function
+            | [] -> Some (List.rev acc)
+            | Expr.Field f :: rest -> bare_fields (f :: acc) rest
+            | _ -> None
+          in
+          match bare_fields [] g_keys with
+          | Some fields
+            when nkeys <= Array.length key_cols
+                 && List.sort_uniq compare fields
+                    = List.sort compare
+                        (Array.to_list (Array.sub key_cols 0 nkeys)) ->
+              Some
+                {
+                  ap_range = range;
+                  ap_pred = pred;
+                  ap_group_keys = Array.of_list fields;
+                  ap_aggs = List.map dp_agg_spec g_aggs;
+                }
+          | _ -> None)
+      | _ -> None
+    in
     (* projection pushdown for the aggregation inputs: only the group-key
        and aggregate-argument fields need to leave the Disk Process *)
     let g_keys, g_aggs, access0 =
@@ -601,6 +664,7 @@ let plan_select cat ?access_override (stmt : Ast.select_stmt) =
         p_access = access0;
         p_joins = joins;
         p_group = Some { g_keys; g_aggs; g_having = having };
+        p_pushdown;
         p_order = order;
         p_exprs = exprs;
         p_names = names;

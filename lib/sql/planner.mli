@@ -12,6 +12,7 @@
 module Row = Nsql_row.Row
 module Expr = Nsql_expr.Expr
 module Fs = Nsql_fs.Fs
+module Dp_msg = Nsql_dp.Dp_msg
 
 type access_path =
   | Ap_primary of {
@@ -44,17 +45,41 @@ type group_spec = {
   g_having : Expr.t option;  (** over the group-output row *)
 }
 
+(** Aggregate pushdown: the GROUP BY evaluates at the data source, one
+    AGGREGATE^FIRST/NEXT re-drive chain per partition, replies carrying
+    accumulator state instead of rows. Legal only for a single-table
+    primary scan with no access override whose group keys are bare columns
+    forming a prefix of the primary key (then per-partition first-seen
+    order is key order, and partials for a group that straddles a
+    partition boundary merge exactly). Fields are in base numbering. *)
+type agg_pushdown = {
+  ap_range : Expr.key_range;
+  ap_pred : Expr.t option;
+  ap_group_keys : int array;
+  ap_aggs : Dp_msg.agg_spec list;
+}
+
 type select_plan = {
   p_distinct : bool;  (** SELECT DISTINCT: de-duplicate the output rows *)
   p_table : Catalog.table;
   p_access : access_path;
   p_joins : join_step list;
   p_group : group_spec option;
+  p_pushdown : agg_pushdown option;
+      (** when set, the Executor ignores [p_access] and drives
+          {!Fs.aggregate} instead of a scan *)
   p_order : (Expr.t * bool) list;
   p_exprs : Expr.t list;  (** output expressions *)
   p_names : string list;
   p_limit : int option;
 }
+
+(** [dp_agg_spec (kind, arg)] is the wire spec for one aggregate; COUNT
+    with no argument counts rows, like a star-count. The Executor's
+    client-side group path uses the same accumulators
+    ({!Dp_msg.feed_spec} / {!Dp_msg.finish_acc}), so pushed-down and
+    client-side aggregation agree exactly. *)
+val dp_agg_spec : Ast.agg_kind * Expr.t option -> Dp_msg.agg_spec
 
 val pp_select_plan : Format.formatter -> select_plan -> unit
 

@@ -1,0 +1,192 @@
+(* Properties of the nowait fan-out paths: a parallel partitioned scan
+   returns exactly what the sequential driver returns, aggregate pushdown
+   returns exactly what requester-side aggregation returns — on random
+   Wisconsin predicates, with and without a chaos fault filter delaying
+   and flapping the partitions' Disk Processes — and a given seed
+   reproduces the run byte for byte. *)
+
+module N = Nsql_core.Nonstop_sql
+module Sim = Nsql_sim.Sim
+module Stats = Nsql_sim.Stats
+module Config = Nsql_sim.Config
+module Msg = Nsql_msg.Msg
+module Row = Nsql_row.Row
+module Expr = Nsql_expr.Expr
+module Fs = Nsql_fs.Fs
+module Dp_msg = Nsql_dp.Dp_msg
+module Tmf = Nsql_tmf.Tmf
+module Errors = Nsql_util.Errors
+module Wisconsin = Nsql_workload.Wisconsin
+
+let get_ok = Errors.get_ok
+let fpr = Printf.sprintf
+let rows = 240
+let parts = 4
+
+(* a tiny deterministic generator seeded per property case (tests may use
+   Random, but keeping everything on the QCheck seed makes shrinking and
+   replay exact) *)
+let prng seed =
+  let state = ref (max 1 (seed land 0x3FFFFFFF)) in
+  fun n ->
+    state := (!state * 48271 + 13) land 0x3FFFFFFF;
+    !state mod n
+
+(* random single-variable Wisconsin predicates, all lowerable to the DP *)
+let random_where next =
+  match next 6 with
+  | 0 -> ""
+  | 1 -> fpr " WHERE unique1 < %d" (next rows)
+  | 2 -> fpr " WHERE tenpercent = %d" (next 10)
+  | 3 ->
+      let lo = next rows in
+      fpr " WHERE unique2 >= %d AND unique2 < %d" lo (lo + 1 + next rows)
+  | 4 -> fpr " WHERE two = 0 OR onepercent = %d" (next (1 + (rows / 100)))
+  | _ -> fpr " WHERE four = %d AND unique1 >= %d" (next 4) (next rows)
+
+(* chaos: deterministic delays and path flaps keyed on (seed, dest, tag);
+   delivery always succeeds, only latencies and arrival order move *)
+let install_chaos node seed =
+  Msg.set_fault_filter (N.msys node)
+    (Some
+       (fun ~from:_ ~to_name ~tag ->
+         match Hashtbl.hash (seed, to_name, tag) mod 5 with
+         | 0 -> Msg.Fault_delay (float_of_int (Hashtbl.hash (to_name, seed) mod 700))
+         | 1 -> Msg.Fault_path_retry (float_of_int (Hashtbl.hash (tag, seed) mod 300))
+         | _ -> Msg.Fault_pass))
+
+let make_node ~fanout ~chaos seed =
+  let config = Config.v ~fs_fanout:fanout () in
+  let node = N.create_node ~config ~volumes:4 () in
+  get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"t" ~rows ~partitions:parts ());
+  if chaos then install_chaos node seed;
+  node
+
+let run_sql node sql =
+  match N.exec_exn (N.session node) sql with
+  | N.Rows { rows; _ } -> rows
+  | _ -> Alcotest.fail ("not a rowset: " ^ sql)
+
+let pp_rows rs =
+  String.concat "; " (List.map (Format.asprintf "%a" Row.pp_row) rs)
+
+let check_same_rows sql a b =
+  if a <> b then
+    QCheck.Test.fail_reportf "%s diverged:@.  %s@.  vs@.  %s" sql (pp_rows a)
+      (pp_rows b)
+
+(* --- parallel scan ≡ sequential scan -------------------------------- *)
+
+let scan_equivalence ~chaos =
+  QCheck.Test.make ~count:12
+    ~name:
+      (if chaos then "parallel scan = sequential scan (under chaos)"
+       else "parallel scan = sequential scan")
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let next = prng seed in
+      let sql = fpr "SELECT unique1, unique2, stringu1 FROM t%s" (random_where next) in
+      let seq = run_sql (make_node ~fanout:false ~chaos seed) sql in
+      let par = run_sql (make_node ~fanout:true ~chaos seed) sql in
+      check_same_rows sql seq par;
+      true)
+
+(* the unordered variant interleaves completions, so compare as multisets *)
+let unordered_scan_equivalence =
+  QCheck.Test.make ~count:8 ~name:"unordered parallel scan = sequential (multiset)"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let collect node ~ordered =
+        let tbl = get_ok ~ctx:"find" (N.Catalog.find (N.catalog node) "t") in
+        get_ok ~ctx:"scan"
+          (Tmf.run (N.tmf node) (fun tx ->
+               let sc =
+                 Fs.open_scan (N.fs node) tbl.N.Catalog.t_file ~tx
+                   ~access:Fs.A_vsbb ~range:Expr.full_range ~ordered
+                   ~lock:Dp_msg.L_shared ()
+               in
+               let rec drain acc =
+                 match Fs.scan_next (N.fs node) sc with
+                 | Ok (Some r) -> drain (r :: acc)
+                 | Ok None ->
+                     Fs.close_scan (N.fs node) sc;
+                     Ok (List.rev acc)
+                 | Error e -> Error e
+               in
+               drain []))
+      in
+      let seq = collect (make_node ~fanout:false ~chaos:true seed) ~ordered:true in
+      let un = collect (make_node ~fanout:true ~chaos:true seed) ~ordered:false in
+      check_same_rows "unordered full scan" (List.sort compare seq)
+        (List.sort compare un);
+      true)
+
+(* --- aggregate pushdown ≡ requester-side aggregation ----------------- *)
+
+let pushdown_equivalence ~chaos =
+  QCheck.Test.make ~count:12
+    ~name:
+      (if chaos then "pushdown aggregates = client aggregates (under chaos)"
+       else "pushdown aggregates = client aggregates")
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let next = prng seed in
+      let where = random_where next in
+      let sql =
+        match next 3 with
+        | 0 ->
+            fpr
+              "SELECT COUNT(*), SUM(unique1), MIN(unique2), MAX(unique3), \
+               AVG(two) FROM t%s"
+              where
+        | 1 -> fpr "SELECT COUNT(unique1), SUM(two) FROM t%s" where
+        | _ ->
+            (* unique2 is the primary key: a legal pushdown GROUP BY prefix *)
+            fpr "SELECT unique2, COUNT(*), SUM(unique1) FROM t%s GROUP BY unique2"
+              where
+      in
+      let client_node = make_node ~fanout:true ~chaos seed in
+      N.set_access_mode (N.session client_node) (Some Fs.A_vsbb);
+      let client = run_sql client_node sql in
+      let pushed = run_sql (make_node ~fanout:true ~chaos seed) sql in
+      check_same_rows sql client pushed;
+      true)
+
+(* --- same seed, byte-identical run ----------------------------------- *)
+
+let snapshot node =
+  let s = Sim.stats (N.sim node) in
+  ( s.Stats.msgs_sent,
+    s.Stats.msg_req_bytes,
+    s.Stats.msg_reply_bytes,
+    s.Stats.lock_requests,
+    Sim.now (N.sim node) )
+
+let determinism =
+  QCheck.Test.make ~count:8 ~name:"fan-out runs are seed-deterministic"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let next = prng seed in
+      let sql =
+        fpr "SELECT COUNT(*), SUM(unique1) FROM t%s" (random_where next)
+      in
+      let run () =
+        let node = make_node ~fanout:true ~chaos:true seed in
+        let rs = run_sql node sql in
+        (rs, snapshot node)
+      in
+      let a = run () in
+      let b = run () in
+      if a <> b then
+        QCheck.Test.fail_reportf "seed %d: two runs of %s diverged" seed sql;
+      true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest (scan_equivalence ~chaos:false);
+    QCheck_alcotest.to_alcotest (scan_equivalence ~chaos:true);
+    QCheck_alcotest.to_alcotest unordered_scan_equivalence;
+    QCheck_alcotest.to_alcotest (pushdown_equivalence ~chaos:false);
+    QCheck_alcotest.to_alcotest (pushdown_equivalence ~chaos:true);
+    QCheck_alcotest.to_alcotest determinism;
+  ]

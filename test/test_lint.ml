@@ -193,6 +193,48 @@ let proto_exhaust () =
     (Rules.proto_exhaust ~msg ~dispatch:dispatch_good
        ~requesters:[ requester_partial ])
 
+(* --- NOWAIT-LEAK --------------------------------------------------------- *)
+
+let nowait_leak () =
+  let ignored =
+    parse ~path:"lib/fs/fixture.ml"
+      "let f t dp req = ignore (Msg.send_nowait t dp req)"
+  in
+  check_rules "ignore of send_nowait fires" [ "NOWAIT-LEAK" ]
+    (Rules.nowait_leak ~path:"lib/fs/fixture.ml" ignored);
+  let stmt =
+    parse ~path:"lib/fs/fixture.ml"
+      "let f t dp req = Msg.send_nowait t dp req; 0"
+  in
+  check_rules "statement-position send_nowait fires" [ "NOWAIT-LEAK" ]
+    (Rules.nowait_leak ~path:"lib/fs/fixture.ml" stmt);
+  let wildcard =
+    parse ~path:"lib/fs/fixture.ml"
+      "let f t dp req = let _ = Msg.send_nowait t dp req in 0"
+  in
+  check_rules "wildcard binding fires" [ "NOWAIT-LEAK" ]
+    (Rules.nowait_leak ~path:"lib/fs/fixture.ml" wildcard);
+  let unused =
+    parse ~path:"lib/fs/fixture.ml"
+      "let f t dp req = let c = Msg.send_nowait t dp req in 0"
+  in
+  check_rules "unused completion fires" [ "NOWAIT-LEAK" ]
+    (Rules.nowait_leak ~path:"lib/fs/fixture.ml" unused);
+  let awaited =
+    parse ~path:"lib/fs/fixture.ml"
+      "let f t dp req = let c = Msg.send_nowait t dp req in Msg.await t c"
+  in
+  check_rules "awaited completion is clean" []
+    (Rules.nowait_leak ~path:"lib/fs/fixture.ml" awaited);
+  (* storing the handle hands responsibility to the holding structure *)
+  let stored =
+    parse ~path:"lib/fs/fixture.ml"
+      "let f t dps reqs = Array.map (fun dp -> Msg.send_nowait t dp reqs) dps\n\
+       let g pp t dp req = pp.pp_pending <- Some (Msg.send_nowait t dp req)"
+  in
+  check_rules "stored handles are clean" []
+    (Rules.nowait_leak ~path:"lib/fs/fixture.ml" stored)
+
 (* --- allowlist ----------------------------------------------------------- *)
 
 let with_allow_file contents f =
@@ -285,6 +327,7 @@ let suite =
     Alcotest.test_case "ERR-SWALLOW fixtures" `Quick err_swallow;
     Alcotest.test_case "LOCK-ORDER fixtures" `Quick lock_order;
     Alcotest.test_case "PROTO-EXHAUST fixtures" `Quick proto_exhaust;
+    Alcotest.test_case "NOWAIT-LEAK fixtures" `Quick nowait_leak;
     Alcotest.test_case "allowlist suppresses and reports stale" `Quick allowlist;
     Alcotest.test_case "allowlist line pinning" `Quick allowlist_line_mismatch;
     Alcotest.test_case "diagnostic format" `Quick diag_format;

@@ -22,6 +22,7 @@ let () =
       ("dtx", Test_dtx.suite);
       ("model", Test_model.suite);
       ("relative", Test_relative.suite);
+      ("fanout", Test_fanout.suite);
       ("chaos", Test_chaos.suite);
       ("lint", Test_lint.suite);
     ]
