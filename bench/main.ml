@@ -24,6 +24,8 @@ module Keycode = Nsql_util.Keycode
 module Errors = Nsql_util.Errors
 module Wisconsin = Nsql_workload.Wisconsin
 module Debitcredit = Nsql_workload.Debitcredit
+module Trace = Nsql_trace.Trace
+module Tracer = Nsql_sim.Tracer
 
 let get_ok = Errors.get_ok
 let printf = Format.printf
@@ -644,19 +646,22 @@ let e9_figure2_trace () =
              | Error _ as e -> e
          in
          go 0));
-  Msg.start_trace (N.msys node);
+  let sim = N.sim node in
+  Trace.clear sim;
+  Trace.set_enabled sim true;
   let row =
     get_ok ~ctx:"fig2"
       (Tmf.run (N.tmf node) (fun tx ->
            Fs.read_row_via_index (N.fs node) file ~tx ~index:"by_owner"
              ~index_key:[ Row.Vstr "cust-042" ]))
   in
-  let trace = Msg.stop_trace (N.msys node) in
+  Trace.set_enabled sim false;
+  let trace = Trace.msg_spans (Trace.take sim) in
   (match row with
   | Some r -> printf "row found: %a@." Row.pp_row r
   | None -> printf "row not found!@.");
   printf "message flow:@.";
-  List.iter (fun e -> printf "  %a@." Msg.pp_trace_entry e) trace;
+  List.iter (fun sp -> printf "  %a@." Trace.pp_msg_span sp) trace;
   printf "FS-DP messages for the alternate-key read: %d (paper: 2)@."
     (List.length trace);
   emit "e9" "fs_dp_messages" (float_of_int (List.length trace))
@@ -1337,6 +1342,82 @@ let micro_benchmarks () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* E19: span-profile attribution of the message-flow wins               *)
+(* ------------------------------------------------------------------ *)
+
+let e19_profile_attribution () =
+  heading "E19" "span profile attributes messages to operators and legs"
+    "the span tracer replays E17's fan-out scan and the E1 access-mode \
+     comparison, attributing messages and records to individual plan \
+     operators and partition legs; observation is free — counters and \
+     clock stay bit-identical with tracing on";
+  let rows = 2000 in
+  let parts = 4 in
+  let scan_traced mode =
+    let config = Config.v ~fs_fanout:true () in
+    let node = N.create_node ~config ~volumes:4 () in
+    get_ok ~ctx:"wisc"
+      (Wisconsin.create node ~name:"t" ~rows ~partitions:parts ());
+    let s = N.session node in
+    N.set_access_mode s mode;
+    let sim = N.sim node in
+    Trace.clear sim;
+    Trace.set_enabled sim true;
+    let _, delta =
+      N.measure node (fun () ->
+          match N.exec_exn s "SELECT unique1, unique2 FROM t" with
+          | N.Rows { rows = r; _ } -> assert (List.length r = rows)
+          | _ -> assert false)
+    in
+    Trace.set_enabled sim false;
+    (Trace.take sim, delta)
+  in
+  let spans, delta = scan_traced (Some Fs.A_vsbb) in
+  printf "%a@." (fun ppf l -> Trace.pp_profile ppf l) spans;
+  let legs =
+    List.filter (fun sp -> sp.Tracer.sp_cat = "fs.leg") spans
+  in
+  printf "%-18s %10s %12s@." "partition leg" "messages" "records";
+  List.iter
+    (fun leg ->
+      printf "%-18s %10d %12d@." leg.Tracer.sp_name
+        leg.Tracer.sp_stats.Stats.msgs_sent
+        leg.Tracer.sp_stats.Stats.records_read)
+    legs;
+  let leg_msgs =
+    List.fold_left (fun a l -> a + l.Tracer.sp_stats.Stats.msgs_sent) 0 legs
+  in
+  let leg_recs =
+    List.fold_left (fun a l -> a + l.Tracer.sp_stats.Stats.records_read) 0 legs
+  in
+  printf
+    "legs account for %d of %d statement messages and %d of %d records — \
+     the fan-out win is the overlap, not the message count@."
+    leg_msgs delta.Stats.msgs_sent leg_recs delta.Stats.records_read;
+  assert (List.length legs = parts);
+  assert (leg_recs = rows);
+  (* access-mode ratios, measured from the trace's message spans *)
+  let msg_count mode =
+    let spans, _ = scan_traced mode in
+    List.length (Trace.msg_spans spans)
+  in
+  let m_rec = msg_count (Some Fs.A_record) in
+  let m_rsbb = msg_count (Some Fs.A_rsbb) in
+  let m_vsbb = msg_count (Some Fs.A_vsbb) in
+  printf
+    "messages per full scan (from msg spans): record=%d rsbb=%d vsbb=%d \
+     (%.0fx / %.1fx / 1x)@."
+    m_rec m_rsbb m_vsbb
+    (float_of_int m_rec /. float_of_int m_vsbb)
+    (float_of_int m_rsbb /. float_of_int m_vsbb);
+  emit "e19" "fanout_legs" (float_of_int (List.length legs));
+  emit "e19" "leg_messages" (float_of_int leg_msgs);
+  emit "e19" "record_vsbb_msg_ratio"
+    (float_of_int m_rec /. float_of_int m_vsbb);
+  emit "e19" "rsbb_vsbb_msg_ratio"
+    (float_of_int m_rsbb /. float_of_int m_vsbb)
+
+(* ------------------------------------------------------------------ *)
 (* the experiment registry and command line                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1360,23 +1441,51 @@ let registry =
     ("e16", e16_distributed_tx);
     ("e17", e17_parallel_scan);
     ("e18", e18_agg_pushdown);
+    ("e19", e19_profile_attribution);
     ("a1", a1_vsbb_buffer);
     ("micro", micro_benchmarks);
   ]
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--only e1,e17,...] [--json results.json]\n\
-     experiment ids: e1-e18, a1, micro";
+    "usage: main.exe [--only e1,e17,...] [--json results.json] [--trace DIR]\n\
+     experiment ids: e1-e19, a1, micro";
   exit 2
+
+(* --trace: enable span collection on every simulation world an experiment
+   creates (via the tracer creation hook) and write one Chrome trace-event
+   file per experiment. Tracing never perturbs the simulation, so results
+   are identical with and without the flag. *)
+let run_with_trace dir (id, f) =
+  let worlds = ref [] in
+  Tracer.creation_hook :=
+    Some
+      (fun tr ->
+        Tracer.set_enabled tr true;
+        worlds := tr :: !worlds);
+  Fun.protect
+    ~finally:(fun () -> Tracer.creation_hook := None)
+    f;
+  let spans = List.map Tracer.take (List.rev !worlds) in
+  let path = Filename.concat dir (id ^ ".json") in
+  let oc = open_out path in
+  output_string oc (Trace.chrome_json spans);
+  close_out oc;
+  printf "trace written to %s (%d worlds, %d spans)@." path
+    (List.length spans)
+    (List.fold_left (fun a l -> a + List.length l) 0 spans)
 
 let () =
   let json_path = ref None in
+  let trace_dir = ref None in
   let only = ref None in
   let rec parse_args = function
     | [] -> ()
     | "--json" :: path :: rest ->
         json_path := Some path;
+        parse_args rest
+    | "--trace" :: dir :: rest ->
+        trace_dir := Some dir;
         parse_args rest
     | "--only" :: ids :: rest ->
         let ids =
@@ -1405,7 +1514,16 @@ let () =
   printf
     "(see DESIGN.md for the experiment index, EXPERIMENTS.md for the \
      paper-vs-measured discussion)@.";
-  List.iter (fun (_, f) -> f ()) chosen;
+  (match !trace_dir with
+  | None -> List.iter (fun (_, f) -> f ()) chosen
+  | Some dir ->
+      (try
+         if not (Sys.is_directory dir) then begin
+           prerr_endline (dir ^ " is not a directory");
+           exit 2
+         end
+       with Sys_error _ -> Sys.mkdir dir 0o755);
+      List.iter (run_with_trace dir) chosen);
   (match !json_path with
   | None -> ()
   | Some path ->

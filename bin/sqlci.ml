@@ -4,13 +4,15 @@
    Run with: dune exec bin/sqlci.exe
    Or a script: dune exec bin/sqlci.exe -- --script setup.sql
    Backslash commands: \stats \reset \explain <sql> \tables \mode <m>
-   \trace <sql> \crash <i> \recover <i> \wisconsin <rows> \quit *)
+   \trace <sql> \profile <sql> \crash <i> \recover <i> \wisconsin <rows>
+   \quit *)
 
 module N = Nsql_core.Nonstop_sql
 module Stats = Nsql_sim.Stats
 module Msg = Nsql_msg.Msg
 module Fs = Nsql_fs.Fs
 module Errors = Nsql_util.Errors
+module Trace = Nsql_trace.Trace
 module Wisconsin = Nsql_workload.Wisconsin
 
 let printf = Format.printf
@@ -26,6 +28,16 @@ let run_sql repl sql =
       printf "%a@." N.pp_exec_result r;
       printf "-- %a@." Stats.pp_brief delta
   | Error e -> show_error e
+
+(* run one statement with span collection on, returning the trace *)
+let traced repl sql =
+  let sim = N.sim repl.node in
+  Trace.clear sim;
+  Trace.set_enabled sim true;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_enabled sim false)
+    (fun () -> run_sql repl sql);
+  Trace.take sim
 
 let backslash repl line =
   match String.split_on_char ' ' (String.trim line) with
@@ -52,11 +64,13 @@ let backslash repl line =
       | _ -> printf "modes: record | rsbb | vsbb | auto@.");
       printf "access mode set@."
   | "\\trace" :: rest ->
-      Msg.start_trace (N.msys repl.node);
-      run_sql repl (String.concat " " rest);
+      let spans = traced repl (String.concat " " rest) in
       List.iter
-        (fun e -> printf "  %a@." Msg.pp_trace_entry e)
-        (Msg.stop_trace (N.msys repl.node))
+        (fun sp -> printf "  %a@." Trace.pp_msg_span sp)
+        (Trace.msg_spans spans)
+  | "\\profile" :: rest ->
+      let spans = traced repl (String.concat " " rest) in
+      printf "%a@." (fun ppf l -> Trace.pp_profile ppf l) spans
   | [ "\\crash"; i ] ->
       (match int_of_string_opt i with
       | Some i when i >= 0 && i < Array.length (N.dps repl.node) ->
@@ -79,8 +93,8 @@ let backslash repl line =
   | [ "\\help" ] | _ ->
       printf
         "commands: \\stats \\reset \\tables \\explain <sql> \\mode \
-         <record|rsbb|vsbb|auto> \\trace <sql> \\crash <i> \\recover <i> \
-         \\wisconsin <rows> \\quit@."
+         <record|rsbb|vsbb|auto> \\trace <sql> \\profile <sql> \\crash <i> \
+         \\recover <i> \\wisconsin <rows> \\quit@."
 
 let feed repl line =
   let line = String.trim line in
@@ -137,6 +151,37 @@ let run_chaos seed txs plan_only topology =
     if r.Chaos.r_violations = [] then 0 else 1
   end
 
+(* trace subcommand: run one statement with spans on, export Chrome JSON.
+   The simulation is deterministic, so the output is byte-identical across
+   runs of the same command line. *)
+
+let run_trace sql out wisconsin volumes =
+  let node = N.create_node ~volumes () in
+  let session = N.session node in
+  (if wisconsin > 0 then
+     match Wisconsin.create node ~name:"tenktup1" ~rows:wisconsin () with
+     | Ok () -> ()
+     | Error e ->
+         show_error e;
+         exit 2);
+  let sim = N.sim node in
+  Trace.set_enabled sim true;
+  let status =
+    match N.exec session sql with
+    | Ok r ->
+        printf "%a@." N.pp_exec_result r;
+        0
+    | Error e ->
+        show_error e;
+        1
+  in
+  Trace.set_enabled sim false;
+  let spans = Trace.take sim in
+  let json = Trace.chrome_json [ spans ] in
+  Out_channel.with_open_text out (fun oc -> Out_channel.output_string oc json);
+  printf "wrote %s (%d spans)@." out (List.length spans);
+  status
+
 open Cmdliner
 
 let script =
@@ -175,11 +220,28 @@ let chaos_cmd =
     (Cmd.info "chaos" ~doc)
     Term.(const run_chaos $ seed $ txs $ plan_only $ topology)
 
+let trace_sql =
+  let doc = "SQL statement to trace." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+
+let trace_out =
+  let doc = "Write the Chrome trace-event JSON to $(docv)." in
+  Arg.(value & opt string "trace.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let trace_wisconsin =
+  let doc = "Load a Wisconsin table $(b,tenktup1) with $(docv) rows first." in
+  Arg.(value & opt int 1000 & info [ "wisconsin" ] ~docv:"ROWS" ~doc)
+
+let trace_cmd =
+  let doc = "trace one statement and export Chrome trace-event JSON" in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run_trace $ trace_sql $ trace_out $ trace_wisconsin $ volumes)
+
 let cmd =
   let doc = "interactive SQL interface to the simulated Tandem node" in
   Cmd.group
     ~default:Term.(const (fun s v -> main s v; 0) $ script $ volumes)
     (Cmd.info "sqlci" ~doc)
-    [ repl_cmd; chaos_cmd ]
+    [ repl_cmd; chaos_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' cmd)

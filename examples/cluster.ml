@@ -7,6 +7,7 @@
 module N = Nsql_core.Nonstop_sql
 module Dtx = Nsql_dtx.Dtx
 module Msg = Nsql_msg.Msg
+module Trace = Nsql_trace.Trace
 module Fs = Nsql_fs.Fs
 module Dp_msg = Nsql_dp.Dp_msg
 module Tmf = Nsql_tmf.Tmf
@@ -48,7 +49,7 @@ let () =
   Format.printf "account 1 holds 500.00 on each node@.@.";
 
   Format.printf "transferring 120.00 from \\0 to \\1 atomically:@.";
-  Msg.start_trace (N.msys nodes.(0));
+  Trace.set_enabled (N.sim nodes.(0)) true;
   let bump _node file tx delta =
     Fs.update_subset (N.fs nodes.(0)) file ~tx
       ~range:Expr.{ lo = key 1; hi = Keycode.successor (key 1) }
@@ -61,8 +62,9 @@ let () =
      let* tx1 = Dtx.branch dtx ~node_id:1 in
      let* _ = bump nodes.(1) f1 tx1 120. in
      Dtx.commit dtx);
-  let trace = Msg.stop_trace (N.msys nodes.(0)) in
-  List.iter (fun e -> Format.printf "  %a@." Msg.pp_trace_entry e) trace;
+  Trace.set_enabled (N.sim nodes.(0)) false;
+  let trace = Trace.msg_spans (Trace.take (N.sim nodes.(0))) in
+  List.iter (fun sp -> Format.printf "  %a@." Trace.pp_msg_span sp) trace;
 
   let read node file =
     get_ok ~ctx:"read"

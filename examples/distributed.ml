@@ -7,6 +7,7 @@
 module N = Nsql_core.Nonstop_sql
 module Fs = Nsql_fs.Fs
 module Msg = Nsql_msg.Msg
+module Trace = Nsql_trace.Trace
 module Row = Nsql_row.Row
 module Tmf = Nsql_tmf.Tmf
 module Expr = Nsql_expr.Expr
@@ -57,7 +58,7 @@ let () =
 
   (* Figure 2: update via the alternate key, message flow traced *)
   Format.printf "@.Figure 2 — update via alternate key 'cust-0042':@.";
-  Msg.start_trace (N.msys node);
+  Trace.set_enabled (N.sim node) true;
   get_ok ~ctx:"fig2"
     (N.in_tx s (fun tx ->
          let open Errors in
@@ -80,9 +81,10 @@ let () =
                  ]
              in
              Ok ()));
-  let trace = Msg.stop_trace (N.msys node) in
+  Trace.set_enabled (N.sim node) false;
+  let trace = Trace.msg_spans (Trace.take (N.sim node)) in
   List.iter
-    (fun e -> Format.printf "  %a@." Msg.pp_trace_entry e)
+    (fun sp -> Format.printf "  %a@." Trace.pp_msg_span sp)
     trace;
   (match N.exec_exn s "SELECT balance FROM account WHERE acctno = 42" with
   | N.Rows rs -> Format.printf "@.balance after debit: %a@." N.pp_rowset rs

@@ -2,6 +2,7 @@ module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
 module Config = Nsql_sim.Config
 module Disk = Nsql_disk.Disk
+module Trace = Nsql_trace.Trace
 
 type flush_reason = Flush_full | Flush_timer | Flush_force
 
@@ -102,6 +103,22 @@ let write_to_volume t data =
 
 let flush t reason =
   if Buffer.length t.buffer > 0 then begin
+    let sp =
+      if Trace.enabled t.sim then
+        Trace.begin_span t.sim ~cat:"tmf"
+          ~attrs:
+            [
+              ( "reason",
+                Trace.Str
+                  (match reason with
+                  | Flush_full -> "full"
+                  | Flush_timer -> "timer"
+                  | Flush_force -> "force") );
+              ("bytes", Trace.Int (Buffer.length t.buffer));
+            ]
+          "audit_flush"
+      else None
+    in
     let s = Sim.stats t.sim in
     s.Stats.audit_flushes <- s.Stats.audit_flushes + 1;
     (match reason with
@@ -120,7 +137,9 @@ let flush t reason =
     in
     s.Stats.group_commit_txs <- s.Stats.group_commit_txs + List.length committed;
     t.pending <- still_waiting;
-    if t.pending = [] then t.timer_armed <- false
+    if t.pending = [] then t.timer_armed <- false;
+    Trace.add_attr sp "group_commits" (Trace.Int (List.length committed));
+    Trace.finish t.sim sp
   end
 
 let append t ~tx body =

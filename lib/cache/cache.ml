@@ -2,6 +2,7 @@ module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
 module Disk = Nsql_disk.Disk
 module Tbl = Nsql_util.Tbl
+module Trace = Nsql_trace.Trace
 
 type frame = {
   block : int;
@@ -112,6 +113,10 @@ let insert t block data ~dirty ~lsn ~valid_at =
 (* --- reads ------------------------------------------------------------ *)
 
 let hit t f =
+  if Trace.enabled t.sim then
+    Trace.instant t.sim ~cat:"cache"
+      ~attrs:[ ("block", Int f.block) ]
+      "cache_hit";
   let s = Sim.stats t.sim in
   s.Stats.cache_hits <- s.Stats.cache_hits + 1;
   touch t f;
@@ -121,6 +126,7 @@ let hit t f =
   Sim.tick t.sim 3
 
 let miss t =
+  if Trace.enabled t.sim then Trace.instant t.sim ~cat:"cache" "cache_miss";
   let s = Sim.stats t.sim in
   s.Stats.cache_misses <- s.Stats.cache_misses + 1
 
@@ -276,6 +282,10 @@ let steal t n =
     incr freed;
     s.Stats.cache_steals <- s.Stats.cache_steals + 1
   done;
+  if Trace.enabled t.sim then
+    Trace.instant t.sim ~cat:"cache"
+      ~attrs:[ ("asked", Int n); ("freed", Int !freed) ]
+      "cache_steal";
   !freed
 
 let drop_all t =

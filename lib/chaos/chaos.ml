@@ -503,12 +503,15 @@ let dump_keyed node file schema =
         | Ok (Some row) -> loop ((Row.key_of_row schema row, row) :: acc)
         | Error e -> Error e
       in
-      loop [])
+      (* close on every exit: scans hold SCBs and a trace span open *)
+      let res = loop [] in
+      Fs.close_scan fs sc;
+      res)
 
 let dump_index node file index =
   let fs = N.fs node in
   Tmf.run (N.tmf node) (fun tx ->
-      let* next =
+      let* next, close =
         Fs.index_scan fs file ~tx ~index ~range:Expr.full_range
           ~lock:Dp_msg.L_none ()
       in
@@ -518,7 +521,9 @@ let dump_index node file index =
         | Ok (Some row) -> loop (row :: acc)
         | Error e -> Error e
       in
-      loop [])
+      let res = loop [] in
+      close ();
+      res)
 
 let dump_entries node file =
   let fs = N.fs node in
@@ -882,7 +887,9 @@ let scan_check ctx env prng =
           | Ok (Some row) -> loop (row :: acc)
           | Error e -> Error e
         in
-        let* rows = loop [] in
+        let res = loop [] in
+        Fs.close_scan fs sc;
+        let* rows = res in
         let actual =
           List.map (fun r -> (Row.key_of_row env.fe_acct_schema r, r)) rows
         in
@@ -892,7 +899,7 @@ let scan_check ctx env prng =
         Ok `Commit
       end
       else begin
-        let* next =
+        let* next, close =
           stp.stp (fun () ->
               Fs.index_scan fs env.fe_acct ~tx ~index:acct_index
                 ~range:Expr.full_range ~lock:Dp_msg.L_none ())
@@ -903,7 +910,9 @@ let scan_check ctx env prng =
           | Ok (Some row) -> loop (row :: acc)
           | Error e -> Error e
         in
-        let* rows = loop [] in
+        let res = loop [] in
+        close ();
+        let* rows = res in
         List.iter
           (fun v -> add_vio ctx ("mid-run index scan: " ^ v))
           (Oracle.check_index ctx.cx_oracle ~file:acct_file ~index:acct_index
@@ -1216,7 +1225,9 @@ let cl_scan_check ctx env prng =
         | Ok (Some row) -> loop (row :: acc)
         | Error e -> Error e
       in
-      let* rows = loop [] in
+      let res = loop [] in
+      Fs.close_scan fs sc;
+      let* rows = res in
       let actual =
         List.map (fun r -> (Row.key_of_row env.ce_schema r, r)) rows
       in

@@ -16,6 +16,7 @@ module Binder = Nsql_sql.Binder
 module Planner = Nsql_sql.Planner
 module Executor = Nsql_sql.Executor
 module Errors = Nsql_util.Errors
+module Trace = Nsql_trace.Trace
 
 open Errors
 
@@ -132,7 +133,7 @@ let schema_of_create (cols : Ast.col_def list) primary_key =
     try Ok (Row.schema columns ~key:primary_key)
     with Invalid_argument msg -> fail (Errors.Bad_request msg)
 
-let exec_statement s stmt =
+let exec_statement0 s stmt =
   let node = s.node in
   let ctx_of tx =
     Executor.{ fs = node.fs; sim = node.sim; tx; read_lock = s.read_lock }
@@ -203,9 +204,37 @@ let exec_statement s stmt =
       let* n = with_tx s (fun tx -> Executor.run_delete (ctx_of tx) plan) in
       Ok (Affected n)
 
+let statement_kind = function
+  | Ast.St_begin -> "begin"
+  | Ast.St_commit -> "commit"
+  | Ast.St_rollback -> "rollback"
+  | Ast.St_create_table _ -> "create table"
+  | Ast.St_create_index _ -> "create index"
+  | Ast.St_drop_table _ -> "drop table"
+  | Ast.St_insert _ -> "insert"
+  | Ast.St_select _ -> "select"
+  | Ast.St_update _ -> "update"
+  | Ast.St_delete _ -> "delete"
+
+(* the statement span is the root of a statement's operator tree; [?sql]
+   carries the original text into the trace when the caller has it *)
+let exec_statement ?sql s stmt =
+  let sim = s.node.sim in
+  if not (Trace.enabled sim) then exec_statement0 s stmt
+  else begin
+    let kind = statement_kind stmt in
+    let attrs =
+      match sql with None -> [] | Some q -> [ ("sql", Trace.Str q) ]
+    in
+    let sp = Trace.begin_span sim ~cat:"stmt" ~attrs kind in
+    Fun.protect
+      ~finally:(fun () -> Trace.finish sim sp)
+      (fun () -> exec_statement0 s stmt)
+  end
+
 let exec s sql =
   let* stmt = Parser.parse sql in
-  exec_statement s stmt
+  exec_statement ~sql s stmt
 
 let exec_exn s sql =
   match exec s sql with

@@ -1,6 +1,7 @@
 module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
 module Config = Nsql_sim.Config
+module Trace = Nsql_trace.Trace
 
 type t = {
   sim : Sim.t;
@@ -134,12 +135,28 @@ let store t ~first data =
       Bytes.blit_string block 0 t.data.(first + i) 0 bs)
     data
 
+let io_attrs t ~first ~count =
+  [
+    ("vol", Trace.Str t.name);
+    ("first", Trace.Int first);
+    ("count", Trace.Int count);
+    ("bulk", Trace.Bool (count > 1));
+  ]
+
 let read_bulk t ~first ~count =
   check_range t ~first ~count;
+  let sp =
+    if Trace.enabled t.sim then
+      Trace.begin_span t.sim ~cat:"disk" ~attrs:(io_attrs t ~first ~count)
+        "disk_read"
+    else None
+  in
   count_read t ~count ~prefetch:false;
   let completion = enqueue_io t ~first ~count in
   Sim.wait_until t.sim completion;
-  fetch t ~first ~count
+  let blocks = fetch t ~first ~count in
+  Trace.finish t.sim sp;
+  blocks
 
 let read t i =
   match read_bulk t ~first:i ~count:1 with
@@ -149,10 +166,17 @@ let read t i =
 let write_bulk t ~first data =
   let count = Array.length data in
   check_range t ~first ~count;
+  let sp =
+    if Trace.enabled t.sim then
+      Trace.begin_span t.sim ~cat:"disk" ~attrs:(io_attrs t ~first ~count)
+        "disk_write"
+    else None
+  in
   count_write t ~count ~behind:false;
   store t ~first data;
   let completion = enqueue_io t ~first ~count in
-  Sim.wait_until t.sim completion
+  Sim.wait_until t.sim completion;
+  Trace.finish t.sim sp
 
 let write t i data = write_bulk t ~first:i [| data |]
 
@@ -160,6 +184,10 @@ let read_bulk_async t ~first ~count =
   check_range t ~first ~count;
   count_read t ~count ~prefetch:true;
   let completion = enqueue_io t ~first ~count in
+  if Trace.enabled t.sim then
+    Trace.instant t.sim ~cat:"disk"
+      ~attrs:(io_attrs t ~first ~count @ [ ("done_at", Float completion) ])
+      "disk_prefetch";
   (fetch t ~first ~count, completion)
 
 let write_bulk_async t ~first data =
@@ -167,6 +195,11 @@ let write_bulk_async t ~first data =
   check_range t ~first ~count;
   count_write t ~count ~behind:true;
   store t ~first data;
-  enqueue_io t ~first ~count
+  let completion = enqueue_io t ~first ~count in
+  if Trace.enabled t.sim then
+    Trace.instant t.sim ~cat:"disk"
+      ~attrs:(io_attrs t ~first ~count @ [ ("done_at", Float completion) ])
+      "disk_write_behind";
+  completion
 
 let io_busy_until t = t.busy_until

@@ -15,6 +15,7 @@ module Trail = Nsql_audit.Trail
 module Ar = Nsql_audit.Audit_record
 module Keycode = Nsql_util.Keycode
 module Errors = Nsql_util.Errors
+module Trace = Nsql_trace.Trace
 
 open Dp_msg
 
@@ -1289,11 +1290,39 @@ let dispatch t req : (reply, Errors.t) result =
       let* _f = find_file t file in
       Ok (Rp_slot (record_count t ~file))
 
-let request t req =
-  Sim.tick t.sim 20;
+let run_request t req =
   match dispatch t req with
   | Ok reply -> reply
   | Error e -> Rp_error e
+
+let request t req =
+  Sim.tick t.sim 20;
+  if not (Trace.enabled t.sim) then run_request t req
+  else begin
+    (* one span per dispatched request; a re-drive reusing a Subset
+       Control Block is marked, making SCB hits visible per operator *)
+    let attrs =
+      ("dp", Trace.Str t.dp_name)
+      ::
+      (match req with
+      | R_get_next { scb; _ }
+      | R_update_subset_next { scb; _ }
+      | R_delete_subset_next { scb; _ }
+      | R_agg_next { scb; _ } ->
+          [ ("scb_reuse", Trace.Bool true); ("scb", Trace.Int scb) ]
+      | R_agg_first _ -> [ ("agg_fold", Trace.Bool true) ]
+      | R_create_file _ | R_read _ | R_read_next _ | R_insert _ | R_update _
+      | R_delete _ | R_lock_file _ | R_lock_generic _ | R_rel_read _
+      | R_rel_write _ | R_rel_rewrite _ | R_rel_delete _ | R_entry_append _
+      | R_entry_read _ | R_get_first _ | R_update_subset_first _
+      | R_delete_subset_first _ | R_insert_row _ | R_insert_block _
+      | R_apply_block _ | R_close_scb _ | R_record_count _ -> [])
+    in
+    let sp = Trace.begin_span t.sim ~cat:"dp" ~attrs (tag req) in
+    Fun.protect
+      ~finally:(fun () -> Trace.finish t.sim sp)
+      (fun () -> run_request t req)
+  end
 
 let handler t payload =
   match decode_request payload with

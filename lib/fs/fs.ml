@@ -8,6 +8,7 @@ module Dp_msg = Nsql_dp.Dp_msg
 module Keycode = Nsql_util.Keycode
 module Errors = Nsql_util.Errors
 module Tbl = Nsql_util.Tbl
+module Trace = Nsql_trace.Trace
 
 open Errors
 
@@ -514,6 +515,11 @@ let read_next_raw t f ~tx ~from_key ~inclusive ~lock ~sbb =
 
 type access = A_record | A_rsbb | A_vsbb
 
+let access_name = function
+  | A_record -> "record"
+  | A_rsbb -> "rsbb"
+  | A_vsbb -> "vsbb"
+
 type scan_item = I_row of Row.row | I_entry of string * string
 
 (* the blocking driver: one partition at a time, one outstanding request *)
@@ -530,6 +536,7 @@ type seq_scan = {
   mutable sc_started : bool;  (** GET^FIRST already sent in this partition *)
   mutable sc_buf : scan_item list;
   mutable sc_done : bool;
+  sc_span : Trace.h;  (** scan-lifetime span, finished at close *)
 }
 
 (* the nowait driver: every partition keeps one outstanding re-drive *)
@@ -542,6 +549,10 @@ type par_part = {
   mutable pp_front : scan_item list;
   mutable pp_chunks : scan_item list list;  (** newest first *)
   mutable pp_done : bool;  (** partition exhausted on the DP side *)
+  mutable pp_span : Trace.h;
+      (** fan-out leg span; its counter deltas are attributed per
+          interaction (issue, re-drive, close), never by window diff —
+          sibling legs interleave inside the scan's extent *)
 }
 
 type par_scan = {
@@ -558,6 +569,7 @@ type par_scan = {
   mutable pr_chunks : scan_item list list;
   mutable pr_started : bool;
   mutable pr_dead : bool;  (** closed or failed: yield nothing more *)
+  pr_span : Trace.h;
 }
 
 type scan = Seq of seq_scan | Par of par_scan
@@ -566,7 +578,24 @@ let open_scan t f ~tx ~access ~range ?pred ?proj ?(ordered = true) ~lock () =
   let pieces = partition_ranges f range in
   (* the record-at-a-time path stays blocking: it is the old-interface
      baseline, and its lock acquisition is inherently one-at-a-time *)
-  if fanout t && access <> A_record && List.length pieces > 1 then
+  let par = fanout t && access <> A_record && List.length pieces > 1 in
+  (* [push:false]: a scan handle outlives this call, so its span must not
+     sit on the open-span stack between interactions — scan_next_item and
+     close_scan bracket each interaction in an attribute window instead *)
+  let sp =
+    if Trace.enabled t.sim then
+      Trace.begin_span t.sim ~push:false ~cat:"fs"
+        ~attrs:
+          [
+            ("file", Trace.Str f.fname);
+            ("access", Trace.Str (access_name access));
+            ("partitions", Trace.Int (List.length pieces));
+            ("parallel", Trace.Bool par);
+          ]
+        (access_name access ^ " scan " ^ f.fname)
+    else None
+  in
+  if par then
     Par
       {
         pr_file = f;
@@ -589,6 +618,7 @@ let open_scan t f ~tx ~access ~range ?pred ?proj ?(ordered = true) ~lock () =
                    pp_front = [];
                    pp_chunks = [];
                    pp_done = false;
+                   pp_span = None;
                  })
                pieces);
         pr_cur = 0;
@@ -596,6 +626,7 @@ let open_scan t f ~tx ~access ~range ?pred ?proj ?(ordered = true) ~lock () =
         pr_chunks = [];
         pr_started = false;
         pr_dead = false;
+        pr_span = sp;
       }
   else
     Seq
@@ -612,6 +643,7 @@ let open_scan t f ~tx ~access ~range ?pred ?proj ?(ordered = true) ~lock () =
         sc_started = false;
         sc_buf = [];
         sc_done = false;
+        sc_span = sp;
       }
 
 (* client-side filtering for the record-at-a-time and RSBB paths *)
@@ -632,10 +664,12 @@ let client_select_gen ~schema ~pred ~proj key record =
 let seq_close t sc =
   (match (sc.sc_scb, sc.sc_parts) with
   | Some scb, (p, _) :: _ ->
-      ignore (send t p.p_dp (Dp_msg.R_close_scb { scb }))
+      Trace.attribute t.sim sc.sc_span (fun () ->
+          ignore (send t p.p_dp (Dp_msg.R_close_scb { scb })))
   | _ -> ());
   sc.sc_scb <- None;
-  sc.sc_done <- true
+  sc.sc_done <- true;
+  Trace.finish t.sim sc.sc_span
 
 (* move to the next partition *)
 let advance_partition t sc =
@@ -801,8 +835,14 @@ let par_absorb ps pp items =
 (* launch: one GET^FIRST^VSBB (or RSBB) per partition, all overlapped *)
 let par_issue_first t ps =
   ps.pr_started <- true;
-  Array.iter
-    (fun pp ->
+  Array.iteri
+    (fun i pp ->
+      if Trace.enabled t.sim then
+        pp.pp_span <-
+          Trace.begin_span t.sim ~parent:ps.pr_span ~push:false ~tid:(i + 1)
+            ~cat:"fs.leg"
+            ~attrs:[ ("partition", Trace.Int i) ]
+            ("leg " ^ Dp.name pp.pp_part.p_dp);
       let vsbb = ps.pr_access = A_vsbb in
       let req =
         Dp_msg.R_get_first
@@ -816,11 +856,13 @@ let par_issue_first t ps =
             lock = ps.pr_lock;
           }
       in
-      pp.pp_pending <- Some (send_nowait t pp.pp_part.p_dp req))
+      Trace.attribute t.sim pp.pp_span (fun () ->
+          pp.pp_pending <- Some (send_nowait t pp.pp_part.p_dp req)))
     ps.pr_parts
 
 (* fold one reply into the partition state; keep one re-drive outstanding *)
 let par_process t ps pp reply =
+  Trace.attribute t.sim pp.pp_span @@ fun () ->
   match reply with
   | Dp_msg.Rp_end ->
       pp.pp_scb <- None;
@@ -946,24 +988,36 @@ let rec par_next_item t ps =
 
 (* --- common scan interface -------------------------------------------------- *)
 
-let scan_next_item t = function
-  | Seq sc -> seq_next_item t sc
-  | Par ps -> par_next_item t ps
+(* every interaction runs inside an attribute window on the scan's span:
+   children begun here nest under it and its counter delta accumulates
+   exactly over scan work, not whatever the caller does while holding the
+   handle open *)
+let scan_next_item t sc =
+  let h = match sc with Seq sc -> sc.sc_span | Par ps -> ps.pr_span in
+  Trace.attribute t.sim h (fun () ->
+      match sc with
+      | Seq sc -> seq_next_item t sc
+      | Par ps -> par_next_item t ps)
 
 let scan_file = function Seq sc -> sc.sc_file | Par ps -> ps.pr_file
 
 let close_scan t = function
   | Seq sc -> seq_close t sc
   | Par ps ->
-      par_quiesce t ps;
-      Array.iter
-        (fun pp ->
-          match pp.pp_scb with
-          | Some scb ->
-              pp.pp_scb <- None;
-              ignore (send t pp.pp_part.p_dp (Dp_msg.R_close_scb { scb }))
-          | None -> ())
-        ps.pr_parts;
+      Trace.attribute t.sim ps.pr_span (fun () ->
+          par_quiesce t ps;
+          Array.iter
+            (fun pp ->
+              (match pp.pp_scb with
+              | Some scb ->
+                  pp.pp_scb <- None;
+                  Trace.attribute t.sim pp.pp_span (fun () ->
+                      ignore
+                        (send t pp.pp_part.p_dp (Dp_msg.R_close_scb { scb })))
+              | None -> ());
+              Trace.finish t.sim pp.pp_span)
+            ps.pr_parts);
+      Trace.finish t.sim ps.pr_span;
       ps.pr_dead <- true
 
 let scan_next t sc =
@@ -997,7 +1051,7 @@ let assignments_touch_index f assignments =
 (* the delegated path: UPDATE^SUBSET / DELETE^SUBSET with re-drives.
    Under fan-out every partition keeps one re-drive outstanding; the
    completion loop folds replies in earliest-completion order. *)
-let drive_subset t f ~tx ~range ~first ~next =
+let drive_subset0 t f ~tx ~range ~first ~next =
   ignore tx;
   let pieces = partition_ranges f range in
   if fanout t && List.length pieces > 1 then begin
@@ -1063,6 +1117,26 @@ let drive_subset t f ~tx ~range ~first ~next =
     in
     per_partition 0 pieces
 
+let drive_subset t f ~tx ~range ~first ~next =
+  if not (Trace.enabled t.sim) then drive_subset0 t f ~tx ~range ~first ~next
+  else begin
+    let pieces = partition_ranges f range in
+    let par = fanout t && List.length pieces > 1 in
+    let sp =
+      Trace.begin_span t.sim ~cat:"fs"
+        ~attrs:
+          [
+            ("file", Trace.Str f.fname);
+            ("partitions", Trace.Int (List.length pieces));
+            ("parallel", Trace.Bool par);
+          ]
+        ("subset " ^ f.fname)
+    in
+    Fun.protect
+      ~finally:(fun () -> Trace.finish t.sim sp)
+      (fun () -> drive_subset0 t f ~tx ~range ~first ~next)
+  end
+
 let update_subset t f ~tx ~range ?pred assignments =
   let* _schema = require_schema f in
   if assignments_touch_index f assignments then begin
@@ -1083,7 +1157,11 @@ let update_subset t f ~tx ~range ?pred assignments =
           let* () = update_row_via_key t f ~tx ~key assignments in
           go (count + 1)
     in
-    go 0
+    (* close on every exit — errors must not leave the scan (or its span)
+       open *)
+    let res = go 0 in
+    close_scan t sc;
+    res
   end
   else
     drive_subset t f ~tx ~range
@@ -1111,7 +1189,9 @@ let delete_subset t f ~tx ~range ?pred () =
           let* () = delete_row_via_key t f ~tx ~key in
           go (count + 1)
     in
-    go 0
+    let res = go 0 in
+    close_scan t sc;
+    res
   end
   else
     drive_subset t f ~tx ~range
@@ -1162,7 +1242,7 @@ let merge_partition_groups per_part =
       | None -> Errors.fatal "Fs.aggregate: group order desync")
     !order
 
-let aggregate t f ~tx ~range ?pred ~group_keys ~aggs ~lock () =
+let aggregate0 t f ~tx ~range ?pred ~group_keys ~aggs ~lock () =
   let* _schema = require_schema f in
   let first p prange =
     Dp_msg.R_agg_first
@@ -1226,6 +1306,28 @@ let aggregate t f ~tx ~range ?pred ~group_keys ~aggs ~lock () =
         per_partition (i + 1)
     in
     per_partition 0
+  end
+
+let aggregate t f ~tx ~range ?pred ~group_keys ~aggs ~lock () =
+  if not (Trace.enabled t.sim) then
+    aggregate0 t f ~tx ~range ?pred ~group_keys ~aggs ~lock ()
+  else begin
+    let pieces = partition_ranges f range in
+    let par = fanout t && List.length pieces > 1 in
+    let sp =
+      Trace.begin_span t.sim ~cat:"fs"
+        ~attrs:
+          [
+            ("file", Trace.Str f.fname);
+            ("partitions", Trace.Int (List.length pieces));
+            ("parallel", Trace.Bool par);
+            ("groups", Trace.Int (Array.length group_keys));
+          ]
+        ("aggregate " ^ f.fname)
+    in
+    Fun.protect
+      ~finally:(fun () -> Trace.finish t.sim sp)
+      (fun () -> aggregate0 t f ~tx ~range ?pred ~group_keys ~aggs ~lock ())
   end
 
 (* --- blocked sequential inserts --------------------------------------------------------- *)
@@ -1382,24 +1484,37 @@ let index_scan t f ~tx ~index ~range ?pred ?proj ~lock () =
       in
       let sc = open_scan t ix_file ~tx ~access:A_vsbb ~range ?pred ~lock () in
       let next () =
-        let* irow = scan_next t sc in
-        match irow with
-        | None -> Ok None
-        | Some irow ->
-            let* base_key = base_key_of_index_row f ix irow in
-            let p = route f base_key in
-            let* _k, record =
-              expect_record
-                (send t p.p_dp
-                   (Dp_msg.R_read { file = p.p_file; tx; key = base_key; lock }))
-            in
-            let row = Row.decode_exn schema record in
-            let row =
-              match proj with Some fields -> Row.project row fields | None -> row
-            in
-            Ok (Some row)
+        match
+          let* irow = scan_next t sc in
+          match irow with
+          | None -> Ok None
+          | Some irow ->
+              let* base_key = base_key_of_index_row f ix irow in
+              let p = route f base_key in
+              let* _k, record =
+                expect_record
+                  (send t p.p_dp
+                     (Dp_msg.R_read { file = p.p_file; tx; key = base_key; lock }))
+              in
+              let row = Row.decode_exn schema record in
+              let row =
+                match proj with
+                | Some fields -> Row.project row fields
+                | None -> row
+              in
+              Ok (Some row)
+        with
+        | Ok (Some _) as r -> r
+        | (Ok None | Error _) as r ->
+            (* release eagerly at the end of the stream (scan-close is
+               idempotent, callers may pull past the end) *)
+            close_scan t sc;
+            r
       in
-      Ok next
+      (* the caller must run [close] on every exit: a fault can abandon the
+         stream between pulls, and only closing releases the SCB and the
+         scan's trace span *)
+      Ok (next, fun () -> close_scan t sc)
 
 (* --- online index creation ------------------------------------------------ *)
 
@@ -1460,7 +1575,8 @@ let add_index t f ~tx spec =
           let* () = if List.length !batch >= 50 then flush () else Ok () in
           fill ()
     in
-    let* () = fill () in
+    let res = fill () in
     close_scan t sc;
+    let* () = res in
     Ok { f with indexes = ix :: f.indexes }
   end

@@ -322,11 +322,15 @@ val flush_apply_buffer : t -> apply_buffer -> (unit, Nsql_util.Errors.t) result
     file with VSBB, then fetches each qualifying base row with a point
     read (one message per base row — the cost structure of Figure 2).
     [range] and [pred] are in terms of the {e index} file's fields;
-    [proj] is in terms of the base file. Returns base rows. *)
+    [proj] is in terms of the base file. Returns [(next, close)]: [next]
+    streams base rows; the caller must run [close] on every exit (it is
+    idempotent, and the stream closes itself when drained to the end), or
+    an abandoned scan leaks its SCB and leaves its trace span open. *)
 val index_scan :
   t -> file -> tx:int -> index:string -> range:Expr.key_range ->
   ?pred:Expr.t -> ?proj:int array -> lock:Dp_msg.lock_mode -> unit ->
-  ((unit -> (Row.row option, Nsql_util.Errors.t) result), Nsql_util.Errors.t) result
+  ((unit -> (Row.row option, Nsql_util.Errors.t) result) * (unit -> unit),
+   Nsql_util.Errors.t) result
 
 (** [index_schema file ~index] is the schema of the index file (index
     columns then base key columns), for planners that push predicates to

@@ -15,6 +15,7 @@
    | LOCK-ORDER   | acquisitions follow the declared volume→file→key order  |
    | PROTO-EXHAUST| every DP request is dispatched and has a requester path |
    | NOWAIT-LEAK  | every send_nowait completion is bound and awaited       |
+   | SPAN-LEAK    | every begin_span handle is bound and finished           |
 *)
 
 open Parsetree
@@ -516,6 +517,62 @@ let nowait_leak ~path structure =
       | _ -> ());
   List.rev !diags
 
+(* --- SPAN-LEAK ------------------------------------------------------------ *)
+
+(* A [begin_span] handle that is dropped can never reach [finish]: the span
+   stays open forever, never collects its counter delta, and — when pushed —
+   becomes the inferred parent of every span begun after it, corrupting the
+   trace's nesting. Same conservative syntactic shapes as NOWAIT-LEAK:
+   [ignore (begin_span ...)], a statement-position call, a wildcard binding,
+   and a named binding unused in its scope. A handle stored in a record
+   field or otherwise passed along is accepted; the structure holding it is
+   then responsible for finishing it. *)
+
+let is_begin_span_app e =
+  match e.pexp_desc with
+  | Pexp_apply (callee, _) -> (
+      match Option.map List.rev (ident_path callee) with
+      | Some ("begin_span" :: _) -> true
+      | _ -> false)
+  | _ -> false
+
+let span_leak ~path structure =
+  let diags = ref [] in
+  let flag loc msg =
+    diags := Diag.of_loc ~rule:"SPAN-LEAK" ~file:path loc msg :: !diags
+  in
+  iter_exprs structure (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (fn, [ (Asttypes.Nolabel, arg) ])
+        when ident_path fn |> Option.map normalize = Some [ "ignore" ]
+             && is_begin_span_app arg ->
+          flag e.pexp_loc
+            "begin_span handle discarded with ignore; every span must reach \
+             finish"
+      | Pexp_sequence (e1, _) when is_begin_span_app e1 ->
+          flag e1.pexp_loc
+            "begin_span in statement position drops its handle; bind it and \
+             finish it"
+      | Pexp_let (_, vbs, body) ->
+          List.iter
+            (fun vb ->
+              if is_begin_span_app vb.pvb_expr then
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_any ->
+                    flag vb.pvb_pat.ppat_loc
+                      "begin_span handle bound to _ can never be finished"
+                | Ppat_var { txt = name; _ } ->
+                    if not (uses_var name body) then
+                      flag vb.pvb_pat.ppat_loc
+                        (Printf.sprintf
+                           "span handle %s is never finished; pass it to \
+                            finish on every path"
+                           name)
+                | _ -> ())
+            vbs
+      | _ -> ());
+  List.rev !diags
+
 (* --- the per-file bundle -------------------------------------------------- *)
 
 let per_file ~path ~index structure =
@@ -525,3 +582,4 @@ let per_file ~path ~index structure =
   @ err_swallow ~path ~index structure
   @ lock_order ~path structure
   @ nowait_leak ~path structure
+  @ span_leak ~path structure

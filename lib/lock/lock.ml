@@ -1,6 +1,7 @@
 module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
 module Keycode = Nsql_util.Keycode
+module Trace = Nsql_trace.Trace
 
 type mode = Shared | Exclusive
 
@@ -138,7 +139,18 @@ let acquire t ~tx ~file res mode =
           Granted)
   | cs ->
       s.Stats.lock_waits <- s.Stats.lock_waits + 1;
-      Blocked (List.sort_uniq compare (List.map (fun e -> e.e_tx) cs))
+      let blockers = List.sort_uniq compare (List.map (fun e -> e.e_tx) cs) in
+      if Trace.enabled t.sim then
+        Trace.instant t.sim ~cat:"lock"
+          ~attrs:
+            [
+              ("file", Int file);
+              ("res", Str (Format.asprintf "%a" pp_resource res));
+              ("mode", Str (Format.asprintf "%a" pp_mode mode));
+              ("blockers", Int (List.length blockers));
+            ]
+          "lock_wait";
+      Blocked blockers
 
 let remove_entry t e =
   match Hashtbl.find_opt t.files e.e_file with

@@ -1,6 +1,7 @@
 module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
 module Config = Nsql_sim.Config
+module Trace = Nsql_trace.Trace
 
 type processor = { node : int; cpu : int }
 
@@ -11,16 +12,6 @@ type endpoint = {
   mutable processor : processor;
   mutable backup : processor option;
   mutable handler : string -> string;
-}
-
-type trace_entry = {
-  from_cpu : processor;
-  to_name : string;
-  to_cpu : processor;
-  tag : string;
-  req_bytes : int;
-  reply_bytes : int;
-  at_us : float;
 }
 
 type fault_action =
@@ -34,12 +25,10 @@ type fault_filter =
 type system = {
   sim : Sim.t;
   endpoints : (string, endpoint) Hashtbl.t;
-  mutable trace : trace_entry list option;  (** reversed while recording *)
   mutable fault_filter : fault_filter option;
 }
 
-let create sim =
-  { sim; endpoints = Hashtbl.create 16; trace = None; fault_filter = None }
+let create sim = { sim; endpoints = Hashtbl.create 16; fault_filter = None }
 
 let set_fault_filter t f = t.fault_filter <- f
 
@@ -72,7 +61,7 @@ let charge_hop t ~from ~to_ bytes =
   in
   Sim.charge t.sim cost
 
-let send t ~from ~tag e request =
+let do_send t ~from ~tag e request =
   let stats = Sim.stats t.sim in
   stats.Stats.msgs_sent <- stats.Stats.msgs_sent + 1;
   stats.Stats.msg_req_bytes <- stats.Stats.msg_req_bytes + String.length request;
@@ -99,22 +88,34 @@ let send t ~from ~tag e request =
   stats.Stats.msg_reply_bytes <-
     stats.Stats.msg_reply_bytes + String.length reply;
   charge_hop t ~from:e.processor ~to_:from (String.length reply);
-  (match t.trace with
-  | None -> ()
-  | Some entries ->
-      let entry =
-        {
-          from_cpu = from;
-          to_name = e.name;
-          to_cpu = e.processor;
-          tag;
-          req_bytes = String.length request;
-          reply_bytes = String.length reply;
-          at_us = Sim.now t.sim;
-        }
-      in
-      t.trace <- Some (entry :: entries));
   reply
+
+(* One span per request/reply interaction, covering both hops and the
+   server handler; virtual times when issued under a capture (nowait). *)
+let send t ~from ~tag e request =
+  if not (Trace.enabled t.sim) then do_send t ~from ~tag e request
+  else begin
+    let sp =
+      Trace.begin_span t.sim ~cat:"msg"
+        ~attrs:
+          [
+            ("from", Str (Format.asprintf "%a" pp_processor from));
+            ("to", Str e.name);
+            ("dest", Str (Format.asprintf "%a" pp_processor e.processor));
+            ("req_bytes", Int (String.length request));
+            ("remote",
+             Bool (from.cpu <> e.processor.cpu || from.node <> e.processor.node));
+            ("internode", Bool (from.node <> e.processor.node));
+          ]
+        tag
+    in
+    Fun.protect
+      ~finally:(fun () -> Trace.finish t.sim sp)
+      (fun () ->
+        let reply = do_send t ~from ~tag e request in
+        Trace.add_attr sp "reply_bytes" (Int (String.length reply));
+        reply)
+  end
 
 (* --- nowait (overlapped) requests -------------------------------------- *)
 
@@ -159,6 +160,16 @@ let checkpoint t e ~bytes_ =
   match e.backup with
   | None -> ()
   | Some backup ->
+      if Trace.enabled t.sim then
+        Trace.instant t.sim ~cat:"msg"
+          ~attrs:
+            [
+              ("from", Str (Format.asprintf "%a" pp_processor e.processor));
+              ("to", Str (e.name ^ ":backup"));
+              ("dest", Str (Format.asprintf "%a" pp_processor backup));
+              ("req_bytes", Int bytes_);
+            ]
+          "checkpoint";
       let stats = Sim.stats t.sim in
       stats.Stats.checkpoint_msgs <- stats.Stats.checkpoint_msgs + 1;
       stats.Stats.checkpoint_bytes <- stats.Stats.checkpoint_bytes + bytes_;
@@ -176,15 +187,3 @@ let takeover_endpoint e =
       true
 
 let endpoint_backup e = e.backup
-
-let start_trace t = t.trace <- Some []
-
-let stop_trace t =
-  let entries = match t.trace with None -> [] | Some es -> List.rev es in
-  t.trace <- None;
-  entries
-
-let pp_trace_entry ppf e =
-  Format.fprintf ppf "%8.0fus  %a -> %s (%a)  %-22s req=%dB reply=%dB"
-    e.at_us pp_processor e.from_cpu e.to_name pp_processor e.to_cpu e.tag
-    e.req_bytes e.reply_bytes

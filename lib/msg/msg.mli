@@ -20,18 +20,6 @@ type system
 
 type endpoint
 
-(** A trace entry describing one message interaction, for experiment E9
-    (Figure 2 message-flow trace). *)
-type trace_entry = {
-  from_cpu : processor;
-  to_name : string;
-  to_cpu : processor;
-  tag : string;  (** request type, e.g. "GET^FIRST^VSBB" *)
-  req_bytes : int;
-  reply_bytes : int;
-  at_us : float;
-}
-
 val create : Nsql_sim.Sim.t -> system
 
 val sim : system -> Nsql_sim.Sim.t
@@ -85,7 +73,9 @@ val lookup : system -> string -> endpoint option
 
 (** [send sys ~from ~tag endpoint request] performs one request/reply
     interaction and returns the reply payload. Charges message costs and
-    counters on the system's simulation world. *)
+    counters on the system's simulation world. When tracing is enabled
+    (see [Nsql_trace.Trace]) each interaction is one cat-"msg" span with
+    kind, endpoint, byte and locality attributes. *)
 val send : system -> from:processor -> tag:string -> endpoint -> string -> string
 
 (** {1 Nowait (overlapped) requests}
@@ -129,13 +119,3 @@ val await_any : system -> completion list -> int * string
     message of [bytes] payload, if the endpoint has a backup. State-changing
     requests checkpoint so the backup can take over mid-transaction. *)
 val checkpoint : system -> endpoint -> bytes_:int -> unit
-
-(** {1 Tracing} *)
-
-(** [start_trace sys] begins recording every message. *)
-val start_trace : system -> unit
-
-(** [stop_trace sys] stops recording and returns the trace in order. *)
-val stop_trace : system -> trace_entry list
-
-val pp_trace_entry : Format.formatter -> trace_entry -> unit

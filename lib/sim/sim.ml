@@ -3,6 +3,7 @@ type capture = { cap_base : float; mutable cap_accum : float }
 type t = {
   config : Config.t;
   stats : Stats.t;
+  tracer : Tracer.t;
   mutable now : float;
   events : (unit -> unit) Nsql_util.Heap.t;
   mutable firing : bool;
@@ -10,9 +11,12 @@ type t = {
 }
 
 let create ?(config = Config.default) () =
+  let tracer = Tracer.create () in
+  (match !Tracer.creation_hook with None -> () | Some f -> f tracer);
   {
     config;
     stats = Stats.create ();
+    tracer;
     now = 0.;
     events = Nsql_util.Heap.create ();
     firing = false;
@@ -21,6 +25,7 @@ let create ?(config = Config.default) () =
 
 let config t = t.config
 let stats t = t.stats
+let tracer t = t.tracer
 
 let now t =
   match t.capture with

@@ -13,6 +13,10 @@ val create : ?config:Config.t -> unit -> t
 val config : t -> Config.t
 val stats : t -> Stats.t
 
+(** The world's span collector (see {!Tracer}); disabled at creation.
+    Drive it through the high-level [Nsql_trace.Trace] API. *)
+val tracer : t -> Tracer.t
+
 (** [now t] is the current simulated time in microseconds. *)
 val now : t -> float
 

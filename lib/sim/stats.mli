@@ -56,6 +56,11 @@ val diff : before:t -> after:t -> t
 (** [add a b] sums two statistics records into a fresh one. *)
 val add : t -> t -> t
 
+(** [map2 f a b] applies [f] to every counter pair into a fresh record.
+    Because it names every field, it is the one place that must grow when a
+    counter is added — tests exploit that to check {!pp} completeness. *)
+val map2 : (int -> int -> int) -> t -> t -> t
+
 val reset : t -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+(* Span collection for the deterministic tracer.
+
+   This module is pure bookkeeping: it never reads the clock, never touches
+   the statistics record, and never charges simulated time. The public API
+   in [Nsql_trace.Trace] samples the clock and counters from the simulation
+   world and passes them in, which lets the collector live below [Sim]
+   (so [Sim.t] can own one) without a dependency cycle. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_cat : string;
+  sp_tid : int;
+  sp_start : float;
+  mutable sp_end : float;
+  mutable sp_attrs : (string * value) list;  (* in order of addition *)
+  sp_before : Stats.t;  (* counter snapshot at begin *)
+  mutable sp_stats : Stats.t;  (* counter delta over the span's extent *)
+  mutable sp_explicit : bool;
+      (* delta accumulated via [add_stats]; finish must not overwrite it *)
+  mutable sp_open : bool;
+}
+
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  ring : span option array;
+  mutable head : int;  (* next write position *)
+  mutable count : int;  (* live entries, <= capacity *)
+  mutable dropped : int;  (* spans overwritten before collection *)
+  mutable next_id : int;
+  mutable stack : span list;  (* open spans, for parent inference *)
+}
+
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) () =
+  {
+    enabled = false;
+    capacity;
+    ring = Array.make capacity None;
+    head = 0;
+    count = 0;
+    dropped = 0;
+    next_id = 1;
+    stack = [];
+  }
+
+(* Hook consulted by [Sim.create] on every new simulation world; the bench
+   harness uses it to switch tracing on for every world an experiment
+   builds, without threading a flag through each constructor. *)
+let creation_hook : (t -> unit) option ref = ref None
+
+let enabled t = t.enabled
+let set_enabled t on = t.enabled <- on
+let dropped t = t.dropped
+
+let record t sp =
+  t.ring.(t.head) <- Some sp;
+  t.head <- (t.head + 1) mod t.capacity;
+  if t.count = t.capacity then t.dropped <- t.dropped + 1
+  else t.count <- t.count + 1
+
+let push_open t sp = t.stack <- sp :: t.stack
+
+let pop t sp =
+  t.stack <- List.filter (fun s -> s.sp_id <> sp.sp_id) t.stack
+
+let begin_ t ~now ~before ?parent ~push ?tid ~cat ~attrs name =
+  let parent =
+    match parent with Some _ -> parent | None -> (
+      match t.stack with [] -> None | p :: _ -> Some p)
+  in
+  let tid =
+    match tid with
+    | Some x -> x
+    | None -> ( match parent with Some p -> p.sp_tid | None -> 0)
+  in
+  let sp =
+    {
+      sp_id = t.next_id;
+      sp_parent = Option.map (fun p -> p.sp_id) parent;
+      sp_name = name;
+      sp_cat = cat;
+      sp_tid = tid;
+      sp_start = now;
+      sp_end = now;
+      sp_attrs = attrs;
+      sp_before = before;
+      sp_stats = Stats.create ();
+      sp_explicit = false;
+      sp_open = true;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  record t sp;
+  if push then push_open t sp;
+  sp
+
+let add_attr sp k v = sp.sp_attrs <- sp.sp_attrs @ [ (k, v) ]
+
+let add_stats sp d =
+  sp.sp_explicit <- true;
+  sp.sp_stats <- Stats.add sp.sp_stats d
+
+let finish t sp ~now ~after =
+  if sp.sp_open then begin
+    sp.sp_open <- false;
+    sp.sp_end <- now;
+    if not sp.sp_explicit then
+      sp.sp_stats <- Stats.diff ~before:sp.sp_before ~after;
+    pop t sp
+  end
+
+let instant t ~now ?tid ~cat ~attrs name =
+  let sp = begin_ t ~now ~before:(Stats.create ()) ~push:false ?tid ~cat ~attrs name in
+  sp.sp_explicit <- true;
+  (* keep the zeroed delta *)
+  sp.sp_open <- false
+
+(* Drain collected spans in begin order. Spans still open keep their
+   handles (their eventual [finish] mutates records no longer collected);
+   the parent stack is preserved so nesting continues to resolve. *)
+let take t =
+  let start = (t.head - t.count + t.capacity) mod t.capacity in
+  let out =
+    List.init t.count (fun i ->
+        match t.ring.((start + i) mod t.capacity) with
+        | Some sp -> sp
+        | None -> assert false)
+  in
+  Array.fill t.ring 0 t.capacity None;
+  t.head <- 0;
+  t.count <- 0;
+  t.dropped <- 0;
+  out
+
+let clear t = ignore (take t)

@@ -1,0 +1,86 @@
+(** Span collection for the deterministic tracer.
+
+    A span is a named, categorised interval on the simulated clock carrying
+    key/value attributes and the {!Stats} delta observed over its extent.
+    This module is the storage layer only — it never reads the clock or the
+    statistics itself (the caller samples both and passes them in), so it
+    can sit below {!Sim} and be owned by every simulation world.
+
+    Use the high-level API in [Nsql_trace.Trace]; instrumented subsystems
+    should not call [begin_]/[finish] here directly. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  sp_id : int;  (** deterministic, sequential from 1 per collector *)
+  sp_parent : int option;  (** enclosing span's id *)
+  sp_name : string;
+  sp_cat : string;  (** subsystem category, e.g. "op", "msg", "disk" *)
+  sp_tid : int;  (** display track; partition legs use 1 + leg index *)
+  sp_start : float;  (** simulated µs *)
+  mutable sp_end : float;
+  mutable sp_attrs : (string * value) list;
+  sp_before : Stats.t;
+  mutable sp_stats : Stats.t;
+  mutable sp_explicit : bool;
+  mutable sp_open : bool;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** Consulted by [Sim.create] on every new simulation world. The bench
+    harness sets it to enable tracing on every world an experiment builds. *)
+val creation_hook : (t -> unit) option ref
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+(** Spans overwritten by ring wrap-around since the last {!take}. *)
+val dropped : t -> int
+
+(** [begin_ t ~now ~before ?parent ~push ?tid ~cat ~attrs name] opens a
+    span. [parent] defaults to the innermost open pushed span; [tid]
+    defaults to the parent's. [push] controls whether the new span becomes
+    a parent candidate for spans begun inside it. *)
+val begin_ :
+  t ->
+  now:float ->
+  before:Stats.t ->
+  ?parent:span ->
+  push:bool ->
+  ?tid:int ->
+  cat:string ->
+  attrs:(string * value) list ->
+  string ->
+  span
+
+val add_attr : span -> string -> value -> unit
+
+(** [add_stats sp d] accumulates an explicit counter delta; the span's
+    begin/end window diff is then suppressed at finish. *)
+val add_stats : span -> Stats.t -> unit
+
+val finish : t -> span -> now:float -> after:Stats.t -> unit
+
+(** Zero-duration event with an all-zero counter delta. *)
+val instant :
+  t ->
+  now:float ->
+  ?tid:int ->
+  cat:string ->
+  attrs:(string * value) list ->
+  string ->
+  unit
+
+(** Parent-inference stack control, used by [Trace.attribute] to nest work
+    under an un-pushed span (e.g. a partition leg). *)
+val push_open : t -> span -> unit
+
+val pop : t -> span -> unit
+
+(** Drain collected spans in begin order and reset the ring. *)
+val take : t -> span list
+
+val clear : t -> unit

@@ -5,6 +5,7 @@ module Dp_msg = Nsql_dp.Dp_msg
 module Fastsort = Nsql_sort.Fastsort
 module Errors = Nsql_util.Errors
 module Sim = Nsql_sim.Sim
+module Trace = Nsql_trace.Trace
 
 open Errors
 open Planner
@@ -26,7 +27,7 @@ let pp_rowset ppf rs =
 (* --- base-table row streams -------------------------------------------------- *)
 
 (* pull all rows of the first table's access path *)
-let scan_table0 ctx (plan : select_plan) =
+let scan_table1 ctx (plan : select_plan) =
   let tbl = plan.p_table in
   match plan.p_access with
   | Ap_primary { access; range; pred; proj } ->
@@ -34,17 +35,21 @@ let scan_table0 ctx (plan : select_plan) =
         Fs.open_scan ctx.fs tbl.Catalog.t_file ~tx:ctx.tx ~access ~range ?pred
           ?proj ~lock:ctx.read_lock ()
       in
-      let rec go acc =
-        let* row = Fs.scan_next ctx.fs sc in
-        match row with
-        | Some row -> go (row :: acc)
-        | None ->
-            Fs.close_scan ctx.fs sc;
-            Ok (List.rev acc)
+      (* close on every exit — scan-close is idempotent, and leaving the
+         scan open on an error path would also leave its span open *)
+      let res =
+        let rec go acc =
+          match Fs.scan_next ctx.fs sc with
+          | Ok (Some row) -> go (row :: acc)
+          | Ok None -> Ok (List.rev acc)
+          | Error e -> Error e
+        in
+        go []
       in
-      go []
+      Fs.close_scan ctx.fs sc;
+      res
   | Ap_index { index; range; ipred; residual } ->
-      let* next =
+      let* next, close =
         Fs.index_scan ctx.fs tbl.Catalog.t_file ~tx:ctx.tx ~index ~range
           ?pred:ipred ~lock:ctx.read_lock ()
       in
@@ -58,10 +63,37 @@ let scan_table0 ctx (plan : select_plan) =
             in
             go (if keep then row :: acc else acc)
       in
-      go []
+      let res = go [] in
+      close ();
+      res
+
+let scan_table0 ctx (plan : select_plan) =
+  if not (Trace.enabled ctx.sim) then scan_table1 ctx plan
+  else begin
+    let tbl = plan.p_table in
+    let path =
+      match plan.p_access with
+      | Ap_primary _ -> "primary"
+      | Ap_index { index; _ } -> "index:" ^ index
+    in
+    let sp =
+      Trace.begin_span ctx.sim ~cat:"op"
+        ~attrs:
+          [ ("table", Trace.Str tbl.Catalog.t_name); ("path", Trace.Str path) ]
+        ("scan " ^ tbl.Catalog.t_name)
+    in
+    Fun.protect
+      ~finally:(fun () -> Trace.finish ctx.sim sp)
+      (fun () ->
+        let res = scan_table1 ctx plan in
+        (match res with
+        | Ok rows -> Trace.add_attr sp "rows_out" (Trace.Int (List.length rows))
+        | Error _ -> ());
+        res)
+  end
 
 (* one nested-loop / keyed join step: extend each prefix row *)
-let join_step ctx prefix_rows step =
+let join_step1 ctx prefix_rows step =
   let tbl = step.j_table in
   let schema = tbl.Catalog.t_schema in
   match step.j_inner with
@@ -105,18 +137,47 @@ let join_step ctx prefix_rows step =
               Fs.open_scan ctx.fs tbl.Catalog.t_file ~tx:ctx.tx
                 ~access:Fs.A_vsbb ~range ?pred ~lock:ctx.read_lock ()
             in
-            let rec go acc =
-              let* row = Fs.scan_next ctx.fs sc in
-              match row with
-              | Some inner -> go (Array.append prefix inner :: acc)
-              | None ->
-                  Fs.close_scan ctx.fs sc;
-                  Ok (List.rev acc)
+            let res =
+              let rec go acc =
+                match Fs.scan_next ctx.fs sc with
+                | Ok (Some inner) -> go (Array.append prefix inner :: acc)
+                | Ok None -> Ok (List.rev acc)
+                | Error e -> Error e
+              in
+              go []
             in
-            go [])
+            Fs.close_scan ctx.fs sc;
+            res)
           prefix_rows
       in
       Ok (List.concat joined)
+
+let join_step ctx prefix_rows step =
+  if not (Trace.enabled ctx.sim) then join_step1 ctx prefix_rows step
+  else begin
+    let tbl = step.j_table in
+    let kind =
+      match step.j_inner with Ji_keyed _ -> "keyed" | Ji_scan _ -> "scan"
+    in
+    let sp =
+      Trace.begin_span ctx.sim ~cat:"op"
+        ~attrs:
+          [
+            ("table", Trace.Str tbl.Catalog.t_name);
+            ("kind", Trace.Str kind);
+            ("rows_in", Trace.Int (List.length prefix_rows));
+          ]
+        ("join " ^ tbl.Catalog.t_name)
+    in
+    Fun.protect
+      ~finally:(fun () -> Trace.finish ctx.sim sp)
+      (fun () ->
+        let res = join_step1 ctx prefix_rows step in
+        (match res with
+        | Ok rows -> Trace.add_attr sp "rows_out" (Trace.Int (List.length rows))
+        | Error _ -> ());
+        res)
+  end
 
 let apply_post step rows =
   match step.j_post with
@@ -131,7 +192,7 @@ let apply_post step rows =
 
 let finish_spec spec acc = Dp_msg.finish_acc spec.Dp_msg.ag_kind acc
 
-let group_rows ctx (g : group_spec) rows =
+let group_rows1 ctx (g : group_spec) rows =
   let specs = List.map dp_agg_spec g.g_aggs in
   let table = Hashtbl.create 64 in
   let order = ref [] in
@@ -172,9 +233,29 @@ let group_rows ctx (g : group_spec) rows =
   | None -> output
   | Some h -> List.filter (fun row -> Expr.eval_pred row h) output
 
+let group_rows ctx (g : group_spec) rows =
+  if not (Trace.enabled ctx.sim) then group_rows1 ctx g rows
+  else begin
+    let sp =
+      Trace.begin_span ctx.sim ~cat:"op"
+        ~attrs:
+          [
+            ("rows_in", Trace.Int (List.length rows));
+            ("keys", Trace.Int (List.length g.g_keys));
+          ]
+        "group"
+    in
+    Fun.protect
+      ~finally:(fun () -> Trace.finish ctx.sim sp)
+      (fun () ->
+        let out = group_rows1 ctx g rows in
+        Trace.add_attr sp "rows_out" (Trace.Int (List.length out));
+        out)
+  end
+
 (* --- sort / project / limit ------------------------------------------------------ *)
 
-let sort_rows ctx order rows =
+let sort_rows1 ctx order rows =
   if order = [] then rows
   else begin
     let decorated =
@@ -192,6 +273,19 @@ let sort_rows ctx order rows =
     in
     let sorted, _stats = Fastsort.sort ctx.sim ~compare:compare_rows decorated in
     List.map snd sorted
+  end
+
+let sort_rows ctx order rows =
+  if order = [] || not (Trace.enabled ctx.sim) then sort_rows1 ctx order rows
+  else begin
+    let sp =
+      Trace.begin_span ctx.sim ~cat:"op"
+        ~attrs:[ ("rows", Trace.Int (List.length rows)) ]
+        "sort"
+    in
+    Fun.protect
+      ~finally:(fun () -> Trace.finish ctx.sim sp)
+      (fun () -> sort_rows1 ctx order rows)
   end
 
 let project rows exprs =
@@ -229,7 +323,7 @@ let limit n rows =
    partition, the File System merges partials, and the group-output rows
    (keys then finished aggregate values, in first-seen = key order) are
    identical to what [group_rows] would have produced *)
-let pushdown_group_rows ctx (plan : select_plan) (g : group_spec)
+let pushdown_group_rows1 ctx (plan : select_plan) (g : group_spec)
     (ap : agg_pushdown) =
   let* groups =
     Fs.aggregate ctx.fs plan.p_table.Catalog.t_file ~tx:ctx.tx
@@ -257,6 +351,29 @@ let pushdown_group_rows ctx (plan : select_plan) (g : group_spec)
   | None -> Ok rows
   | Some h -> Ok (List.filter (fun row -> Expr.eval_pred row h) rows)
 
+let pushdown_group_rows ctx (plan : select_plan) (g : group_spec)
+    (ap : agg_pushdown) =
+  if not (Trace.enabled ctx.sim) then pushdown_group_rows1 ctx plan g ap
+  else begin
+    let sp =
+      Trace.begin_span ctx.sim ~cat:"op"
+        ~attrs:
+          [
+            ("table", Trace.Str plan.p_table.Catalog.t_name);
+            ("keys", Trace.Int (Array.length ap.ap_group_keys));
+          ]
+        ("group-pushdown " ^ plan.p_table.Catalog.t_name)
+    in
+    Fun.protect
+      ~finally:(fun () -> Trace.finish ctx.sim sp)
+      (fun () ->
+        let res = pushdown_group_rows1 ctx plan g ap in
+        (match res with
+        | Ok rows -> Trace.add_attr sp "rows_out" (Trace.Int (List.length rows))
+        | Error _ -> ());
+        res)
+  end
+
 let run_select ctx (plan : select_plan) =
   let* rows =
     match (plan.p_group, plan.p_pushdown) with
@@ -278,21 +395,60 @@ let run_select ctx (plan : select_plan) =
           | None -> rows)
   in
   let rows = sort_rows ctx plan.p_order rows in
-  let rows = project rows plan.p_exprs in
-  let rows = if plan.p_distinct then distinct rows else rows in
-  let rows = limit plan.p_limit rows in
-  Sim.tick ctx.sim (2 * List.length rows);
+  let emit () =
+    let rows = project rows plan.p_exprs in
+    let rows = if plan.p_distinct then distinct rows else rows in
+    let rows = limit plan.p_limit rows in
+    Sim.tick ctx.sim (2 * List.length rows);
+    rows
+  in
+  let rows =
+    if not (Trace.enabled ctx.sim) then emit ()
+    else begin
+      let sp =
+        Trace.begin_span ctx.sim ~cat:"op"
+          ~attrs:[ ("rows_in", Trace.Int (List.length rows)) ]
+          "emit"
+      in
+      Fun.protect
+        ~finally:(fun () -> Trace.finish ctx.sim sp)
+        (fun () ->
+          let rows = emit () in
+          Trace.add_attr sp "rows_out" (Trace.Int (List.length rows));
+          rows)
+    end
+  in
   Ok { cols = plan.p_names; rows }
 
+let traced_dml ctx name table f =
+  if not (Trace.enabled ctx.sim) then f ()
+  else begin
+    let sp =
+      Trace.begin_span ctx.sim ~cat:"op"
+        ~attrs:[ ("table", Trace.Str table) ]
+        (name ^ " " ^ table)
+    in
+    Fun.protect
+      ~finally:(fun () -> Trace.finish ctx.sim sp)
+      (fun () ->
+        let res = f () in
+        (match res with
+        | Ok n -> Trace.add_attr sp "rows" (Trace.Int n)
+        | Error _ -> ());
+        res)
+  end
+
 let run_update ctx (plan : update_plan) =
-  Fs.update_subset ctx.fs plan.up_table.Catalog.t_file ~tx:ctx.tx
-    ~range:plan.up_range ?pred:plan.up_pred plan.up_assignments
+  traced_dml ctx "update" plan.up_table.Catalog.t_name (fun () ->
+      Fs.update_subset ctx.fs plan.up_table.Catalog.t_file ~tx:ctx.tx
+        ~range:plan.up_range ?pred:plan.up_pred plan.up_assignments)
 
 let run_delete ctx (plan : delete_plan) =
-  Fs.delete_subset ctx.fs plan.dp_table.Catalog.t_file ~tx:ctx.tx
-    ~range:plan.dp_range ?pred:plan.dp_pred ()
+  traced_dml ctx "delete" plan.dp_table.Catalog.t_name (fun () ->
+      Fs.delete_subset ctx.fs plan.dp_table.Catalog.t_file ~tx:ctx.tx
+        ~range:plan.dp_range ?pred:plan.dp_pred ())
 
-let run_insert ctx (tbl : Catalog.table) ~cols values =
+let run_insert0 ctx (tbl : Catalog.table) ~cols values =
   let schema = tbl.Catalog.t_schema in
   let width = Array.length schema.Row.cols in
   let* positions =
@@ -330,3 +486,7 @@ let run_insert ctx (tbl : Catalog.table) ~cols values =
         go (n + 1) rest
   in
   go 0 values
+
+let run_insert ctx (tbl : Catalog.table) ~cols values =
+  traced_dml ctx "insert" tbl.Catalog.t_name (fun () ->
+      run_insert0 ctx tbl ~cols values)

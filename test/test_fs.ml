@@ -5,6 +5,8 @@
 open Harness
 module Dp_msg = Nsql_dp.Dp_msg
 module Stats = Nsql_sim.Stats
+module Tracer = Nsql_sim.Tracer
+module Trace = Nsql_trace.Trace
 
 let partitioned_file () =
   let n = node ~dps:3 () in
@@ -73,28 +75,32 @@ let index_maintained_on_insert () =
 let figure2_read_via_index () =
   let n, file = with_branch_index () in
   load_accounts n file 50;
-  Msg.start_trace n.msys;
+  Trace.set_enabled n.sim true;
   let row =
     in_tx n (fun tx ->
         Fs.read_row_via_index n.fs file ~tx ~index:"by_owner"
           ~index_key:[ Row.Vstr "owner-0031" ])
   in
-  let trace = Msg.stop_trace n.msys in
+  Trace.set_enabled n.sim false;
+  let trace = Trace.msg_spans (Trace.take n.sim) in
   (match row with
   | Some r -> Alcotest.(check bool) "right base row" true (Row.equal_value (Row.Vint 31) r.(0))
   | None -> Alcotest.fail "row not found via index");
   (* Figure 2: first a message to the index's DP, then one to the base DP
      (plus BEGIN/COMMIT traffic which goes to no DP endpoint here) *)
+  let to_name sp =
+    match Trace.attr sp "to" with Some (Trace.Str s) -> s | _ -> ""
+  in
   let dp_msgs =
     List.filter
-      (fun e -> e.Msg.tag = "READ^NEXT" || e.Msg.tag = "READ")
+      (fun sp -> sp.Tracer.sp_name = "READ^NEXT" || sp.Tracer.sp_name = "READ")
       trace
   in
   Alcotest.(check int) "two FS-DP messages" 2 (List.length dp_msgs);
   (match dp_msgs with
   | [ first; second ] ->
-      Alcotest.(check string) "index DP first" "$DATA2" first.Msg.to_name;
-      Alcotest.(check string) "base DP second" "$DATA1" second.Msg.to_name
+      Alcotest.(check string) "index DP first" "$DATA2" (to_name first);
+      Alcotest.(check string) "base DP second" "$DATA1" (to_name second)
   | _ -> Alcotest.fail "unexpected trace shape")
 
 let index_maintained_on_update_delete () =
@@ -208,7 +214,7 @@ let index_scan_streams_base_rows () =
       let* lo = Row.key_of_values ix_schema [ Row.Vstr "owner-0010" ] in
       let* hi = Row.key_of_values ix_schema [ Row.Vstr "owner-0019" ] in
       let range = Expr.{ lo; hi = Keycode.successor (hi ^ "\xff") } in
-      let* next =
+      let* next, close =
         Fs.index_scan n.fs file ~tx ~index:"by_owner" ~range ~proj:[| 0 |]
           ~lock:Dp_msg.L_none ()
       in
@@ -216,7 +222,9 @@ let index_scan_streams_base_rows () =
         let* row = next () in
         match row with None -> Ok (List.rev acc) | Some r -> go (r :: acc)
       in
-      let* rows = go [] in
+      let res = go [] in
+      close ();
+      let* rows = res in
       Alcotest.(check int) "ten base rows" 10 (List.length rows);
       Ok ())
 

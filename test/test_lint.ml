@@ -235,6 +235,48 @@ let nowait_leak () =
   check_rules "stored handles are clean" []
     (Rules.nowait_leak ~path:"lib/fs/fixture.ml" stored)
 
+(* --- SPAN-LEAK ----------------------------------------------------------- *)
+
+let span_leak () =
+  let ignored =
+    parse ~path:"lib/fs/fixture.ml"
+      "let f t = ignore (Trace.begin_span t ~cat:\"fs\" \"scan\")"
+  in
+  check_rules "ignore of begin_span fires" [ "SPAN-LEAK" ]
+    (Rules.span_leak ~path:"lib/fs/fixture.ml" ignored);
+  let stmt =
+    parse ~path:"lib/fs/fixture.ml"
+      "let f t = Trace.begin_span t ~cat:\"fs\" \"scan\"; 0"
+  in
+  check_rules "statement-position begin_span fires" [ "SPAN-LEAK" ]
+    (Rules.span_leak ~path:"lib/fs/fixture.ml" stmt);
+  let wildcard =
+    parse ~path:"lib/fs/fixture.ml"
+      "let f t = let _ = Trace.begin_span t ~cat:\"fs\" \"scan\" in 0"
+  in
+  check_rules "wildcard span binding fires" [ "SPAN-LEAK" ]
+    (Rules.span_leak ~path:"lib/fs/fixture.ml" wildcard);
+  let unused =
+    parse ~path:"lib/fs/fixture.ml"
+      "let f t = let sp = Trace.begin_span t ~cat:\"fs\" \"scan\" in 0"
+  in
+  check_rules "unfinished span fires" [ "SPAN-LEAK" ]
+    (Rules.span_leak ~path:"lib/fs/fixture.ml" unused);
+  let finished =
+    parse ~path:"lib/fs/fixture.ml"
+      "let f t = let sp = Trace.begin_span t ~cat:\"fs\" \"scan\" in\n\
+       Trace.finish t sp"
+  in
+  check_rules "finished span is clean" []
+    (Rules.span_leak ~path:"lib/fs/fixture.ml" finished);
+  (* storing the handle hands responsibility to the holding structure *)
+  let stored =
+    parse ~path:"lib/fs/fixture.ml"
+      "let f sc t = sc.sc_span <- Trace.begin_span t ~cat:\"fs\" \"scan\""
+  in
+  check_rules "stored span handles are clean" []
+    (Rules.span_leak ~path:"lib/fs/fixture.ml" stored)
+
 (* --- allowlist ----------------------------------------------------------- *)
 
 let with_allow_file contents f =
@@ -328,6 +370,7 @@ let suite =
     Alcotest.test_case "LOCK-ORDER fixtures" `Quick lock_order;
     Alcotest.test_case "PROTO-EXHAUST fixtures" `Quick proto_exhaust;
     Alcotest.test_case "NOWAIT-LEAK fixtures" `Quick nowait_leak;
+    Alcotest.test_case "SPAN-LEAK fixtures" `Quick span_leak;
     Alcotest.test_case "allowlist suppresses and reports stale" `Quick allowlist;
     Alcotest.test_case "allowlist line pinning" `Quick allowlist_line_mismatch;
     Alcotest.test_case "diagnostic format" `Quick diag_format;

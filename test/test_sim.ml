@@ -7,6 +7,8 @@ module Stats = Nsql_sim.Stats
 module Config = Nsql_sim.Config
 module Msg = Nsql_msg.Msg
 module Disk = Nsql_disk.Disk
+module Tracer = Nsql_sim.Tracer
+module Trace = Nsql_trace.Trace
 
 let heap_orders () =
   let h = Heap.create () in
@@ -115,13 +117,16 @@ let msg_trace () =
   let sys = Msg.create sim in
   let p0 = Msg.{ node = 0; cpu = 0 } in
   let server = Msg.register sys ~name:"$D1" ~processor:p0 (fun _ -> "ok") in
-  Msg.start_trace sys;
+  Trace.set_enabled sim true;
   ignore (Msg.send sys ~from:p0 ~tag:"READ" server "req");
-  let trace = Msg.stop_trace sys in
+  Trace.set_enabled sim false;
+  let trace = Trace.msg_spans (Trace.take sim) in
   Alcotest.(check int) "one entry" 1 (List.length trace);
-  let e = List.hd trace in
-  Alcotest.(check string) "tag" "READ" e.Msg.tag;
-  Alcotest.(check string) "target" "$D1" e.Msg.to_name
+  let sp = List.hd trace in
+  Alcotest.(check string) "tag" "READ" sp.Tracer.sp_name;
+  (match Trace.attr sp "to" with
+  | Some (Trace.Str s) -> Alcotest.(check string) "target" "$D1" s
+  | _ -> Alcotest.fail "msg span has no 'to' attribute")
 
 (* --- disk --------------------------------------------------------------- *)
 
