@@ -151,6 +151,14 @@ let run_chaos seed txs plan_only topology =
     if r.Chaos.r_violations = [] then 0 else 1
   end
 
+(* contend subcommand: replay one seed of the multi-terminal contention
+   harness — DP lock wait queues, deadlock detection, victim abort *)
+
+let run_contend seed terminals txs_per_terminal =
+  let r = Chaos.run_contention ~terminals ~txs_per_terminal ~seed () in
+  printf "%a@." Chaos.pp_contention_report r;
+  if r.Chaos.n_violations = [] then 0 else 1
+
 (* trace subcommand: run one statement with spans on, export Chrome JSON.
    The simulation is deterministic, so the output is byte-identical across
    runs of the same command line. *)
@@ -220,6 +228,23 @@ let chaos_cmd =
     (Cmd.info "chaos" ~doc)
     Term.(const run_chaos $ seed $ txs $ plan_only $ topology)
 
+let terminals =
+  let doc = "Number of concurrent terminal state machines." in
+  Arg.(value & opt int 4 & info [ "terminals" ] ~docv:"N" ~doc)
+
+let txs_per_terminal =
+  let doc = "Transfers each terminal must commit." in
+  Arg.(value & opt int 10 & info [ "txs" ] ~docv:"N" ~doc)
+
+let contend_cmd =
+  let doc =
+    "replay a deterministic multi-terminal contention run (DP lock wait \
+     queues, deadlock detection, victim abort) and verify balances"
+  in
+  Cmd.v
+    (Cmd.info "contend" ~doc)
+    Term.(const run_contend $ seed $ terminals $ txs_per_terminal)
+
 let trace_sql =
   let doc = "SQL statement to trace." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
@@ -242,6 +267,6 @@ let cmd =
   Cmd.group
     ~default:Term.(const (fun s v -> main s v; 0) $ script $ volumes)
     (Cmd.info "sqlci" ~doc)
-    [ repl_cmd; chaos_cmd; trace_cmd ]
+    [ repl_cmd; chaos_cmd; contend_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -117,3 +117,32 @@ type report = {
 val run : ?txs:int -> ?topology:topology -> seed:int -> unit -> report
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Contended multi-terminal runs}
+
+    Exercises the Disk Process lock wait queues: terminal sessions genuinely
+    interleave (each an explicit state machine with one request in flight),
+    conflicting requests park on the DP, deadlock victims abort and retry.
+    See {!Nsql_workload.Debitcredit.run_transfers}. *)
+
+type contention_report = {
+  n_seed : int;
+  n_terminals : int;
+  n_accounts : int;  (** hot-set size (seed-derived) *)
+  n_transfers : Nsql_workload.Debitcredit.transfer_report;
+  n_lock_waits : int;  (** requests parked on a DP wait queue *)
+  n_deadlocks : int;  (** wait-for cycles detected and resolved *)
+  n_violations : string list;  (** empty = consistency held *)
+  n_stats : Stats.t;
+}
+
+(** [run_contention ~seed ()] runs a seeded multi-terminal transfer
+    workload with {!Nsql_sim.Config.t.dp_lock_wait} on and a few seeded
+    message delays, then verifies every account balance against a
+    per-account mirror updated at each commit, plus the conservation
+    invariant. Deterministic in [seed]. *)
+val run_contention :
+  ?terminals:int -> ?txs_per_terminal:int -> seed:int -> unit ->
+  contention_report
+
+val pp_contention_report : Format.formatter -> contention_report -> unit

@@ -77,6 +77,7 @@ let fs n = n.fs
 let catalog n = n.catalog
 let dps n = n.dps
 let trail n = n.trail
+let app_processor n = n.app_processor
 let snapshot n = Sim.snapshot n.sim
 let measure n f = Sim.measure n.sim f
 
@@ -114,6 +115,41 @@ let with_tx s f =
   | None -> Tmf.run s.node.tmf f
 
 let in_tx s f = Tmf.run s.node.tmf f
+
+(* --- deadlock-victim retry --------------------------------------------- *)
+
+let retryable = function
+  | Errors.Deadlock _ | Errors.Lock_timeout _ -> true
+  | _ -> false
+
+let in_tx_retry ?(max_retries = 8) ?(backoff_us = 200.) node f =
+  let rec go attempt =
+    let tx = Tmf.begin_tx node.tmf in
+    let finish r =
+      match r with
+      | Ok v -> (
+          match Tmf.commit node.tmf ~tx with
+          | Ok () -> Some (Ok v)
+          | Error e -> Some (Error e))
+      | Error e -> (
+          (* abort first — releases this transaction's locks so the
+             competitors it deadlocked with can proceed *)
+          match Tmf.abort node.tmf ~tx with
+          | Error e' -> Some (Error e')
+          | Ok () ->
+              if retryable e && attempt < max_retries then None
+              else Some (Error e))
+    in
+    match finish (f tx) with
+    | Some r -> (r, attempt)
+    | None ->
+        (* bounded exponential backoff, charged to the simulated clock so
+           competing sessions restart at staggered, deterministic times *)
+        Sim.charge node.sim
+          (backoff_us *. (2. ** float_of_int (min attempt 6)));
+        go (attempt + 1)
+  in
+  go 0
 
 let schema_of_create (cols : Ast.col_def list) primary_key =
   let columns =

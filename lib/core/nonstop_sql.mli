@@ -50,6 +50,10 @@ val catalog : node -> Catalog.t
 val dps : node -> Dp.t array
 val trail : node -> Nsql_audit.Trail.t
 
+(** [app_processor node] is the processor the requesters (File System,
+    sessions, workload drivers) run on. *)
+val app_processor : node -> Msg.processor
+
 (** [snapshot node] / [measure node f] — statistics bracketing. *)
 val snapshot : node -> Stats.t
 
@@ -104,6 +108,18 @@ val current_tx : session -> int option
 val in_tx :
   session -> (int -> ('a, Nsql_util.Errors.t) result) ->
   ('a, Nsql_util.Errors.t) result
+
+(** [in_tx_retry node f] runs [f tx] in a fresh transaction like {!in_tx},
+    but when the transaction is chosen as a deadlock victim
+    ({!Nsql_util.Errors.t.Deadlock}) or exhausts its lock-wait budget
+    ([Lock_timeout]), it aborts — releasing its locks so the competitors
+    win — charges a bounded exponential backoff to the simulated clock,
+    and runs [f] again in a new transaction, up to [max_retries] times.
+    Returns the final result and the number of retries taken. *)
+val in_tx_retry :
+  ?max_retries:int -> ?backoff_us:float -> node ->
+  (int -> ('a, Nsql_util.Errors.t) result) ->
+  ('a, Nsql_util.Errors.t) result * int
 
 (** {1 Clusters and network transactions}
 

@@ -65,6 +65,17 @@ type scb = {
   mutable scb_prev_leaf : int;  (** pre-fetch heuristic state *)
 }
 
+(* A request parked on the lock wait queue: its reply is withheld (the
+   requester holds a pending completion) until a release re-dispatch grants
+   it, the wait budget expires, or deadlock resolution denies it. *)
+type waiter = {
+  w_tx : int;
+  w_req : request;
+  w_deferral : Msg.deferral;
+  w_parked_at : float;
+  w_payload_len : int;  (** for the backup checkpoint on eventual success *)
+}
+
 type t = {
   sim : Sim.t;
   msys : Msg.system;
@@ -78,12 +89,21 @@ type t = {
   by_name : (string, int) Hashtbl.t;
   scbs : (int, scb) Hashtbl.t;
   mutable next_scb : int;
+  (* lock wait queue, FIFO (oldest first). Invariant: a transaction has
+     outgoing waitgraph edges iff it has a waiter in this queue or is the
+     requester currently being probed. *)
+  mutable waiters : waiter list;
+  waitgraph : Lock.Waitgraph.g;
 }
 
 (* [handler] is defined at the bottom of this file (it needs the whole
-   dispatch machinery); [create] wires the endpoint through this cell. *)
+   dispatch machinery); [create] wires the endpoint through this cell, and
+   [pump_cell] lets the lock-release hook reach the wait-queue pump the
+   same way. *)
 let handler_cell : (t -> string -> string) ref =
   ref (fun _ _ -> assert false)
+
+let pump_cell : (t -> unit) ref = ref (fun _ -> ())
 
 let create sim msys tmf ~name ~processor ?backup () =
   let volume = Disk.create sim ~name in
@@ -112,11 +132,15 @@ let create sim msys tmf ~name ~processor ?backup () =
       by_name = Hashtbl.create 16;
       scbs = Hashtbl.create 16;
       next_scb = 0;
+      waiters = [];
+      waitgraph = Lock.Waitgraph.create ();
     }
   in
-  (* two-phase locking: locks drop at transaction finish *)
+  (* two-phase locking: locks drop at transaction finish, then the wait
+     queue is pumped — freed resources may grant parked requests *)
   Tmf.register_resource_manager tmf ~on_finish:(fun tx ->
-      Lock.release_all locks ~tx);
+      Lock.release_all locks ~tx;
+      !pump_cell t);
   Msg.set_handler endpoint (fun payload -> !handler_cell t payload);
   t
 
@@ -1324,6 +1348,169 @@ let request t req =
       (fun () -> run_request t req)
   end
 
+(* --- lock wait queue ------------------------------------------------------ *)
+
+(* With [Config.dp_lock_wait] set, a blocked point request is parked on a
+   FIFO wait queue instead of being denied: the Disk Process withholds the
+   reply (a {!Msg.defer} deferral), records wait-for edges, and
+   re-dispatches the request when a transaction finish releases locks.
+   Only operations where [Rp_blocked] implies nothing was applied may park,
+   because the re-dispatch repeats the whole operation; subset scans and
+   apply-block batches carry partial progress (processed counts, SCB and
+   accumulator state) and keep the immediate-denial protocol. *)
+let park_tx (req : request) =
+  match req with
+  | R_read { tx; _ } -> Some tx
+  | R_read_next { tx; _ } -> Some tx
+  | R_insert { tx; _ } -> Some tx
+  | R_update { tx; _ } -> Some tx
+  | R_delete { tx; _ } -> Some tx
+  | R_lock_file { tx; _ } -> Some tx
+  | R_lock_generic { tx; _ } -> Some tx
+  | R_rel_write { tx; _ } -> Some tx
+  | R_rel_rewrite { tx; _ } -> Some tx
+  | R_rel_delete { tx; _ } -> Some tx
+  | R_entry_append { tx; _ } -> Some tx
+  | R_insert_row { tx; _ } -> Some tx
+  | R_insert_block { tx; _ } -> Some tx
+  | R_create_file _ | R_rel_read _ | R_entry_read _ | R_get_first _
+  | R_get_next _ | R_update_subset_first _ | R_update_subset_next _
+  | R_delete_subset_first _ | R_delete_subset_next _ | R_apply_block _
+  | R_close_scb _ | R_agg_first _ | R_agg_next _ | R_record_count _ -> None
+
+let emit_wait_end t w ~outcome =
+  if Trace.enabled t.sim then
+    Trace.instant t.sim ~cat:"lock"
+      ~attrs:
+        [
+          ("dp", Str t.dp_name);
+          ("tx", Int w.w_tx);
+          ("wait_us", Float (Sim.now t.sim -. w.w_parked_at));
+          ("outcome", Str outcome);
+        ]
+      "lock_wait_end"
+
+let remove_waiter t w =
+  t.waiters <- List.filter (fun w' -> w' != w) t.waiters;
+  Lock.Waitgraph.clear_waiting t.waitgraph ~tx:w.w_tx
+
+(* Deny a parked waiter (deadlock victim, wait-budget expiry): deliver the
+   withheld reply as an error so its session can abort and retry. *)
+let deny_waiter t w ~outcome err =
+  remove_waiter t w;
+  emit_wait_end t w ~outcome;
+  Msg.resolve t.msys w.w_deferral (encode_reply (Rp_error err))
+
+let find_waiter t ~tx = List.find_opt (fun w -> w.w_tx = tx) t.waiters
+
+(* Deadlock resolution: while the wait-for relation has a cycle through
+   [tx], deny the youngest transaction of the cycle (highest id — begun
+   last, least work lost). Every cycle node has outgoing edges, so it is
+   either parked here or is [tx] itself: the victim is always locally
+   reachable. Returns [`Deny e] when [tx] itself must be denied. *)
+let rec resolve_cycles t ~tx =
+  match Lock.Waitgraph.find_cycle t.waitgraph ~tx with
+  | None -> `Park
+  | Some cycle ->
+      let victim = List.fold_left max tx cycle in
+      let s = Sim.stats t.sim in
+      s.Stats.deadlocks <- s.Stats.deadlocks + 1;
+      if Trace.enabled t.sim then
+        Trace.instant t.sim ~cat:"lock"
+          ~attrs:
+            [
+              ("dp", Str t.dp_name);
+              ("victim", Int victim);
+              ("cycle_len", Int (List.length cycle));
+            ]
+          "deadlock";
+      let msg =
+        Printf.sprintf "tx %d chosen as victim (cycle of %d)" victim
+          (List.length cycle)
+      in
+      if victim = tx then begin
+        Lock.Waitgraph.clear_waiting t.waitgraph ~tx;
+        `Deny (Errors.Deadlock msg)
+      end
+      else begin
+        (match find_waiter t ~tx:victim with
+        | Some w -> deny_waiter t w ~outcome:"deadlock" (Errors.Deadlock msg)
+        | None ->
+            (* unreachable: a non-requester cycle node has out-edges only
+               while parked *)
+            Lock.Waitgraph.clear_waiting t.waitgraph ~tx:victim);
+        resolve_cycles t ~tx
+      end
+
+let park t req ~tx ~blockers ~payload_len =
+  Lock.Waitgraph.set_waiting t.waitgraph ~tx ~on:blockers;
+  match resolve_cycles t ~tx with
+  | `Deny e -> `Deny e
+  | `Park ->
+      let d = Msg.defer t.msys in
+      let w =
+        {
+          w_tx = tx;
+          w_req = req;
+          w_deferral = d;
+          w_parked_at = Sim.now t.sim;
+          w_payload_len = payload_len;
+        }
+      in
+      t.waiters <- t.waiters @ [ w ];
+      let s = Sim.stats t.sim in
+      s.Stats.lock_waits <- s.Stats.lock_waits + 1;
+      let budget = (Sim.config t.sim).Config.lock_wait_timeout_us in
+      (* [Sim.schedule] against the virtual clock: under a nowait capture
+         [Sim.after] would base the deadline on the frozen real clock *)
+      Sim.schedule t.sim
+        ~at:(Sim.now t.sim +. budget)
+        (fun () ->
+          if not (Msg.resolved d) then
+            deny_waiter t w ~outcome:"timeout"
+              (Errors.Lock_timeout "lock wait budget expired"));
+      `Parked
+
+(* Re-dispatch parked requests after a lock release, in FIFO order. The
+   whole queue is scanned: per-resource FIFO is preserved (an earlier
+   waiter on the freed resource re-dispatches first) while waiters on
+   unrelated resources are not head-of-line blocked behind it. Each
+   re-dispatch runs under a clock capture so its work lands on the parked
+   requester's timeline, not the releasing transaction's. *)
+let pump t =
+  if t.waiters <> [] then
+    List.iter
+      (fun w ->
+        (* a waiter denied by cycle resolution earlier in this scan is
+           already resolved *)
+        if not (Msg.resolved w.w_deferral) then
+          let (), _probe_cost =
+            Sim.capture t.sim (fun () ->
+                match request t w.w_req with
+                | Rp_blocked { blockers; _ } -> (
+                    (* still blocked: refresh edges (the blocker set may
+                       have changed) and re-check for cycles *)
+                    Lock.Waitgraph.clear_waiting t.waitgraph ~tx:w.w_tx;
+                    Lock.Waitgraph.set_waiting t.waitgraph ~tx:w.w_tx
+                      ~on:blockers;
+                    match resolve_cycles t ~tx:w.w_tx with
+                    | `Park -> ()
+                    | `Deny e -> deny_waiter t w ~outcome:"deadlock" e)
+                | reply ->
+                    remove_waiter t w;
+                    emit_wait_end t w
+                      ~outcome:
+                        (match reply with
+                        | Rp_error _ -> "error"
+                        | _ -> "granted");
+                    if is_mutation w.w_req then
+                      Msg.checkpoint t.msys t.endpoint
+                        ~bytes_:w.w_payload_len;
+                    Msg.resolve t.msys w.w_deferral (encode_reply reply))
+          in
+          ())
+      t.waiters
+
 let handler t payload =
   match decode_request payload with
   | Error e ->
@@ -1331,12 +1518,33 @@ let handler t payload =
         (Rp_error
            (Errors.Bad_request
               ("malformed request: " ^ decode_error_to_string e)))
-  | Ok req ->
+  | Ok req -> (
       let reply = request t req in
-      (* mutations checkpoint their intent to the backup half of the pair *)
-      if is_mutation req then
-        Msg.checkpoint t.msys t.endpoint ~bytes_:(String.length payload);
-      encode_reply reply
+      let action =
+        match reply with
+        | Rp_blocked { blockers; _ }
+          when (Sim.config t.sim).Config.dp_lock_wait -> (
+            match park_tx req with
+            | Some tx when tx > 0 -> (
+                match
+                  park t req ~tx ~blockers
+                    ~payload_len:(String.length payload)
+                with
+                | `Parked -> `Parked
+                | `Deny e -> `Reply (Rp_error e))
+            | Some _ | None -> `Reply reply)
+        | _ -> `Reply reply
+      in
+      match action with
+      | `Parked ->
+          (* the reply is withheld; this placeholder is discarded by Msg *)
+          ""
+      | `Reply reply ->
+          (* mutations checkpoint their intent to the backup half of the
+             pair *)
+          if is_mutation req then
+            Msg.checkpoint t.msys t.endpoint ~bytes_:(String.length payload);
+          encode_reply reply)
 
 let takeover t =
   if Msg.takeover_endpoint t.endpoint then Ok ()
@@ -1355,6 +1563,20 @@ let crash t =
   Hashtbl.reset t.scbs;
   (* lock tables are volatile too *)
   Lock.clear_all t.locks;
+  (* parked requests lose their server: flush each with an I/O error so no
+     requester is left holding a completion that can never resolve *)
+  Lock.Waitgraph.clear t.waitgraph;
+  let parked = t.waiters in
+  t.waiters <- [];
+  List.iter
+    (fun w ->
+      if not (Msg.resolved w.w_deferral) then begin
+        emit_wait_end t w ~outcome:"crash";
+        Msg.resolve t.msys w.w_deferral
+          (encode_reply
+             (Rp_error (Errors.Io_error (t.dp_name ^ ": disk process crashed"))))
+      end)
+    parked;
   (* in-flight transactions lose their compensations against this volume:
      restart recovery treats them as losers here, and the transactions can
      still abort cleanly on surviving volumes *)
@@ -1438,3 +1660,4 @@ let check_invariants t =
     (Nsql_util.Tbl.sorted_bindings t.files)
 
 let () = handler_cell := handler
+let () = pump_cell := pump

@@ -409,6 +409,7 @@ let w_error w (e : Errors.t) =
     | Errors.Invalid_argument_error s -> (12, s)
     | Errors.Io_error s -> (13, s)
     | Errors.Internal s -> (14, s)
+    | Errors.Deadlock s -> (15, s)
   in
   Codec.w_u8 w tag;
   Codec.w_bytes w payload
@@ -432,6 +433,7 @@ let r_error r : Errors.t =
   | 12 -> Errors.Invalid_argument_error payload
   | 13 -> Errors.Io_error payload
   | 14 -> Errors.Internal payload
+  | 15 -> Errors.Deadlock payload
   | n -> bad_tag "error" n
 
 (* --- request codec ------------------------------------------------------- *)

@@ -95,22 +95,41 @@ let blocked_error blockers =
     (Printf.sprintf "blocked by transactions [%s]"
        (String.concat "; " (List.map string_of_int blockers)))
 
-let expect_ok = function
-  | Dp_msg.Rp_ok -> Ok ()
+(* Every reply path surfaces protocol errors and lock denials the same
+   way, so the shared arms live in this one classifier. [k] matches only
+   the success shapes of the operation (returning [None] for anything
+   else) and [ctx] names the operation for the unexpected-reply
+   diagnostic. *)
+let classify ~ctx reply k =
+  match reply with
   | Dp_msg.Rp_error e -> Error e
   | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-  | _ -> Error (Errors.Internal "unexpected reply")
+  | reply -> (
+      match k reply with
+      | Some r -> r
+      | None -> Error (Errors.Internal ("unexpected reply to " ^ ctx)))
+
+let expect_ok reply =
+  classify ~ctx:"request" reply (function
+    | Dp_msg.Rp_ok -> Some (Ok ())
+    | _ -> None)
+
+(* blocked (batched) requests acknowledge with either OK or a progress
+   report; both mean the whole batch was applied *)
+let expect_applied ~ctx reply =
+  classify ~ctx reply (function
+    | Dp_msg.Rp_progress _ | Dp_msg.Rp_ok -> Some (Ok ())
+    | _ -> None)
 
 let expect_file = function
   | Dp_msg.Rp_file id -> Ok id
   | Dp_msg.Rp_error e -> Error e
   | _ -> Error (Errors.Internal "unexpected reply to CREATE^FILE")
 
-let expect_record = function
-  | Dp_msg.Rp_record { key; record } -> Ok (key, record)
-  | Dp_msg.Rp_error e -> Error e
-  | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-  | _ -> Error (Errors.Internal "unexpected reply to READ")
+let expect_record reply =
+  classify ~ctx:"READ" reply (function
+    | Dp_msg.Rp_record { key; record } -> Some (Ok (key, record))
+    | _ -> None)
 
 (* --- partition routing --------------------------------------------------- *)
 
@@ -276,11 +295,9 @@ let update t f ~tx ~key ~record =
 let append_entry t f ~tx ~record =
   (* entry-sequenced files are unpartitioned: all appends go to EOF *)
   let p = f.parts.(0) in
-  match send t p.p_dp (Dp_msg.R_entry_append { file = p.p_file; tx; record }) with
-  | Dp_msg.Rp_slot addr -> Ok addr
-  | Dp_msg.Rp_error e -> Error e
-  | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-  | _ -> Error (Errors.Internal "unexpected reply to ENTRY^APPEND")
+  classify ~ctx:"ENTRY^APPEND"
+    (send t p.p_dp (Dp_msg.R_entry_append { file = p.p_file; tx; record }))
+    (function Dp_msg.Rp_slot addr -> Some (Ok addr) | _ -> None)
 
 let delete t f ~tx ~key =
   let p = route f key in
@@ -330,11 +347,9 @@ let rel_read t f ~tx ~slot =
 
 let rel_write t f ~tx ~slot ~record =
   let p = f.parts.(0) in
-  match send t p.p_dp (Dp_msg.R_rel_write { file = p.p_file; tx; slot; record }) with
-  | Dp_msg.Rp_slot s -> Ok s
-  | Dp_msg.Rp_error e -> Error e
-  | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-  | _ -> Error (Errors.Internal "unexpected reply to REL^WRITE")
+  classify ~ctx:"REL^WRITE"
+    (send t p.p_dp (Dp_msg.R_rel_write { file = p.p_file; tx; slot; record }))
+    (function Dp_msg.Rp_slot s -> Some (Ok s) | _ -> None)
 
 let rel_rewrite t f ~tx ~slot ~record =
   let p = f.parts.(0) in
@@ -445,36 +460,35 @@ let read_row_via_index t f ~tx ~index ~index_key:ikey_values =
                sbb = false;
              })
       in
-      match reply with
-      | Dp_msg.Rp_end -> Ok None
-      | Dp_msg.Rp_record { key; record } -> (
-          (* check the index record is within the prefix *)
-          let within =
-            String.length key >= String.length prefix
-            && String.equal (String.sub key 0 (String.length prefix)) prefix
-          in
-          ignore record;
-          if not within then Ok None
-          else begin
-            let irow = Row.decode_exn ix.ix_schema record in
-            let* base_key = base_key_of_index_row f ix irow in
-            (* message 2: read the base record on its partition *)
-            let* _k, base_record =
-              expect_record
-                (send t (route f base_key).p_dp
-                   (Dp_msg.R_read
-                      {
-                        file = (route f base_key).p_file;
-                        tx;
-                        key = base_key;
-                        lock = Dp_msg.L_none;
-                      }))
+      classify ~ctx:"index READ^NEXT" reply (function
+        | Dp_msg.Rp_end -> Some (Ok None)
+        | Dp_msg.Rp_record { key; record } ->
+            (* check the index record is within the prefix *)
+            let within =
+              String.length key >= String.length prefix
+              && String.equal (String.sub key 0 (String.length prefix)) prefix
             in
-            Ok (Some (Row.decode_exn schema base_record))
-          end)
-      | Dp_msg.Rp_error e -> Error e
-      | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-      | _ -> Error (Errors.Internal "unexpected reply to index READ^NEXT"))
+            ignore record;
+            Some
+              (if not within then Ok None
+               else begin
+                 let irow = Row.decode_exn ix.ix_schema record in
+                 let* base_key = base_key_of_index_row f ix irow in
+                 (* message 2: read the base record on its partition *)
+                 let* _k, base_record =
+                   expect_record
+                     (send t (route f base_key).p_dp
+                        (Dp_msg.R_read
+                           {
+                             file = (route f base_key).p_file;
+                             tx;
+                             key = base_key;
+                             lock = Dp_msg.L_none;
+                           }))
+                 in
+                 Ok (Some (Row.decode_exn schema base_record))
+               end)
+        | _ -> None))
 
 (* --- ENSCRIBE sequential read --------------------------------------------- *)
 
@@ -489,16 +503,15 @@ let read_next_raw t f ~tx ~from_key ~inclusive ~lock ~sbb =
         send t p.p_dp
           (Dp_msg.R_read_next { file = p.p_file; tx; from_key; inclusive; lock; sbb })
       in
-      match reply with
-      | Dp_msg.Rp_end ->
-          (* this partition is exhausted: continue in the next one *)
-          if i + 1 < n then try_part (i + 1) f.parts.(i + 1).p_lo true
-          else Ok []
-      | Dp_msg.Rp_record { key; record } -> Ok [ (key, record) ]
-      | Dp_msg.Rp_block { entries; _ } -> Ok entries
-      | Dp_msg.Rp_error e -> Error e
-      | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-      | _ -> Error (Errors.Internal "unexpected reply to READ^NEXT")
+      classify ~ctx:"READ^NEXT" reply (function
+        | Dp_msg.Rp_end ->
+            (* this partition is exhausted: continue in the next one *)
+            Some
+              (if i + 1 < n then try_part (i + 1) f.parts.(i + 1).p_lo true
+               else Ok [])
+        | Dp_msg.Rp_record { key; record } -> Some (Ok [ (key, record) ])
+        | Dp_msg.Rp_block { entries; _ } -> Some (Ok entries)
+        | _ -> None)
     end
   in
   let start_part =
@@ -715,25 +728,23 @@ let refill t sc =
                    sbb = false;
                  })
           in
-          match reply with
-          | Dp_msg.Rp_end ->
-              advance_partition t sc;
-              Ok ()
-          | Dp_msg.Rp_record { key; record } ->
-              if Keycode.compare_keys key range.Expr.hi >= 0 then begin
+          classify ~ctx:"READ^NEXT" reply (function
+            | Dp_msg.Rp_end ->
                 advance_partition t sc;
-                Ok ()
-              end
-              else begin
-                sc.sc_last_key <- key;
-                (match client_select sc key record with
-                | Some item -> sc.sc_buf <- [ item ]
-                | None -> ());
-                Ok ()
-              end
-          | Dp_msg.Rp_error e -> Error e
-          | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-          | _ -> Error (Errors.Internal "unexpected reply to READ^NEXT"))
+                Some (Ok ())
+            | Dp_msg.Rp_record { key; record } ->
+                if Keycode.compare_keys key range.Expr.hi >= 0 then begin
+                  advance_partition t sc;
+                  Some (Ok ())
+                end
+                else begin
+                  sc.sc_last_key <- key;
+                  (match client_select sc key record with
+                  | Some item -> sc.sc_buf <- [ item ]
+                  | None -> ());
+                  Some (Ok ())
+                end
+            | _ -> None))
       | A_rsbb | A_vsbb -> (
           let buffering =
             match sc.sc_access with
@@ -763,27 +774,26 @@ let refill t sc =
                 (* SCB lost but scan started: treat as exhausted *)
                 Dp_msg.Rp_end
           in
-          match reply with
-          | Dp_msg.Rp_end ->
-              (* the Disk Process has already dropped the SCB *)
-              sc.sc_scb <- None;
-              advance_partition t sc;
-              Ok ()
-          | Dp_msg.Rp_vblock { rows; last_key; more; scb } ->
-              sc.sc_scb <- (if more then Some scb else None);
-              sc.sc_last_key <- last_key;
-              sc.sc_buf <- List.map (fun r -> I_row r) rows;
-              if not more then advance_partition t sc;
-              Ok ()
-          | Dp_msg.Rp_block { entries; last_key; more; scb } ->
-              sc.sc_scb <- (if more then Some scb else None);
-              sc.sc_last_key <- last_key;
-              sc.sc_buf <- List.filter_map (fun (k, r) -> client_select sc k r) entries;
-              if not more then advance_partition t sc;
-              Ok ()
-          | Dp_msg.Rp_error e -> Error e
-          | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-          | _ -> Error (Errors.Internal "unexpected reply to GET")))
+          classify ~ctx:"GET" reply (function
+            | Dp_msg.Rp_end ->
+                (* the Disk Process has already dropped the SCB *)
+                sc.sc_scb <- None;
+                advance_partition t sc;
+                Some (Ok ())
+            | Dp_msg.Rp_vblock { rows; last_key; more; scb } ->
+                sc.sc_scb <- (if more then Some scb else None);
+                sc.sc_last_key <- last_key;
+                sc.sc_buf <- List.map (fun r -> I_row r) rows;
+                if not more then advance_partition t sc;
+                Some (Ok ())
+            | Dp_msg.Rp_block { entries; last_key; more; scb } ->
+                sc.sc_scb <- (if more then Some scb else None);
+                sc.sc_last_key <- last_key;
+                sc.sc_buf <-
+                  List.filter_map (fun (k, r) -> client_select sc k r) entries;
+                if not more then advance_partition t sc;
+                Some (Ok ())
+            | _ -> None)))
 
 let rec seq_next_item t sc =
   match sc.sc_buf with
@@ -863,11 +873,11 @@ let par_issue_first t ps =
 (* fold one reply into the partition state; keep one re-drive outstanding *)
 let par_process t ps pp reply =
   Trace.attribute t.sim pp.pp_span @@ fun () ->
-  match reply with
+  classify ~ctx:"GET" reply (function
   | Dp_msg.Rp_end ->
       pp.pp_scb <- None;
       pp.pp_done <- true;
-      Ok ()
+      Some (Ok ())
   | Dp_msg.Rp_vblock { rows; last_key; more; scb } ->
       pp.pp_last_key <- last_key;
       par_absorb ps pp (List.map (fun r -> I_row r) rows);
@@ -883,7 +893,7 @@ let par_process t ps pp reply =
         pp.pp_scb <- None;
         pp.pp_done <- true
       end;
-      Ok ()
+      Some (Ok ())
   | Dp_msg.Rp_block { entries; last_key; more; scb } ->
       pp.pp_last_key <- last_key;
       par_absorb ps pp
@@ -904,10 +914,8 @@ let par_process t ps pp reply =
         pp.pp_scb <- None;
         pp.pp_done <- true
       end;
-      Ok ()
-  | Dp_msg.Rp_error e -> Error e
-  | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-  | _ -> Error (Errors.Internal "unexpected reply to GET")
+      Some (Ok ())
+  | _ -> None)
 
 (* drain every outstanding completion (charging its latency); called on
    error and on close so no completion is ever leaked *)
@@ -1072,21 +1080,23 @@ let drive_subset0 t f ~tx ~range ~first ~next =
           let i = List.nth idxs which in
           pending.(i) <- None;
           let p, _ = parts.(i) in
-          (match decode_or_internal payload with
-          | Dp_msg.Rp_progress { processed; last_key; more; scb } ->
-              total := !total + processed;
-              if more then
-                if !err = None then
-                  pending.(i) <- Some (send_nowait t p.p_dp (next p scb last_key))
-                else
-                  (* a sibling partition failed: abandon this subset *)
-                  ignore (send t p.p_dp (Dp_msg.R_close_scb { scb }))
-          | Dp_msg.Rp_error e -> if !err = None then err := Some e
-          | Dp_msg.Rp_blocked { blockers; _ } ->
-              if !err = None then err := Some (blocked_error blockers)
-          | _ ->
-              if !err = None then
-                err := Some (Errors.Internal "unexpected reply to SUBSET request"));
+          (match
+             classify ~ctx:"SUBSET request" (decode_or_internal payload)
+               (function
+                 | Dp_msg.Rp_progress { processed; last_key; more; scb } ->
+                     total := !total + processed;
+                     if more then
+                       if !err = None then
+                         pending.(i) <-
+                           Some (send_nowait t p.p_dp (next p scb last_key))
+                       else
+                         (* a sibling partition failed: abandon this subset *)
+                         ignore (send t p.p_dp (Dp_msg.R_close_scb { scb }));
+                     Some (Ok ())
+                 | _ -> None)
+           with
+          | Ok () -> ()
+          | Error e -> if !err = None then err := Some e);
           loop ()
     in
     loop ();
@@ -1102,15 +1112,14 @@ let drive_subset0 t f ~tx ~range ~first ~next =
               | None -> send t p.p_dp (first p prange)
               | Some scb -> send t p.p_dp (next p scb after_key)
             in
-            match reply with
-            | Dp_msg.Rp_progress { processed; last_key; more; scb } ->
-                if more then drive (total + processed) (Some scb) last_key
-                else
-                  (* subset exhausted: the Disk Process dropped the SCB *)
-                  Ok (total + processed)
-            | Dp_msg.Rp_error e -> Error e
-            | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-            | _ -> Error (Errors.Internal "unexpected reply to SUBSET request")
+            classify ~ctx:"SUBSET request" reply (function
+              | Dp_msg.Rp_progress { processed; last_key; more; scb } ->
+                  Some
+                    (if more then drive (total + processed) (Some scb) last_key
+                     else
+                       (* subset exhausted: the Disk Process dropped the SCB *)
+                       Ok (total + processed))
+              | _ -> None)
           in
           let* total = drive total None "" in
           per_partition total rest
@@ -1206,12 +1215,15 @@ let delete_subset t f ~tx ~range ?pred () =
    final reply; intermediate replies carry no groups (the partials stay in
    the Disk Process SCB) *)
 let agg_fold_reply reply ~redrive ~finish ~fail =
-  match reply with
-  | Dp_msg.Rp_agg { groups; last_key; more; scb } ->
-      if more then redrive scb last_key else finish groups
-  | Dp_msg.Rp_error e -> fail e
-  | Dp_msg.Rp_blocked { blockers; _ } -> fail (blocked_error blockers)
-  | _ -> fail (Errors.Internal "unexpected reply to AGGREGATE request")
+  match
+    classify ~ctx:"AGGREGATE request" reply (function
+      | Dp_msg.Rp_agg { groups; last_key; more; scb } ->
+          Some (Ok (if more then `Redrive (scb, last_key) else `Done groups))
+      | _ -> None)
+  with
+  | Ok (`Redrive (scb, last_key)) -> redrive scb last_key
+  | Ok (`Done groups) -> finish groups
+  | Error e -> fail e
 
 (* merge per-partition group lists in partition (= key) order; a group
    whose rows straddle a partition boundary merges accumulator-wise *)
@@ -1367,29 +1379,20 @@ let flush_insert_buffer t b =
               Array.to_list b.ib_file.parts
               |> List.find (fun p -> p.p_file = pfile)
             in
-            match
-              send t p.p_dp
-                (Dp_msg.R_insert_block
-                   { file = pfile; tx = b.ib_tx; rows = List.rev prows })
-            with
-            | Dp_msg.Rp_progress _ | Dp_msg.Rp_ok -> Ok ()
-            | Dp_msg.Rp_error e -> Error e
-            | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-            | _ -> Error (Errors.Internal "unexpected reply to INSERT^BLOCK"))
+            expect_applied ~ctx:"INSERT^BLOCK"
+              (send t p.p_dp
+                 (Dp_msg.R_insert_block
+                    { file = pfile; tx = b.ib_tx; rows = List.rev prows })))
           (Tbl.sorted_bindings groups)
       in
       (* index maintenance, also blocked *)
       Errors.list_iter
         (fun ix ->
           let irows = List.map (fun row -> index_row ix row) rows in
-          match
-            send t ix.ix_dp
-              (Dp_msg.R_insert_block { file = ix.ix_file; tx = b.ib_tx; rows = irows })
-          with
-          | Dp_msg.Rp_progress _ | Dp_msg.Rp_ok -> Ok ()
-          | Dp_msg.Rp_error e -> Error e
-          | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-          | _ -> Error (Errors.Internal "unexpected reply to INSERT^BLOCK"))
+          expect_applied ~ctx:"INSERT^BLOCK"
+            (send t ix.ix_dp
+               (Dp_msg.R_insert_block
+                  { file = ix.ix_file; tx = b.ib_tx; rows = irows })))
         b.ib_file.indexes
 
 let buffered_insert t b row =
@@ -1442,15 +1445,10 @@ let flush_apply_buffer t b =
               Array.to_list b.ab_file.parts
               |> List.find (fun p -> p.p_file = pfile)
             in
-            match
-              send t p.p_dp
-                (Dp_msg.R_apply_block
-                   { file = pfile; tx = b.ab_tx; ops = List.rev pops })
-            with
-            | Dp_msg.Rp_progress _ | Dp_msg.Rp_ok -> Ok ()
-            | Dp_msg.Rp_error e -> Error e
-            | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-            | _ -> Error (Errors.Internal "unexpected reply to APPLY^BLOCK"))
+            expect_applied ~ctx:"APPLY^BLOCK"
+              (send t p.p_dp
+                 (Dp_msg.R_apply_block
+                    { file = pfile; tx = b.ab_tx; ops = List.rev pops })))
           (Tbl.sorted_bindings groups)
       end
 
@@ -1555,16 +1553,11 @@ let add_index t f ~tx spec =
     let flush () =
       match !batch with
       | [] -> Ok ()
-      | rows -> (
+      | rows ->
           let rows = List.rev rows in
           batch := [];
-          match
-            send t spec.is_dp (Dp_msg.R_insert_block { file = id; tx; rows })
-          with
-          | Dp_msg.Rp_progress _ | Dp_msg.Rp_ok -> Ok ()
-          | Dp_msg.Rp_error e -> Error e
-          | Dp_msg.Rp_blocked { blockers; _ } -> Error (blocked_error blockers)
-          | _ -> Error (Errors.Internal "unexpected reply to INSERT^BLOCK"))
+          expect_applied ~ctx:"INSERT^BLOCK"
+            (send t spec.is_dp (Dp_msg.R_insert_block { file = id; tx; rows }))
     in
     let rec fill () =
       let* row = scan_next t sc in

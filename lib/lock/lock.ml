@@ -138,7 +138,7 @@ let acquire t ~tx ~file res mode =
           index_by_tx t e;
           Granted)
   | cs ->
-      s.Stats.lock_waits <- s.Stats.lock_waits + 1;
+      s.Stats.lock_conflicts <- s.Stats.lock_conflicts + 1;
       let blockers = List.sort_uniq compare (List.map (fun e -> e.e_tx) cs) in
       if Trace.enabled t.sim then
         Trace.instant t.sim ~cat:"lock"
@@ -149,7 +149,7 @@ let acquire t ~tx ~file res mode =
               ("mode", Str (Format.asprintf "%a" pp_mode mode));
               ("blockers", Int (List.length blockers));
             ]
-          "lock_wait";
+          "lock_conflict";
       Blocked blockers
 
 let remove_entry t e =
@@ -199,9 +199,17 @@ module Waitgraph = struct
 
   let create () : g = Hashtbl.create 16
 
-  let set_waiting g ~tx ~on = Hashtbl.replace g tx on
+  (* Merge, don't replace: a waiter blocked by several holders (e.g. an
+     S->X upgrade against multiple readers) has an edge to each of them,
+     and edges accumulated across probes must all survive. Callers that
+     want replace semantics clear first. *)
+  let set_waiting g ~tx ~on =
+    let existing = Option.value ~default:[] (Hashtbl.find_opt g tx) in
+    Hashtbl.replace g tx (List.sort_uniq compare (existing @ on))
 
   let clear_waiting g ~tx = Hashtbl.remove g tx
+
+  let clear g = Hashtbl.reset g
 
   let find_cycle g ~tx =
     (* DFS from tx following wait-for edges; a path back to tx is a cycle *)

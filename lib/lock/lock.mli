@@ -67,11 +67,18 @@ module Waitgraph : sig
   val create : unit -> g
 
   (** [set_waiting g ~tx ~on] records that [tx] waits for the transactions
-      [on] (replacing any previous edges from [tx]). *)
+      [on], merging with any edges [tx] already has — a waiter blocked by
+      several holders keeps an edge to each. Use {!clear_waiting} first for
+      replace semantics (e.g. when a re-probe reports a fresh blocker
+      set). *)
   val set_waiting : g -> tx:int -> on:int list -> unit
 
   (** [clear_waiting g ~tx] removes [tx]'s outgoing edges. *)
   val clear_waiting : g -> tx:int -> unit
+
+  (** [clear g] removes every edge — processor crash (wait state is
+      volatile, like the lock table itself). *)
+  val clear : g -> unit
 
   (** [find_cycle g ~tx] returns a deadlock cycle through [tx], if any. *)
   val find_cycle : g -> tx:int -> int list option

@@ -2,6 +2,7 @@ module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
 module Config = Nsql_sim.Config
 module Trace = Nsql_trace.Trace
+module Errors = Nsql_util.Errors
 
 type processor = { node : int; cpu : int }
 
@@ -22,13 +23,38 @@ type fault_action =
 type fault_filter =
   from:processor -> to_name:string -> tag:string -> fault_action
 
+(* A deferred reply: the server parked the request (e.g. on a lock wait
+   queue) and will deliver the reply later via [resolve]. [d_arrived_at] is
+   the virtual time the request reached the server — resolution can never
+   complete before it. *)
+type deferral = {
+  d_from : processor;
+  d_endpoint : endpoint;
+  d_arrived_at : float;
+  mutable d_state : [ `Waiting | `Resolved of string * float ];
+}
+
+(* Per-call context threaded to the handler so it can [defer] the reply. *)
+type call_ctx = {
+  cc_from : processor;
+  cc_endpoint : endpoint;
+  mutable cc_deferral : deferral option;
+}
+
 type system = {
   sim : Sim.t;
   endpoints : (string, endpoint) Hashtbl.t;
   mutable fault_filter : fault_filter option;
+  mutable current_call : call_ctx option;
 }
 
-let create sim = { sim; endpoints = Hashtbl.create 16; fault_filter = None }
+let create sim =
+  {
+    sim;
+    endpoints = Hashtbl.create 16;
+    fault_filter = None;
+    current_call = None;
+  }
 
 let set_fault_filter t f = t.fault_filter <- f
 
@@ -61,6 +87,8 @@ let charge_hop t ~from ~to_ bytes =
   in
   Sim.charge t.sim cost
 
+type raw_result = R_ready of string | R_deferred of deferral
+
 let do_send t ~from ~tag e request =
   let stats = Sim.stats t.sim in
   stats.Stats.msgs_sent <- stats.Stats.msgs_sent + 1;
@@ -84,15 +112,30 @@ let do_send t ~from ~tag e request =
           charge_hop t ~from ~to_:e.processor (String.length request);
           Sim.charge t.sim d));
   charge_hop t ~from ~to_:e.processor (String.length request);
-  let reply = e.handler request in
-  stats.Stats.msg_reply_bytes <-
-    stats.Stats.msg_reply_bytes + String.length reply;
-  charge_hop t ~from:e.processor ~to_:from (String.length reply);
-  reply
+  let ctx = { cc_from = from; cc_endpoint = e; cc_deferral = None } in
+  let saved = t.current_call in
+  t.current_call <- Some ctx;
+  let reply =
+    Fun.protect
+      ~finally:(fun () -> t.current_call <- saved)
+      (fun () -> e.handler request)
+  in
+  match ctx.cc_deferral with
+  | Some d ->
+      (* reply withheld: its bytes and hop are charged at [resolve] time *)
+      R_deferred d
+  | None ->
+      stats.Stats.msg_reply_bytes <-
+        stats.Stats.msg_reply_bytes + String.length reply;
+      charge_hop t ~from:e.processor ~to_:from (String.length reply);
+      R_ready reply
 
 (* One span per request/reply interaction, covering both hops and the
-   server handler; virtual times when issued under a capture (nowait). *)
-let send t ~from ~tag e request =
+   server handler; virtual times when issued under a capture (nowait). A
+   deferred interaction's span covers only the request leg — the server
+   reports the wait itself (cat-"lock" instants), keeping spans and clock
+   charges aligned. *)
+let do_send_traced t ~from ~tag e request =
   if not (Trace.enabled t.sim) then do_send t ~from ~tag e request
   else begin
     let sp =
@@ -112,14 +155,88 @@ let send t ~from ~tag e request =
     Fun.protect
       ~finally:(fun () -> Trace.finish t.sim sp)
       (fun () ->
-        let reply = do_send t ~from ~tag e request in
-        Trace.add_attr sp "reply_bytes" (Int (String.length reply));
-        reply)
+        match do_send t ~from ~tag e request with
+        | R_ready reply ->
+            Trace.add_attr sp "reply_bytes" (Int (String.length reply));
+            R_ready reply
+        | R_deferred d ->
+            Trace.add_attr sp "deferred" (Bool true);
+            R_deferred d)
   end
+
+(* --- deferred replies ---------------------------------------------------- *)
+
+let defer t =
+  match t.current_call with
+  | None -> invalid_arg "Msg.defer: no request/reply interaction in progress"
+  | Some ctx -> (
+      match ctx.cc_deferral with
+      | Some _ -> invalid_arg "Msg.defer: reply already deferred"
+      | None ->
+          let d =
+            {
+              d_from = ctx.cc_from;
+              d_endpoint = ctx.cc_endpoint;
+              d_arrived_at = Sim.now t.sim;
+              d_state = `Waiting;
+            }
+          in
+          ctx.cc_deferral <- Some d;
+          d)
+
+let resolve t d reply =
+  match d.d_state with
+  | `Resolved _ -> invalid_arg "Msg.resolve: deferral already resolved"
+  | `Waiting ->
+      let stats = Sim.stats t.sim in
+      stats.Stats.msg_reply_bytes <-
+        stats.Stats.msg_reply_bytes + String.length reply;
+      (* measure the reply hop without advancing the resolver's clock: the
+         hop belongs to the parked requester's timeline *)
+      let (), hop =
+        Sim.capture t.sim (fun () ->
+            charge_hop t ~from:d.d_endpoint.processor ~to_:d.d_from
+              (String.length reply))
+      in
+      let done_at = max (Sim.now t.sim) d.d_arrived_at +. hop in
+      d.d_state <- `Resolved (reply, done_at)
+
+let resolved d = match d.d_state with `Resolved _ -> true | `Waiting -> false
+
+(* Pump the event loop until the deferral resolves: the resolution comes
+   from another session's lock release (ordinary control flow reached via
+   an awaited completion) or from a scheduled timeout/deadlock event. *)
+let pump_until_resolved t d =
+  if Sim.in_capture t.sim then
+    Errors.fatal
+      "Msg: blocking wait on a deferred reply under a clock capture";
+  let rec loop () =
+    match d.d_state with
+    | `Resolved (reply, done_at) ->
+        Sim.wait_until t.sim done_at;
+        reply
+    | `Waiting -> (
+        match Sim.next_event t.sim with
+        | None ->
+            Errors.fatal
+              "Msg: deferred reply can never resolve (no pending events)"
+        | Some due ->
+            if due <= Sim.now t.sim then Sim.flush_events t.sim
+            else Sim.wait_until t.sim due;
+            loop ())
+  in
+  loop ()
+
+let send t ~from ~tag e request =
+  match do_send_traced t ~from ~tag e request with
+  | R_ready reply -> reply
+  | R_deferred d -> pump_until_resolved t d
 
 (* --- nowait (overlapped) requests -------------------------------------- *)
 
-type completion = { c_reply : string; c_done_at : float }
+type completion =
+  | C_ready of { c_reply : string; c_done_at : float }
+  | C_pending of deferral
 
 (* GUARDIAN nowait I/O: issue the interaction under a clock capture so its
    full latency (hops, Disk Process work, disk waits) is measured but not
@@ -128,33 +245,82 @@ type completion = { c_reply : string; c_done_at : float }
    individual latencies once awaited — never the sum — while every message,
    byte, CPU-tick and lock counter is identical to the blocking path.
    Handlers still run at issue time, in issue order: server-side state
-   changes are deterministic and independent of await order. *)
+   changes are deterministic and independent of await order. A parked
+   request yields a pending completion whose time is fixed at [resolve]. *)
 let send_nowait t ~from ~tag e request =
-  let reply, elapsed = Sim.capture t.sim (fun () -> send t ~from ~tag e request) in
-  { c_reply = reply; c_done_at = Sim.now t.sim +. elapsed }
+  let r, elapsed =
+    Sim.capture t.sim (fun () -> do_send_traced t ~from ~tag e request)
+  in
+  match r with
+  | R_ready reply -> C_ready { c_reply = reply; c_done_at = Sim.now t.sim +. elapsed }
+  | R_deferred d -> C_pending d
 
 let await t c =
-  Sim.wait_until t.sim c.c_done_at;
-  c.c_reply
+  match c with
+  | C_ready { c_reply; c_done_at } ->
+      Sim.wait_until t.sim c_done_at;
+      c_reply
+  | C_pending d -> pump_until_resolved t d
 
-let done_at c = c.c_done_at
+let done_at = function
+  | C_ready { c_done_at; _ } -> Some c_done_at
+  | C_pending d -> (
+      match d.d_state with
+      | `Resolved (_, done_at) -> Some done_at
+      | `Waiting -> None)
 
 let await_any t cs =
-  match cs with
-  | [] -> invalid_arg "Msg.await_any: empty completion list"
-  | first :: rest ->
-      (* earliest simulated completion wins; ties break to the lowest list
-         index so the choice never depends on anything but the sim clock *)
-      let _, best_i, best =
-        List.fold_left
-          (fun (i, best_i, best) c ->
-            let i = i + 1 in
-            if c.c_done_at < best.c_done_at then (i, i, c)
-            else (i, best_i, best))
-          (0, 0, first) rest
-      in
-      Sim.wait_until t.sim best.c_done_at;
-      (best_i, best.c_reply)
+  if cs = [] then invalid_arg "Msg.await_any: empty completion list";
+  if Sim.in_capture t.sim && List.exists (function C_pending d -> not (resolved d) | C_ready _ -> false) cs
+  then Errors.fatal "Msg.await_any: pending deferral under a clock capture";
+  (* earliest known completion wins; ties break to the lowest list index so
+     the choice never depends on anything but the sim clock. While some
+     completion is still parked, pump events one at a time — a pending
+     request may resolve earlier than the best already-known time. *)
+  let rec loop () =
+    let best = ref None in
+    List.iteri
+      (fun i c ->
+        let known =
+          match c with
+          | C_ready { c_reply; c_done_at } -> Some (c_done_at, c_reply)
+          | C_pending d -> (
+              match d.d_state with
+              | `Resolved (reply, done_at) -> Some (done_at, reply)
+              | `Waiting -> None)
+        in
+        match (known, !best) with
+        | Some (da, reply), None -> best := Some (i, da, reply)
+        | Some (da, reply), Some (_, best_da, _) when da < best_da ->
+            best := Some (i, da, reply)
+        | _ -> ())
+      cs;
+    let pump_one due =
+      if due <= Sim.now t.sim then Sim.flush_events t.sim
+      else Sim.wait_until t.sim due
+    in
+    match !best with
+    | Some (i, da, reply) -> (
+        match Sim.next_event t.sim with
+        | Some due when due < da ->
+            (* an event firing before the best known completion may resolve
+               a parked request to an earlier time *)
+            pump_one due;
+            loop ()
+        | Some _ | None ->
+            Sim.wait_until t.sim da;
+            (i, reply))
+    | None -> (
+        match Sim.next_event t.sim with
+        | Some due ->
+            pump_one due;
+            loop ()
+        | None ->
+            Errors.fatal
+              "Msg.await_any: every completion is parked and no events are \
+               pending")
+  in
+  loop ()
 
 let checkpoint t e ~bytes_ =
   match e.backup with

@@ -75,8 +75,39 @@ val lookup : system -> string -> endpoint option
     interaction and returns the reply payload. Charges message costs and
     counters on the system's simulation world. When tracing is enabled
     (see [Nsql_trace.Trace]) each interaction is one cat-"msg" span with
-    kind, endpoint, byte and locality attributes. *)
+    kind, endpoint, byte and locality attributes.
+
+    If the server {!defer}s the reply, [send] blocks by pumping the event
+    loop — advancing the clock event by event — until another session's
+    release path or a timeout event {!resolve}s it. Must not be called on a
+    deferring endpoint under a {!Nsql_sim.Sim.capture} (raises
+    [Errors.Fatal]: events cannot fire while the clock is frozen). *)
 val send : system -> from:processor -> tag:string -> endpoint -> string -> string
+
+(** {1 Deferred replies}
+
+    A server handler may park a request instead of answering it — the Disk
+    Process does this for lock waits: the requester stays blocked while
+    other sessions run, and the reply is delivered when the lock is granted
+    or the wait budget expires. The handler calls [defer] (its returned
+    string is then discarded), holds on to the deferral, and later calls
+    [resolve] from ordinary control flow or a scheduled event. *)
+
+type deferral
+
+(** [defer sys] parks the current request/reply interaction and returns the
+    handle the server must eventually {!resolve}. Only callable from inside
+    an endpoint handler, once per interaction. *)
+val defer : system -> deferral
+
+(** [resolve sys d reply] delivers the withheld reply: charges the reply
+    bytes and hop, and stamps the completion time (never earlier than the
+    request's arrival at the server). The resolver's own clock does not
+    advance. Resolving twice raises [Invalid_argument]. *)
+val resolve : system -> deferral -> string -> unit
+
+(** [resolved d] is true once {!resolve} has delivered the reply. *)
+val resolved : deferral -> bool
 
 (** {1 Nowait (overlapped) requests}
 
@@ -98,21 +129,26 @@ type completion
 (** [send_nowait sys ~from ~tag endpoint request] issues one interaction
     without blocking and returns its completion handle. The server handler
     runs immediately (in issue order), so replies and server state are
-    deterministic regardless of await order. *)
+    deterministic regardless of await order. If the server {!defer}s, the
+    completion is pending: its time is fixed when the server resolves it. *)
 val send_nowait :
   system -> from:processor -> tag:string -> endpoint -> string -> completion
 
 (** [await sys c] advances the clock to the completion time (a no-op if
-    already past) and returns the reply payload. Idempotent. *)
+    already past) and returns the reply payload. Idempotent. A pending
+    completion is awaited by pumping the event loop (see {!send}). *)
 val await : system -> completion -> string
 
-(** [done_at c] is the simulated time at which the reply lands. *)
-val done_at : completion -> float
+(** [done_at c] is the simulated time at which the reply lands, or [None]
+    while the request is still parked at the server. *)
+val done_at : completion -> float option
 
 (** [await_any sys cs] waits for the earliest completion in [cs] and
     returns its index and reply. Ties break to the lowest index, so the
-    order is a pure function of simulated time. Raises [Invalid_argument]
-    on the empty list. *)
+    order is a pure function of simulated time. While any completion is
+    still parked, events are pumped one at a time — a parked request may
+    resolve to an earlier time than the best already-known completion.
+    Raises [Invalid_argument] on the empty list. *)
 val await_any : system -> completion list -> int * string
 
 (** [checkpoint sys endpoint ~bytes] charges a primary-to-backup checkpoint

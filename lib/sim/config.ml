@@ -11,6 +11,11 @@ type t = {
       (** drive partitioned files with overlapped (nowait) requests; when
           false the File System falls back to the blocking one-partition-
           at-a-time driver (the pre-nowait behaviour, kept for A/B runs) *)
+  dp_lock_wait : bool;
+      (** park a blocked point request on a DP-side FIFO wait queue (with
+          deadlock detection) instead of answering with an immediate
+          [Rp_blocked]; off by default so single-session workloads keep
+          byte-identical message traffic *)
   msg_local_cost_us : float;
   msg_cpu_cost_us : float;
   msg_node_cost_us : float;
@@ -36,6 +41,7 @@ let default =
     dp_ticks_per_request = 200_000;
     dp_prefetch = true;
     fs_fanout = true;
+    dp_lock_wait = false;
     msg_local_cost_us = 300.;
     msg_cpu_cost_us = 1_000.;
     msg_node_cost_us = 5_000.;
@@ -59,6 +65,7 @@ let v ?(block_size = default.block_size)
     ?(dp_ticks_per_request = default.dp_ticks_per_request)
     ?(dp_prefetch = default.dp_prefetch)
     ?(fs_fanout = default.fs_fanout)
+    ?(dp_lock_wait = default.dp_lock_wait)
     ?(msg_local_cost_us = default.msg_local_cost_us)
     ?(msg_cpu_cost_us = default.msg_cpu_cost_us)
     ?(msg_node_cost_us = default.msg_node_cost_us)
@@ -81,6 +88,7 @@ let v ?(block_size = default.block_size)
     dp_ticks_per_request;
     dp_prefetch;
     fs_fanout;
+    dp_lock_wait;
     msg_local_cost_us;
     msg_cpu_cost_us;
     msg_node_cost_us;

@@ -22,6 +22,11 @@ type t = {
       (** drive partitioned files with overlapped (nowait) requests; when
           false the File System uses the blocking one-partition-at-a-time
           driver (the pre-nowait behaviour, kept for A/B comparison) *)
+  dp_lock_wait : bool;
+      (** park a blocked point request on a DP-side FIFO wait queue (with
+          deadlock detection and a {!lock_wait_timeout_us} budget) instead
+          of answering with an immediate denial; off by default so
+          single-session workloads keep byte-identical message traffic *)
   msg_local_cost_us : float;  (** fixed cost, same-processor message *)
   msg_cpu_cost_us : float;  (** fixed cost, cross-processor message *)
   msg_node_cost_us : float;  (** fixed cost, cross-node message *)
@@ -49,6 +54,7 @@ val v :
   ?dp_ticks_per_request:int ->
   ?dp_prefetch:bool ->
   ?fs_fanout:bool ->
+  ?dp_lock_wait:bool ->
   ?msg_local_cost_us:float ->
   ?msg_cpu_cost_us:float ->
   ?msg_node_cost_us:float ->

@@ -106,6 +106,10 @@ let after t delay f = schedule t ~at:(t.now +. delay) f
 
 let flush_events t = fire_due t
 
+let next_event t = Nsql_util.Heap.min_prio t.events
+
+let in_capture t = t.capture <> None
+
 let drain t =
   let rec loop () =
     match Nsql_util.Heap.min_prio t.events with

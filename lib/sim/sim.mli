@@ -42,6 +42,17 @@ val after : t -> float -> (unit -> unit) -> unit
 (** [flush_events t] fires every event due at or before the current time. *)
 val flush_events : t -> unit
 
+(** [next_event t] is the due time of the earliest pending event, if any.
+    Used by blocking waiters (e.g. {!Nsql_msg.Msg.await} on a parked lock
+    request) to pump the event loop one step at a time: advance the clock
+    to the returned time and the event fires. Must not be used to busy-wait
+    under a {!capture} — events do not fire while the clock is frozen. *)
+val next_event : t -> float option
+
+(** [in_capture t] is true while a {!capture} is running. Blocking event
+    pumps must refuse to run under a capture (they would spin forever). *)
+val in_capture : t -> bool
+
 (** [drain t] advances the clock until the event queue is empty (an idle
     period: pending write-behind, timers, etc. all complete). *)
 val drain : t -> unit

@@ -19,6 +19,7 @@ type t = {
   mutable cache_steals : int;
   mutable cpu_ticks : int;
   mutable lock_requests : int;
+  mutable lock_conflicts : int;
   mutable lock_waits : int;
   mutable deadlocks : int;
   mutable audit_records : int;
@@ -60,6 +61,7 @@ let create () =
     cache_steals = 0;
     cpu_ticks = 0;
     lock_requests = 0;
+    lock_conflicts = 0;
     lock_waits = 0;
     deadlocks = 0;
     audit_records = 0;
@@ -105,6 +107,7 @@ let map2 f a b =
     cache_steals = f a.cache_steals b.cache_steals;
     cpu_ticks = f a.cpu_ticks b.cpu_ticks;
     lock_requests = f a.lock_requests b.lock_requests;
+    lock_conflicts = f a.lock_conflicts b.lock_conflicts;
     lock_waits = f a.lock_waits b.lock_waits;
     deadlocks = f a.deadlocks b.deadlocks;
     audit_records = f a.audit_records b.audit_records;
@@ -149,6 +152,7 @@ let reset t =
   t.cache_steals <- 0;
   t.cpu_ticks <- 0;
   t.lock_requests <- 0;
+  t.lock_conflicts <- 0;
   t.lock_waits <- 0;
   t.deadlocks <- 0;
   t.audit_records <- 0;
@@ -189,6 +193,7 @@ let to_assoc t =
     ("cache_steals", t.cache_steals);
     ("cpu_ticks", t.cpu_ticks);
     ("lock_requests", t.lock_requests);
+    ("lock_conflicts", t.lock_conflicts);
     ("lock_waits", t.lock_waits);
     ("deadlocks", t.deadlocks);
     ("audit_records", t.audit_records);

@@ -26,8 +26,9 @@ type t = {
   mutable cache_steals : int;  (** frames surrendered to VM pressure *)
   mutable cpu_ticks : int;  (** simulated instruction units *)
   mutable lock_requests : int;
-  mutable lock_waits : int;
-  mutable deadlocks : int;
+  mutable lock_conflicts : int;  (** conflicts answered with an immediate denial *)
+  mutable lock_waits : int;  (** requests parked on a DP wait queue *)
+  mutable deadlocks : int;  (** wait-for cycles detected (victim denied) *)
   mutable audit_records : int;
   mutable audit_bytes : int;
   mutable audit_flushes : int;  (** physical writes of the audit buffer *)

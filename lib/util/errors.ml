@@ -14,6 +14,7 @@ type t =
   | Invalid_argument_error of string
   | Io_error of string
   | Internal of string
+  | Deadlock of string
 
 let pp ppf = function
   | Not_found_key k -> Format.fprintf ppf "key not found: %S" k
@@ -31,6 +32,7 @@ let pp ppf = function
   | Invalid_argument_error m -> Format.fprintf ppf "invalid argument: %s" m
   | Io_error m -> Format.fprintf ppf "i/o error: %s" m
   | Internal m -> Format.fprintf ppf "internal error: %s" m
+  | Deadlock m -> Format.fprintf ppf "deadlock: %s" m
 
 let to_string e = Format.asprintf "%a" pp e
 

@@ -21,6 +21,9 @@ type t =
   | Invalid_argument_error of string  (** bad parameter to a public API *)
   | Io_error of string  (** simulated device failure *)
   | Internal of string  (** invariant violation: a bug in this library *)
+  | Deadlock of string
+      (** transaction chosen as deadlock victim; the request was denied and
+          the caller should abort and retry *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -11,6 +11,7 @@
 
 module Chaos = Nsql_chaos.Chaos
 module Stats = Nsql_sim.Stats
+module Debitcredit = Nsql_workload.Debitcredit
 
 let check_seed ?topology ~txs seed () =
   let r = Chaos.run ~txs ?topology ~seed () in
@@ -95,6 +96,54 @@ let qcheck_any_seed =
           (String.concat "\n" r.Chaos.r_violations);
       true)
 
+(* --- contended multi-terminal corpus ---------------------------------- *)
+
+(* pinned seeds for the contention harness: every run must be violation
+   free, and these seeds are known to produce wait-for cycles, so each run
+   also witnesses at least one detected-and-resolved deadlock *)
+let check_contention_seed seed () =
+  let r = Chaos.run_contention ~seed () in
+  Alcotest.(check (list string))
+    (Printf.sprintf "contention seed %d: violations" seed)
+    [] r.Chaos.n_violations;
+  Alcotest.(check bool)
+    (Printf.sprintf "contention seed %d: all transfers committed" seed)
+    true
+    (r.Chaos.n_transfers.Debitcredit.x_committed > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "contention seed %d: requests queued on the DP" seed)
+    true (r.Chaos.n_lock_waits > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "contention seed %d: deadlock detected and resolved" seed)
+    true (r.Chaos.n_deadlocks > 0)
+
+let contention_determinism seed () =
+  let r1 = Chaos.run_contention ~seed () in
+  let r2 = Chaos.run_contention ~seed () in
+  Alcotest.(check (list (pair string int)))
+    (Printf.sprintf "contention seed %d: identical statistics" seed)
+    (Stats.to_assoc r1.Chaos.n_stats)
+    (Stats.to_assoc r2.Chaos.n_stats);
+  Alcotest.(check int)
+    "identical commit count"
+    r1.Chaos.n_transfers.Debitcredit.x_committed
+    r2.Chaos.n_transfers.Debitcredit.x_committed;
+  Alcotest.(check int)
+    "identical retries" r1.Chaos.n_transfers.Debitcredit.x_retries
+    r2.Chaos.n_transfers.Debitcredit.x_retries;
+  Alcotest.(check int)
+    "identical deadlocks" r1.Chaos.n_deadlocks r2.Chaos.n_deadlocks
+
+let qcheck_contention_seed =
+  QCheck.Test.make ~count:5 ~name:"contention: arbitrary seeds stay consistent"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let r = Chaos.run_contention ~txs_per_terminal:5 ~seed () in
+      if r.Chaos.n_violations <> [] then
+        QCheck.Test.fail_reportf "contention seed %d violations:@.%s" seed
+          (String.concat "\n" r.Chaos.n_violations);
+      true)
+
 let suite =
   corpus_cases
   @ [
@@ -102,4 +151,9 @@ let suite =
       Alcotest.test_case "replay determinism (cluster)" `Quick (determinism 19);
       Alcotest.test_case "plan determinism" `Quick plan_determinism;
       QCheck_alcotest.to_alcotest qcheck_any_seed;
+      Alcotest.test_case "contention seed 1" `Quick (check_contention_seed 1);
+      Alcotest.test_case "contention seed 4" `Quick (check_contention_seed 4);
+      Alcotest.test_case "contention replay determinism" `Quick
+        (contention_determinism 9);
+      QCheck_alcotest.to_alcotest qcheck_contention_seed;
     ]

@@ -439,3 +439,139 @@ let suite =
       Alcotest.test_case "raw record writes respect CHECK" `Quick
         raw_update_checks_constraint;
     ]
+
+(* --- DP lock wait queues (dp_lock_wait) ------------------------------- *)
+
+(* With [dp_lock_wait] on, a conflicting request parks on the Disk
+   Process's FIFO wait queue — the reply is simply withheld — instead of
+   bouncing back as an immediate denial. These tests drive the DP with
+   nowait sends so the test itself can hold locks while other requests
+   wait. *)
+
+let wait_node ?(timeout_us = 1_000_000.) () =
+  let config = Config.v ~dp_lock_wait:true ~lock_wait_timeout_us:timeout_us () in
+  let n = node ~config () in
+  let file = create_accounts n in
+  load_accounts n file 5;
+  (n, file)
+
+let dp_file n = Option.get (Dp.file_id n.dps.(0) "ACCOUNT#p0")
+
+let nowait_read n ~tx ~acct ~lock =
+  let req =
+    Dp_msg.R_read { file = dp_file n; tx; key = acct_key acct; lock }
+  in
+  Msg.send_nowait n.msys ~from:n.app_processor ~tag:(Dp_msg.tag req)
+    (Dp.endpoint n.dps.(0))
+    (Dp_msg.encode_request req)
+
+let reply_of n c =
+  match Dp_msg.decode_reply (Msg.await n.msys c) with
+  | Ok r -> r
+  | Error e -> failwith (Dp_msg.decode_error_to_string e)
+
+let wait_queue_grants_on_release () =
+  let n, file = wait_node () in
+  let s = Sim.stats n.sim in
+  let tx1 = Tmf.begin_tx n.tmf in
+  ignore
+    (get_ok ~ctx:"tx1 read"
+       (Fs.read n.fs file ~tx:tx1 ~key:(acct_key 1) ~lock:Dp_msg.L_exclusive));
+  let tx2 = Tmf.begin_tx n.tmf in
+  let waits_before = s.Stats.lock_waits in
+  let c = nowait_read n ~tx:tx2 ~acct:1 ~lock:Dp_msg.L_exclusive in
+  (* tx1's commit releases its locks; the parked request must then be
+     granted and the withheld reply delivered *)
+  get_ok ~ctx:"commit tx1" (Tmf.commit n.tmf ~tx:tx1);
+  (match reply_of n c with
+  | Dp_msg.Rp_record _ -> ()
+  | Dp_msg.Rp_error e -> Alcotest.fail (Errors.to_string e)
+  | _ -> Alcotest.fail "unexpected reply to parked READ");
+  Alcotest.(check bool) "request was queued, not denied" true
+    (s.Stats.lock_waits > waits_before);
+  get_ok ~ctx:"commit tx2" (Tmf.commit n.tmf ~tx:tx2)
+
+let wait_budget_expires () =
+  let n, file = wait_node ~timeout_us:2_000. () in
+  let tx1 = Tmf.begin_tx n.tmf in
+  ignore
+    (get_ok ~ctx:"tx1 read"
+       (Fs.read n.fs file ~tx:tx1 ~key:(acct_key 1) ~lock:Dp_msg.L_exclusive));
+  let tx2 = Tmf.begin_tx n.tmf in
+  let c = nowait_read n ~tx:tx2 ~acct:1 ~lock:Dp_msg.L_exclusive in
+  (* nothing else is running: draining the event queue runs the park and
+     then the wait-budget expiry *)
+  Sim.drain n.sim;
+  (match reply_of n c with
+  | Dp_msg.Rp_error (Errors.Lock_timeout _) -> ()
+  | Dp_msg.Rp_error e -> Alcotest.fail (Errors.to_string e)
+  | _ -> Alcotest.fail "parked READ should have timed out");
+  (* the holder is undisturbed by the waiter's expiry *)
+  get_ok ~ctx:"abort tx2" (Tmf.abort n.tmf ~tx:tx2);
+  get_ok ~ctx:"commit tx1" (Tmf.commit n.tmf ~tx:tx1)
+
+let deadlock_aborts_youngest () =
+  let n, file = wait_node () in
+  let s = Sim.stats n.sim in
+  let tx1 = Tmf.begin_tx n.tmf in
+  let tx2 = Tmf.begin_tx n.tmf in
+  Alcotest.(check bool) "tx2 is the younger transaction" true (tx2 > tx1);
+  ignore
+    (get_ok ~ctx:"tx1 locks acct 1"
+       (Fs.read n.fs file ~tx:tx1 ~key:(acct_key 1) ~lock:Dp_msg.L_exclusive));
+  ignore
+    (get_ok ~ctx:"tx2 locks acct 2"
+       (Fs.read n.fs file ~tx:tx2 ~key:(acct_key 2) ~lock:Dp_msg.L_exclusive));
+  let deadlocks_before = s.Stats.deadlocks in
+  (* crossed requests: tx2 wants acct 1 (parks), then tx1 wants acct 2 —
+     the wait-for cycle is detected at block time *)
+  let c2 = nowait_read n ~tx:tx2 ~acct:1 ~lock:Dp_msg.L_exclusive in
+  let c1 = nowait_read n ~tx:tx1 ~acct:2 ~lock:Dp_msg.L_exclusive in
+  (* the victim is the youngest: tx2's parked request is denied *)
+  (match reply_of n c2 with
+  | Dp_msg.Rp_error (Errors.Deadlock _) -> ()
+  | Dp_msg.Rp_error e -> Alcotest.fail (Errors.to_string e)
+  | _ -> Alcotest.fail "victim's READ should be denied with Deadlock");
+  Alcotest.(check bool) "deadlock counted" true
+    (s.Stats.deadlocks > deadlocks_before);
+  (* the survivor stays parked; the victim's abort unblocks it *)
+  get_ok ~ctx:"abort tx2" (Tmf.abort n.tmf ~tx:tx2);
+  (match reply_of n c1 with
+  | Dp_msg.Rp_record _ -> ()
+  | Dp_msg.Rp_error e -> Alcotest.fail (Errors.to_string e)
+  | _ -> Alcotest.fail "unexpected reply to survivor's READ");
+  get_ok ~ctx:"commit tx1" (Tmf.commit n.tmf ~tx:tx1)
+
+let crash_flushes_wait_queue () =
+  let n, file = wait_node () in
+  let tx1 = Tmf.begin_tx n.tmf in
+  ignore
+    (get_ok ~ctx:"tx1 read"
+       (Fs.read n.fs file ~tx:tx1 ~key:(acct_key 1) ~lock:Dp_msg.L_exclusive));
+  let tx2 = Tmf.begin_tx n.tmf in
+  let c = nowait_read n ~tx:tx2 ~acct:1 ~lock:Dp_msg.L_exclusive in
+  (* a blocking no-lock read by tx1 pumps the event queue, so tx2's
+     conflicting request is delivered and parked before the crash *)
+  ignore
+    (get_ok ~ctx:"pump"
+       (Fs.read n.fs file ~tx:tx1 ~key:(acct_key 2) ~lock:Dp_msg.L_none));
+  Alcotest.(check bool) "request parked, reply withheld" true
+    (Msg.done_at c = None);
+  Dp.crash n.dps.(0);
+  (* no completion may be left unresolvable after the server is gone *)
+  (match reply_of n c with
+  | Dp_msg.Rp_error (Errors.Io_error _) -> ()
+  | Dp_msg.Rp_error e -> Alcotest.fail (Errors.to_string e)
+  | _ -> Alcotest.fail "flushed READ should report an I/O error")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "wait queue grants on release" `Quick
+        wait_queue_grants_on_release;
+      Alcotest.test_case "wait budget expires" `Quick wait_budget_expires;
+      Alcotest.test_case "deadlock aborts youngest" `Quick
+        deadlock_aborts_youngest;
+      Alcotest.test_case "crash flushes wait queue" `Quick
+        crash_flushes_wait_queue;
+    ]

@@ -235,6 +235,43 @@ let nowait_leak () =
   check_rules "stored handles are clean" []
     (Rules.nowait_leak ~path:"lib/fs/fixture.ml" stored)
 
+(* --- the DP wait-queue pattern stays lintable ---------------------------- *)
+
+(* The lock-wait path withholds replies (a deferral parked in a waiter
+   record) and the multi-terminal requester keeps one completion per
+   terminal until [await_any] resolves it. Both are deliberate ownership
+   transfers, not leaks, and the parked dispatch keeps explicit arms — so
+   the whole pattern must pass NOWAIT-LEAK and PROTO-EXHAUST unchanged. *)
+let wait_queue_pattern () =
+  let requester =
+    parse ~path:"lib/workload/fixture.ml"
+      "let start t term dp req = term.t_pending <- Some (Msg.send_nowait t \
+       dp req)\n\
+       let drive t terms =\n\
+      \  let cs = List.filter_map (fun term -> term.t_pending) terms in\n\
+      \  Msg.await_any t cs"
+  in
+  check_rules "completion parked in terminal state is clean" []
+    (Rules.nowait_leak ~path:"lib/workload/fixture.ml" requester);
+  let msg = ("lib/dp/dp_msg.ml", parse ~path:"lib/dp/dp_msg.ml" proto_msg) in
+  (* the DP either answers now or parks the deferral — every constructor
+     still has an explicit arm, and the parking arm is not a catch-all *)
+  let parking_dispatch =
+    ( "lib/dp/dp.ml",
+      parse ~path:"lib/dp/dp.ml"
+        "let dispatch t = function\n\
+        \  | R_ping n -> (if locked t n then park t n else reply t n); t\n\
+        \  | R_pong -> t" )
+  in
+  let requester_side =
+    ( "lib/fs/fs.ml",
+      parse ~path:"lib/fs/fs.ml" "let send () = ignore (R_ping 3); ignore R_pong"
+    )
+  in
+  check_rules "parking dispatch is PROTO-EXHAUST clean" []
+    (Rules.proto_exhaust ~msg ~dispatch:parking_dispatch
+       ~requesters:[ requester_side ])
+
 (* --- SPAN-LEAK ----------------------------------------------------------- *)
 
 let span_leak () =
@@ -370,6 +407,8 @@ let suite =
     Alcotest.test_case "LOCK-ORDER fixtures" `Quick lock_order;
     Alcotest.test_case "PROTO-EXHAUST fixtures" `Quick proto_exhaust;
     Alcotest.test_case "NOWAIT-LEAK fixtures" `Quick nowait_leak;
+    Alcotest.test_case "wait-queue pattern lints clean" `Quick
+      wait_queue_pattern;
     Alcotest.test_case "SPAN-LEAK fixtures" `Quick span_leak;
     Alcotest.test_case "allowlist suppresses and reports stale" `Quick allowlist;
     Alcotest.test_case "allowlist line pinning" `Quick allowlist_line_mismatch;

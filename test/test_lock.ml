@@ -122,7 +122,9 @@ let lock_counters () =
   ignore (Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 1)) Lock.Exclusive);
   ignore (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 1)) Lock.Exclusive);
   Alcotest.(check int) "requests" 2 s.Nsql_sim.Stats.lock_requests;
-  Alcotest.(check int) "waits" 1 s.Nsql_sim.Stats.lock_waits
+  (* an immediate denial is a conflict, not a queued wait *)
+  Alcotest.(check int) "conflicts" 1 s.Nsql_sim.Stats.lock_conflicts;
+  Alcotest.(check int) "waits" 0 s.Nsql_sim.Stats.lock_waits
 
 let range_semantics_property =
   (* a record lock conflicts with a range lock iff the key is inside *)
@@ -141,6 +143,140 @@ let range_semantics_property =
       | Lock.Granted -> not inside
       | Lock.Blocked _ -> inside)
 
+(* --- conflict matrix: every granularity pair x S/X x overlap ---------- *)
+
+(* each case is one granularity pair with an overlapping and a disjoint
+   instantiation; [file2] lets the File rows express disjointness as "a
+   different file" *)
+let matrix_cases =
+  [
+    ("file/file", Lock.File, Lock.File, 1, true);
+    ("file/record", Lock.File, Lock.Record (k 1), 0, true);
+    ("file/generic", Lock.File, Lock.Generic (k 1), 0, true);
+    ("file/range", Lock.File, Lock.Range (k 1, k 2), 0, true);
+    ("record/record same", Lock.Record (k 5), Lock.Record (k 5), 0, true);
+    ("record/record other", Lock.Record (k 5), Lock.Record (k 6), 0, false);
+    ("record/generic inside", Lock.Record (k 7 ^ k 1), Lock.Generic (k 7), 0, true);
+    ("record/generic outside", Lock.Record (k 8 ^ k 1), Lock.Generic (k 7), 0, false);
+    ("record/range inside", Lock.Record (k 15), Lock.Range (k 10, k 20), 0, true);
+    ("record/range at hi", Lock.Record (k 20), Lock.Range (k 10, k 20), 0, false);
+    ("generic/generic same", Lock.Generic (k 7), Lock.Generic (k 7), 0, true);
+    ("generic/generic other", Lock.Generic (k 7), Lock.Generic (k 8), 0, false);
+    ("generic/range inside", Lock.Generic (k 7), Lock.Range (k 7 ^ k 1, k 7 ^ k 5), 0, true);
+    ("generic/range outside", Lock.Generic (k 7), Lock.Range (k 8, k 9), 0, false);
+    ("range/range overlap", Lock.Range (k 10, k 20), Lock.Range (k 15, k 25), 0, true);
+    ("range/range adjacent", Lock.Range (k 10, k 20), Lock.Range (k 20, k 30), 0, false);
+  ]
+
+let conflict_matrix () =
+  List.iter
+    (fun (name, r1, r2, file2, overlap) ->
+      List.iter
+        (fun m1 ->
+          List.iter
+            (fun m2 ->
+              let _, m = setup () in
+              check_granted (name ^ ": first") (Lock.acquire m ~tx:1 ~file:0 r1 m1);
+              (* two locks conflict iff their key intervals overlap and at
+                 least one is exclusive — same-file File rows always overlap *)
+              let file2 = if file2 = 1 then 1 else 0 in
+              let expect_block =
+                overlap && file2 = 0
+                && (m1 = Lock.Exclusive || m2 = Lock.Exclusive)
+              in
+              let label =
+                Printf.sprintf "%s %s/%s" name
+                  (if m1 = Lock.Shared then "S" else "X")
+                  (if m2 = Lock.Shared then "S" else "X")
+              in
+              let outcome = Lock.acquire m ~tx:2 ~file:file2 r2 m2 in
+              if expect_block then check_blocked label outcome
+              else check_granted label outcome)
+            [ Lock.Shared; Lock.Exclusive ])
+        [ Lock.Shared; Lock.Exclusive ])
+    matrix_cases
+
+(* --- waitgraph regressions -------------------------------------------- *)
+
+(* regression: set_waiting must merge edges. With replace semantics the
+   second probe's blocker overwrote the first and this cycle went
+   undetected. *)
+let waitgraph_merges_edges () =
+  let g = Lock.Waitgraph.create () in
+  Lock.Waitgraph.set_waiting g ~tx:1 ~on:[ 2 ];
+  Lock.Waitgraph.set_waiting g ~tx:1 ~on:[ 3 ];
+  (* the edge 1->2 must have survived the second call *)
+  Lock.Waitgraph.set_waiting g ~tx:2 ~on:[ 1 ];
+  Alcotest.(check bool) "merged edge keeps the 1<->2 cycle" true
+    (Lock.Waitgraph.find_cycle g ~tx:1 <> None);
+  Lock.Waitgraph.clear_waiting g ~tx:1;
+  Lock.Waitgraph.set_waiting g ~tx:1 ~on:[ 3 ];
+  Alcotest.(check bool) "clear_waiting gives replace semantics" true
+    (Lock.Waitgraph.find_cycle g ~tx:1 = None)
+
+(* two readers of the same record both upgrading to exclusive deadlock:
+   each waits on the other, and the wait-for graph must say so *)
+let upgrade_deadlock_detected () =
+  let _, m = setup () in
+  let g = Lock.Waitgraph.create () in
+  check_granted "tx1 S" (Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 1)) Lock.Shared);
+  check_granted "tx2 S" (Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 1)) Lock.Shared);
+  (match Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 1)) Lock.Exclusive with
+  | Lock.Granted -> Alcotest.fail "tx1 upgrade should block on tx2"
+  | Lock.Blocked bs ->
+      Alcotest.(check (list int)) "tx1 blocked by tx2 only" [ 2 ] bs;
+      Lock.Waitgraph.set_waiting g ~tx:1 ~on:bs);
+  Alcotest.(check bool) "no cycle yet" true
+    (Lock.Waitgraph.find_cycle g ~tx:1 = None);
+  (match Lock.acquire m ~tx:2 ~file:0 (Lock.Record (k 1)) Lock.Exclusive with
+  | Lock.Granted -> Alcotest.fail "tx2 upgrade should block on tx1"
+  | Lock.Blocked bs ->
+      Alcotest.(check (list int)) "tx2 blocked by tx1 only" [ 1 ] bs;
+      Lock.Waitgraph.set_waiting g ~tx:2 ~on:bs);
+  (match Lock.Waitgraph.find_cycle g ~tx:2 with
+  | None -> Alcotest.fail "upgrade deadlock not detected"
+  | Some cycle ->
+      Alcotest.(check bool) "cycle passes through both" true
+        (List.mem 1 cycle && List.mem 2 cycle));
+  (* victim (youngest = max id) aborts: its edges clear, deadlock resolves *)
+  Lock.Waitgraph.clear_waiting g ~tx:2;
+  Lock.release_all m ~tx:2;
+  Alcotest.(check bool) "victim abort breaks the cycle" true
+    (Lock.Waitgraph.find_cycle g ~tx:1 = None);
+  check_granted "survivor's upgrade now granted"
+    (Lock.acquire m ~tx:1 ~file:0 (Lock.Record (k 1)) Lock.Exclusive)
+
+(* property: find_cycle reports a deadlock through tx iff tx can reach
+   itself in the reference reachability relation of the same edges *)
+let deadlock_iff_cycle_property =
+  QCheck.Test.make ~name:"deadlock reported iff wait-for cycle exists"
+    ~count:300
+    QCheck.(list (pair (int_bound 5) (int_bound 5)))
+    (fun edges ->
+      let g = Lock.Waitgraph.create () in
+      List.iter (fun (a, b) -> Lock.Waitgraph.set_waiting g ~tx:a ~on:[ b ]) edges;
+      (* reference: transitive reachability over the raw edge list *)
+      let reaches src dst =
+        let rec go visited frontier =
+          if List.mem dst frontier then true
+          else
+            let next =
+              List.concat_map
+                (fun (a, b) ->
+                  if List.mem a frontier && not (List.mem b visited) then [ b ]
+                  else [])
+                edges
+              |> List.sort_uniq compare
+            in
+            if next = [] then false else go (visited @ next) next
+        in
+        let first = List.filter_map (fun (a, b) -> if a = src then Some b else None) edges in
+        first <> [] && (List.mem dst first || go first first)
+      in
+      List.for_all
+        (fun tx -> (Lock.Waitgraph.find_cycle g ~tx <> None) = reaches tx tx)
+        [ 0; 1; 2; 3; 4; 5 ])
+
 let suite =
   [
     Alcotest.test_case "shared compatible" `Quick shared_compatible;
@@ -156,5 +292,10 @@ let suite =
     Alcotest.test_case "blockers reported" `Quick blockers_reported;
     Alcotest.test_case "wait-for graph cycle" `Quick waitgraph_detects_cycle;
     Alcotest.test_case "lock counters" `Quick lock_counters;
+    Alcotest.test_case "conflict matrix" `Quick conflict_matrix;
+    Alcotest.test_case "waitgraph merges edges" `Quick waitgraph_merges_edges;
+    Alcotest.test_case "upgrade deadlock detected" `Quick
+      upgrade_deadlock_detected;
     QCheck_alcotest.to_alcotest range_semantics_property;
+    QCheck_alcotest.to_alcotest deadlock_iff_cycle_property;
   ]

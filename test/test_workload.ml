@@ -139,6 +139,48 @@ let debitcredit_sql_cheaper_messages () =
     (Printf.sprintf "SQL %d msgs < ENSCRIBE %d msgs" m_sql m_ens)
     true (m_sql < m_ens)
 
+(* enabling DP-side lock waiting must be free for uncontended sessions: a
+   single session never parks, so its message and byte counts are
+   identical with the feature on and off *)
+let lock_wait_free_when_uncontended () =
+  let run dp_lock_wait =
+    let config = Nsql_sim.Config.v ~dp_lock_wait () in
+    let node = N.create_node ~config () in
+    let db =
+      get_ok ~ctx:"setup"
+        (Debitcredit.setup_sql node ~accounts:50 ~tellers:5 ~branches:1)
+    in
+    let s = N.session node in
+    let _, d =
+      N.measure node (fun () ->
+          for i = 0 to 14 do
+            get_ok ~ctx:"tx" (Debitcredit.run_sql_tx db s ~aid:i ~delta:1.)
+          done)
+    in
+    d
+  in
+  let off = run false and on = run true in
+  let module S = Nsql_sim.Stats in
+  Alcotest.(check int) "messages identical" off.S.msgs_sent on.S.msgs_sent;
+  Alcotest.(check int) "request bytes identical" off.S.msg_req_bytes
+    on.S.msg_req_bytes;
+  Alcotest.(check int) "reply bytes identical" off.S.msg_reply_bytes
+    on.S.msg_reply_bytes;
+  Alcotest.(check int) "no queued waits" 0 on.S.lock_waits
+
+(* the transfer driver itself, uncontended: one terminal commits everything
+   with no waits, no deadlocks, no retries, and conserves money *)
+let transfer_single_terminal () =
+  let config = Nsql_sim.Config.v ~dp_lock_wait:true () in
+  let node = N.create_node ~config () in
+  let db = get_ok ~ctx:"setup" (Debitcredit.setup_transfer node ~accounts:4) in
+  let rep = Debitcredit.run_transfers db ~terminals:1 ~txs_per_terminal:8 () in
+  Alcotest.(check int) "all committed" 8 rep.Debitcredit.x_committed;
+  Alcotest.(check int) "no retries" 0 rep.Debitcredit.x_retries;
+  Alcotest.(check int) "no failures" 0 rep.Debitcredit.x_failed;
+  let sum = get_ok ~ctx:"sum" (Debitcredit.transfer_balance_sum db) in
+  Alcotest.(check (float 1e-6)) "conservation" 4000. sum
+
 let suite =
   [
     Alcotest.test_case "wisconsin loads correctly" `Quick wisconsin_loads;
@@ -149,4 +191,8 @@ let suite =
       debitcredit_consistent;
     Alcotest.test_case "debitcredit SQL cheaper in messages" `Quick
       debitcredit_sql_cheaper_messages;
+    Alcotest.test_case "lock waiting free when uncontended" `Quick
+      lock_wait_free_when_uncontended;
+    Alcotest.test_case "transfer driver, single terminal" `Quick
+      transfer_single_terminal;
   ]
