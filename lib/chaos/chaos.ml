@@ -216,6 +216,9 @@ let build_plan prng ~topology ~horizon =
           F_2pc_crash
             { commit = Prng.bool prng; participant_crash = Prng.bool prng };
           F_crash { node = Prng.int prng 2; volume = 0 };
+          (* a process-pair takeover racing the distributed workload — with
+             2PC in the plan, some seeds land it mid-prepare/mid-commit *)
+          F_takeover { node = Prng.int prng 2; volume = 0 };
         ]
   in
   let extra = List.init (2 + Prng.int prng 5) (fun _ -> rand_fault ()) in
@@ -1354,13 +1357,14 @@ let pp_contention_report ppf r =
   let t = r.n_transfers in
   Format.fprintf ppf
     "@[<v>contention seed %d: %d terminals over %d hot accounts@,\
-     %d committed, %d deadlock aborts, %d timeout aborts, %d retries, %d \
-     abandoned@,\
-     %d lock waits queued, %d deadlocks detected, %d messages"
+     %d committed, %d deadlock aborts, %d timeout aborts, %d takeover \
+     aborts, %d retries, %d abandoned@,\
+     %d lock waits queued, %d deadlocks detected, %d takeovers, %d messages"
     r.n_seed r.n_terminals r.n_accounts t.Debitcredit.x_committed
     t.Debitcredit.x_deadlock_aborts t.Debitcredit.x_timeout_aborts
-    t.Debitcredit.x_retries t.Debitcredit.x_failed r.n_lock_waits
-    r.n_deadlocks r.n_stats.Stats.msgs_sent;
+    t.Debitcredit.x_takeover_aborts t.Debitcredit.x_retries
+    t.Debitcredit.x_failed r.n_lock_waits r.n_deadlocks
+    r.n_stats.Stats.takeovers r.n_stats.Stats.msgs_sent;
   (match r.n_violations with
   | [] -> Format.fprintf ppf "@,no violations"
   | vs ->
@@ -1372,7 +1376,8 @@ let pp_contention_report ppf r =
    sessions against one node with DP-side lock waiting on, optionally
    under seeded message delays, and verifies the committed state against
    a per-account mirror maintained by the on-commit hook. *)
-let run_contention ?(terminals = 4) ?(txs_per_terminal = 10) ~seed () =
+let run_contention ?(terminals = 4) ?(txs_per_terminal = 10)
+    ?(takeover = false) ~seed () =
   let prng = Prng.create ~seed in
   let accounts = 3 + Prng.int prng 4 in
   let config =
@@ -1403,6 +1408,15 @@ let run_contention ?(terminals = 4) ?(txs_per_terminal = 10) ~seed () =
       (Debitcredit.setup_transfer node ~accounts)
   in
   arm engine [| node |] events;
+  (* with [takeover] set, fail the hot volume's primary mid-run: terminals
+     are mid-scan, parked on the wait queue, or between phases when the
+     backup resumes. Drawn from the same stream, but only after every
+     existing draw, so [takeover:false] runs replay byte-identically. *)
+  if takeover then begin
+    let due = 20_000. +. Prng.float prng 120_000. in
+    Sim.schedule (N.sim node) ~at:due (fun () ->
+        ignore (N.takeover_volume node 0))
+  end;
   (* the oracle: expected per-account balances, updated once per commit *)
   let expected = Array.make accounts 1000. in
   let on_commit ~src ~dst ~delta =

@@ -140,9 +140,12 @@ type contention_report = {
     workload with {!Nsql_sim.Config.t.dp_lock_wait} on and a few seeded
     message delays, then verifies every account balance against a
     per-account mirror updated at each commit, plus the conservation
-    invariant. Deterministic in [seed]. *)
+    invariant. Deterministic in [seed]. With [takeover] (default off) the
+    hot volume's primary fails at a seed-derived time mid-run and the
+    backup takes over under live traffic; the same oracle must still
+    hold. [takeover:false] runs are unaffected by the flag's existence. *)
 val run_contention :
-  ?terminals:int -> ?txs_per_terminal:int -> seed:int -> unit ->
-  contention_report
+  ?terminals:int -> ?txs_per_terminal:int -> ?takeover:bool -> seed:int ->
+  unit -> contention_report
 
 val pp_contention_report : Format.formatter -> contention_report -> unit

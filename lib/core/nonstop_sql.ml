@@ -119,7 +119,7 @@ let in_tx s f = Tmf.run s.node.tmf f
 (* --- deadlock-victim retry --------------------------------------------- *)
 
 let retryable = function
-  | Errors.Deadlock _ | Errors.Lock_timeout _ -> true
+  | Errors.Deadlock _ | Errors.Lock_timeout _ | Errors.Takeover _ -> true
   | _ -> false
 
 let in_tx_retry ?(max_retries = 8) ?(backoff_us = 200.) node f =

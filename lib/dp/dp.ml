@@ -73,7 +73,19 @@ type waiter = {
   w_req : request;
   w_deferral : Msg.deferral;
   w_parked_at : float;
-  w_payload_len : int;  (** for the backup checkpoint on eventual success *)
+  w_payload : string;  (** raw request bytes, checkpointed to the backup *)
+}
+
+(* The backup half's replica of takeover-relevant state, maintained purely
+   from the checkpoint stream (see {!Dp_msg.ckpt_item}): decoded SCB copies,
+   the lock grant log (newest first; releases filter it), and the FIFO wait
+   queue. Waiters are held by reference — the message-system deferral and
+   its scheduled timeout survive the takeover, so budgets keep counting. *)
+type replica = {
+  rp_scbs : (int, scb) Hashtbl.t;
+  mutable rp_locks : (int * int * Lock.resource * Lock.mode) list;
+  mutable rp_parked : waiter list;
+  mutable rp_bytes : int;  (** checkpoint bytes absorbed (observability) *)
 }
 
 type t = {
@@ -94,6 +106,18 @@ type t = {
      requester currently being probed. *)
   mutable waiters : waiter list;
   waitgraph : Lock.Waitgraph.g;
+  (* checkpoint items accumulated (reversed) while a request executes;
+     flushed as one checkpoint message when the request completes *)
+  mutable ckpt_pending : Dp_msg.ckpt_item list;
+  (* backup-side replica; [Some] iff a backup exists and
+     [Config.dp_checkpoint] is on. Cleared by takeover (the backup is
+     consumed) and by crash. *)
+  mutable replica : replica option;
+  (* transactions whose un-checkpointed state was lost in a replica-less
+     takeover: their requests are denied with the retryable
+     [Errors.Takeover] until they finish *)
+  denied : (int, unit) Hashtbl.t;
+  mutable lost_scbs : bool;  (** SCBs were dropped by a replica-less takeover *)
 }
 
 (* [handler] is defined at the bottom of this file (it needs the whole
@@ -104,6 +128,104 @@ let handler_cell : (t -> string -> string) ref =
   ref (fun _ _ -> assert false)
 
 let pump_cell : (t -> unit) ref = ref (fun _ -> ())
+
+(* --- process-pair checkpointing ---------------------------------------- *)
+
+(* Checkpoint traffic flows whenever a backup exists — the replica knob
+   only decides whether the backup half applies it. That keeps the knob
+   free: on or off, message counts, bytes and clock are identical. *)
+let ckpt_active t = Msg.endpoint_backup t.endpoint <> None
+
+let ckpt_push t item =
+  if ckpt_active t then t.ckpt_pending <- item :: t.ckpt_pending
+
+(* Emit one checkpoint message immediately (park/unpark/release events that
+   happen outside a request's execution window). *)
+let ckpt_emit t items =
+  if ckpt_active t then Msg.checkpoint t.msys t.endpoint (encode_ckpt items)
+
+let ckpt_body_of_scb scb =
+  match scb.scb_body with
+  | Scb_read { buffering; pred; proj; lock } ->
+      Cs_read { buffering; pred; proj; lock }
+  | Scb_update { pred; assignments } -> Cs_update { pred; assignments }
+  | Scb_delete { pred } -> Cs_delete { pred }
+  | Scb_agg { pred; group_keys; aggs; lock; _ } ->
+      Cs_agg { pred; group_keys; aggs; lock }
+
+let scb_of_ckpt ~file ~lo ~hi body =
+  let scb_body =
+    match body with
+    | Cs_read { buffering; pred; proj; lock } ->
+        Scb_read { buffering; pred; proj; lock }
+    | Cs_update { pred; assignments } -> Scb_update { pred; assignments }
+    | Cs_delete { pred } -> Scb_delete { pred }
+    | Cs_agg { pred; group_keys; aggs; lock } ->
+        Scb_agg
+          {
+            pred;
+            group_keys;
+            aggs;
+            lock;
+            ag_groups = Hashtbl.create 16;
+            ag_order = [];
+          }
+  in
+  { scb_file = file; scb_lo = lo; scb_hi = hi; scb_body; scb_prev_leaf = -10 }
+
+(* The backup half absorbing a checkpoint message: pure heap bookkeeping,
+   never touching the simulation clock or counters — the wire cost was
+   already charged by [Msg.checkpoint]. *)
+let apply_ckpt t payload =
+  match t.replica with
+  | None -> ()
+  | Some rp -> (
+      match decode_ckpt payload with
+      | Error e ->
+          Errors.fatal
+            ("Dp replica: malformed checkpoint: " ^ decode_error_to_string e)
+      | Ok items ->
+          rp.rp_bytes <- rp.rp_bytes + String.length payload;
+          List.iter
+            (fun item ->
+              match item with
+              | Ck_intent _ ->
+                  (* the mutation lands in the shared durable structures;
+                     the replica only mirrors control state *)
+                  ()
+              | Ck_lock { tx; file; res; mode } ->
+                  rp.rp_locks <- (tx, file, res, mode) :: rp.rp_locks
+              | Ck_release { tx } ->
+                  rp.rp_locks <-
+                    List.filter (fun (tx', _, _, _) -> tx' <> tx) rp.rp_locks
+              | Ck_scb_open { scb; file; lo; hi; body } ->
+                  Hashtbl.replace rp.rp_scbs scb (scb_of_ckpt ~file ~lo ~hi body)
+              | Ck_agg_state { scb; groups } -> (
+                  match Hashtbl.find_opt rp.rp_scbs scb with
+                  | Some { scb_body = Scb_agg ag; _ } ->
+                      Hashtbl.reset ag.ag_groups;
+                      ag.ag_order <- [];
+                      List.iter
+                        (fun (key_vals, accs) ->
+                          let w = Nsql_util.Codec.writer () in
+                          Row.encode_values w key_vals;
+                          let gk = Nsql_util.Codec.contents w in
+                          Hashtbl.replace ag.ag_groups gk (key_vals, accs);
+                          ag.ag_order <- gk :: ag.ag_order)
+                        groups
+                  | Some _ | None -> ())
+              | Ck_scb_close { scb } -> Hashtbl.remove rp.rp_scbs scb
+              | Ck_park { tx; payload = _ } -> (
+                  (* mirror the live waiter record by reference: its
+                     deferral and scheduled timeout stay valid across
+                     takeover, so budgets keep counting *)
+                  match List.find_opt (fun w -> w.w_tx = tx) t.waiters with
+                  | Some w -> rp.rp_parked <- rp.rp_parked @ [ w ]
+                  | None -> ())
+              | Ck_unpark { tx } ->
+                  rp.rp_parked <-
+                    List.filter (fun w -> w.w_tx <> tx) rp.rp_parked)
+            items)
 
 let create sim msys tmf ~name ~processor ?backup () =
   let volume = Disk.create sim ~name in
@@ -134,12 +256,34 @@ let create sim msys tmf ~name ~processor ?backup () =
       next_scb = 0;
       waiters = [];
       waitgraph = Lock.Waitgraph.create ();
+      ckpt_pending = [];
+      replica =
+        (if backup <> None && cfg.Config.dp_checkpoint then
+           Some
+             {
+               rp_scbs = Hashtbl.create 16;
+               rp_locks = [];
+               rp_parked = [];
+               rp_bytes = 0;
+             }
+         else None);
+      denied = Hashtbl.create 8;
+      lost_scbs = false;
     }
   in
+  (* mirror lock grants into the checkpoint stream *)
+  Lock.set_grant_hook locks
+    (Some (fun ~tx ~file res mode -> ckpt_push t (Ck_lock { tx; file; res; mode })));
+  (* the backup half consumes the checkpoint stream *)
+  if t.replica <> None then
+    Msg.set_checkpoint_receiver endpoint (Some (fun payload -> apply_ckpt t payload));
   (* two-phase locking: locks drop at transaction finish, then the wait
      queue is pumped — freed resources may grant parked requests *)
   Tmf.register_resource_manager tmf ~on_finish:(fun tx ->
+      let held = Lock.held locks ~tx in
       Lock.release_all locks ~tx;
+      Hashtbl.remove t.denied tx;
+      if held > 0 then ckpt_emit t [ Ck_release { tx } ];
       !pump_cell t);
   Msg.set_handler endpoint (fun payload -> !handler_cell t payload);
   t
@@ -598,12 +742,28 @@ let alloc_scb t scb =
   let id = t.next_scb in
   t.next_scb <- id + 1;
   Hashtbl.replace t.scbs id scb;
+  ckpt_push t
+    (Ck_scb_open
+       {
+         scb = id;
+         file = scb.scb_file;
+         lo = scb.scb_lo;
+         hi = scb.scb_hi;
+         body = ckpt_body_of_scb scb;
+       });
   id
 
 let find_scb t id =
   match Hashtbl.find_opt t.scbs id with
   | Some scb -> Ok scb
-  | None -> Errors.fail (Errors.Bad_request (Printf.sprintf "unknown SCB %d" id))
+  | None ->
+      if t.lost_scbs then
+        (* the cursor predates a replica-less takeover: retryable, so the
+           session's retry machinery re-runs the statement from scratch *)
+        Errors.fail
+          (Errors.Takeover (Printf.sprintf "SCB %d lost in takeover" id))
+      else
+        Errors.fail (Errors.Bad_request (Printf.sprintf "unknown SCB %d" id))
 
 (* Sequential pre-fetch heuristic: when the scan enters leaf block [b] and
    the previous leaf was [b-1] (physically clustered), asynchronously read
@@ -1148,10 +1308,30 @@ let drop_scb_when_done t = function
   | Rp_vblock { more = false; scb; _ }
   | Rp_progress { more = false; scb; _ }
   | Rp_agg { more = false; scb; _ } ->
-      if scb >= 0 then Hashtbl.remove t.scbs scb
+      if scb >= 0 && Hashtbl.mem t.scbs scb then begin
+        Hashtbl.remove t.scbs scb;
+        ckpt_push t (Ck_scb_close { scb })
+      end
   | Rp_ok | Rp_file _ | Rp_record _ | Rp_row _ | Rp_slot _ | Rp_block _
   | Rp_vblock _ | Rp_progress _ | Rp_agg _ | Rp_blocked _ | Rp_error _ ->
       ()
+
+(* Aggregate SCBs are the one cursor with server-held progress: when a
+   re-drive boundary leaves partials in the SCB ([more = true]), checkpoint
+   them so the backup's replica folds from the same accumulators. *)
+let ckpt_agg_progress t scb_id scb reply =
+  match reply with
+  | Rp_agg { more = true; _ } -> (
+      match scb.scb_body with
+      | Scb_agg ag when ckpt_active t ->
+          let groups =
+            List.rev_map
+              (fun gk -> Hashtbl.find ag.ag_groups gk)
+              ag.ag_order
+          in
+          ckpt_push t (Ck_agg_state { scb = scb_id; groups })
+      | _ -> ())
+  | _ -> ()
 
 (* --- dispatch -------------------------------------------------------------------- *)
 
@@ -1274,7 +1454,10 @@ let dispatch t req : (reply, Errors.t) result =
   | R_insert_block { file; tx; rows } -> op_insert_block t ~file ~tx ~rows
   | R_apply_block { file; tx; ops } -> op_apply_block t ~file ~tx ~ops
   | R_close_scb { scb } ->
-      Hashtbl.remove t.scbs scb;
+      if Hashtbl.mem t.scbs scb then begin
+        Hashtbl.remove t.scbs scb;
+        ckpt_push t (Ck_scb_close { scb })
+      end;
       Ok Rp_ok
   | R_agg_first { file; tx; range; pred; group_keys; aggs; lock } ->
       let* f = find_file t file in
@@ -1298,6 +1481,7 @@ let dispatch t req : (reply, Errors.t) result =
       in
       let scb_id = alloc_scb t scb in
       let* reply = run_agg_scan t ~tx f scb scb_id ~from_key:range.Expr.lo in
+      ckpt_agg_progress t scb_id scb reply;
       drop_scb_when_done t reply;
       Ok reply
   | R_agg_next { file; tx; scb; after_key } ->
@@ -1308,19 +1492,74 @@ let dispatch t req : (reply, Errors.t) result =
       let* reply =
         run_agg_scan t ~tx f scb_rec scb ~from_key:(Keycode.successor after_key)
       in
+      ckpt_agg_progress t scb scb_rec reply;
       drop_scb_when_done t reply;
       Ok reply
   | R_record_count { file } ->
       let* _f = find_file t file in
       Ok (Rp_slot (record_count t ~file))
 
-let run_request t req =
-  match dispatch t req with
-  | Ok reply -> reply
-  | Error e -> Rp_error e
+(* The transaction a request runs under, if any ([tx = 0] marks
+   transactionless ENSCRIBE-style access). *)
+let req_tx (req : request) =
+  match req with
+  | R_read { tx; _ }
+  | R_read_next { tx; _ }
+  | R_insert { tx; _ }
+  | R_update { tx; _ }
+  | R_delete { tx; _ }
+  | R_lock_file { tx; _ }
+  | R_lock_generic { tx; _ }
+  | R_rel_read { tx; _ }
+  | R_rel_write { tx; _ }
+  | R_rel_rewrite { tx; _ }
+  | R_rel_delete { tx; _ }
+  | R_entry_append { tx; _ }
+  | R_entry_read { tx; _ }
+  | R_get_first { tx; _ }
+  | R_get_next { tx; _ }
+  | R_update_subset_first { tx; _ }
+  | R_update_subset_next { tx; _ }
+  | R_delete_subset_first { tx; _ }
+  | R_delete_subset_next { tx; _ }
+  | R_insert_row { tx; _ }
+  | R_insert_block { tx; _ }
+  | R_apply_block { tx; _ }
+  | R_agg_first { tx; _ }
+  | R_agg_next { tx; _ } -> Some tx
+  | R_create_file _ | R_close_scb _ | R_record_count _ -> None
 
-let request t req =
-  Sim.tick t.sim 20;
+let run_request t req =
+  match req_tx req with
+  | Some tx when tx > 0 && Hashtbl.mem t.denied tx ->
+      (* the transaction had un-checkpointed work in flight when the backup
+         took over: its effects here are unknown, so every further request
+         is refused until the transaction finishes (abort + retry) *)
+      let s = Sim.stats t.sim in
+      s.Stats.takeover_denials <- s.Stats.takeover_denials + 1;
+      Rp_error
+        (Errors.Takeover
+           (Printf.sprintf "tx %d was in flight on %s at takeover" tx
+              t.dp_name))
+  | _ -> ( match dispatch t req with Ok reply -> reply | Error e -> Rp_error e)
+
+(* Ship the deltas a dispatched request accumulated to the backup, as one
+   checkpoint message. A mutation additionally carries its own request
+   bytes (the write intent), so the charge covers exactly what a real
+   process pair would ship before acknowledging. *)
+let flush_ckpt t req =
+  let pending = t.ckpt_pending in
+  t.ckpt_pending <- [];
+  if ckpt_active t then begin
+    let items = List.rev pending in
+    let items =
+      if is_mutation req then Ck_intent { payload = encode_request req } :: items
+      else items
+    in
+    if items <> [] then ckpt_emit t items
+  end
+
+let request_body t req =
   if not (Trace.enabled t.sim) then run_request t req
   else begin
     (* one span per dispatched request; a re-drive reusing a Subset
@@ -1347,6 +1586,12 @@ let request t req =
       ~finally:(fun () -> Trace.finish t.sim sp)
       (fun () -> run_request t req)
   end
+
+let request t req =
+  Sim.tick t.sim 20;
+  let reply = request_body t req in
+  flush_ckpt t req;
+  reply
 
 (* --- lock wait queue ------------------------------------------------------ *)
 
@@ -1392,7 +1637,8 @@ let emit_wait_end t w ~outcome =
 
 let remove_waiter t w =
   t.waiters <- List.filter (fun w' -> w' != w) t.waiters;
-  Lock.Waitgraph.clear_waiting t.waitgraph ~tx:w.w_tx
+  Lock.Waitgraph.clear_waiting t.waitgraph ~tx:w.w_tx;
+  ckpt_emit t [ Ck_unpark { tx = w.w_tx } ]
 
 (* Deny a parked waiter (deadlock victim, wait-budget expiry): deliver the
    withheld reply as an error so its session can abort and retry. *)
@@ -1442,7 +1688,7 @@ let rec resolve_cycles t ~tx =
         resolve_cycles t ~tx
       end
 
-let park t req ~tx ~blockers ~payload_len =
+let park t req ~tx ~blockers ~payload =
   Lock.Waitgraph.set_waiting t.waitgraph ~tx ~on:blockers;
   match resolve_cycles t ~tx with
   | `Deny e -> `Deny e
@@ -1454,10 +1700,11 @@ let park t req ~tx ~blockers ~payload_len =
           w_req = req;
           w_deferral = d;
           w_parked_at = Sim.now t.sim;
-          w_payload_len = payload_len;
+          w_payload = payload;
         }
       in
       t.waiters <- t.waiters @ [ w ];
+      ckpt_emit t [ Ck_park { tx; payload } ];
       let s = Sim.stats t.sim in
       s.Stats.lock_waits <- s.Stats.lock_waits + 1;
       let budget = (Sim.config t.sim).Config.lock_wait_timeout_us in
@@ -1503,9 +1750,6 @@ let pump t =
                         (match reply with
                         | Rp_error _ -> "error"
                         | _ -> "granted");
-                    if is_mutation w.w_req then
-                      Msg.checkpoint t.msys t.endpoint
-                        ~bytes_:w.w_payload_len;
                     Msg.resolve t.msys w.w_deferral (encode_reply reply))
           in
           ())
@@ -1526,10 +1770,7 @@ let handler t payload =
           when (Sim.config t.sim).Config.dp_lock_wait -> (
             match park_tx req with
             | Some tx when tx > 0 -> (
-                match
-                  park t req ~tx ~blockers
-                    ~payload_len:(String.length payload)
-                with
+                match park t req ~tx ~blockers ~payload with
                 | `Parked -> `Parked
                 | `Deny e -> `Reply (Rp_error e))
             | Some _ | None -> `Reply reply)
@@ -1539,18 +1780,88 @@ let handler t payload =
       | `Parked ->
           (* the reply is withheld; this placeholder is discarded by Msg *)
           ""
-      | `Reply reply ->
-          (* mutations checkpoint their intent to the backup half of the
-             pair *)
-          if is_mutation req then
-            Msg.checkpoint t.msys t.endpoint ~bytes_:(String.length payload);
-          encode_reply reply)
+      | `Reply reply -> encode_reply reply)
 
+(* Process-pair takeover: the backup resumes as primary. With an active
+   replica (checkpointing on) every acknowledged piece of state survives —
+   SCB definitions, aggregate partials, granted locks in grant order, and
+   the parked waiters with their live deferrals, so wait budgets keep
+   counting. Without a replica the backup still answers, but cursors and
+   locks are gone: transactions that were in flight here are denied with a
+   retryable [Errors.Takeover] until they finish, and parked requests are
+   flushed the same way. *)
 let takeover t =
-  if Msg.takeover_endpoint t.endpoint then Ok ()
-  else
+  if not (Msg.takeover_endpoint t.endpoint) then
     Errors.fail
       (Errors.Bad_request (t.dp_name ^ ": process pair has no backup"))
+  else begin
+    let s = Sim.stats t.sim in
+    s.Stats.takeovers <- s.Stats.takeovers + 1;
+    let cfg = Sim.config t.sim in
+    t.ckpt_pending <- [];
+    (match t.replica with
+    | Some rp ->
+        (* rebuild primary structures from the replica alone: anything the
+           checkpoint stream missed is deliberately lost, which is what the
+           byte-identity and takeover tests probe *)
+        Hashtbl.reset t.scbs;
+        Lock.clear_all t.locks;
+        Lock.Waitgraph.clear t.waitgraph;
+        let items = ref 0 in
+        List.iter
+          (fun (id, scb) ->
+            incr items;
+            Hashtbl.replace t.scbs id scb)
+          (Nsql_util.Tbl.sorted_bindings rp.rp_scbs);
+        (* oldest grant first, so Shared-then-Exclusive upgrades replay in
+           the order the primary granted them *)
+        let locks = List.rev rp.rp_locks in
+        List.iter (fun _ -> incr items) locks;
+        Lock.restore t.locks locks;
+        (* waiter records survive by reference: the withheld deferrals and
+           the already-scheduled wait-budget timeouts stay valid, so FIFO
+           order and remaining budgets carry across the takeover *)
+        t.waiters <-
+          List.filter (fun w -> not (Msg.resolved w.w_deferral)) rp.rp_parked;
+        List.iter (fun _ -> incr items) t.waiters;
+        (* the new primary has no backup: stop consuming checkpoints *)
+        Msg.set_checkpoint_receiver t.endpoint None;
+        t.replica <- None;
+        (* rebuild cost: one message-handling quantum plus work linear in
+           the replayed state *)
+        Sim.charge t.sim cfg.Config.msg_cpu_cost_us;
+        Sim.tick t.sim (50 * !items);
+        (* re-dispatch survivors: a waiter whose blocker never checkpointed
+           re-parks against the restored lock table *)
+        pump t
+    | None ->
+        (* no replica was maintained: volatile cursor and lock state is
+           gone. Deny every transaction that had work in flight here with a
+           retryable error; the wait queue is flushed the same way. *)
+        List.iter
+          (fun (tx, _file, _res, _mode) -> Hashtbl.replace t.denied tx ())
+          (Lock.snapshot t.locks);
+        List.iter (fun w -> Hashtbl.replace t.denied w.w_tx ()) t.waiters;
+        Hashtbl.reset t.scbs;
+        t.lost_scbs <- true;
+        Lock.clear_all t.locks;
+        Lock.Waitgraph.clear t.waitgraph;
+        let parked = t.waiters in
+        t.waiters <- [];
+        List.iter
+          (fun w ->
+            if not (Msg.resolved w.w_deferral) then begin
+              emit_wait_end t w ~outcome:"takeover";
+              Msg.resolve t.msys w.w_deferral
+                (encode_reply
+                   (Rp_error
+                      (Errors.Takeover
+                         (t.dp_name ^ ": primary failed, state not checkpointed"))))
+            end)
+          parked;
+        Sim.charge t.sim cfg.Config.msg_cpu_cost_us);
+    Ok ()
+  end
 
 (* --- idle-time work ------------------------------------------------------------- *)
 
@@ -1563,6 +1874,16 @@ let crash t =
   Hashtbl.reset t.scbs;
   (* lock tables are volatile too *)
   Lock.clear_all t.locks;
+  (* a crash takes both halves of the pair down: the replica is as gone as
+     the primary's own volatile state *)
+  t.ckpt_pending <- [];
+  (match t.replica with
+  | Some rp ->
+      Hashtbl.reset rp.rp_scbs;
+      rp.rp_locks <- [];
+      rp.rp_parked <- [];
+      rp.rp_bytes <- 0
+  | None -> ());
   (* parked requests lose their server: flush each with an I/O error so no
      requester is left holding a completion that can never resolve *)
   Lock.Waitgraph.clear t.waitgraph;

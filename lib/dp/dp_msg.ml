@@ -410,6 +410,7 @@ let w_error w (e : Errors.t) =
     | Errors.Io_error s -> (13, s)
     | Errors.Internal s -> (14, s)
     | Errors.Deadlock s -> (15, s)
+    | Errors.Takeover s -> (16, s)
   in
   Codec.w_u8 w tag;
   Codec.w_bytes w payload
@@ -434,6 +435,7 @@ let r_error r : Errors.t =
   | 13 -> Errors.Io_error payload
   | 14 -> Errors.Internal payload
   | 15 -> Errors.Deadlock payload
+  | 16 -> Errors.Takeover payload
   | n -> bad_tag "error" n
 
 (* --- request codec ------------------------------------------------------- *)
@@ -913,3 +915,205 @@ let guard decode payload =
 let decode_request payload = guard decode_request_exn payload
 
 let decode_reply payload = guard decode_reply_exn payload
+
+(* --- process-pair checkpoint codec --------------------------------------- *)
+
+(* The checkpoint stream a primary sends its backup: every item is a delta
+   against the replica of takeover-relevant state (SCBs, lock table, wait
+   queues, mutation intents). Each checkpoint message carries the encoded
+   items — the byte charge on the wire is exactly [String.length payload]. *)
+
+module Lock = Nsql_lock.Lock
+
+type ckpt_scb_body =
+  | Cs_read of {
+      buffering : buffering;
+      pred : Expr.t option;
+      proj : int array option;
+      lock : lock_mode;
+    }
+  | Cs_update of { pred : Expr.t option; assignments : Expr.assignment list }
+  | Cs_delete of { pred : Expr.t option }
+  | Cs_agg of {
+      pred : Expr.t option;
+      group_keys : int array;
+      aggs : agg_spec list;
+      lock : lock_mode;
+    }
+
+type ckpt_item =
+  | Ck_intent of { payload : string }
+      (** a mutation request is about to be applied: its full request bytes *)
+  | Ck_lock of { tx : int; file : int; res : Lock.resource; mode : Lock.mode }
+      (** a lock was granted (or upgraded to Exclusive) *)
+  | Ck_release of { tx : int }  (** commit/abort released every lock of [tx] *)
+  | Ck_scb_open of {
+      scb : int;
+      file : int;
+      lo : string;
+      hi : string;
+      body : ckpt_scb_body;
+    }  (** a subset cursor opened: definition, not position — position is
+           client-held and re-supplied on every re-drive *)
+  | Ck_agg_state of { scb : int; groups : (Row.row * agg_acc list) list }
+      (** server-side aggregate partials after a re-drive (the one cursor
+          kind whose progress lives in the Disk Process) *)
+  | Ck_scb_close of { scb : int }  (** the cursor completed or was closed *)
+  | Ck_park of { tx : int; payload : string }
+      (** a request was parked on the lock wait queue: its request bytes *)
+  | Ck_unpark of { tx : int }  (** the parked request left the queue *)
+
+let w_lock_mode w = function
+  | Lock.Shared -> Codec.w_u8 w 0
+  | Lock.Exclusive -> Codec.w_u8 w 1
+
+let r_lock_mode r =
+  match Codec.r_u8 r with
+  | 0 -> Lock.Shared
+  | 1 -> Lock.Exclusive
+  | n -> bad_tag "lock grant mode" n
+
+let w_resource w = function
+  | Lock.File -> Codec.w_u8 w 0
+  | Lock.Record k ->
+      Codec.w_u8 w 1;
+      Codec.w_bytes w k
+  | Lock.Generic p ->
+      Codec.w_u8 w 2;
+      Codec.w_bytes w p
+  | Lock.Range (lo, hi) ->
+      Codec.w_u8 w 3;
+      Codec.w_bytes w lo;
+      Codec.w_bytes w hi
+
+let r_resource r =
+  match Codec.r_u8 r with
+  | 0 -> Lock.File
+  | 1 -> Lock.Record (Codec.r_bytes r)
+  | 2 -> Lock.Generic (Codec.r_bytes r)
+  | 3 ->
+      let lo = Codec.r_bytes r in
+      let hi = Codec.r_bytes r in
+      Lock.Range (lo, hi)
+  | n -> bad_tag "lock resource" n
+
+let w_scb_body w = function
+  | Cs_read { buffering; pred; proj; lock } ->
+      Codec.w_u8 w 0;
+      Codec.w_u8 w (match buffering with B_rsbb -> 0 | B_vsbb -> 1);
+      w_opt w Expr.encode pred;
+      w_opt w w_proj proj;
+      w_lock w lock
+  | Cs_update { pred; assignments } ->
+      Codec.w_u8 w 1;
+      w_opt w Expr.encode pred;
+      w_assignments w assignments
+  | Cs_delete { pred } ->
+      Codec.w_u8 w 2;
+      w_opt w Expr.encode pred
+  | Cs_agg { pred; group_keys; aggs; lock } ->
+      Codec.w_u8 w 3;
+      w_opt w Expr.encode pred;
+      w_proj w group_keys;
+      w_agg_specs w aggs;
+      w_lock w lock
+
+let r_scb_body r =
+  match Codec.r_u8 r with
+  | 0 ->
+      let buffering = match Codec.r_u8 r with 0 -> B_rsbb | _ -> B_vsbb in
+      let pred = r_opt r Expr.decode in
+      let proj = r_opt r r_proj in
+      let lock = r_lock r in
+      Cs_read { buffering; pred; proj; lock }
+  | 1 ->
+      let pred = r_opt r Expr.decode in
+      let assignments = r_assignments r in
+      Cs_update { pred; assignments }
+  | 2 ->
+      let pred = r_opt r Expr.decode in
+      Cs_delete { pred }
+  | 3 ->
+      let pred = r_opt r Expr.decode in
+      let group_keys = r_proj r in
+      let aggs = r_agg_specs r in
+      let lock = r_lock r in
+      Cs_agg { pred; group_keys; aggs; lock }
+  | n -> bad_tag "checkpoint SCB body" n
+
+let w_ckpt_item w = function
+  | Ck_intent { payload } ->
+      Codec.w_u8 w 0;
+      Codec.w_bytes w payload
+  | Ck_lock { tx; file; res; mode } ->
+      Codec.w_u8 w 1;
+      Codec.w_varint w tx;
+      Codec.w_varint w file;
+      w_resource w res;
+      w_lock_mode w mode
+  | Ck_release { tx } ->
+      Codec.w_u8 w 2;
+      Codec.w_varint w tx
+  | Ck_scb_open { scb; file; lo; hi; body } ->
+      Codec.w_u8 w 3;
+      Codec.w_varint w scb;
+      Codec.w_varint w file;
+      Codec.w_bytes w lo;
+      Codec.w_bytes w hi;
+      w_scb_body w body
+  | Ck_agg_state { scb; groups } ->
+      Codec.w_u8 w 4;
+      Codec.w_varint w scb;
+      w_groups w groups
+  | Ck_scb_close { scb } ->
+      Codec.w_u8 w 5;
+      Codec.w_varint w scb
+  | Ck_park { tx; payload } ->
+      Codec.w_u8 w 6;
+      Codec.w_varint w tx;
+      Codec.w_bytes w payload
+  | Ck_unpark { tx } ->
+      Codec.w_u8 w 7;
+      Codec.w_varint w tx
+
+let r_ckpt_item r =
+  match Codec.r_u8 r with
+  | 0 -> Ck_intent { payload = Codec.r_bytes r }
+  | 1 ->
+      let tx = Codec.r_varint r in
+      let file = Codec.r_varint r in
+      let res = r_resource r in
+      let mode = r_lock_mode r in
+      Ck_lock { tx; file; res; mode }
+  | 2 -> Ck_release { tx = Codec.r_varint r }
+  | 3 ->
+      let scb = Codec.r_varint r in
+      let file = Codec.r_varint r in
+      let lo = Codec.r_bytes r in
+      let hi = Codec.r_bytes r in
+      let body = r_scb_body r in
+      Ck_scb_open { scb; file; lo; hi; body }
+  | 4 ->
+      let scb = Codec.r_varint r in
+      let groups = r_groups r in
+      Ck_agg_state { scb; groups }
+  | 5 -> Ck_scb_close { scb = Codec.r_varint r }
+  | 6 ->
+      let tx = Codec.r_varint r in
+      let payload = Codec.r_bytes r in
+      Ck_park { tx; payload }
+  | 7 -> Ck_unpark { tx = Codec.r_varint r }
+  | n -> bad_tag "checkpoint item" n
+
+let encode_ckpt items =
+  let w = Codec.writer () in
+  Codec.w_varint w (List.length items);
+  List.iter (fun item -> w_ckpt_item w item) items;
+  Codec.contents w
+
+let decode_ckpt_exn payload =
+  let r = Codec.reader payload in
+  let n = Codec.r_varint r in
+  List.init n (fun _ -> r_ckpt_item r)
+
+let decode_ckpt payload = guard decode_ckpt_exn payload

@@ -216,3 +216,57 @@ val decode_reply : string -> (reply, decode_error) result
 (** [is_mutation req] — does the request change file state (and thus
     checkpoint to the backup process)? *)
 val is_mutation : request -> bool
+
+(** {1 Process-pair checkpoint stream}
+
+    The deltas a primary Disk Process sends its backup so the backup can
+    resume as primary with no lost acknowledged work: SCB definitions (and
+    the one kind of server-held progress, aggregate partials), lock grants
+    and releases, and wait-queue membership. Encoded with the same codec as
+    the request/reply protocol, so the byte charge of a checkpoint message
+    is exactly the length of its encoded items. *)
+
+module Lock = Nsql_lock.Lock
+
+(** The definition half of a subset cursor — everything needed to rebuild
+    the SCB on the backup. Scan {e position} is deliberately absent for
+    read/update/delete cursors: it is client-held and re-supplied by every
+    re-drive ([after_key]), so the replica never needs it. *)
+type ckpt_scb_body =
+  | Cs_read of {
+      buffering : buffering;
+      pred : Expr.t option;
+      proj : int array option;
+      lock : lock_mode;
+    }
+  | Cs_update of { pred : Expr.t option; assignments : Expr.assignment list }
+  | Cs_delete of { pred : Expr.t option }
+  | Cs_agg of {
+      pred : Expr.t option;
+      group_keys : int array;
+      aggs : agg_spec list;
+      lock : lock_mode;
+    }
+
+type ckpt_item =
+  | Ck_intent of { payload : string }
+      (** a mutation request is being applied: its full request bytes *)
+  | Ck_lock of { tx : int; file : int; res : Lock.resource; mode : Lock.mode }
+      (** a lock was granted, or upgraded to Exclusive *)
+  | Ck_release of { tx : int }  (** commit/abort released every lock of [tx] *)
+  | Ck_scb_open of {
+      scb : int;
+      file : int;
+      lo : string;
+      hi : string;
+      body : ckpt_scb_body;
+    }
+  | Ck_agg_state of { scb : int; groups : (Row.row * agg_acc list) list }
+      (** aggregate partials surviving a re-drive boundary *)
+  | Ck_scb_close of { scb : int }
+  | Ck_park of { tx : int; payload : string }
+      (** a request was parked on the lock wait queue *)
+  | Ck_unpark of { tx : int }  (** the parked request left the queue *)
+
+val encode_ckpt : ckpt_item list -> string
+val decode_ckpt : string -> (ckpt_item list, decode_error) result

@@ -60,9 +60,20 @@ type t = {
   sim : Sim.t;
   files : (int, file_table) Hashtbl.t;
   by_tx : (int, entry list ref) Hashtbl.t;
+  (* observer for process-pair checkpointing: called on every new grant and
+     on every actual S->X upgrade (not on no-op re-grants), so a mirror of
+     the table can be maintained elsewhere *)
+  mutable grant_hook : (tx:int -> file:int -> resource -> mode -> unit) option;
 }
 
-let create sim = { sim; files = Hashtbl.create 16; by_tx = Hashtbl.create 16 }
+let create sim =
+  { sim; files = Hashtbl.create 16; by_tx = Hashtbl.create 16;
+    grant_hook = None }
+
+let set_grant_hook t hook = t.grant_hook <- hook
+
+let notify_grant t ~tx ~file res mode =
+  match t.grant_hook with None -> () | Some f -> f ~tx ~file res mode
 
 let file_table t file =
   match Hashtbl.find_opt t.files file with
@@ -130,12 +141,16 @@ let acquire t ~tx ~file res mode =
       match own with
       | Some e ->
           (* re-grant; upgrade S -> X in place *)
-          if mode = Exclusive then e.e_mode <- Exclusive;
+          if mode = Exclusive && e.e_mode = Shared then begin
+            e.e_mode <- Exclusive;
+            notify_grant t ~tx ~file res Exclusive
+          end;
           Granted
       | None ->
           let e = { e_tx = tx; e_file = file; e_res = res; e_iv = iv; e_mode = mode } in
           insert ft e;
           index_by_tx t e;
+          notify_grant t ~tx ~file res mode;
           Granted)
   | cs ->
       s.Stats.lock_conflicts <- s.Stats.lock_conflicts + 1;
@@ -187,6 +202,39 @@ let total_locks t =
     (fun acc (_, es) -> acc + List.length !es)
     0
     (Nsql_util.Tbl.sorted_bindings t.by_tx)
+
+(* A deterministic image of every granted lock, ordered by transaction id
+   then grant order within the transaction. Used by takeover tests and by
+   the denial path to learn which transactions held pre-takeover state. *)
+let snapshot t =
+  List.concat_map
+    (fun (tx, es) ->
+      List.rev_map (fun e -> (tx, e.e_file, e.e_res, e.e_mode)) !es)
+    (Nsql_util.Tbl.sorted_bindings t.by_tx)
+
+(* Rebuild the table from a grant log — takeover on the new primary. No
+   stats, no ticks, no conflict checks: the log only ever contains grants
+   that were legal when made, and replaying upgrades last keeps the final
+   mode right (an S entry followed by an X entry for the same resource). *)
+let restore t entries =
+  List.iter
+    (fun (tx, file, res, mode) ->
+      let ft = file_table t file in
+      let own =
+        List.find_opt
+          (fun e -> e.e_tx = tx && same_resource e.e_res res)
+          (overlapping ft res (interval res))
+      in
+      match own with
+      | Some e -> if mode = Exclusive then e.e_mode <- Exclusive
+      | None ->
+          let e =
+            { e_tx = tx; e_file = file; e_res = res; e_iv = interval res;
+              e_mode = mode }
+          in
+          insert ft e;
+          index_by_tx t e)
+    entries
 
 let holders t ~file res =
   let ft = file_table t file in

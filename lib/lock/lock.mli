@@ -59,6 +59,23 @@ val total_locks : t -> int
     [resource] (any mode). *)
 val holders : t -> file:int -> resource -> int list
 
+(** [set_grant_hook t hook] registers an observer called on every new grant
+    and on every actual Shared-to-Exclusive upgrade (no-op re-grants are not
+    reported). The process-pair checkpoint stream uses this to mirror the
+    lock table onto the backup. [None] unregisters. *)
+val set_grant_hook :
+  t -> (tx:int -> file:int -> resource -> mode -> unit) option -> unit
+
+(** [snapshot t] is a deterministic image of every granted lock as
+    [(tx, file, resource, mode)], ordered by transaction id then grant
+    order. *)
+val snapshot : t -> (int * int * resource * mode) list
+
+(** [restore t entries] rebuilds the table from a grant log (takeover on
+    the new primary). Charges no statistics and no simulated time: the
+    backup already paid for this state through the checkpoint stream. *)
+val restore : t -> (int * int * resource * mode) list -> unit
+
 (** {1 Wait-for graph} *)
 
 module Waitgraph : sig

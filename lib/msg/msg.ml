@@ -13,6 +13,9 @@ type endpoint = {
   mutable processor : processor;
   mutable backup : processor option;
   mutable handler : string -> string;
+  (* backup-side consumer of checkpoint payloads; pure bookkeeping — it must
+     never touch the simulation clock or counters *)
+  mutable ckpt_receiver : (string -> unit) option;
 }
 
 type fault_action =
@@ -63,7 +66,7 @@ let sim t = t.sim
 let register t ~name ~processor ?backup handler =
   if Hashtbl.mem t.endpoints name then
     invalid_arg (Printf.sprintf "Msg.register: duplicate endpoint %s" name);
-  let e = { name; processor; backup; handler } in
+  let e = { name; processor; backup; handler; ckpt_receiver = None } in
   Hashtbl.replace t.endpoints name e;
   e
 
@@ -322,10 +325,13 @@ let await_any t cs =
   in
   loop ()
 
-let checkpoint t e ~bytes_ =
+let set_checkpoint_receiver e r = e.ckpt_receiver <- r
+
+let checkpoint t e payload =
   match e.backup with
   | None -> ()
   | Some backup ->
+      let bytes_ = String.length payload in
       if Trace.enabled t.sim then
         Trace.instant t.sim ~cat:"msg"
           ~attrs:
@@ -339,7 +345,9 @@ let checkpoint t e ~bytes_ =
       let stats = Sim.stats t.sim in
       stats.Stats.checkpoint_msgs <- stats.Stats.checkpoint_msgs + 1;
       stats.Stats.checkpoint_bytes <- stats.Stats.checkpoint_bytes + bytes_;
-      charge_hop t ~from:e.processor ~to_:backup bytes_
+      charge_hop t ~from:e.processor ~to_:backup bytes_;
+      (* deliver to the backup half: heap-only replica maintenance *)
+      (match e.ckpt_receiver with None -> () | Some f -> f payload)
 
 (* Process-pair takeover: the backup becomes the primary. The old primary
    is gone; a new backup would be re-created elsewhere in the real system

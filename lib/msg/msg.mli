@@ -151,7 +151,16 @@ val done_at : completion -> float option
     Raises [Invalid_argument] on the empty list. *)
 val await_any : system -> completion list -> int * string
 
-(** [checkpoint sys endpoint ~bytes] charges a primary-to-backup checkpoint
-    message of [bytes] payload, if the endpoint has a backup. State-changing
-    requests checkpoint so the backup can take over mid-transaction. *)
-val checkpoint : system -> endpoint -> bytes_:int -> unit
+(** [checkpoint sys endpoint payload] sends a primary-to-backup checkpoint
+    message carrying [payload], if the endpoint has a backup: charges the
+    hop and the payload bytes, then hands the payload to the endpoint's
+    checkpoint receiver (the backup half's replica maintenance). A no-op
+    without a backup. State-changing requests checkpoint so the backup can
+    take over mid-transaction. *)
+val checkpoint : system -> endpoint -> string -> unit
+
+(** [set_checkpoint_receiver e (Some f)] installs the backup-side consumer
+    of checkpoint payloads. [f] must be pure heap bookkeeping: it runs
+    synchronously inside {!checkpoint} after the charge and must never
+    touch the simulation clock or counters. [None] uninstalls. *)
+val set_checkpoint_receiver : endpoint -> (string -> unit) option -> unit

@@ -16,6 +16,13 @@ type t = {
           deadlock detection) instead of answering with an immediate
           [Rp_blocked]; off by default so single-session workloads keep
           byte-identical message traffic *)
+  dp_checkpoint : bool;
+      (** maintain a backup-side replica of takeover-relevant DP state
+          (open SCBs, lock table, wait queues, mutation intents) applied
+          from the checkpoint stream; the replica is pure backup-side
+          bookkeeping, so turning it off changes no message traffic,
+          clock or counters — only whether a takeover can resume
+          in-flight work *)
   msg_local_cost_us : float;
   msg_cpu_cost_us : float;
   msg_node_cost_us : float;
@@ -42,6 +49,7 @@ let default =
     dp_prefetch = true;
     fs_fanout = true;
     dp_lock_wait = false;
+    dp_checkpoint = true;
     msg_local_cost_us = 300.;
     msg_cpu_cost_us = 1_000.;
     msg_node_cost_us = 5_000.;
@@ -66,6 +74,7 @@ let v ?(block_size = default.block_size)
     ?(dp_prefetch = default.dp_prefetch)
     ?(fs_fanout = default.fs_fanout)
     ?(dp_lock_wait = default.dp_lock_wait)
+    ?(dp_checkpoint = default.dp_checkpoint)
     ?(msg_local_cost_us = default.msg_local_cost_us)
     ?(msg_cpu_cost_us = default.msg_cpu_cost_us)
     ?(msg_node_cost_us = default.msg_node_cost_us)
@@ -89,6 +98,7 @@ let v ?(block_size = default.block_size)
     dp_prefetch;
     fs_fanout;
     dp_lock_wait;
+    dp_checkpoint;
     msg_local_cost_us;
     msg_cpu_cost_us;
     msg_node_cost_us;

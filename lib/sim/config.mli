@@ -27,6 +27,12 @@ type t = {
           deadlock detection and a {!lock_wait_timeout_us} budget) instead
           of answering with an immediate denial; off by default so
           single-session workloads keep byte-identical message traffic *)
+  dp_checkpoint : bool;
+      (** maintain a backup-side replica of takeover-relevant DP state
+          (open SCBs, lock table, wait queues, mutation intents) applied
+          from the checkpoint stream; pure backup-side bookkeeping — the
+          knob changes no message traffic, clock or counters, only whether
+          a takeover can resume in-flight work *)
   msg_local_cost_us : float;  (** fixed cost, same-processor message *)
   msg_cpu_cost_us : float;  (** fixed cost, cross-processor message *)
   msg_node_cost_us : float;  (** fixed cost, cross-node message *)
@@ -55,6 +61,7 @@ val v :
   ?dp_prefetch:bool ->
   ?fs_fanout:bool ->
   ?dp_lock_wait:bool ->
+  ?dp_checkpoint:bool ->
   ?msg_local_cost_us:float ->
   ?msg_cpu_cost_us:float ->
   ?msg_node_cost_us:float ->

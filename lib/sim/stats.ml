@@ -37,6 +37,8 @@ type t = {
   mutable faults_injected : int;
   mutable msg_path_retries : int;
   mutable disk_transient_errors : int;
+  mutable takeovers : int;
+  mutable takeover_denials : int;
 }
 
 let create () =
@@ -79,6 +81,8 @@ let create () =
     faults_injected = 0;
     msg_path_retries = 0;
     disk_transient_errors = 0;
+    takeovers = 0;
+    takeover_denials = 0;
   }
 
 let copy t = { t with msgs_sent = t.msgs_sent }
@@ -125,6 +129,8 @@ let map2 f a b =
     faults_injected = f a.faults_injected b.faults_injected;
     msg_path_retries = f a.msg_path_retries b.msg_path_retries;
     disk_transient_errors = f a.disk_transient_errors b.disk_transient_errors;
+    takeovers = f a.takeovers b.takeovers;
+    takeover_denials = f a.takeover_denials b.takeover_denials;
   }
 
 let diff ~before ~after = map2 (fun a b -> a - b) after before
@@ -169,7 +175,9 @@ let reset t =
   t.redrives <- 0;
   t.faults_injected <- 0;
   t.msg_path_retries <- 0;
-  t.disk_transient_errors <- 0
+  t.disk_transient_errors <- 0;
+  t.takeovers <- 0;
+  t.takeover_denials <- 0
 
 let to_assoc t =
   [
@@ -211,6 +219,8 @@ let to_assoc t =
     ("faults_injected", t.faults_injected);
     ("msg_path_retries", t.msg_path_retries);
     ("disk_transient_errors", t.disk_transient_errors);
+    ("takeovers", t.takeovers);
+    ("takeover_denials", t.takeover_denials);
   ]
 
 let pp ppf t =

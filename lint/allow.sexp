@@ -3,14 +3,14 @@
 ; (matching no finding) fail the lint, so remove entries once the code
 ; they excuse is gone.
 
-((rule DET-HASHITER) (file lib/lock/lock.ml) (line 86)
+((rule DET-HASHITER) (file lib/lock/lock.ml) (line 97)
  (note "overlap probe on the point-lock hash: the fold only accumulates a
         conflict set, callers sort every escaping list (holders uses
         sort_uniq, acquire sorts blocker txs), so traversal order cannot
         reach state or output; sorting here would put an O(n log n) pass
         on the hot point-probe path"))
 
-((rule LOCK-ORDER) (file lib/dp/dp.ml) (line 209)
+((rule LOCK-ORDER) (file lib/dp/dp.ml) (line 353)
  (note "try_lock is the single acquisition wrapper and receives its
         resource as a variable, so the rule cannot rank it; every call
         site passes a literal constructor and is checked individually"))

@@ -165,3 +165,210 @@ let suite =
       Alcotest.test_case "entry-append abort truncates" `Quick
         entry_append_abort_undoes;
     ]
+
+(* --- process-pair replication battery ------------------------------------ *)
+
+module Stats = Nsql_sim.Stats
+
+let lock_wait_config ?dp_checkpoint () =
+  Config.v ~dp_lock_wait:true ~lock_wait_timeout_us:150_000. ?dp_checkpoint ()
+
+(* an exclusive point read sent nowait straight at the Disk Process, so the
+   test can hold several parked requests at once *)
+let xread_nowait n ~dpfile ~tx key =
+  let req =
+    Dp_msg.R_read { file = dpfile; tx; key; lock = Dp_msg.L_exclusive }
+  in
+  Msg.send_nowait n.msys ~from:n.app_processor ~tag:(Dp_msg.tag req)
+    (Dp.endpoint n.dps.(0)) (Dp_msg.encode_request req)
+
+let reply_of payload =
+  match Dp_msg.decode_reply payload with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Dp_msg.decode_error_to_string e)
+
+(* two waiters queue behind an exclusive lock; the primary fails; the NEW
+   primary must grant them in the original FIFO order when the lock holder
+   commits *)
+let takeover_preserves_fifo_waiters () =
+  let n = node ~config:(lock_wait_config ()) () in
+  let file = create_accounts n in
+  load_accounts n file 10;
+  let dpfile = Option.get (Dp.file_id n.dps.(0) "ACCOUNT#p0") in
+  let tx1 = Tmf.begin_tx n.tmf in
+  ignore
+    (get_ok ~ctx:"tx1 X"
+       (Fs.read n.fs file ~tx:tx1 ~key:(acct_key 5) ~lock:Dp_msg.L_exclusive));
+  let tx2 = Tmf.begin_tx n.tmf in
+  let tx3 = Tmf.begin_tx n.tmf in
+  let c2 = xread_nowait n ~dpfile ~tx:tx2 (acct_key 5) in
+  let c3 = xread_nowait n ~dpfile ~tx:tx3 (acct_key 5) in
+  Alcotest.(check bool) "both parked" true
+    (Msg.done_at c2 = None && Msg.done_at c3 = None);
+  get_ok ~ctx:"takeover" (Dp.takeover n.dps.(0));
+  Alcotest.(check bool) "both still parked on the new primary" true
+    (Msg.done_at c2 = None && Msg.done_at c3 = None);
+  (* release: the new primary pumps its (checkpointed) wait queue *)
+  get_ok ~ctx:"commit tx1" (Tmf.commit n.tmf ~tx:tx1);
+  Alcotest.(check bool) "tx2 granted first (FIFO)" true
+    (Msg.done_at c2 <> None);
+  Alcotest.(check bool) "tx3 still behind tx2" true (Msg.done_at c3 = None);
+  (match reply_of (Msg.await n.msys c2) with
+  | Dp_msg.Rp_record _ -> ()
+  | _ -> Alcotest.fail "tx2: expected the record");
+  get_ok ~ctx:"commit tx2" (Tmf.commit n.tmf ~tx:tx2);
+  Alcotest.(check bool) "tx3 granted after tx2" true (Msg.done_at c3 <> None);
+  (match reply_of (Msg.await n.msys c3) with
+  | Dp_msg.Rp_record _ -> ()
+  | _ -> Alcotest.fail "tx3: expected the record");
+  get_ok ~ctx:"commit tx3" (Tmf.commit n.tmf ~tx:tx3)
+
+(* a parked request's wait budget is NOT restarted by a takeover: the
+   timeout fires at park-time + budget even though the primary changed
+   half-way through the wait *)
+let takeover_keeps_wait_budget () =
+  let n = node ~config:(lock_wait_config ()) () in
+  let file = create_accounts n in
+  load_accounts n file 10;
+  let dpfile = Option.get (Dp.file_id n.dps.(0) "ACCOUNT#p0") in
+  let tx1 = Tmf.begin_tx n.tmf in
+  ignore
+    (get_ok ~ctx:"tx1 X"
+       (Fs.read n.fs file ~tx:tx1 ~key:(acct_key 3) ~lock:Dp_msg.L_exclusive));
+  let tx2 = Tmf.begin_tx n.tmf in
+  let parked_at = Sim.now n.sim in
+  let c2 = xread_nowait n ~dpfile ~tx:tx2 (acct_key 3) in
+  (* fail the primary half-way into the 150ms budget *)
+  Sim.schedule n.sim
+    ~at:(parked_at +. 75_000.)
+    (fun () -> get_ok ~ctx:"mid-wait takeover" (Dp.takeover n.dps.(0)));
+  (match reply_of (Msg.await n.msys c2) with
+  | Dp_msg.Rp_error (Errors.Lock_timeout _) -> ()
+  | Dp_msg.Rp_error e -> Alcotest.fail (Errors.to_string e)
+  | _ -> Alcotest.fail "expected a lock-wait timeout");
+  let waited = Sim.now n.sim -. parked_at in
+  Alcotest.(check bool) "waited out the budget" true (waited >= 150_000.);
+  Alcotest.(check bool) "budget kept counting across takeover" true
+    (waited < 160_000.);
+  get_ok ~ctx:"abort tx2" (Tmf.abort n.tmf ~tx:tx2);
+  get_ok ~ctx:"commit tx1" (Tmf.commit n.tmf ~tx:tx1)
+
+(* without a replica (checkpoint apply off), a takeover still answers, but
+   transactions that were in flight are denied with a retryable error until
+   they abort — after which service is clean *)
+let unreplicated_takeover_denies_retryably () =
+  let n = node ~config:(Config.v ~dp_checkpoint:false ()) () in
+  let file = create_accounts n in
+  load_accounts n file 10;
+  let tx = Tmf.begin_tx n.tmf in
+  ignore
+    (get_ok ~ctx:"tx X"
+       (Fs.read n.fs file ~tx ~key:(acct_key 2) ~lock:Dp_msg.L_exclusive));
+  let s = Sim.stats n.sim in
+  let denials = s.Stats.takeover_denials in
+  get_ok ~ctx:"takeover" (Dp.takeover n.dps.(0));
+  (match Fs.read n.fs file ~tx ~key:(acct_key 4) ~lock:Dp_msg.L_exclusive with
+  | Error (Errors.Takeover _ as e) ->
+      Alcotest.(check bool) "classified retryable" true (N.retryable e)
+  | Ok _ -> Alcotest.fail "in-flight tx served by unreplicated new primary"
+  | Error e -> Alcotest.fail (Errors.to_string e));
+  Alcotest.(check int) "denial counted" (denials + 1)
+    s.Stats.takeover_denials;
+  get_ok ~ctx:"abort" (Tmf.abort n.tmf ~tx);
+  (* the abort clears the denial: a fresh attempt succeeds *)
+  in_tx n (fun tx ->
+      let open Errors in
+      let* _ =
+        Fs.read n.fs file ~tx ~key:(acct_key 4) ~lock:Dp_msg.L_exclusive
+      in
+      Ok ())
+
+(* no-backup regressions: a solo Disk Process refuses takeover with
+   [Bad_request], and a second takeover of a pair finds no backup left *)
+let no_backup_regressions () =
+  let sim = Sim.create () in
+  let msys = Msg.create sim in
+  let audit_volume = Disk.create sim ~name:"$AUDIT" in
+  let trail = Trail.create sim audit_volume in
+  let tmf = Tmf.create sim trail in
+  let solo =
+    Dp.create sim msys tmf ~name:"$SOLO"
+      ~processor:Msg.{ node = 0; cpu = 1 }
+      ()
+  in
+  (match Dp.takeover solo with
+  | Error (Errors.Bad_request _) -> ()
+  | Ok () -> Alcotest.fail "takeover without backup succeeded"
+  | Error e -> Alcotest.fail (Errors.to_string e));
+  let nn = N.create_node () in
+  Alcotest.(check bool) "first takeover flips to the backup" true
+    (N.takeover_volume nn 0);
+  Alcotest.(check bool) "double takeover refused" false
+    (N.takeover_volume nn 0)
+
+(* "the replica is free when unused": with no fault injected, running the
+   same workload with checkpoint apply on and off yields bit-identical
+   results, clock, and counters — the checkpoint messages themselves are
+   charged either way, the replica bookkeeping is pure heap *)
+let replica_is_free_when_unused () =
+  let run dp_checkpoint =
+    let n = node ~config:(lock_wait_config ~dp_checkpoint ()) () in
+    let file = create_accounts n in
+    load_accounts n file 60;
+    let dpfile = Option.get (Dp.file_id n.dps.(0) "ACCOUNT#p0") in
+    (* cross every checkpointed structure: a subset update (SCB + intent),
+       a lock wait with grant (park/unpark), and a full scan *)
+    in_tx n (fun tx ->
+        let open Errors in
+        let* nrows =
+          Fs.update_subset n.fs file ~tx
+            ~range:
+              Expr.{ lo = acct_key 10; hi = Keycode.successor (acct_key 19) }
+            [ { Expr.target = 1; source = Expr.(Const (Row.Vfloat 7.)) } ]
+        in
+        Alcotest.(check int) "updated" 10 nrows;
+        Ok ());
+    let tx1 = Tmf.begin_tx n.tmf in
+    ignore
+      (get_ok ~ctx:"tx1 X"
+         (Fs.read n.fs file ~tx:tx1 ~key:(acct_key 0)
+            ~lock:Dp_msg.L_exclusive));
+    let tx2 = Tmf.begin_tx n.tmf in
+    let c2 = xread_nowait n ~dpfile ~tx:tx2 (acct_key 0) in
+    get_ok ~ctx:"commit tx1" (Tmf.commit n.tmf ~tx:tx1);
+    (match reply_of (Msg.await n.msys c2) with
+    | Dp_msg.Rp_record _ -> ()
+    | _ -> Alcotest.fail "waiter not granted");
+    get_ok ~ctx:"commit tx2" (Tmf.commit n.tmf ~tx:tx2);
+    let rows =
+      in_tx n (fun tx ->
+          let sc =
+            Fs.open_scan n.fs file ~tx ~access:Fs.A_vsbb ~range:full_range
+              ~lock:Dp_msg.L_none ()
+          in
+          Ok (drain_scan n sc))
+    in
+    let encoded = List.map (Row.encode account_schema) rows in
+    (Sim.now n.sim, Stats.to_assoc (Sim.stats n.sim), encoded)
+  in
+  let t_on, s_on, r_on = run true in
+  let t_off, s_off, r_off = run false in
+  Alcotest.(check (float 0.)) "bit-identical clock" t_on t_off;
+  Alcotest.(check (list (pair string int))) "bit-identical counters" s_on
+    s_off;
+  Alcotest.(check (list string)) "bit-identical results" r_on r_off
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "takeover preserves waiter FIFO" `Quick
+        takeover_preserves_fifo_waiters;
+      Alcotest.test_case "takeover keeps the wait budget counting" `Quick
+        takeover_keeps_wait_budget;
+      Alcotest.test_case "unreplicated takeover denies retryably" `Quick
+        unreplicated_takeover_denies_retryably;
+      Alcotest.test_case "no backup: Bad_request and double takeover" `Quick
+        no_backup_regressions;
+      Alcotest.test_case "replica is free when unused" `Quick
+        replica_is_free_when_unused;
+    ]

@@ -144,6 +144,87 @@ let qcheck_contention_seed =
           (String.concat "\n" r.Chaos.n_violations);
       true)
 
+(* --- process-pair takeover under live contention ----------------------- *)
+
+(* pinned seeds where the hot volume's primary fails mid-run, with
+   terminals mid-scan, parked on the wait queue, or between phases. The
+   replica makes the takeover transparent: the oracle must hold, nothing
+   may be denied, and no parameter set abandoned. *)
+let check_takeover_seed seed () =
+  let r = Chaos.run_contention ~takeover:true ~seed () in
+  Alcotest.(check (list string))
+    (Printf.sprintf "takeover seed %d: violations" seed)
+    [] r.Chaos.n_violations;
+  Alcotest.(check int)
+    (Printf.sprintf "takeover seed %d: exactly one takeover" seed)
+    1 r.Chaos.n_stats.Stats.takeovers;
+  Alcotest.(check int)
+    (Printf.sprintf "takeover seed %d: replica leaves nothing to deny" seed)
+    0 r.Chaos.n_transfers.Debitcredit.x_takeover_aborts;
+  Alcotest.(check int)
+    (Printf.sprintf "takeover seed %d: no transfer abandoned" seed)
+    0 r.Chaos.n_transfers.Debitcredit.x_failed;
+  Alcotest.(check bool)
+    (Printf.sprintf "takeover seed %d: the queue was exercised" seed)
+    true (r.Chaos.n_lock_waits > 0)
+
+let takeover_determinism seed () =
+  let r1 = Chaos.run_contention ~takeover:true ~seed () in
+  let r2 = Chaos.run_contention ~takeover:true ~seed () in
+  Alcotest.(check (list (pair string int)))
+    (Printf.sprintf "takeover seed %d: identical statistics" seed)
+    (Stats.to_assoc r1.Chaos.n_stats)
+    (Stats.to_assoc r2.Chaos.n_stats);
+  Alcotest.(check int)
+    "identical commit count"
+    r1.Chaos.n_transfers.Debitcredit.x_committed
+    r2.Chaos.n_transfers.Debitcredit.x_committed;
+  (* the takeover flag must not perturb a run without it: the extra stream
+     draw happens only when armed *)
+  let base1 = Chaos.run_contention ~seed () in
+  let base2 = Chaos.run_contention ~seed () in
+  Alcotest.(check (list (pair string int)))
+    "unarmed runs replay identically"
+    (Stats.to_assoc base1.Chaos.n_stats)
+    (Stats.to_assoc base2.Chaos.n_stats)
+
+(* acknowledged commits are never lost and never doubled: each run's
+   violations list already proves its balances match the mirror of exactly
+   the acknowledged commits; and when neither run abandons a parameter
+   set, the deterministic parameter streams commit exactly once in both,
+   so the committed results of the takeover run equal the fault-free
+   run's *)
+let qcheck_takeover_equivalence =
+  QCheck.Test.make ~count:5
+    ~name:"takeover: committed results equal the fault-free run"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let ff = Chaos.run_contention ~txs_per_terminal:5 ~seed () in
+      let tk =
+        Chaos.run_contention ~txs_per_terminal:5 ~takeover:true ~seed ()
+      in
+      if tk.Chaos.n_violations <> [] then
+        QCheck.Test.fail_reportf "takeover seed %d violations:@.%s" seed
+          (String.concat "\n" tk.Chaos.n_violations);
+      if tk.Chaos.n_stats.Stats.takeovers <> 1 then
+        QCheck.Test.fail_reportf "takeover seed %d: takeover did not land"
+          seed;
+      let failed r = r.Chaos.n_transfers.Debitcredit.x_failed in
+      if failed ff = 0 && failed tk <> 0 then
+        QCheck.Test.fail_reportf
+          "takeover seed %d: takeover abandoned %d parameter sets the \
+           fault-free run committed"
+          seed (failed tk);
+      if failed ff = 0 && failed tk = 0
+         && ff.Chaos.n_transfers.Debitcredit.x_committed
+            <> tk.Chaos.n_transfers.Debitcredit.x_committed
+      then
+        QCheck.Test.fail_reportf
+          "takeover seed %d: %d commits fault-free vs %d across takeover"
+          seed ff.Chaos.n_transfers.Debitcredit.x_committed
+          tk.Chaos.n_transfers.Debitcredit.x_committed;
+      true)
+
 let suite =
   corpus_cases
   @ [
@@ -156,4 +237,10 @@ let suite =
       Alcotest.test_case "contention replay determinism" `Quick
         (contention_determinism 9);
       QCheck_alcotest.to_alcotest qcheck_contention_seed;
+      Alcotest.test_case "takeover seed 2" `Quick (check_takeover_seed 2);
+      Alcotest.test_case "takeover seed 5" `Quick (check_takeover_seed 5);
+      Alcotest.test_case "takeover seed 8" `Quick (check_takeover_seed 8);
+      Alcotest.test_case "takeover replay determinism" `Quick
+        (takeover_determinism 6);
+      QCheck_alcotest.to_alcotest qcheck_takeover_equivalence;
     ]
