@@ -506,10 +506,11 @@ let dump_keyed node file schema =
         | Ok (Some row) -> loop ((Row.key_of_row schema row, row) :: acc)
         | Error e -> Error e
       in
-      (* close on every exit: scans hold SCBs and a trace span open *)
-      let res = loop [] in
-      Fs.close_scan fs sc;
-      res)
+      (* close on every exit — including a raise — since scans hold SCBs
+         and a trace span open *)
+      Fun.protect
+        ~finally:(fun () -> Fs.close_scan fs sc)
+        (fun () -> loop []))
 
 let dump_index node file index =
   let fs = N.fs node in
@@ -890,9 +891,11 @@ let scan_check ctx env prng =
           | Ok (Some row) -> loop (row :: acc)
           | Error e -> Error e
         in
-        let res = loop [] in
-        Fs.close_scan fs sc;
-        let* rows = res in
+        let* rows =
+          Fun.protect
+            ~finally:(fun () -> Fs.close_scan fs sc)
+            (fun () -> loop [])
+        in
         let actual =
           List.map (fun r -> (Row.key_of_row env.fe_acct_schema r, r)) rows
         in
@@ -1228,9 +1231,11 @@ let cl_scan_check ctx env prng =
         | Ok (Some row) -> loop (row :: acc)
         | Error e -> Error e
       in
-      let res = loop [] in
-      Fs.close_scan fs sc;
-      let* rows = res in
+      let* rows =
+        Fun.protect
+          ~finally:(fun () -> Fs.close_scan fs sc)
+          (fun () -> loop [])
+      in
       let actual =
         List.map (fun r -> (Row.key_of_row env.ce_schema r, r)) rows
       in

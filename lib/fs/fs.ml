@@ -1166,11 +1166,9 @@ let update_subset t f ~tx ~range ?pred assignments =
           let* () = update_row_via_key t f ~tx ~key assignments in
           go (count + 1)
     in
-    (* close on every exit — errors must not leave the scan (or its span)
-       open *)
-    let res = go 0 in
-    close_scan t sc;
-    res
+    (* close on every exit — errors and raises out of the driver (a
+       malformed record decode) must not leave the scan (or its span) open *)
+    Fun.protect ~finally:(fun () -> close_scan t sc) (fun () -> go 0)
   end
   else
     drive_subset t f ~tx ~range
@@ -1198,9 +1196,7 @@ let delete_subset t f ~tx ~range ?pred () =
           let* () = delete_row_via_key t f ~tx ~key in
           go (count + 1)
     in
-    let res = go 0 in
-    close_scan t sc;
-    res
+    Fun.protect ~finally:(fun () -> close_scan t sc) (fun () -> go 0)
   end
   else
     drive_subset t f ~tx ~range
@@ -1568,8 +1564,6 @@ let add_index t f ~tx spec =
           let* () = if List.length !batch >= 50 then flush () else Ok () in
           fill ()
     in
-    let res = fill () in
-    close_scan t sc;
-    let* () = res in
+    let* () = Fun.protect ~finally:(fun () -> close_scan t sc) fill in
     Ok { f with indexes = ix :: f.indexes }
   end

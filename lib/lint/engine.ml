@@ -1,5 +1,6 @@
 (* Orchestration: discover sources, parse, build the result-returning
-   function index from interfaces, run every rule, apply the allowlist.
+   function index from interfaces, build the whole-repo call graph and
+   effect summaries, run every enabled rule, apply the allowlist.
 
    The engine is itself deterministic — file lists and diagnostics are
    sorted — so CI output is stable and diffable. *)
@@ -11,11 +12,67 @@ type report = {
   files_scanned : int;
 }
 
+(* the rule registry: every rule the engine can run, with a one-line doc.
+   [--list-rules] prints this table; [--rule] validates against it.
+   LINT-PARSE is not filterable — an unparseable file fails every run. *)
+let registry =
+  [
+    ("DET-RANDOM", "no nondeterministic randomness outside lib/sim");
+    ("SIM-CLOCK", "no wall-clock reads; simulated time only");
+    ("DET-HASHITER", "no order-dependent hash-table iteration");
+    ("ERR-SWALLOW", "result-returning calls must not be discarded");
+    ("LOCK-ORDER", "lock acquisition follows the declared order");
+    ("PROTO-EXHAUST", "every request constructor is dispatched and sent");
+    ("RES-LEAK", "scan/span/completion/deferral handles reach their close");
+    ("CKPT-COMPLETE", "dispatch-path mutations reach a checkpoint emit");
+    ("CLOCK-CHARGE", "dispatch-path I/O and parking charge the sim clock");
+    ("PARK-SAFE", "wait-queue parking matches the nothing-applied whitelist");
+  ]
+
+let rule_names = List.map fst registry
+let known_rule name = List.mem_assoc name registry
+
 let ends_with ~suffix s =
   let ls = String.length suffix and l = String.length s in
   l >= ls && String.equal (String.sub s (l - ls) ls) suffix
 
-let run ?(allow_file = None) ~roots () =
+(* exported value names of every lib/fs interface: the FS entry points that
+   seed CLOCK-CHARGE reachability alongside the DP handlers *)
+let fs_exported_keys ~mli_sigs =
+  List.concat_map
+    (fun (path, signature) ->
+      if Rules.under "lib/fs" path then
+        let unit_name = Source.module_name path in
+        List.filter_map
+          (fun item ->
+            match item.Parsetree.psig_desc with
+            | Parsetree.Psig_value vd ->
+                Some (unit_name ^ "." ^ vd.Parsetree.pval_name.txt)
+            | _ -> None)
+          signature
+      else [])
+    mli_sigs
+
+let clock_roots ~(ctx : Rules.ctx) ~mli_sigs =
+  let dp_handlers =
+    List.filter_map
+      (fun (n : Callgraph.node) ->
+        if Rules.under "lib/dp" n.n_file && String.equal n.n_name "handler"
+        then Some n.n_key
+        else None)
+      (Callgraph.nodes ctx.graph)
+  in
+  let fs_exports =
+    List.filter
+      (fun key -> Callgraph.find ctx.graph key <> None)
+      (fs_exported_keys ~mli_sigs)
+  in
+  List.sort_uniq String.compare (dp_handlers @ fs_exports)
+
+let run ?(allow_file = None) ?(rules = None) ~roots () =
+  let enabled name =
+    match rules with None -> true | Some rs -> List.mem name rs
+  in
   let ml = Source.ml_files roots in
   let parsed, parse_diags =
     List.fold_left
@@ -27,30 +84,46 @@ let run ?(allow_file = None) ~roots () =
   in
   let parsed = List.rev parsed in
   let index = Rules.Result_index.create () in
+  let mli_sigs =
+    List.filter_map
+      (fun path ->
+        match Source.parse_intf path with
+        | Ok signature -> Some (path, signature)
+        | Error _ -> None)
+      (Source.mli_files roots)
+  in
   List.iter
-    (fun path ->
-      match Source.parse_intf path with
-      | Ok signature ->
-          Rules.Result_index.add_signature index
-            ~module_name:(Source.module_name path) signature
-      | Error _ -> ())
-    (Source.mli_files roots);
+    (fun (path, signature) ->
+      Rules.Result_index.add_signature index
+        ~module_name:(Source.module_name path) signature)
+    mli_sigs;
+  let ctx = Rules.build_ctx parsed in
   let file_diags =
     List.concat_map
-      (fun (path, structure) -> Rules.per_file ~path ~index structure)
+      (fun (path, structure) ->
+        Rules.per_file ~path ~index ~ctx ~enabled structure)
       parsed
   in
   let find suffix = List.find_opt (fun (p, _) -> ends_with ~suffix p) parsed in
   let proto_diags =
-    match (find "dp/dp_msg.ml", find "dp/dp.ml") with
-    | Some msg, Some dispatch ->
-        let requesters =
-          List.filter (fun (p, _) -> not (Rules.under "lib/dp" p)) parsed
-        in
-        Rules.proto_exhaust ~msg ~dispatch ~requesters
-    | _ -> []
+    if not (enabled "PROTO-EXHAUST") then []
+    else
+      match (find "dp/dp_msg.ml", find "dp/dp.ml") with
+      | Some msg, Some dispatch ->
+          let requesters =
+            List.filter (fun (p, _) -> not (Rules.under "lib/dp" p)) parsed
+          in
+          Rules.proto_exhaust ~msg ~dispatch ~requesters
+      | _ -> []
   in
-  let all = parse_diags @ file_diags @ proto_diags in
+  let graph_diags =
+    (if enabled "CKPT-COMPLETE" then Rules.ckpt_complete ~ctx () else [])
+    @ (if enabled "CLOCK-CHARGE" then
+         Rules.clock_charge ~ctx ~roots:(clock_roots ~ctx ~mli_sigs) ()
+       else [])
+    @ if enabled "PARK-SAFE" then Rules.park_safe ~ctx () else []
+  in
+  let all = parse_diags @ file_diags @ proto_diags @ graph_diags in
   let entries =
     match allow_file with
     | None -> []
@@ -62,9 +135,13 @@ let run ?(allow_file = None) ~roots () =
             failwith msg)
   in
   let kept, suppressed = Allow.apply entries all in
+  (* an entry for a rule this run did not execute is not stale evidence *)
+  let stale =
+    List.filter (fun e -> enabled e.Allow.a_rule) (Allow.stale entries)
+  in
   {
     diags = List.sort_uniq Diag.compare kept;
     suppressed;
-    stale_allows = Allow.stale entries;
+    stale_allows = stale;
     files_scanned = List.length ml;
   }

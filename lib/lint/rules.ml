@@ -1,4 +1,4 @@
-(* The rule engine: six repo-specific rules over compiler-libs parse trees.
+(* The rule engine: repo-specific rules over compiler-libs parse trees.
 
    Every rule is a pure function from a parse tree (plus whatever cross-file
    context it needs) to a list of diagnostics. Traversal uses
@@ -6,16 +6,24 @@
    are stable across OCaml 5.1/5.2 (idents, applications, constructs,
    cases, type declarations), so the lint builds on both compilers in CI.
 
-   | rule         | invariant it protects                                   |
-   |--------------|---------------------------------------------------------|
-   | DET-RANDOM   | all randomness flows from the chaos seed                |
-   | SIM-CLOCK    | all time flows from the simulation clock                |
-   | DET-HASHITER | no unordered hash traversal reaches state or output     |
-   | ERR-SWALLOW  | protocol paths neither drop results nor raise untyped   |
-   | LOCK-ORDER   | acquisitions follow the declared volume→file→key order  |
-   | PROTO-EXHAUST| every DP request is dispatched and has a requester path |
-   | NOWAIT-LEAK  | every send_nowait completion is bound and awaited       |
-   | SPAN-LEAK    | every begin_span handle is bound and finished           |
+   The interprocedural rules at the bottom consume a [ctx]: the whole-repo
+   call graph ([Callgraph]) and per-function may-effect summaries
+   ([Effects]), so they see through helper calls instead of spot-checking
+   call sites.
+
+   | rule          | invariant it protects                                   |
+   |---------------|---------------------------------------------------------|
+   | DET-RANDOM    | all randomness flows from the chaos seed                |
+   | SIM-CLOCK     | all time flows from the simulation clock                |
+   | DET-HASHITER  | no unordered hash traversal reaches state or output     |
+   | ERR-SWALLOW   | protocol paths neither drop results nor raise untyped   |
+   | LOCK-ORDER    | acquisitions follow the declared volume→file→key order  |
+   | PROTO-EXHAUST | every DP request is dispatched and has a requester path |
+   | RES-LEAK      | every scan/span/completion/deferral handle reaches its  |
+   |               | paired close, even through helper functions             |
+   | CKPT-COMPLETE | every replica-visible DP mutation emits its checkpoint  |
+   | CLOCK-CHARGE  | I/O and parking on dispatch paths charge the sim clock  |
+   | PARK-SAFE     | only nothing-applied ops enter the lock wait queue      |
 *)
 
 open Parsetree
@@ -440,26 +448,6 @@ let proto_exhaust ~msg:(msg_path, msg_structure)
     msg_diags @ dispatch_diags @ missing_dispatch @ missing_requester
   end
 
-(* --- NOWAIT-LEAK ---------------------------------------------------------- *)
-
-(* A [send_nowait] whose completion is never awaited silently discards the
-   latency of a request whose effects already happened — the overlapped
-   request becomes free, which corrupts every elapsed-time measurement.
-   Full data-flow tracking is out of scope (like LOCK-ORDER, the rule is a
-   conservative syntactic check): flag the shapes that provably drop the
-   handle — [ignore (send_nowait ...)], a statement-position call, a
-   wildcard binding, and a named binding unused in its scope. A handle
-   stored in a record field or passed along is accepted; the structure
-   holding it is then responsible for awaiting. *)
-
-let is_send_nowait_app e =
-  match e.pexp_desc with
-  | Pexp_apply (callee, _) -> (
-      match Option.map List.rev (ident_path callee) with
-      | Some ("send_nowait" :: _) -> true
-      | _ -> false)
-  | _ -> false
-
 (* does [name] occur as an identifier anywhere in [e]? (conservative:
    shadowing counts as a use) *)
 let uses_var name e =
@@ -479,107 +467,539 @@ let uses_var name e =
   it.expr it e;
   !found
 
-let nowait_leak ~path structure =
-  let diags = ref [] in
-  let flag loc msg =
-    diags := Diag.of_loc ~rule:"NOWAIT-LEAK" ~file:path loc msg :: !diags
-  in
-  iter_exprs structure (fun e ->
-      match e.pexp_desc with
-      | Pexp_apply (fn, [ (Asttypes.Nolabel, arg) ])
-        when ident_path fn |> Option.map normalize = Some [ "ignore" ]
-             && is_send_nowait_app arg ->
-          flag e.pexp_loc
-            "completion of send_nowait discarded with ignore; every \
-             overlapped request must be awaited"
-      | Pexp_sequence (e1, _) when is_send_nowait_app e1 ->
-          flag e1.pexp_loc
-            "send_nowait in statement position discards its completion; \
-             bind the handle and await it"
-      | Pexp_let (_, vbs, body) ->
-          List.iter
-            (fun vb ->
-              if is_send_nowait_app vb.pvb_expr then
-                match vb.pvb_pat.ppat_desc with
-                | Ppat_any ->
-                    flag vb.pvb_pat.ppat_loc
-                      "completion of send_nowait bound to _ is never \
-                       awaited"
-                | Ppat_var { txt = name; _ } ->
-                    if not (uses_var name body) then
-                      flag vb.pvb_pat.ppat_loc
-                        (Printf.sprintf
-                           "completion %s of send_nowait is never used; \
-                            await it on every path"
-                           name)
-                | _ -> ())
-            vbs
-      | _ -> ());
-  List.rev !diags
+(* --- interprocedural context ---------------------------------------------- *)
 
-(* --- SPAN-LEAK ------------------------------------------------------------ *)
+(* Shared by the graph-aware rules: the whole-repo call graph and the
+   per-function may-effect summaries computed over it. Built once per
+   engine run from every parsed file. *)
+type ctx = { graph : Callgraph.t; summaries : Effects.summaries }
 
-(* A [begin_span] handle that is dropped can never reach [finish]: the span
-   stays open forever, never collects its counter delta, and — when pushed —
-   becomes the inferred parent of every span begun after it, corrupting the
-   trace's nesting. Same conservative syntactic shapes as NOWAIT-LEAK:
-   [ignore (begin_span ...)], a statement-position call, a wildcard binding,
-   and a named binding unused in its scope. A handle stored in a record
-   field or otherwise passed along is accepted; the structure holding it is
-   then responsible for finishing it. *)
+let build_ctx parsed =
+  let graph = Callgraph.build parsed in
+  { graph; summaries = Effects.summaries graph }
 
-let is_begin_span_app e =
+(* --- RES-LEAK -------------------------------------------------------------- *)
+
+(* One rule for every open/close-paired handle in the system:
+
+     handle               opener            paired close
+     scan (SCB + span)    open_scan         close_scan / seq_close
+     trace span           begin_span        Trace.finish
+     nowait completion    send_nowait       Msg.await / Msg.await_any
+     withheld reply       Msg.defer         Msg.resolve
+
+   A dropped handle is never neutral here: an unclosed scan pins its SCB
+   (and its span), an unawaited completion silently discards the latency of
+   a request whose effects already happened, an unresolved deferral leaves
+   a requester blocked forever.
+
+   The per-file shapes that provably drop the handle are flagged as before:
+   [ignore (opener ...)], a statement-position call, a [_] binding, and a
+   named binding with no use at all. The interprocedural upgrade is in how
+   a *used* binding is judged: every use of the handle is classified. A use
+   that reaches a paired close — directly, or as an argument to a function
+   whose effect summary contains the closing effect — proves the binding
+   fine; so does any use the analysis cannot see through (a store into a
+   record or constructor transfers ownership; a call to an unknown or
+   unresolved function might close). But when *every* use hands the handle
+   to functions whose analyzed bodies provably never reach the close, the
+   handle cannot be closed on any path and the binding is flagged — the
+   cross-function blind spot the old per-file NOWAIT-LEAK/SPAN-LEAK fences
+   could not see. *)
+
+type res_kind = K_scan | K_span | K_completion | K_deferral
+
+let kind_label = function
+  | K_scan -> "scan"
+  | K_span -> "span"
+  | K_completion -> "nowait completion"
+  | K_deferral -> "deferral"
+
+let kind_close = function
+  | K_scan -> "close_scan"
+  | K_span -> "Trace.finish"
+  | K_completion -> "Msg.await"
+  | K_deferral -> "Msg.resolve"
+
+let closer_names = function
+  | K_scan -> [ "close_scan"; "seq_close" ]
+  | K_span -> [ "finish" ]
+  | K_completion -> [ "await"; "await_any" ]
+  | K_deferral -> [ "resolve" ]
+
+let closing_effect = function
+  | K_scan -> Effects.Closes_scan
+  | K_span -> Effects.Finishes_span
+  | K_completion -> Effects.Awaits_completion
+  | K_deferral -> Effects.Resolves_deferral
+
+let opener_of_app e =
   match e.pexp_desc with
   | Pexp_apply (callee, _) -> (
       match Option.map List.rev (ident_path callee) with
-      | Some ("begin_span" :: _) -> true
-      | _ -> false)
-  | _ -> false
+      | Some ("open_scan" :: _) -> Some K_scan
+      | Some ("begin_span" :: _) -> Some K_span
+      | Some ("send_nowait" :: _) -> Some K_completion
+      | Some ("defer" :: "Msg" :: _) -> Some K_deferral
+      | _ -> None)
+  | _ -> None
 
-let span_leak ~path structure =
+(* the opener may sit behind value-position wrappers: [if Trace.enabled sim
+   then Some (begin_span ...) else None] still binds a live handle *)
+let rec spine_opener e =
+  match opener_of_app e with
+  | Some k -> Some k
+  | None -> (
+      match e.pexp_desc with
+      | Pexp_ifthenelse (_, a, b) -> (
+          match spine_opener a with
+          | Some k -> Some k
+          | None -> Option.bind b spine_opener)
+      | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+          List.find_map (fun c -> spine_opener c.pc_rhs) cases
+      | Pexp_construct (_, Some a) -> spine_opener a
+      | Pexp_let (_, _, b) | Pexp_sequence (_, b) | Pexp_open (_, b) ->
+          spine_opener b
+      | Pexp_constraint (a, _) -> spine_opener a
+      | _ -> None)
+
+type use = U_closer | U_known_nonclosing of string | U_unknown
+
+(* classify every occurrence of [name] in [body] by its immediate context *)
+let classify_uses ~ctx ~unit_name ~kind name body =
+  let uses = ref [] in
+  let add u = uses := u :: !uses in
+  let is_x e =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident n; _ } -> String.equal n name
+    | _ -> false
+  in
+  let classify_callee callee =
+    match ident_path callee with
+    | None -> U_unknown
+    | Some p -> (
+        match List.rev p with
+        | last :: _ when List.mem last (closer_names kind) -> U_closer
+        | _ -> (
+            match Callgraph.resolve ctx.graph ~unit_name p with
+            | None -> U_unknown
+            | Some key ->
+                if Effects.mem (closing_effect kind)
+                     (Effects.summary ctx.summaries key)
+                then U_closer
+                else U_known_nonclosing key))
+  in
+  let rec go e =
+    match e.pexp_desc with
+    | Pexp_apply (callee, args) when List.exists (fun (_, a) -> is_x a) args ->
+        let u = classify_callee callee in
+        List.iter (fun (_, a) -> if is_x a then add u else go a) args;
+        go callee
+    | Pexp_ident { txt = Longident.Lident n; _ } when String.equal n name ->
+        add U_unknown
+    | _ ->
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ child -> go child);
+          }
+        in
+        Ast_iterator.default_iterator.expr it e
+  in
+  go body;
+  List.rev !uses
+
+(* A handle that *is* closed, but only by a statement-position close at the
+   end of its binding's let-chain, leaks whenever the driver between open
+   and close raises ([Row.decode_exn] on a malformed record, any assert).
+   Detect exactly that shape — [let x = opener in ... let r = drive ... in
+   close x; r] where the handle was already used before the close — and
+   demand the [Fun.protect ~finally] idiom instead. The walk stays on the
+   binding's spine (let chains, sequences, branches), so a close handed out
+   in a closure (caller-must-close contracts) is never flagged. *)
+let trailing_unprotected_close ~kind name body =
+  let is_x e =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident n; _ } -> String.equal n name
+    | _ -> false
+  in
+  let direct_close e =
+    match e.pexp_desc with
+    | Pexp_apply (callee, args) -> (
+        List.exists (fun (_, a) -> is_x a) args
+        &&
+        match Option.map List.rev (ident_path callee) with
+        | Some (last :: _) -> List.mem last (closer_names kind)
+        | _ -> false)
+    | _ -> false
+  in
+  let rec walk used e =
+    match e.pexp_desc with
+    | Pexp_let (_, vbs, cont) ->
+        let used =
+          used || List.exists (fun vb -> uses_var name vb.pvb_expr) vbs
+        in
+        walk used cont
+    | Pexp_sequence (e1, cont) ->
+        if direct_close e1 then if used then Some e1.pexp_loc else None
+        else walk (used || uses_var name e1) cont
+    | Pexp_ifthenelse (_, a, b) -> (
+        match walk used a with
+        | Some l -> Some l
+        | None -> Option.bind b (walk used))
+    | Pexp_match (_, cases) ->
+        List.find_map (fun c -> walk used c.pc_rhs) cases
+    | Pexp_open (_, cont) | Pexp_constraint (cont, _) -> walk used cont
+    | _ -> None
+  in
+  walk false body
+
+let res_leak ~path ~ctx structure =
+  let unit_name = Source.module_name path in
   let diags = ref [] in
   let flag loc msg =
-    diags := Diag.of_loc ~rule:"SPAN-LEAK" ~file:path loc msg :: !diags
+    diags := Diag.of_loc ~rule:"RES-LEAK" ~file:path loc msg :: !diags
   in
   iter_exprs structure (fun e ->
       match e.pexp_desc with
       | Pexp_apply (fn, [ (Asttypes.Nolabel, arg) ])
-        when ident_path fn |> Option.map normalize = Some [ "ignore" ]
-             && is_begin_span_app arg ->
-          flag e.pexp_loc
-            "begin_span handle discarded with ignore; every span must reach \
-             finish"
-      | Pexp_sequence (e1, _) when is_begin_span_app e1 ->
-          flag e1.pexp_loc
-            "begin_span in statement position drops its handle; bind it and \
-             finish it"
+        when ident_path fn |> Option.map normalize = Some [ "ignore" ] -> (
+          match opener_of_app arg with
+          | Some k ->
+              flag e.pexp_loc
+                (Printf.sprintf
+                   "%s handle discarded with ignore; it can never reach %s"
+                   (kind_label k) (kind_close k))
+          | None -> ())
+      | Pexp_sequence (e1, _) -> (
+          match opener_of_app e1 with
+          | Some k ->
+              flag e1.pexp_loc
+                (Printf.sprintf
+                   "%s opened in statement position drops its handle; bind \
+                    it and %s it on every path"
+                   (kind_label k) (kind_close k))
+          | None -> ())
       | Pexp_let (_, vbs, body) ->
           List.iter
             (fun vb ->
-              if is_begin_span_app vb.pvb_expr then
-                match vb.pvb_pat.ppat_desc with
-                | Ppat_any ->
-                    flag vb.pvb_pat.ppat_loc
-                      "begin_span handle bound to _ can never be finished"
-                | Ppat_var { txt = name; _ } ->
-                    if not (uses_var name body) then
+              match spine_opener vb.pvb_expr with
+              | None -> ()
+              | Some k -> (
+                  let rec pat_var p =
+                    match p.ppat_desc with
+                    | Ppat_var { txt; _ } -> Some txt
+                    | Ppat_constraint (p, _) | Ppat_alias (p, _) -> pat_var p
+                    | _ -> None
+                  in
+                  match vb.pvb_pat.ppat_desc with
+                  | Ppat_any ->
                       flag vb.pvb_pat.ppat_loc
                         (Printf.sprintf
-                           "span handle %s is never finished; pass it to \
-                            finish on every path"
-                           name)
-                | _ -> ())
+                           "%s handle bound to _ can never reach %s"
+                           (kind_label k) (kind_close k))
+                  | _ -> (
+                      match pat_var vb.pvb_pat with
+                      | None -> ()
+                      | Some name -> (
+                          match
+                            classify_uses ~ctx ~unit_name ~kind:k name body
+                          with
+                          | [] ->
+                              flag vb.pvb_pat.ppat_loc
+                                (Printf.sprintf
+                                   "%s handle %s is never used; %s it on \
+                                    every path"
+                                   (kind_label k) name (kind_close k))
+                          | uses
+                            when List.for_all
+                                   (function
+                                     | U_known_nonclosing _ -> true
+                                     | _ -> false)
+                                   uses ->
+                              let callees =
+                                List.sort_uniq String.compare
+                                  (List.filter_map
+                                     (function
+                                       | U_known_nonclosing key -> Some key
+                                       | _ -> None)
+                                     uses)
+                              in
+                              flag vb.pvb_pat.ppat_loc
+                                (Printf.sprintf
+                                   "%s handle %s is only passed to %s, none \
+                                    of which can reach %s; the handle leaks \
+                                    on every path"
+                                   (kind_label k) name
+                                   (String.concat ", " callees)
+                                   (kind_close k))
+                          | _ -> (
+                              match
+                                trailing_unprotected_close ~kind:k name body
+                              with
+                              | Some loc ->
+                                  flag loc
+                                    (Printf.sprintf
+                                       "%s handle %s is closed only on the \
+                                        fall-through path; a raise out of \
+                                        the driver leaks it — run %s under \
+                                        Fun.protect ~finally"
+                                       (kind_label k) name (kind_close k))
+                              | None -> ())))))
             vbs
       | _ -> ());
   List.rev !diags
 
+(* --- CKPT-COMPLETE --------------------------------------------------------- *)
+
+(* Zero acknowledged-commit loss on takeover (PR 6) only holds if every
+   piece of replica-visible state the primary mutates while serving a
+   request is also streamed to the backup. Two obligations over the
+   dispatch-reachable part of lib/dp (everything reachable from a DP
+   [handler]; [takeover]/[crash]/recovery entry points rebuild state by
+   design and are exempt):
+
+   1. any reachable function that locally mutates checkpoint-carried
+      control state (the SCB table, the waiter queue) must have
+      [Emits_ckpt] in its transitive summary — the mutation and its
+      checkpoint item may be in different functions, but a mutation whose
+      entire call subtree never emits is state the backup cannot learn;
+   2. a handler whose summary reaches [Mutates_heap] (B-tree / relative /
+      entry file writes) must also reach [Emits_ckpt] — the write-intent
+      stream must exist on mutation paths. *)
+
+let ckpt_complete ~ctx () =
+  let dp_nodes =
+    List.filter
+      (fun (n : Callgraph.node) -> under "lib/dp" n.n_file)
+      (Callgraph.nodes ctx.graph)
+  in
+  let roots =
+    List.filter (fun (n : Callgraph.node) -> String.equal n.n_name "handler")
+      dp_nodes
+  in
+  if roots = [] then []
+  else begin
+    let reach =
+      Callgraph.reachable ctx.graph
+        ~roots:(List.map (fun (n : Callgraph.node) -> n.n_key) roots)
+    in
+    let mutation_diags =
+      List.filter_map
+        (fun (n : Callgraph.node) ->
+          if
+            Hashtbl.mem reach n.n_key
+            && Effects.mem Effects.Mutates_control (Effects.local_of_node n)
+            && not
+                 (Effects.mem Effects.Emits_ckpt
+                    (Effects.summary ctx.summaries n.n_key))
+          then
+            Some
+              (Diag.of_loc ~rule:"CKPT-COMPLETE" ~file:n.n_file n.n_loc
+                 (Printf.sprintf
+                    "%s mutates replica-visible control state on a dispatch \
+                     path but nothing in its call subtree emits a checkpoint \
+                     item; the backup cannot learn this state"
+                    n.n_name))
+          else None)
+        dp_nodes
+    in
+    let root_diags =
+      List.filter_map
+        (fun (n : Callgraph.node) ->
+          let s = Effects.summary ctx.summaries n.n_key in
+          if Effects.mem Effects.Mutates_heap s
+             && not (Effects.mem Effects.Emits_ckpt s)
+          then
+            Some
+              (Diag.of_loc ~rule:"CKPT-COMPLETE" ~file:n.n_file n.n_loc
+                 (Printf.sprintf
+                    "dispatch root %s reaches heap mutations but no \
+                     checkpoint emit; acknowledged writes would be lost on \
+                     takeover"
+                    n.n_name))
+          else None)
+        roots
+    in
+    mutation_diags @ root_diags
+  end
+
+(* --- CLOCK-CHARGE ---------------------------------------------------------- *)
+
+(* The max-of-latencies accounting (PR 3) and every elapsed-time claim in
+   the experiment suite assume that real work on a dispatch path costs
+   simulated time. A function on a DP/FS dispatch path that performs disk
+   I/O or parks a waiter, while nothing in its call subtree ever touches
+   the simulation clock, is free work — it silently deflates elapsed-time
+   measurements. [roots] are the DP handlers plus every FS-exported entry
+   point; the engine computes them from the graph and the interfaces. *)
+
+let clock_charge ~ctx ~roots () =
+  let reach = Callgraph.reachable ctx.graph ~roots in
+  List.filter_map
+    (fun (n : Callgraph.node) ->
+      if Hashtbl.mem reach n.n_key then begin
+        let local = Effects.local_of_node n in
+        let wants =
+          Effects.mem Effects.Performs_io local
+          || Effects.mem Effects.Parks_waiter local
+        in
+        if
+          wants
+          && not
+               (Effects.mem Effects.Charges_clock
+                  (Effects.summary ctx.summaries n.n_key))
+        then
+          Some
+            (Diag.of_loc ~rule:"CLOCK-CHARGE" ~file:n.n_file n.n_loc
+               (Printf.sprintf
+                  "%s performs I/O or parks a waiter on a dispatch path but \
+                   nothing in its call subtree charges the simulation \
+                   clock; the work is free and corrupts elapsed-time \
+                   accounting"
+                  n.n_name))
+        else None
+      end
+      else None)
+    (Callgraph.nodes ctx.graph)
+
+(* --- PARK-SAFE ------------------------------------------------------------- *)
+
+(* Only nothing-applied operations may enter the DP lock wait queue (PR 5):
+   a parked request is re-dispatched from scratch, so any operation that
+   carries partial progress (SCB state, processed counts, accumulators)
+   must keep the immediate-denial protocol. Three obligations:
+
+   1. the set of ops [park_tx] actually parks must equal the declared
+      whitelist below — extending the queue to a new op is a deliberate,
+      audited decision, not a fallout of editing a match;
+   2. no declared op may silently stop parking (stale whitelist);
+   3. no parked op's dispatch arm may reach [Opens_scan] (SCB allocation):
+      re-dispatch would duplicate the partial state the SCB carries. *)
+
+let park_whitelist =
+  [
+    "R_read";
+    "R_read_next";
+    "R_insert";
+    "R_update";
+    "R_delete";
+    "R_lock_file";
+    "R_lock_generic";
+    "R_rel_write";
+    "R_rel_rewrite";
+    "R_rel_delete";
+    "R_entry_append";
+    "R_insert_row";
+    "R_insert_block";
+  ]
+
+let case_lists_of expr =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      cases =
+        (fun it cs ->
+          acc := cs :: !acc;
+          Ast_iterator.default_iterator.cases it cs);
+    }
+  in
+  it.expr it expr;
+  List.rev !acc
+
+let is_request_ctor name =
+  String.length name > 2 && String.equal (String.sub name 0 2) "R_"
+
+let non_parking_body e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt; _ }, None) -> (
+      match try List.rev (Longident.flatten txt) with _ -> [] with
+      | ("None" | "false") :: _ -> true
+      | _ -> false)
+  | _ -> false
+
+let park_safe ?(whitelist = park_whitelist) ~ctx () =
+  let find_dp name =
+    List.find_opt
+      (fun (n : Callgraph.node) ->
+        under "lib/dp" n.n_file && String.equal n.n_name name)
+      (Callgraph.nodes ctx.graph)
+  in
+  match find_dp "park_tx" with
+  | None -> []
+  | Some park_tx ->
+      let diags = ref [] in
+      let flag ~file loc msg =
+        diags := Diag.of_loc ~rule:"PARK-SAFE" ~file loc msg :: !diags
+      in
+      let parked = ref [] in
+      List.iter
+        (fun cases ->
+          List.iter
+            (fun c ->
+              if not (non_parking_body c.pc_rhs) then
+                List.iter
+                  (fun h ->
+                    if not (List.mem h !parked) then begin
+                      parked := h :: !parked;
+                      if not (List.mem h whitelist) then
+                        flag ~file:park_tx.n_file c.pc_lhs.ppat_loc
+                          (Printf.sprintf
+                             "%s may park on the lock wait queue but is not \
+                              in the declared nothing-applied whitelist; \
+                              audit re-dispatch safety and extend the \
+                              PARK-SAFE whitelist deliberately"
+                             h)
+                    end)
+                  (pattern_heads is_request_ctor c.pc_lhs))
+            cases)
+        (case_lists_of park_tx.n_body);
+      List.iter
+        (fun w ->
+          if not (List.mem w !parked) then
+            flag ~file:park_tx.n_file park_tx.n_loc
+              (Printf.sprintf
+                 "declared nothing-applied op %s no longer parks in \
+                  park_tx; remove it from the PARK-SAFE whitelist"
+                 w))
+        whitelist;
+      (match find_dp "dispatch" with
+      | None -> ()
+      | Some dispatch ->
+          List.iter
+            (fun cases ->
+              List.iter
+                (fun c ->
+                  let heads =
+                    List.filter
+                      (fun h -> List.mem h !parked)
+                      (pattern_heads is_request_ctor c.pc_lhs)
+                  in
+                  if heads <> [] then begin
+                    let eff =
+                      Effects.of_expr ctx.graph ctx.summaries
+                        ~unit_name:dispatch.n_unit c.pc_rhs
+                    in
+                    if Effects.mem Effects.Opens_scan eff then
+                      flag ~file:dispatch.n_file c.pc_lhs.ppat_loc
+                        (Printf.sprintf
+                           "parkable op %s opens an SCB/scan on its dispatch \
+                            path; re-dispatch after a park would duplicate \
+                            partial scan state"
+                           (String.concat "/" heads))
+                  end)
+                cases)
+            (case_lists_of dispatch.n_body));
+      List.rev !diags
+
 (* --- the per-file bundle -------------------------------------------------- *)
 
-let per_file ~path ~index structure =
-  det_random ~path structure
-  @ sim_clock ~path structure
-  @ det_hashiter ~path structure
-  @ err_swallow ~path ~index structure
-  @ lock_order ~path structure
-  @ nowait_leak ~path structure
-  @ span_leak ~path structure
+let per_file ~path ~index ~ctx ~enabled structure =
+  let r name f = if enabled name then f () else [] in
+  r "DET-RANDOM" (fun () -> det_random ~path structure)
+  @ r "SIM-CLOCK" (fun () -> sim_clock ~path structure)
+  @ r "DET-HASHITER" (fun () -> det_hashiter ~path structure)
+  @ r "ERR-SWALLOW" (fun () -> err_swallow ~path ~index structure)
+  @ r "LOCK-ORDER" (fun () -> lock_order ~path structure)
+  @ r "RES-LEAK" (fun () -> res_leak ~path ~ctx structure)

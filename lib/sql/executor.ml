@@ -35,19 +35,17 @@ let scan_table1 ctx (plan : select_plan) =
         Fs.open_scan ctx.fs tbl.Catalog.t_file ~tx:ctx.tx ~access ~range ?pred
           ?proj ~lock:ctx.read_lock ()
       in
-      (* close on every exit — scan-close is idempotent, and leaving the
-         scan open on an error path would also leave its span open *)
-      let res =
-        let rec go acc =
-          match Fs.scan_next ctx.fs sc with
-          | Ok (Some row) -> go (row :: acc)
-          | Ok None -> Ok (List.rev acc)
-          | Error e -> Error e
-        in
-        go []
+      (* close on every exit — error or raise — since leaving the scan open
+         would also leave its SCB and span open *)
+      let rec go acc =
+        match Fs.scan_next ctx.fs sc with
+        | Ok (Some row) -> go (row :: acc)
+        | Ok None -> Ok (List.rev acc)
+        | Error e -> Error e
       in
-      Fs.close_scan ctx.fs sc;
-      res
+      Fun.protect
+        ~finally:(fun () -> Fs.close_scan ctx.fs sc)
+        (fun () -> go [])
   | Ap_index { index; range; ipred; residual } ->
       let* next, close =
         Fs.index_scan ctx.fs tbl.Catalog.t_file ~tx:ctx.tx ~index ~range
@@ -137,17 +135,15 @@ let join_step1 ctx prefix_rows step =
               Fs.open_scan ctx.fs tbl.Catalog.t_file ~tx:ctx.tx
                 ~access:Fs.A_vsbb ~range ?pred ~lock:ctx.read_lock ()
             in
-            let res =
-              let rec go acc =
-                match Fs.scan_next ctx.fs sc with
-                | Ok (Some inner) -> go (Array.append prefix inner :: acc)
-                | Ok None -> Ok (List.rev acc)
-                | Error e -> Error e
-              in
-              go []
+            let rec go acc =
+              match Fs.scan_next ctx.fs sc with
+              | Ok (Some inner) -> go (Array.append prefix inner :: acc)
+              | Ok None -> Ok (List.rev acc)
+              | Error e -> Error e
             in
-            Fs.close_scan ctx.fs sc;
-            res)
+            Fun.protect
+              ~finally:(fun () -> Fs.close_scan ctx.fs sc)
+              (fun () -> go []))
           prefix_rows
       in
       Ok (List.concat joined)

@@ -1,14 +1,17 @@
 (* Per-rule fixtures for nsql-lint: each rule gets a known-bad source
    that must fire and a known-good source that must stay clean, plus
-   allowlist behaviour and a whole-repo "lib/ lints clean" check — the
-   same invariant CI enforces, kept here so `dune runtest` catches a
-   violation before the lint job does. *)
+   call-graph/effect-engine unit tests, allowlist behaviour and a
+   whole-repo "lib/ lints clean" check — the same invariant CI enforces,
+   kept here so `dune runtest` catches a violation before the lint job
+   does. *)
 
 module Diag = Nsql_lint_lib.Diag
 module Rules = Nsql_lint_lib.Rules
 module Source = Nsql_lint_lib.Source
 module Allow = Nsql_lint_lib.Allow
 module Engine = Nsql_lint_lib.Engine
+module Callgraph = Nsql_lint_lib.Callgraph
+module Effects = Nsql_lint_lib.Effects
 
 let parse ~path src = Source.parse_string ~path src
 
@@ -16,6 +19,19 @@ let rules_of diags = List.map (fun d -> d.Diag.rule) diags
 
 let check_rules name expected diags =
   Alcotest.(check (list string)) name expected (rules_of diags)
+
+(* build an interprocedural context over a list of (path, source) fixtures *)
+let parse_all files = List.map (fun (p, src) -> (p, parse ~path:p src)) files
+let ctx_of files = Rules.build_ctx (parse_all files)
+
+(* run RES-LEAK on [target] with the whole fixture cluster as call-graph
+   context *)
+let res_leak_on files target =
+  let parsed = parse_all files in
+  let ctx = Rules.build_ctx parsed in
+  Rules.res_leak ~path:target ~ctx (List.assoc target parsed)
+
+let res_leak1 ~path src = res_leak_on [ (path, src) ] path
 
 (* --- DET-RANDOM ---------------------------------------------------------- *)
 
@@ -193,47 +209,205 @@ let proto_exhaust () =
     (Rules.proto_exhaust ~msg ~dispatch:dispatch_good
        ~requesters:[ requester_partial ])
 
-(* --- NOWAIT-LEAK --------------------------------------------------------- *)
+(* --- the call graph ------------------------------------------------------- *)
 
-let nowait_leak () =
-  let ignored =
-    parse ~path:"lib/fs/fixture.ml"
-      "let f t dp req = ignore (Msg.send_nowait t dp req)"
+let callgraph_resolution () =
+  let parsed =
+    parse_all
+      [
+        ("lib/core/a.ml", "let h x = x\nlet f x = x + 1");
+        ( "lib/core/b.ml",
+          "module A = Nsql_core.A\nopen A\nlet f y = y\nlet g y = f (h y)" );
+        ("lib/core/c.ml", "module K = Nsql_core.A\nlet use x = K.f x");
+        ( "lib/core/d.ml",
+          "module Sub = struct let inner x = x end\nlet outer x = Sub.inner x"
+        );
+      ]
   in
-  check_rules "ignore of send_nowait fires" [ "NOWAIT-LEAK" ]
-    (Rules.nowait_leak ~path:"lib/fs/fixture.ml" ignored);
-  let stmt =
-    parse ~path:"lib/fs/fixture.ml"
-      "let f t dp req = Msg.send_nowait t dp req; 0"
+  let g = Callgraph.build parsed in
+  (* a unit's own binding shadows the opened unit's same name *)
+  Alcotest.(check (option string))
+    "own f shadows opened A.f" (Some "B.f")
+    (Callgraph.resolve g ~unit_name:"B" [ "f" ]);
+  Alcotest.(check (option string))
+    "unqualified h falls through to the open" (Some "A.h")
+    (Callgraph.resolve g ~unit_name:"B" [ "h" ]);
+  Alcotest.(check (list string))
+    "edges follow resolution" [ "A.h"; "B.f" ]
+    (Callgraph.callees g "B.g");
+  (* re-export alias: K.f in c.ml is A.f *)
+  Alcotest.(check (list string))
+    "alias re-export resolves" [ "A.f" ]
+    (Callgraph.callees g "C.use");
+  (* nested modules register qualified and resolve from their own unit *)
+  Alcotest.(check (list string))
+    "same-unit nested module resolves" [ "D.Sub.inner" ]
+    (Callgraph.callees g "D.outer")
+
+let callgraph_recursion () =
+  let parsed =
+    parse_all
+      [
+        ( "lib/dp/r.ml",
+          "let rec even n = if n = 0 then true else odd (n - 1)\n\
+           and odd n = if n = 0 then (Sim.tick sim 1; false) else even (n - 1)"
+        );
+      ]
   in
-  check_rules "statement-position send_nowait fires" [ "NOWAIT-LEAK" ]
-    (Rules.nowait_leak ~path:"lib/fs/fixture.ml" stmt);
-  let wildcard =
-    parse ~path:"lib/fs/fixture.ml"
-      "let f t dp req = let _ = Msg.send_nowait t dp req in 0"
+  let g = Callgraph.build parsed in
+  Alcotest.(check (list string))
+    "mutual recursion edges" [ "R.odd" ] (Callgraph.callees g "R.even");
+  (* the effect fixed point converges through the cycle *)
+  let s = Effects.summaries g in
+  Alcotest.(check bool) "odd charges locally" true
+    (Effects.mem Effects.Charges_clock (Effects.summary s "R.odd"));
+  Alcotest.(check bool) "even charges transitively" true
+    (Effects.mem Effects.Charges_clock (Effects.summary s "R.even"))
+
+let effects_chain () =
+  (* f -> g -> Sim.tick: the summary propagates up a helper chain *)
+  let parsed =
+    parse_all
+      [
+        ( "lib/dp/e.ml",
+          "let g t = Sim.tick t 1\nlet f t = g t\nlet quiet t = t" );
+      ]
   in
-  check_rules "wildcard binding fires" [ "NOWAIT-LEAK" ]
-    (Rules.nowait_leak ~path:"lib/fs/fixture.ml" wildcard);
-  let unused =
-    parse ~path:"lib/fs/fixture.ml"
-      "let f t dp req = let c = Msg.send_nowait t dp req in 0"
+  let g = Callgraph.build parsed in
+  let s = Effects.summaries g in
+  Alcotest.(check bool) "f inherits Charges_clock" true
+    (Effects.mem Effects.Charges_clock (Effects.summary s "E.f"));
+  Alcotest.(check bool) "unrelated binding stays empty" false
+    (Effects.mem Effects.Charges_clock (Effects.summary s "E.quiet"));
+  (* Ck_* constructor builds count as checkpoint emission *)
+  let parsed2 =
+    parse_all
+      [ ("lib/dp/e2.ml", "let emit t w = ckpt t [ Ck_unpark { tx = w } ]") ]
   in
-  check_rules "unused completion fires" [ "NOWAIT-LEAK" ]
-    (Rules.nowait_leak ~path:"lib/fs/fixture.ml" unused);
-  let awaited =
-    parse ~path:"lib/fs/fixture.ml"
-      "let f t dp req = let c = Msg.send_nowait t dp req in Msg.await t c"
-  in
+  let g2 = Callgraph.build parsed2 in
+  let s2 = Effects.summaries g2 in
+  Alcotest.(check bool) "Ck_* construct is Emits_ckpt" true
+    (Effects.mem Effects.Emits_ckpt (Effects.summary s2 "E2.emit"))
+
+(* --- RES-LEAK ------------------------------------------------------------- *)
+
+(* the per-file shapes the old NOWAIT-LEAK fence covered *)
+let res_leak_completion () =
+  let path = "lib/fs/fixture.ml" in
+  check_rules "ignore of send_nowait fires" [ "RES-LEAK" ]
+    (res_leak1 ~path "let f t dp req = ignore (Msg.send_nowait t dp req)");
+  check_rules "statement-position send_nowait fires" [ "RES-LEAK" ]
+    (res_leak1 ~path "let f t dp req = Msg.send_nowait t dp req; 0");
+  check_rules "wildcard binding fires" [ "RES-LEAK" ]
+    (res_leak1 ~path "let f t dp req = let _ = Msg.send_nowait t dp req in 0");
+  check_rules "unused completion fires" [ "RES-LEAK" ]
+    (res_leak1 ~path "let f t dp req = let c = Msg.send_nowait t dp req in 0");
   check_rules "awaited completion is clean" []
-    (Rules.nowait_leak ~path:"lib/fs/fixture.ml" awaited);
+    (res_leak1 ~path
+       "let f t dp req = let c = Msg.send_nowait t dp req in Msg.await t c");
   (* storing the handle hands responsibility to the holding structure *)
-  let stored =
-    parse ~path:"lib/fs/fixture.ml"
-      "let f t dps reqs = Array.map (fun dp -> Msg.send_nowait t dp reqs) dps\n\
-       let g pp t dp req = pp.pp_pending <- Some (Msg.send_nowait t dp req)"
-  in
   check_rules "stored handles are clean" []
-    (Rules.nowait_leak ~path:"lib/fs/fixture.ml" stored)
+    (res_leak1 ~path
+       "let f t dps reqs = Array.map (fun dp -> Msg.send_nowait t dp reqs) dps\n\
+        let g pp t dp req = pp.pp_pending <- Some (Msg.send_nowait t dp req)")
+
+(* the per-file shapes the old SPAN-LEAK fence covered *)
+let res_leak_span () =
+  let path = "lib/fs/fixture.ml" in
+  check_rules "ignore of begin_span fires" [ "RES-LEAK" ]
+    (res_leak1 ~path "let f t = ignore (Trace.begin_span t ~cat:\"fs\" \"scan\")");
+  check_rules "statement-position begin_span fires" [ "RES-LEAK" ]
+    (res_leak1 ~path "let f t = Trace.begin_span t ~cat:\"fs\" \"scan\"; 0");
+  check_rules "wildcard span binding fires" [ "RES-LEAK" ]
+    (res_leak1 ~path
+       "let f t = let _ = Trace.begin_span t ~cat:\"fs\" \"scan\" in 0");
+  check_rules "unfinished span fires" [ "RES-LEAK" ]
+    (res_leak1 ~path
+       "let f t = let sp = Trace.begin_span t ~cat:\"fs\" \"scan\" in 0");
+  check_rules "finished span is clean" []
+    (res_leak1 ~path
+       "let f t = let sp = Trace.begin_span t ~cat:\"fs\" \"scan\" in\n\
+        Trace.finish t sp");
+  (* the guarded-opener idiom binds a live handle through Some/if *)
+  check_rules "conditional span is tracked through Some/if" [ "RES-LEAK" ]
+    (res_leak1 ~path
+       "let f t =\n\
+        \  let sp = if Trace.enabled t then Some (Trace.begin_span t \"s\") \
+        else None in\n\
+        \  0");
+  check_rules "stored span handles are clean" []
+    (res_leak1 ~path
+       "let f sc t = sc.sc_span <- Trace.begin_span t ~cat:\"fs\" \"scan\"")
+
+let res_leak_deferral () =
+  let path = "lib/dp/fixture.ml" in
+  check_rules "unresolved deferral fires" [ "RES-LEAK" ]
+    (res_leak1 ~path "let f t = let d = Msg.defer t in 0");
+  check_rules "resolved deferral is clean" []
+    (res_leak1 ~path
+       "let f t reply = let d = Msg.defer t in Msg.resolve t d reply");
+  (* a deferral parked in a waiter record is an ownership transfer *)
+  check_rules "parked deferral is clean" []
+    (res_leak1 ~path
+       "let park t w = let d = Msg.defer t in w.w_deferral <- d")
+
+(* the cross-function blind spot the old per-file fences could not see:
+   every use of the handle goes to helpers whose analyzed bodies provably
+   never reach the close *)
+let res_leak_cross_function () =
+  let helper =
+    ( "lib/fs/helper.ml",
+      "let record t c = ignore (tag t c)\nlet drain t c = Msg.await t c" )
+  in
+  let leak =
+    ( "lib/fs/fixture.ml",
+      "module Helper = Nsql_fs.Helper\n\
+       let f t dp req =\n\
+       \  let c = Msg.send_nowait t dp req in\n\
+       \  Helper.record t c" )
+  in
+  check_rules "handle lost in a non-awaiting helper fires" [ "RES-LEAK" ]
+    (res_leak_on [ helper; leak ] "lib/fs/fixture.ml");
+  let ok =
+    ( "lib/fs/fixture.ml",
+      "module Helper = Nsql_fs.Helper\n\
+       let f t dp req =\n\
+       \  let c = Msg.send_nowait t dp req in\n\
+       \  Helper.drain t c" )
+  in
+  check_rules "handle awaited through a helper is clean" []
+    (res_leak_on [ helper; ok ] "lib/fs/fixture.ml");
+  (* an unresolvable callee might close: stay quiet *)
+  let unknown =
+    ( "lib/fs/fixture.ml",
+      "let f t dp req = let c = Msg.send_nowait t dp req in mystery t c" )
+  in
+  check_rules "unknown callee is trusted" []
+    (res_leak_on [ unknown ] "lib/fs/fixture.ml")
+
+(* a close reachable only on the fall-through path leaks under a raise *)
+let res_leak_trailing_close () =
+  let path = "lib/fs/fixture.ml" in
+  check_rules "unprotected trailing close fires" [ "RES-LEAK" ]
+    (res_leak1 ~path
+       "let f t file =\n\
+        \  let sc = open_scan t file in\n\
+        \  let rec go n = match scan_next t sc with None -> n | Some _ -> go \
+        (n + 1) in\n\
+        \  let res = go 0 in\n\
+        \  close_scan t sc;\n\
+        \  res");
+  check_rules "Fun.protect close is clean" []
+    (res_leak1 ~path
+       "let f t file =\n\
+        \  let sc = open_scan t file in\n\
+        \  let rec go n = match scan_next t sc with None -> n | Some _ -> go \
+        (n + 1) in\n\
+        \  Fun.protect ~finally:(fun () -> close_scan t sc) (fun () -> go 0)");
+  (* nothing risky happens between open and close: no finding *)
+  check_rules "immediate close is clean" []
+    (res_leak1 ~path
+       "let f t file = let sc = open_scan t file in close_scan t sc; 0")
 
 (* --- the DP wait-queue pattern stays lintable ---------------------------- *)
 
@@ -241,18 +415,15 @@ let nowait_leak () =
    record) and the multi-terminal requester keeps one completion per
    terminal until [await_any] resolves it. Both are deliberate ownership
    transfers, not leaks, and the parked dispatch keeps explicit arms — so
-   the whole pattern must pass NOWAIT-LEAK and PROTO-EXHAUST unchanged. *)
+   the whole pattern must pass RES-LEAK and PROTO-EXHAUST unchanged. *)
 let wait_queue_pattern () =
-  let requester =
-    parse ~path:"lib/workload/fixture.ml"
-      "let start t term dp req = term.t_pending <- Some (Msg.send_nowait t \
-       dp req)\n\
-       let drive t terms =\n\
-      \  let cs = List.filter_map (fun term -> term.t_pending) terms in\n\
-      \  Msg.await_any t cs"
-  in
   check_rules "completion parked in terminal state is clean" []
-    (Rules.nowait_leak ~path:"lib/workload/fixture.ml" requester);
+    (res_leak1 ~path:"lib/workload/fixture.ml"
+       "let start t term dp req = term.t_pending <- Some (Msg.send_nowait t \
+        dp req)\n\
+        let drive t terms =\n\
+       \  let cs = List.filter_map (fun term -> term.t_pending) terms in\n\
+       \  Msg.await_any t cs");
   let msg = ("lib/dp/dp_msg.ml", parse ~path:"lib/dp/dp_msg.ml" proto_msg) in
   (* the DP either answers now or parks the deferral — every constructor
      still has an explicit arm, and the parking arm is not a catch-all *)
@@ -272,47 +443,155 @@ let wait_queue_pattern () =
     (Rules.proto_exhaust ~msg ~dispatch:parking_dispatch
        ~requesters:[ requester_side ])
 
-(* --- SPAN-LEAK ----------------------------------------------------------- *)
+(* --- CKPT-COMPLETE -------------------------------------------------------- *)
 
-let span_leak () =
-  let ignored =
-    parse ~path:"lib/fs/fixture.ml"
-      "let f t = ignore (Trace.begin_span t ~cat:\"fs\" \"scan\")"
+let ckpt_complete () =
+  (* clause 1: a dispatch-reachable control mutation whose call subtree
+     never emits a checkpoint item *)
+  let bad =
+    ctx_of
+      [
+        ( "lib/dp/dpfix.ml",
+          "let mutate t scb = Hashtbl.replace t.scbs scb 1\n\
+           let dispatch t req = mutate t req\n\
+           let handler t payload = dispatch t payload" );
+      ]
   in
-  check_rules "ignore of begin_span fires" [ "SPAN-LEAK" ]
-    (Rules.span_leak ~path:"lib/fs/fixture.ml" ignored);
-  let stmt =
-    parse ~path:"lib/fs/fixture.ml"
-      "let f t = Trace.begin_span t ~cat:\"fs\" \"scan\"; 0"
+  check_rules "uncheckpointed control mutation fires" [ "CKPT-COMPLETE" ]
+    (Rules.ckpt_complete ~ctx:bad ());
+  (* the emit may live anywhere in the mutation's subtree *)
+  let good =
+    ctx_of
+      [
+        ( "lib/dp/dpfix.ml",
+          "let ckpt_emit t items = Msg.checkpoint t items\n\
+           let mutate t scb = Hashtbl.replace t.scbs scb 1; ckpt_emit t []\n\
+           let dispatch t req = mutate t req\n\
+           let handler t payload = dispatch t payload" );
+      ]
   in
-  check_rules "statement-position begin_span fires" [ "SPAN-LEAK" ]
-    (Rules.span_leak ~path:"lib/fs/fixture.ml" stmt);
-  let wildcard =
-    parse ~path:"lib/fs/fixture.ml"
-      "let f t = let _ = Trace.begin_span t ~cat:\"fs\" \"scan\" in 0"
+  check_rules "transitively checkpointed mutation is clean" []
+    (Rules.ckpt_complete ~ctx:good ());
+  (* clause 2: a handler reaching heap mutation but no checkpoint emit *)
+  let bad2 =
+    ctx_of
+      [
+        ( "lib/dp/dpfix2.ml",
+          "let apply t row = Btree.insert t row\n\
+           let handler t payload = apply t payload" );
+      ]
   in
-  check_rules "wildcard span binding fires" [ "SPAN-LEAK" ]
-    (Rules.span_leak ~path:"lib/fs/fixture.ml" wildcard);
-  let unused =
-    parse ~path:"lib/fs/fixture.ml"
-      "let f t = let sp = Trace.begin_span t ~cat:\"fs\" \"scan\" in 0"
+  check_rules "heap mutation without write intent fires" [ "CKPT-COMPLETE" ]
+    (Rules.ckpt_complete ~ctx:bad2 ());
+  let good2 =
+    ctx_of
+      [
+        ( "lib/dp/dpfix2.ml",
+          "let apply t row = Msg.checkpoint t [ row ]; Btree.insert t row\n\
+           let handler t payload = apply t payload" );
+      ]
   in
-  check_rules "unfinished span fires" [ "SPAN-LEAK" ]
-    (Rules.span_leak ~path:"lib/fs/fixture.ml" unused);
-  let finished =
-    parse ~path:"lib/fs/fixture.ml"
-      "let f t = let sp = Trace.begin_span t ~cat:\"fs\" \"scan\" in\n\
-       Trace.finish t sp"
+  check_rules "checkpointed heap mutation is clean" []
+    (Rules.ckpt_complete ~ctx:good2 ());
+  (* takeover/crash entry points rebuild state by design: only functions
+     reachable from a handler owe clause 1 *)
+  let offline =
+    ctx_of
+      [
+        ( "lib/dp/dpfix3.ml",
+          "let takeover t = Hashtbl.reset t.scbs\n\
+           let handler t payload = payload" );
+      ]
   in
-  check_rules "finished span is clean" []
-    (Rules.span_leak ~path:"lib/fs/fixture.ml" finished);
-  (* storing the handle hands responsibility to the holding structure *)
-  let stored =
-    parse ~path:"lib/fs/fixture.ml"
-      "let f sc t = sc.sc_span <- Trace.begin_span t ~cat:\"fs\" \"scan\""
+  check_rules "recovery paths are exempt" []
+    (Rules.ckpt_complete ~ctx:offline ())
+
+(* --- CLOCK-CHARGE --------------------------------------------------------- *)
+
+let clock_charge () =
+  let bad =
+    ctx_of
+      [
+        ( "lib/dp/cfix.ml",
+          "let slow t = Disk.read t 0\nlet handler t payload = slow t" );
+      ]
   in
-  check_rules "stored span handles are clean" []
-    (Rules.span_leak ~path:"lib/fs/fixture.ml" stored)
+  check_rules "free dispatch-path I/O fires" [ "CLOCK-CHARGE" ]
+    (Rules.clock_charge ~ctx:bad ~roots:[ "Cfix.handler" ] ());
+  let good =
+    ctx_of
+      [
+        ( "lib/dp/cfix.ml",
+          "let slow t = let b = Disk.read t 0 in Sim.tick t 1; b\n\
+           let handler t payload = slow t" );
+      ]
+  in
+  check_rules "charged I/O is clean" []
+    (Rules.clock_charge ~ctx:good ~roots:[ "Cfix.handler" ] ());
+  (* only dispatch-reachable functions owe the charge *)
+  let offline =
+    ctx_of
+      [
+        ( "lib/dp/cfix.ml",
+          "let offline t = Disk.read t 0\nlet handler t payload = payload" );
+      ]
+  in
+  check_rules "unreachable I/O is out of scope" []
+    (Rules.clock_charge ~ctx:offline ~roots:[ "Cfix.handler" ] ())
+
+(* --- PARK-SAFE ------------------------------------------------------------ *)
+
+let park_safe () =
+  let base parks dispatch_read =
+    ctx_of
+      [
+        ( "lib/dp/pfix.ml",
+          Printf.sprintf
+            "let park_tx req = match req with %s | R_scan _ -> None\n\
+             let dispatch t req = match req with R_read r -> %s | R_scan s \
+             -> open_scan t s | R_insert r -> apply t r"
+            parks dispatch_read );
+      ]
+  in
+  let ok = base "R_read { tx } -> Some tx | R_insert _ -> None" "read t r" in
+  check_rules "whitelist in sync is clean" []
+    (Rules.park_safe ~whitelist:[ "R_read" ] ~ctx:ok ());
+  (* a new op starts parking without being audited *)
+  let drifted =
+    base "R_read { tx } -> Some tx | R_insert { tx } -> Some tx" "read t r"
+  in
+  check_rules "unaudited parking op fires" [ "PARK-SAFE" ]
+    (Rules.park_safe ~whitelist:[ "R_read" ] ~ctx:drifted ());
+  (* a declared op silently stops parking *)
+  let stale = base "R_read { tx } -> Some tx | R_insert _ -> None" "read t r" in
+  check_rules "stale whitelist entry fires" [ "PARK-SAFE" ]
+    (Rules.park_safe ~whitelist:[ "R_read"; "R_insert" ] ~ctx:stale ());
+  (* a parked op whose dispatch arm allocates scan state is re-dispatch
+     unsafe even if whitelisted *)
+  let scans =
+    base "R_read { tx } -> Some tx | R_insert _ -> None" "open_scan t r"
+  in
+  check_rules "whitelisted arm opening a scan fires" [ "PARK-SAFE" ]
+    (Rules.park_safe ~whitelist:[ "R_read" ] ~ctx:scans ())
+
+(* --- rule filtering -------------------------------------------------------- *)
+
+let rule_filtering () =
+  let path = "lib/sql/fixture.ml" in
+  let structure =
+    parse ~path
+      "let x () = Random.int 5\n\
+       let f t = Hashtbl.iter (fun _ v -> print_int v) t"
+  in
+  let ctx = Rules.build_ctx [ (path, structure) ] in
+  let index = Rules.Result_index.create () in
+  check_rules "all per-file rules run by default"
+    [ "DET-RANDOM"; "DET-HASHITER" ]
+    (Rules.per_file ~path ~index ~ctx ~enabled:(fun _ -> true) structure);
+  check_rules "disabled rules stay silent" [ "DET-RANDOM" ]
+    (Rules.per_file ~path ~index ~ctx
+       ~enabled:(fun r -> String.equal r "DET-RANDOM")
+       structure)
 
 (* --- allowlist ----------------------------------------------------------- *)
 
@@ -398,6 +677,23 @@ let repo_is_clean () =
       Alcotest.(check bool) "scanned a plausible number of files" true
         (report.Engine.files_scanned > 20)
 
+(* running a rule subset must not report other rules' entries as stale *)
+let repo_rule_subset () =
+  match repo_root () with
+  | None -> Alcotest.skip ()
+  | Some root ->
+      let report =
+        Engine.run
+          ~allow_file:(Some (Filename.concat root "lint/allow.sexp"))
+          ~rules:(Some [ "RES-LEAK"; "CKPT-COMPLETE" ])
+          ~roots:[ Filename.concat root "lib" ]
+          ()
+      in
+      Alcotest.(check int) "subset run is clean" 0
+        (List.length report.Engine.diags);
+      Alcotest.(check int) "entries for disabled rules are not stale" 0
+        (List.length report.Engine.stale_allows)
+
 let suite =
   [
     Alcotest.test_case "DET-RANDOM fixtures" `Quick det_random;
@@ -406,12 +702,28 @@ let suite =
     Alcotest.test_case "ERR-SWALLOW fixtures" `Quick err_swallow;
     Alcotest.test_case "LOCK-ORDER fixtures" `Quick lock_order;
     Alcotest.test_case "PROTO-EXHAUST fixtures" `Quick proto_exhaust;
-    Alcotest.test_case "NOWAIT-LEAK fixtures" `Quick nowait_leak;
+    Alcotest.test_case "call graph resolution" `Quick callgraph_resolution;
+    Alcotest.test_case "call graph recursion + fixed point" `Quick
+      callgraph_recursion;
+    Alcotest.test_case "effect summary chains" `Quick effects_chain;
+    Alcotest.test_case "RES-LEAK completion fixtures" `Quick
+      res_leak_completion;
+    Alcotest.test_case "RES-LEAK span fixtures" `Quick res_leak_span;
+    Alcotest.test_case "RES-LEAK deferral fixtures" `Quick res_leak_deferral;
+    Alcotest.test_case "RES-LEAK cross-function blind spot" `Quick
+      res_leak_cross_function;
+    Alcotest.test_case "RES-LEAK trailing close" `Quick
+      res_leak_trailing_close;
     Alcotest.test_case "wait-queue pattern lints clean" `Quick
       wait_queue_pattern;
-    Alcotest.test_case "SPAN-LEAK fixtures" `Quick span_leak;
+    Alcotest.test_case "CKPT-COMPLETE fixtures" `Quick ckpt_complete;
+    Alcotest.test_case "CLOCK-CHARGE fixtures" `Quick clock_charge;
+    Alcotest.test_case "PARK-SAFE fixtures" `Quick park_safe;
+    Alcotest.test_case "rule filtering" `Quick rule_filtering;
     Alcotest.test_case "allowlist suppresses and reports stale" `Quick allowlist;
     Alcotest.test_case "allowlist line pinning" `Quick allowlist_line_mismatch;
     Alcotest.test_case "diagnostic format" `Quick diag_format;
     Alcotest.test_case "whole repo lints clean" `Quick repo_is_clean;
+    Alcotest.test_case "rule subset keeps allowlist quiet" `Quick
+      repo_rule_subset;
   ]
