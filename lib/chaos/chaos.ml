@@ -525,9 +525,8 @@ let dump_index node file index =
         | Ok (Some row) -> loop (row :: acc)
         | Error e -> Error e
       in
-      let res = loop [] in
-      close ();
-      res)
+      (* close on raise too, not just on the fall-through path *)
+      Fun.protect ~finally:close (fun () -> loop []))
 
 let dump_entries node file =
   let fs = N.fs node in
@@ -916,9 +915,8 @@ let scan_check ctx env prng =
           | Ok (Some row) -> loop (row :: acc)
           | Error e -> Error e
         in
-        let res = loop [] in
-        close ();
-        let* rows = res in
+        (* close on raise too, not just on the fall-through path *)
+        let* rows = Fun.protect ~finally:close (fun () -> loop []) in
         List.iter
           (fun v -> add_vio ctx ("mid-run index scan: " ^ v))
           (Oracle.check_index ctx.cx_oracle ~file:acct_file ~index:acct_index

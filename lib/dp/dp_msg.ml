@@ -73,6 +73,14 @@ let feed_spec acc spec row =
   | _, Some e -> feed_acc acc (Expr.eval row e)
   | _, None -> ()
 
+(* [feed_spec] with the kind/argument dispatch hoisted out of the
+   per-row path; batch loops resolve it once per query *)
+let feeder spec =
+  match (spec.ag_kind, spec.ag_arg) with
+  | Agg_count_star, _ -> fun acc _row -> acc.aa_count <- acc.aa_count + 1
+  | _, Some e -> fun acc row -> feed_acc acc (Expr.eval row e)
+  | _, None -> fun _acc _row -> ()
+
 let merge_acc ~into acc =
   into.aa_count <- into.aa_count + acc.aa_count;
   into.aa_sum_i <- into.aa_sum_i + acc.aa_sum_i;

@@ -69,6 +69,11 @@ val fresh_acc : unit -> agg_acc
     aggregate semantics). *)
 val feed_acc : agg_acc -> Row.value -> unit
 
+(** [feeder spec] is {!feed_spec} with the kind/argument dispatch hoisted
+    out of the per-row path — batch loops resolve it once per query and
+    apply the returned closure to every row. *)
+val feeder : agg_spec -> agg_acc -> Row.row -> unit
+
 (** [feed_spec acc spec row] evaluates the spec's argument against [row]
     and feeds it ([Agg_count_star] counts the row unconditionally). *)
 val feed_spec : agg_acc -> agg_spec -> Row.row -> unit

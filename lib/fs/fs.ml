@@ -9,6 +9,7 @@ module Keycode = Nsql_util.Keycode
 module Errors = Nsql_util.Errors
 module Tbl = Nsql_util.Tbl
 module Trace = Nsql_trace.Trace
+module Stats = Nsql_sim.Stats
 
 open Errors
 
@@ -702,6 +703,16 @@ let client_select sc key record =
   client_select_gen ~schema:sc.sc_file.schema ~pred:sc.sc_pred
     ~proj:sc.sc_proj key record
 
+(* one reply buffer absorbed into the scan's item buffer = one
+   executor-visible batch; counted at the absorb site so the pull and
+   batched executors (which drain the same buffers) agree exactly *)
+let note_batch t n =
+  if n > 0 then begin
+    let s = Sim.stats t.sim in
+    s.Stats.exec_batches <- s.Stats.exec_batches + 1;
+    s.Stats.exec_rows <- s.Stats.exec_rows + n
+  end
+
 (* one FS-DP interaction to refill the buffer; true if the scan may continue *)
 let refill t sc =
   match sc.sc_parts with
@@ -740,7 +751,9 @@ let refill t sc =
                 else begin
                   sc.sc_last_key <- key;
                   (match client_select sc key record with
-                  | Some item -> sc.sc_buf <- [ item ]
+                  | Some item ->
+                      sc.sc_buf <- [ item ];
+                      note_batch t 1
                   | None -> ());
                   Some (Ok ())
                 end
@@ -784,6 +797,7 @@ let refill t sc =
                 sc.sc_scb <- (if more then Some scb else None);
                 sc.sc_last_key <- last_key;
                 sc.sc_buf <- List.map (fun r -> I_row r) rows;
+                note_batch t (List.length sc.sc_buf);
                 if not more then advance_partition t sc;
                 Some (Ok ())
             | Dp_msg.Rp_block { entries; last_key; more; scb } ->
@@ -791,6 +805,7 @@ let refill t sc =
                 sc.sc_last_key <- last_key;
                 sc.sc_buf <-
                   List.filter_map (fun (k, r) -> client_select sc k r) entries;
+                note_batch t (List.length sc.sc_buf);
                 if not more then advance_partition t sc;
                 Some (Ok ())
             | _ -> None)))
@@ -806,6 +821,27 @@ let rec seq_next_item t sc =
       else
         let* () = refill t sc in
         if sc.sc_buf = [] && sc.sc_done then Ok None else seq_next_item t sc
+
+(* take everything currently buffered as one batch. Draining item-by-item
+   does nothing to the simulation between pops (the pops are pure), so one
+   aggregated [Sim.tick (3n)] fires the same events at the same times as n
+   interleaved [Sim.tick 3]s — the batched and pull paths are
+   observationally identical. [tick:false] hands the rows over uncharged:
+   the caller owes [Sim.tick 3] per row *before* any per-row message, which
+   keeps message send times exact for consumers that interleave sends with
+   consumption (index base reads, keyed fallbacks). *)
+let rec seq_next_items ~tick t sc =
+  match sc.sc_buf with
+  | _ :: _ as items ->
+      sc.sc_buf <- [];
+      if tick then Sim.tick t.sim (3 * List.length items);
+      Ok (Some items)
+  | [] ->
+      if sc.sc_done then Ok None
+      else
+        let* () = refill t sc in
+        if sc.sc_buf = [] && sc.sc_done then Ok None
+        else seq_next_items ~tick t sc
 
 (* --- parallel (nowait) scan driver ---------------------------------------- *)
 
@@ -832,6 +868,20 @@ let pr_take ps =
   chunk_take ~front:ps.pr_front ~chunks:ps.pr_chunks
     ~set_front:(fun l -> ps.pr_front <- l)
     ~set_chunks:(fun l -> ps.pr_chunks <- l)
+
+(* drain the whole buffer in pop order: the items a sequence of pops would
+   return, with no simulation activity between them *)
+let pp_take_all pp =
+  let items = pp.pp_front @ List.concat (List.rev pp.pp_chunks) in
+  pp.pp_front <- [];
+  pp.pp_chunks <- [];
+  items
+
+let pr_take_all ps =
+  let items = ps.pr_front @ List.concat (List.rev ps.pr_chunks) in
+  ps.pr_front <- [];
+  ps.pr_chunks <- [];
+  items
 
 (* ordered scans buffer per partition (ranges are disjoint and ascending,
    so partition order IS key order); unordered scans queue arrivals *)
@@ -880,7 +930,9 @@ let par_process t ps pp reply =
       Some (Ok ())
   | Dp_msg.Rp_vblock { rows; last_key; more; scb } ->
       pp.pp_last_key <- last_key;
-      par_absorb ps pp (List.map (fun r -> I_row r) rows);
+      let items = List.map (fun r -> I_row r) rows in
+      par_absorb ps pp items;
+      note_batch t (List.length items);
       if more then begin
         pp.pp_scb <- Some scb;
         pp.pp_pending <-
@@ -896,12 +948,15 @@ let par_process t ps pp reply =
       Some (Ok ())
   | Dp_msg.Rp_block { entries; last_key; more; scb } ->
       pp.pp_last_key <- last_key;
-      par_absorb ps pp
-        (List.filter_map
-           (fun (k, r) ->
-             client_select_gen ~schema:ps.pr_file.schema ~pred:ps.pr_pred
-               ~proj:ps.pr_proj k r)
-           entries);
+      let items =
+        List.filter_map
+          (fun (k, r) ->
+            client_select_gen ~schema:ps.pr_file.schema ~pred:ps.pr_pred
+              ~proj:ps.pr_proj k r)
+          entries
+      in
+      par_absorb ps pp items;
+      note_batch t (List.length items);
       if more then begin
         pp.pp_scb <- Some scb;
         pp.pp_pending <-
@@ -994,6 +1049,47 @@ let rec par_next_item t ps =
     end
   end
 
+(* batch variant of [par_next_item]: same await/advance decisions, but a
+   non-empty buffer is surrendered whole (see [seq_next_items] for the
+   tick-equivalence argument) *)
+let rec par_next_items ~tick t ps =
+  if ps.pr_dead then Ok None
+  else begin
+    if not ps.pr_started then par_issue_first t ps;
+    if ps.pr_ordered then begin
+      if ps.pr_cur >= Array.length ps.pr_parts then Ok None
+      else begin
+        let pp = ps.pr_parts.(ps.pr_cur) in
+        match pp_take_all pp with
+        | _ :: _ as items ->
+            if tick then Sim.tick t.sim (3 * List.length items);
+            Ok (Some items)
+        | [] ->
+            if pp.pp_done && pp.pp_pending = None then begin
+              ps.pr_cur <- ps.pr_cur + 1;
+              par_next_items ~tick t ps
+            end
+            else
+              let* progressed = par_await_some t ps in
+              if progressed then par_next_items ~tick t ps else Ok None
+      end
+    end
+    else begin
+      match pr_take_all ps with
+      | _ :: _ as items ->
+          if tick then Sim.tick t.sim (3 * List.length items);
+          Ok (Some items)
+      | [] ->
+          let all_done =
+            Array.for_all (fun pp -> pp.pp_done && pp.pp_pending = None) ps.pr_parts
+          in
+          if all_done then Ok None
+          else
+            let* progressed = par_await_some t ps in
+            if progressed then par_next_items ~tick t ps else Ok None
+    end
+  end
+
 (* --- common scan interface -------------------------------------------------- *)
 
 (* every interaction runs inside an attribute window on the scan's span:
@@ -1037,6 +1133,39 @@ let scan_next t sc =
       match (scan_file sc).schema with
       | Some schema -> Ok (Some (Row.decode_exn schema record))
       | None -> Error (Errors.Bad_request "scan_next on schema-less file"))
+
+(* surface everything the scan has buffered — at least one FS-DP reply
+   buffer — as one row array; [None] when the scan is exhausted. With
+   [~tick:false] the per-row pop charge is NOT applied: the consumer must
+   charge [Sim.tick 3] per row before any per-row message it sends, so the
+   message timeline stays byte-identical to the pull path. *)
+let scan_next_batch ?(tick = true) t sc =
+  let h = match sc with Seq sc -> sc.sc_span | Par ps -> ps.pr_span in
+  let* items =
+    Trace.attribute t.sim h (fun () ->
+        match sc with
+        | Seq sc -> seq_next_items ~tick t sc
+        | Par ps -> par_next_items ~tick t ps)
+  in
+  match items with
+  | None -> Ok None
+  | Some items -> (
+      match (scan_file sc).schema with
+      | Some schema ->
+          Ok
+            (Some
+               (Array.of_list items |> Array.map (function
+                  | I_row row -> row
+                  | I_entry (_, record) -> Row.decode_exn schema record)))
+      | None ->
+          if List.exists (function I_entry _ -> true | I_row _ -> false) items
+          then Error (Errors.Bad_request "scan_next_batch on a schema-less file")
+          else
+            Ok
+              (Some
+                 (Array.of_list items |> Array.map (function
+                    | I_row row -> row
+                    | I_entry _ -> assert false))))
 
 let scan_next_entry t sc =
   let* item = scan_next_item t sc in
@@ -1157,14 +1286,26 @@ let update_subset t f ~tx ~range ?pred assignments =
       open_scan t f ~tx ~access:A_vsbb ~range ?pred ~proj:key_cols
         ~lock:Dp_msg.L_exclusive ()
     in
+    (* consume the qualifying keys a whole reply buffer at a time; the pop
+       tick is deferred ([~tick:false]) and re-applied before each per-row
+       read-modify-write so the message timeline matches the row-at-a-time
+       driver exactly *)
     let rec go count =
-      let* row = scan_next t sc in
-      match row with
+      let* batch = scan_next_batch ~tick:false t sc in
+      match batch with
       | None -> Ok count
-      | Some key_row ->
-          let* key = Row.key_of_values schema (Array.to_list key_row) in
-          let* () = update_row_via_key t f ~tx ~key assignments in
-          go (count + 1)
+      | Some batch ->
+          let n = Array.length batch in
+          let rec apply i =
+            if i >= n then go (count + n)
+            else begin
+              Sim.tick t.sim 3;
+              let* key = Row.key_of_values schema (Array.to_list batch.(i)) in
+              let* () = update_row_via_key t f ~tx ~key assignments in
+              apply (i + 1)
+            end
+          in
+          apply 0
     in
     (* close on every exit — errors and raises out of the driver (a
        malformed record decode) must not leave the scan (or its span) open *)
@@ -1188,13 +1329,21 @@ let delete_subset t f ~tx ~range ?pred () =
         ~lock:Dp_msg.L_exclusive ()
     in
     let rec go count =
-      let* row = scan_next t sc in
-      match row with
+      let* batch = scan_next_batch ~tick:false t sc in
+      match batch with
       | None -> Ok count
-      | Some key_row ->
-          let* key = Row.key_of_values schema (Array.to_list key_row) in
-          let* () = delete_row_via_key t f ~tx ~key in
-          go (count + 1)
+      | Some batch ->
+          let n = Array.length batch in
+          let rec apply i =
+            if i >= n then go (count + n)
+            else begin
+              Sim.tick t.sim 3;
+              let* key = Row.key_of_values schema (Array.to_list batch.(i)) in
+              let* () = delete_row_via_key t f ~tx ~key in
+              apply (i + 1)
+            end
+          in
+          apply 0
     in
     Fun.protect ~finally:(fun () -> close_scan t sc) (fun () -> go 0)
   end
@@ -1509,6 +1658,63 @@ let index_scan t f ~tx ~index ~range ?pred ?proj ~lock () =
          stream between pulls, and only closing releases the SCB and the
          scan's trace span *)
       Ok (next, fun () -> close_scan t sc)
+
+(* batch variant of [index_scan]: one call surfaces a whole buffered batch
+   of index entries resolved to base rows. The index-scan pops are taken
+   uncharged ([~tick:false]) and the pop tick is re-applied immediately
+   before each base READ, so the message timeline is byte-identical to
+   pulling rows one at a time. *)
+let index_scan_batch t f ~tx ~index ~range ?pred ?proj ~lock () =
+  let* schema = require_schema f in
+  match List.find_opt (fun ix -> String.equal ix.ix_name index) f.indexes with
+  | None -> fail (Errors.Name_error ("unknown index " ^ index))
+  | Some ix ->
+      let ix_file : file =
+        {
+          fname = f.fname ^ "#ix_" ^ index;
+          schema = Some ix.ix_schema;
+          kind = Dp_msg.K_key_sequenced;
+          parts = [| { p_lo = ""; p_dp = ix.ix_dp; p_file = ix.ix_file } |];
+          indexes = [];
+        }
+      in
+      let sc = open_scan t ix_file ~tx ~access:A_vsbb ~range ?pred ~lock () in
+      let next_batch () =
+        match
+          let* irows = scan_next_batch ~tick:false t sc in
+          match irows with
+          | None -> Ok None
+          | Some irows ->
+              let n = Array.length irows in
+              let out = Array.make n [||] in
+              let rec fill i =
+                if i >= n then Ok (Some out)
+                else begin
+                  Sim.tick t.sim 3;
+                  let* base_key = base_key_of_index_row f ix irows.(i) in
+                  let p = route f base_key in
+                  let* _k, record =
+                    expect_record
+                      (send t p.p_dp
+                         (Dp_msg.R_read { file = p.p_file; tx; key = base_key; lock }))
+                  in
+                  let row = Row.decode_exn schema record in
+                  out.(i) <-
+                    (match proj with
+                    | Some fields -> Row.project row fields
+                    | None -> row);
+                  fill (i + 1)
+                end
+              in
+              fill 0
+        with
+        | Ok (Some _) as r -> r
+        | (Ok None | Error _) as r ->
+            (* release eagerly at the end of the stream (close is idempotent) *)
+            close_scan t sc;
+            r
+      in
+      Ok (next_batch, fun () -> close_scan t sc)
 
 (* --- online index creation ------------------------------------------------ *)
 

@@ -231,6 +231,22 @@ val open_scan :
     buffer drains. [Ok None] is end-of-scan. *)
 val scan_next : t -> scan -> (Row.row option, Nsql_util.Errors.t) result
 
+(** [scan_next_batch t scan] surfaces everything the scan has buffered —
+    at least one FS-DP reply buffer, re-driving the Disk Process if the
+    buffer is empty — as one row array; [Ok None] is end-of-scan. The
+    batch is exactly the rows an uninterrupted run of {!scan_next} pops
+    would return, and by default carries the same aggregate per-row pop
+    charge, so message traffic, counters and the simulated clock are
+    byte-identical to pulling row-at-a-time.
+
+    [~tick:false] defers the pop charge: the rows come back uncharged and
+    the consumer owes [Sim.tick 3] per row {e before} any per-row message
+    it sends — the contract that keeps send times exact for drivers that
+    interleave messages with consumption (index base reads, per-record
+    read-modify-write fallbacks). *)
+val scan_next_batch :
+  ?tick:bool -> t -> scan -> (Row.row array option, Nsql_util.Errors.t) result
+
 (** [scan_next_entry t scan] yields raw (key, record) pairs — for
     schema-less files and RSBB baselines. *)
 val scan_next_entry :
@@ -330,6 +346,17 @@ val index_scan :
   t -> file -> tx:int -> index:string -> range:Expr.key_range ->
   ?pred:Expr.t -> ?proj:int array -> lock:Dp_msg.lock_mode -> unit ->
   ((unit -> (Row.row option, Nsql_util.Errors.t) result) * (unit -> unit),
+   Nsql_util.Errors.t) result
+
+(** [index_scan_batch] is {!index_scan} with a batched stream: each
+    [next_batch] call resolves one buffered batch of index entries to base
+    rows (still one point read per row — the per-row messages and their
+    send times are byte-identical to the row-at-a-time stream). Same
+    close-on-every-exit contract as {!index_scan}. *)
+val index_scan_batch :
+  t -> file -> tx:int -> index:string -> range:Expr.key_range ->
+  ?pred:Expr.t -> ?proj:int array -> lock:Dp_msg.lock_mode -> unit ->
+  ((unit -> (Row.row array option, Nsql_util.Errors.t) result) * (unit -> unit),
    Nsql_util.Errors.t) result
 
 (** [index_schema file ~index] is the schema of the index file (index

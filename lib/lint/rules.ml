@@ -654,6 +654,159 @@ let trailing_unprotected_close ~kind name body =
   in
   walk false body
 
+(* --- streamed cursors -------------------------------------------------------
+
+   [Fs.index_scan] (and its batch variant) hands back a [(next, close)]
+   pair instead of a scan handle, bound through [let*] over result — three
+   blind spots at once for the handle analysis above: the opener is not an
+   [open_scan]-family call, the pattern is a tuple, and [let*] is a
+   [Pexp_letop], which the [Pexp_let] walk never visits. Recognize exactly
+   that shape — a let/let* binding a tuple whose last component is a
+   variable, whose bound expression calls [index_scan]* — and treat the
+   last component as the stream's close thunk:
+
+   - never called and never passed on: the SCB and span leak on every path;
+   - called only in statement position at the end of the binding's spine
+     after the stream was driven: leaks whenever the driver raises —
+     demand [Fun.protect ~finally];
+   - passed as an argument (e.g. [~finally:close]) or closed inside a
+     function value: assumed safe. *)
+
+let stream_opener_names = [ "index_scan"; "index_scan_batch" ]
+
+let calls_stream_opener e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it x ->
+          (match ident_path x with
+          | Some p -> (
+              match List.rev p with
+              | last :: _ when List.mem last stream_opener_names ->
+                  found := true
+              | _ -> ())
+          | None -> ());
+          Ast_iterator.default_iterator.expr it x);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* how the close thunk occurs in the body: applied in callee position,
+   passed somewhere as an argument, or mentioned some other way *)
+let stream_close_uses name body =
+  let applied = ref 0 and passed = ref 0 in
+  let is_x x =
+    match x.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident n; _ } -> String.equal n name
+    | _ -> false
+  in
+  let rec go x =
+    match x.pexp_desc with
+    | Pexp_apply (callee, args) ->
+        if is_x callee then incr applied else go callee;
+        List.iter
+          (fun (_, a) -> if is_x a then incr passed else go a)
+          args
+    | Pexp_ident { txt = Longident.Lident n; _ } when String.equal n name ->
+        incr passed
+    | _ ->
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ child -> go child);
+          }
+        in
+        Ast_iterator.default_iterator.expr it x
+  in
+  go body;
+  (!applied, !passed)
+
+(* like [trailing_unprotected_close], but the close is the bound thunk
+   applied in callee position, and "used" means the stream's other tuple
+   components (the [next] function) were referenced earlier on the spine *)
+let stream_trailing_close ~others name body =
+  let is_close_call x =
+    match x.pexp_desc with
+    | Pexp_apply (callee, _) -> (
+        match callee.pexp_desc with
+        | Pexp_ident { txt = Longident.Lident n; _ } -> String.equal n name
+        | _ -> false)
+    | _ -> false
+  in
+  let uses_stream x = List.exists (fun n -> uses_var n x) others in
+  let rec walk used e =
+    match e.pexp_desc with
+    | Pexp_let (_, vbs, cont) ->
+        let used =
+          used || List.exists (fun vb -> uses_stream vb.pvb_expr) vbs
+        in
+        walk used cont
+    | Pexp_letop { let_; ands; body = cont; _ } ->
+        let used =
+          used
+          || List.exists (fun op -> uses_stream op.pbop_exp) (let_ :: ands)
+        in
+        walk used cont
+    | Pexp_sequence (e1, cont) ->
+        if is_close_call e1 then if used then Some e1.pexp_loc else None
+        else walk (used || uses_stream e1) cont
+    | Pexp_ifthenelse (_, a, b) -> (
+        match walk used a with
+        | Some l -> Some l
+        | None -> Option.bind b (walk used))
+    | Pexp_match (_, cases) -> List.find_map (fun c -> walk used c.pc_rhs) cases
+    | Pexp_open (_, cont) | Pexp_constraint (cont, _) -> walk used cont
+    | _ -> None
+  in
+  walk false body
+
+let rec stream_pat_var p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) | Ppat_alias (p, _) -> stream_pat_var p
+  | _ -> None
+
+let check_stream_binding ~flag pat expr body =
+  let rec unwrap p =
+    match p.ppat_desc with
+    | Ppat_constraint (p, _) | Ppat_alias (p, _) -> unwrap p
+    | _ -> p
+  in
+  match (unwrap pat).ppat_desc with
+  | Ppat_tuple comps when List.length comps >= 2 && calls_stream_opener expr
+    -> (
+      match List.rev comps with
+      | last :: others_rev -> (
+          match stream_pat_var last with
+          | None -> ()
+          | Some close_name -> (
+              let others = List.filter_map stream_pat_var others_rev in
+              match stream_close_uses close_name body with
+              | 0, 0 ->
+                  flag pat.ppat_loc
+                    (Printf.sprintf
+                       "index-scan close thunk %s is never called; the \
+                        stream's SCB and span leak on every path"
+                       close_name)
+              | _, passed when passed > 0 ->
+                  (* handed off (e.g. Fun.protect ~finally:close) *)
+                  ()
+              | _, _ -> (
+                  match stream_trailing_close ~others close_name body with
+                  | Some loc ->
+                      flag loc
+                        (Printf.sprintf
+                           "index-scan stream is closed only on the \
+                            fall-through path; a raise out of the driver \
+                            leaks it — run %s under Fun.protect ~finally"
+                           close_name)
+                  | None -> ())))
+      | [] -> ())
+  | _ -> ()
+
 let res_leak ~path ~ctx structure =
   let unit_name = Source.module_name path in
   let diags = ref [] in
@@ -680,7 +833,14 @@ let res_leak ~path ~ctx structure =
                     it and %s it on every path"
                    (kind_label k) (kind_close k))
           | None -> ())
+      | Pexp_letop { let_; ands; body; _ } ->
+          List.iter
+            (fun op -> check_stream_binding ~flag op.pbop_pat op.pbop_exp body)
+            (let_ :: ands)
       | Pexp_let (_, vbs, body) ->
+          List.iter
+            (fun vb -> check_stream_binding ~flag vb.pvb_pat vb.pvb_expr body)
+            vbs;
           List.iter
             (fun vb ->
               match spine_opener vb.pvb_expr with

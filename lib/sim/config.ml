@@ -23,6 +23,12 @@ type t = {
           bookkeeping, so turning it off changes no message traffic,
           clock or counters — only whether a takeover can resume
           in-flight work *)
+  exec_batch : bool;
+      (** run the SQL executor as a push/batch pipeline: each FS-DP reply
+          buffer flows through the operator chain as one row array with
+          tight loops inside each operator; when false the executor uses
+          the pull-one-row reference path (kept for A/B runs and the
+          byte-identity regression gate) *)
   msg_local_cost_us : float;
   msg_cpu_cost_us : float;
   msg_node_cost_us : float;
@@ -50,6 +56,7 @@ let default =
     fs_fanout = true;
     dp_lock_wait = false;
     dp_checkpoint = true;
+    exec_batch = true;
     msg_local_cost_us = 300.;
     msg_cpu_cost_us = 1_000.;
     msg_node_cost_us = 5_000.;
@@ -75,6 +82,7 @@ let v ?(block_size = default.block_size)
     ?(fs_fanout = default.fs_fanout)
     ?(dp_lock_wait = default.dp_lock_wait)
     ?(dp_checkpoint = default.dp_checkpoint)
+    ?(exec_batch = default.exec_batch)
     ?(msg_local_cost_us = default.msg_local_cost_us)
     ?(msg_cpu_cost_us = default.msg_cpu_cost_us)
     ?(msg_node_cost_us = default.msg_node_cost_us)
@@ -99,6 +107,7 @@ let v ?(block_size = default.block_size)
     fs_fanout;
     dp_lock_wait;
     dp_checkpoint;
+    exec_batch;
     msg_local_cost_us;
     msg_cpu_cost_us;
     msg_node_cost_us;

@@ -33,6 +33,12 @@ type t = {
           from the checkpoint stream; pure backup-side bookkeeping — the
           knob changes no message traffic, clock or counters, only whether
           a takeover can resume in-flight work *)
+  exec_batch : bool;
+      (** run the SQL executor as a push/batch pipeline: each FS-DP reply
+          buffer flows through the operator chain as one row array with
+          tight loops inside each operator; the pull-one-row reference
+          path (exec_batch = false) is kept for A/B comparison and is
+          byte-identical in results, message traffic, counters and clock *)
   msg_local_cost_us : float;  (** fixed cost, same-processor message *)
   msg_cpu_cost_us : float;  (** fixed cost, cross-processor message *)
   msg_node_cost_us : float;  (** fixed cost, cross-node message *)
@@ -62,6 +68,7 @@ val v :
   ?fs_fanout:bool ->
   ?dp_lock_wait:bool ->
   ?dp_checkpoint:bool ->
+  ?exec_batch:bool ->
   ?msg_local_cost_us:float ->
   ?msg_cpu_cost_us:float ->
   ?msg_node_cost_us:float ->

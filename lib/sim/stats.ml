@@ -33,6 +33,8 @@ type t = {
   mutable tx_aborted : int;
   mutable records_read : int;
   mutable records_returned : int;
+  mutable exec_batches : int;
+  mutable exec_rows : int;
   mutable redrives : int;
   mutable faults_injected : int;
   mutable msg_path_retries : int;
@@ -77,6 +79,8 @@ let create () =
     tx_aborted = 0;
     records_read = 0;
     records_returned = 0;
+    exec_batches = 0;
+    exec_rows = 0;
     redrives = 0;
     faults_injected = 0;
     msg_path_retries = 0;
@@ -125,6 +129,8 @@ let map2 f a b =
     tx_aborted = f a.tx_aborted b.tx_aborted;
     records_read = f a.records_read b.records_read;
     records_returned = f a.records_returned b.records_returned;
+    exec_batches = f a.exec_batches b.exec_batches;
+    exec_rows = f a.exec_rows b.exec_rows;
     redrives = f a.redrives b.redrives;
     faults_injected = f a.faults_injected b.faults_injected;
     msg_path_retries = f a.msg_path_retries b.msg_path_retries;
@@ -172,6 +178,8 @@ let reset t =
   t.tx_aborted <- 0;
   t.records_read <- 0;
   t.records_returned <- 0;
+  t.exec_batches <- 0;
+  t.exec_rows <- 0;
   t.redrives <- 0;
   t.faults_injected <- 0;
   t.msg_path_retries <- 0;
@@ -215,6 +223,8 @@ let to_assoc t =
     ("tx_aborted", t.tx_aborted);
     ("records_read", t.records_read);
     ("records_returned", t.records_returned);
+    ("exec_batches", t.exec_batches);
+    ("exec_rows", t.exec_rows);
     ("redrives", t.redrives);
     ("faults_injected", t.faults_injected);
     ("msg_path_retries", t.msg_path_retries);

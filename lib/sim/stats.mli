@@ -40,6 +40,9 @@ type t = {
   mutable tx_aborted : int;
   mutable records_read : int;  (** records examined by the Disk Process *)
   mutable records_returned : int;  (** records shipped to the requester *)
+  mutable exec_batches : int;
+      (** reply buffers absorbed into an executor-visible scan batch *)
+  mutable exec_rows : int;  (** rows flowing out of scan batches *)
   mutable redrives : int;  (** continuation re-drive messages *)
   mutable faults_injected : int;  (** faults applied by the chaos engine *)
   mutable msg_path_retries : int;  (** message-path failures retried *)

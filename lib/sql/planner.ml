@@ -118,6 +118,89 @@ let pp_select_plan ppf p =
   if p.p_order <> [] then Format.fprintf ppf "@,sort (%d keys)" (List.length p.p_order);
   Format.fprintf ppf "@]"
 
+(* --- operator descriptors ----------------------------------------------------
+
+   A linear description of the operator chain the Executor runs for a
+   plan, one entry per operator in execution order. The batched executor
+   and the experiments use it to label per-operator work and report
+   per-operator cost without re-deriving the plan shape. *)
+
+type op_desc =
+  | Od_scan of { table : string; path : string }
+  | Od_filter of { table : string }
+  | Od_join of { table : string; kind : string }
+  | Od_group of { keys : int; aggs : int; pushdown : bool }
+  | Od_sort of { keys : int }
+  | Od_project of { exprs : int; distinct : bool }
+  | Od_limit of { n : int }
+
+let operators p =
+  let group pushdown =
+    match p.p_group with
+    | None -> []
+    | Some g ->
+        [
+          Od_group
+            {
+              keys = List.length g.g_keys;
+              aggs = List.length g.g_aggs;
+              pushdown;
+            };
+        ]
+  in
+  let source =
+    match (p.p_group, p.p_pushdown) with
+    | Some _, Some _ -> group true
+    | _ ->
+        let table = p.p_table.Catalog.t_name in
+        let scan =
+          Od_scan
+            {
+              table;
+              path =
+                (match p.p_access with
+                | Ap_primary _ -> "primary"
+                | Ap_index { index; _ } -> "index:" ^ index);
+            }
+        in
+        let residual =
+          match p.p_access with
+          | Ap_index { residual = Some _; _ } -> [ Od_filter { table } ]
+          | _ -> []
+        in
+        let joins =
+          List.map
+            (fun step ->
+              Od_join
+                {
+                  table = step.j_table.Catalog.t_name;
+                  kind =
+                    (match step.j_inner with
+                    | Ji_keyed _ -> "keyed"
+                    | Ji_scan _ -> "scan");
+                })
+            p.p_joins
+        in
+        (scan :: residual) @ joins @ group false
+  in
+  source
+  @ (if p.p_order <> [] then [ Od_sort { keys = List.length p.p_order } ] else [])
+  @ [ Od_project { exprs = List.length p.p_exprs; distinct = p.p_distinct } ]
+  @ match p.p_limit with Some n -> [ Od_limit { n } ] | None -> []
+
+let pp_op_desc ppf = function
+  | Od_scan { table; path } -> Format.fprintf ppf "scan %s via %s" table path
+  | Od_filter { table } -> Format.fprintf ppf "filter %s residual" table
+  | Od_join { table; kind } -> Format.fprintf ppf "join %s (%s)" table kind
+  | Od_group { keys; aggs; pushdown } ->
+      Format.fprintf ppf "group keys=%d aggs=%d%s" keys aggs
+        (if pushdown then " (pushed to DP)" else "")
+  | Od_sort { keys } -> Format.fprintf ppf "sort (%d keys)" keys
+  | Od_project { exprs; distinct } ->
+      Format.fprintf ppf "project %d exprs%s" exprs
+        (if distinct then " distinct" else "")
+  | Od_limit { n } -> Format.fprintf ppf "limit %d" n
+
 (* --- helpers ------------------------------------------------------------ *)
 
 let conjoin_opt = function [] -> None | cs -> Some (Expr.conjoin cs)

@@ -83,6 +83,24 @@ val dp_agg_spec : Ast.agg_kind * Expr.t option -> Dp_msg.agg_spec
 
 val pp_select_plan : Format.formatter -> select_plan -> unit
 
+(** A linear description of the operator chain the Executor runs for a
+    plan, one entry per operator in execution order — the vocabulary the
+    batched pipeline and the per-operator experiments share. *)
+type op_desc =
+  | Od_scan of { table : string; path : string }
+      (** base access; [path] is ["primary"] or ["index:<name>"] *)
+  | Od_filter of { table : string }  (** client-side residual filter *)
+  | Od_join of { table : string; kind : string }  (** ["keyed"] or ["scan"] *)
+  | Od_group of { keys : int; aggs : int; pushdown : bool }
+  | Od_sort of { keys : int }
+  | Od_project of { exprs : int; distinct : bool }
+  | Od_limit of { n : int }
+
+(** [operators plan] lists the plan's operators in execution order. *)
+val operators : select_plan -> op_desc list
+
+val pp_op_desc : Format.formatter -> op_desc -> unit
+
 type update_plan = {
   up_table : Catalog.table;
   up_range : Expr.key_range;

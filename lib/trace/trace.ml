@@ -159,6 +159,8 @@ let pp_span_counters ppf (s : Stats.t) =
       ("writes", s.disk_writes);
       ("recs_read", s.records_read);
       ("recs_ret", s.records_returned);
+      ("batches", s.exec_batches);
+      ("batch_rows", s.exec_rows);
       ("lock_waits", s.lock_waits);
     ]
 

@@ -1,0 +1,207 @@
+(* Properties of the push-based batched executor: for every query shape
+   the batched pipeline and the retained pull-reference path produce
+   byte-identical rowsets, byte-identical stats counters (messages, bytes,
+   locks, batches, rows — the whole [Stats.to_assoc] vector), and the same
+   simulated clock — on random Wisconsin queries, across the published
+   Wisconsin suite, and under a chaos fault filter delaying and flapping
+   the Disk Processes. The batching is an implementation change only; any
+   observable divergence is a bug. *)
+
+module N = Nsql_core.Nonstop_sql
+module Sim = Nsql_sim.Sim
+module Stats = Nsql_sim.Stats
+module Config = Nsql_sim.Config
+module Msg = Nsql_msg.Msg
+module Row = Nsql_row.Row
+module Errors = Nsql_util.Errors
+module Wisconsin = Nsql_workload.Wisconsin
+
+let get_ok = Errors.get_ok
+let fpr = Printf.sprintf
+let rows = 240
+let parts = 4
+
+(* a tiny deterministic generator seeded per property case, as in
+   test_fanout: keeping everything on the QCheck seed makes shrinking and
+   replay exact *)
+let prng seed =
+  let state = ref (max 1 (seed land 0x3FFFFFFF)) in
+  fun n ->
+    state := (!state * 48271 + 13) land 0x3FFFFFFF;
+    !state mod n
+
+let random_where next =
+  match next 7 with
+  | 0 -> ""
+  | 1 -> fpr " WHERE unique1 < %d" (next rows)
+  | 2 -> fpr " WHERE tenpercent = %d" (next 10)
+  | 3 ->
+      let lo = next rows in
+      fpr " WHERE unique2 >= %d AND unique2 < %d" lo (lo + 1 + next rows)
+  | 4 -> fpr " WHERE two = 0 OR onepercent = %d" (next (1 + (rows / 100)))
+  | 5 ->
+      (* equality on the secondary-indexed column: exercises the
+         index-scan batch path *)
+      fpr " WHERE onepercent = %d" (next (1 + (rows / 100)))
+  | _ -> fpr " WHERE four = %d AND unique1 >= %d" (next 4) (next rows)
+
+(* the query shapes cover every batched operator: scan + residual filter,
+   projection, grouped and grand aggregates with HAVING, ORDER BY,
+   DISTINCT, LIMIT, and the keyed and scan joins *)
+let random_select next =
+  let where = random_where next in
+  match next 8 with
+  | 0 -> fpr "SELECT unique1, unique2, stringu1 FROM t%s" where
+  | 1 -> fpr "SELECT * FROM t%s" where
+  | 2 ->
+      fpr "SELECT onepercent, COUNT(*), SUM(unique1), MIN(unique2) FROM t%s GROUP BY onepercent"
+        where
+  | 3 ->
+      fpr
+        "SELECT tenpercent, AVG(unique1) FROM t%s GROUP BY tenpercent HAVING COUNT(*) > %d"
+        where (next 8)
+  | 4 -> fpr "SELECT unique1, stringu1 FROM t%s ORDER BY unique1 DESC LIMIT %d" where (1 + next 20)
+  | 5 -> fpr "SELECT DISTINCT four, twenty FROM t%s ORDER BY four, twenty" where
+  | 6 ->
+      fpr "SELECT a.unique2, b.stringu1 FROM t a, t2 b WHERE a.unique2 = b.unique2 AND a.unique1 < %d"
+        (next (rows / 2))
+  | _ ->
+      fpr "SELECT COUNT(*), SUM(unique1), MIN(unique2), MAX(unique3), AVG(two) FROM t%s"
+        where
+
+(* chaos: deterministic delays and path flaps keyed on (seed, dest, tag);
+   delivery always succeeds, only latencies and arrival order move *)
+let install_chaos node seed =
+  Msg.set_fault_filter (N.msys node)
+    (Some
+       (fun ~from:_ ~to_name ~tag ->
+         match Hashtbl.hash (seed, to_name, tag) mod 5 with
+         | 0 -> Msg.Fault_delay (float_of_int (Hashtbl.hash (to_name, seed) mod 700))
+         | 1 -> Msg.Fault_path_retry (float_of_int (Hashtbl.hash (tag, seed) mod 300))
+         | _ -> Msg.Fault_pass))
+
+let make_node ~batched ~chaos seed =
+  let config = Config.v ~exec_batch:batched () in
+  let node = N.create_node ~config ~volumes:4 () in
+  get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"t" ~rows ~partitions:parts ());
+  get_ok ~ctx:"wisc2" (Wisconsin.create node ~name:"t2" ~rows:(rows / 2) ());
+  ignore (N.exec_exn (N.session node) "CREATE INDEX t_op ON t (onepercent)");
+  if chaos then install_chaos node seed;
+  node
+
+let run_sql node sql =
+  match N.exec_exn (N.session node) sql with
+  | N.Rows { rows; _ } -> rows
+  | _ -> Alcotest.fail ("not a rowset: " ^ sql)
+
+let pp_rows rs =
+  String.concat "; " (List.map (Format.asprintf "%a" Row.pp_row) rs)
+
+let check_same_rows sql a b =
+  if a <> b then
+    QCheck.Test.fail_reportf "%s diverged:@.  %s@.  vs@.  %s" sql (pp_rows a)
+      (pp_rows b)
+
+(* the full observable state of a run: every stats counter plus the
+   simulated clock — "byte-identical" means this whole vector matches *)
+let snapshot node =
+  (Stats.to_assoc (Sim.stats (N.sim node)), Sim.now (N.sim node))
+
+let check_same_snapshot sql (sa, ta) (sb, tb) =
+  List.iter2
+    (fun (name, va) (name', vb) ->
+      assert (name = name');
+      if va <> vb then
+        QCheck.Test.fail_reportf "%s: pull/batched %s diverged: %d vs %d" sql
+          name va vb)
+    sa sb;
+  if ta <> tb then
+    QCheck.Test.fail_reportf "%s: simulated clock diverged: %.0f vs %.0f" sql
+      ta tb
+
+(* --- batched SELECT ≡ pull SELECT, random shapes ---------------------- *)
+
+let select_equivalence ~chaos =
+  QCheck.Test.make ~count:15
+    ~name:
+      (if chaos then "batched select = pull select (under chaos)"
+       else "batched select = pull select")
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let next = prng seed in
+      let sql = random_select next in
+      let pull_node = make_node ~batched:false ~chaos seed in
+      let bat_node = make_node ~batched:true ~chaos seed in
+      check_same_rows sql (run_sql pull_node sql) (run_sql bat_node sql);
+      check_same_snapshot sql (snapshot pull_node) (snapshot bat_node);
+      true)
+
+(* --- batched DML drivers ≡ pull DML drivers --------------------------- *)
+
+let dml_equivalence ~chaos =
+  QCheck.Test.make ~count:10
+    ~name:
+      (if chaos then "batched DML = pull DML (under chaos)"
+       else "batched DML = pull DML")
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let next = prng seed in
+      let upd =
+        fpr "UPDATE t SET unique3 = unique3 + %d, stringu1 = 'touched'%s"
+          (1 + next 50) (random_where next)
+      in
+      let del = fpr "DELETE FROM t%s" (random_where next) in
+      let probe = "SELECT unique2, unique3, stringu1 FROM t" in
+      let run node =
+        let s = N.session node in
+        let affected stmt =
+          match N.exec_exn s stmt with
+          | N.Affected n -> n
+          | _ -> Alcotest.fail ("not a DML result: " ^ stmt)
+        in
+        let nu = affected upd in
+        let nd = affected del in
+        ((nu, nd), run_sql node probe, snapshot node)
+      in
+      let an, ar, asnap = run (make_node ~batched:false ~chaos seed) in
+      let bn, br, bsnap = run (make_node ~batched:true ~chaos seed) in
+      if an <> bn then
+        QCheck.Test.fail_reportf "affected counts diverged: %d,%d vs %d,%d"
+          (fst an) (snd an) (fst bn) (snd bn);
+      check_same_rows probe ar br;
+      check_same_snapshot (upd ^ "; " ^ del) asnap bsnap;
+      true)
+
+(* --- the published Wisconsin suite, query by query -------------------- *)
+
+let wisconsin_suite_equivalence ~chaos =
+  QCheck.Test.make ~count:3
+    ~name:
+      (if chaos then "Wisconsin suite: batched = pull (under chaos)"
+       else "Wisconsin suite: batched = pull")
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let queries =
+        Wisconsin.selection_queries ~table:"t" ~rows
+        @ Wisconsin.agg_and_join_queries ~table:"t" ~table2:"t2" ~rows
+      in
+      let pull_node = make_node ~batched:false ~chaos seed in
+      let bat_node = make_node ~batched:true ~chaos seed in
+      List.iter
+        (fun q ->
+          let tag = fpr "%s (%s)" q.Wisconsin.q_id q.Wisconsin.q_sql in
+          check_same_rows tag (run_sql pull_node q.Wisconsin.q_sql)
+            (run_sql bat_node q.Wisconsin.q_sql);
+          check_same_snapshot tag (snapshot pull_node) (snapshot bat_node))
+        queries;
+      true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest (select_equivalence ~chaos:false);
+    QCheck_alcotest.to_alcotest (select_equivalence ~chaos:true);
+    QCheck_alcotest.to_alcotest (dml_equivalence ~chaos:false);
+    QCheck_alcotest.to_alcotest (dml_equivalence ~chaos:true);
+    QCheck_alcotest.to_alcotest (wisconsin_suite_equivalence ~chaos:false);
+    QCheck_alcotest.to_alcotest (wisconsin_suite_equivalence ~chaos:true);
+  ]

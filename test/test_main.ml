@@ -23,6 +23,7 @@ let () =
       ("model", Test_model.suite);
       ("relative", Test_relative.suite);
       ("fanout", Test_fanout.suite);
+      ("batch", Test_batch.suite);
       ("trace", Test_trace.suite);
       ("chaos", Test_chaos.suite);
       ("lint", Test_lint.suite);
