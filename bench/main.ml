@@ -27,6 +27,9 @@ module Wisconsin = Nsql_workload.Wisconsin
 module Debitcredit = Nsql_workload.Debitcredit
 module Trace = Nsql_trace.Trace
 module Tracer = Nsql_sim.Tracer
+module Moncore = Nsql_sim.Moncore
+module Hist = Nsql_sim.Hist
+module Monitor = Nsql_monitor.Monitor
 
 let get_ok = Errors.get_ok
 let printf = Format.printf
@@ -2018,48 +2021,231 @@ let e22_batched_executor () =
   emit "e22" "rows_per_batch" rows_per_batch
 
 (* ------------------------------------------------------------------ *)
+(* E23: the resource monitor — latency percentiles and utilization      *)
+(* ------------------------------------------------------------------ *)
+
+let e23_monitor () =
+  heading "E23" "resource monitor: terminal latency and utilization"
+    "zero-perturbation observability: fixed-bucket latency histograms, a \
+     time-sliced utilization/queueing sampler, and an exhaustive tiling \
+     of simulated time into categories — monitoring on vs off is \
+     bit-identical in results, counters and clock";
+  let terminals = 4 and txs_per_terminal = 25 and accounts = 4 in
+  let config =
+    Config.v ~dp_lock_wait:true ~lock_wait_timeout_us:150_000. ()
+  in
+  let probe_idx name =
+    let rec go i =
+      if i >= Array.length Moncore.probe_names then assert false
+      else if String.equal Moncore.probe_names.(i) name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  (* --- part A: E20-shape contention, monitored ----------------------- *)
+  let node = N.create_node ~config ~volumes:2 () in
+  let db =
+    get_ok ~ctx:"e23 setup" (Debitcredit.setup_transfer node ~accounts)
+  in
+  let sim = N.sim node in
+  Monitor.set_enabled sim true;
+  let t0 = Sim.now sim in
+  let rep = Debitcredit.run_transfers db ~terminals ~txs_per_terminal () in
+  let elapsed = Sim.now sim -. t0 in
+  assert (rep.Debitcredit.x_failed = 0);
+  assert (rep.Debitcredit.x_committed = terminals * txs_per_terminal);
+  let mc = Sim.moncore sim in
+  (* the tiling invariant: category totals sum to the clock delta exactly
+     (float-equal, not within epsilon — the quanta are binary-exact) *)
+  let cats = Moncore.cat_snapshot mc in
+  let total = Array.fold_left ( +. ) 0. cats in
+  assert (total = Sim.now sim -. Moncore.start_now mc);
+  printf "%a@." Monitor.pp_report sim;
+  let h =
+    match Moncore.hist mc "transfer" with
+    | Some h -> h
+    | None -> failwith "E23: no transfer histogram"
+  in
+  let q p = Hist.quantile h p in
+  printf
+    "terminal-perceived transfer latency: n=%d p50=%.1f p95=%.1f p99=%.1f \
+     max=%.1f (us)@."
+    (Hist.count h) (q 0.5) (q 0.95) (q 0.99) (Hist.max_value h);
+  let busy = Moncore.busy_snapshot mc in
+  let dp_util = busy.(Moncore.res_index Moncore.R_dp) /. elapsed in
+  let await_share = cats.(Moncore.cat_index Moncore.C_await) /. total in
+  (* DP-side queue time of parked requests: the terminal spends the same
+     interval in await (overlapped), which is why C_await dominates *)
+  let lw =
+    match Moncore.hist mc "lock_wait" with
+    | Some h -> h
+    | None -> failwith "E23: no lock_wait histogram"
+  in
+  printf
+    "DP utilization %.2f (%d volumes); awaiting-completion share %.2f; \
+     lock-wait queue time p50=%.1f p95=%.1f (us, n=%d)@."
+    dp_util 2 await_share (Hist.quantile lw 0.5) (Hist.quantile lw 0.95)
+    (Hist.count lw);
+  emit "e23" "transfer_p50_us" (q 0.5);
+  emit "e23" "transfer_p95_us" (q 0.95);
+  emit "e23" "transfer_p99_us" (q 0.99);
+  emit "e23" "transfer_max_us" (Hist.max_value h);
+  emit "e23" "dp_util" dp_util;
+  emit "e23" "await_share" await_share;
+  emit "e23" "lock_wait_p50_us" (Hist.quantile lw 0.5);
+  emit "e23" "lock_wait_p95_us" (Hist.quantile lw 0.95);
+  emit "e23" "lock_wait_n" (float_of_int (Hist.count lw));
+  (* --- part B: the E21 takeover dip as a sampled transient ------------ *)
+  let base_elapsed =
+    let node = N.create_node ~config ~volumes:2 () in
+    let db =
+      get_ok ~ctx:"e23 base" (Debitcredit.setup_transfer node ~accounts)
+    in
+    let sim = N.sim node in
+    let t0 = Sim.now sim in
+    let rep = Debitcredit.run_transfers db ~terminals ~txs_per_terminal () in
+    assert (rep.Debitcredit.x_failed = 0);
+    Sim.now sim -. t0
+  in
+  let node = N.create_node ~config ~volumes:2 () in
+  let db =
+    get_ok ~ctx:"e23 tko setup" (Debitcredit.setup_transfer node ~accounts)
+  in
+  let sim = N.sim node in
+  Monitor.set_slice_us sim 50_000.;
+  Monitor.set_enabled sim true;
+  let t0 = Sim.now sim in
+  let takeover_at = t0 +. (base_elapsed /. 2.) in
+  Sim.schedule sim ~at:takeover_at (fun () ->
+      assert (N.takeover_volume node 0));
+  let rep = Debitcredit.run_transfers db ~terminals ~txs_per_terminal () in
+  assert (rep.Debitcredit.x_failed = 0);
+  assert (rep.Debitcredit.x_committed = terminals * txs_per_terminal);
+  let mc = Sim.moncore sim in
+  let cats = Moncore.cat_snapshot mc in
+  let total = Array.fold_left ( +. ) 0. cats in
+  assert (total = Sim.now sim -. Moncore.start_now mc);
+  let slices = Array.of_list (Moncore.slices mc) in
+  let n = Array.length slices in
+  assert (n >= 3);
+  let msg_i = probe_idx "msgs_sent" in
+  let ckpt_i = probe_idx "checkpoint_bytes" in
+  let parked_i = Moncore.gauge_index Moncore.G_parked in
+  (* per-slice message throughput from the cumulative stats probe; slice 0
+     is skipped — its delta reaches back into setup *)
+  let delta_of i idx =
+    slices.(i).Moncore.sl_stats.(idx) - slices.(i - 1).Moncore.sl_stats.(idx)
+  in
+  let tko_slice =
+    let rec go i =
+      if i >= n then n - 1
+      else
+        let s = slices.(i) in
+        if
+          s.Moncore.sl_start <= takeover_at
+          && takeover_at < s.Moncore.sl_start +. 50_000.
+        then i
+        else go (i + 1)
+    in
+    go 0
+  in
+  printf
+    "@.takeover at %.0fus falls in slice %d of %d (50ms slices; window \
+     around it shown):@."
+    takeover_at tko_slice n;
+  printf "%7s %10s %10s %8s %12s@." "slice" "t(ms)" "msgs" "parked"
+    "ckpt bytes";
+  for i = max 1 (tko_slice - 5) to min (n - 1) (tko_slice + 5) do
+    printf "%6d%s %10.1f %10d %8d %12d@." i
+      (if i = tko_slice then "*" else " ")
+      (slices.(i).Moncore.sl_start /. 1000.)
+      (delta_of i msg_i)
+      slices.(i).Moncore.sl_gauges.(parked_i)
+      (delta_of i ckpt_i)
+  done;
+  (* the dip: message throughput in the takeover window drops below the
+     steady-state peak while the replay's checkpoint traffic lands *)
+  let dip_msgs =
+    min (delta_of tko_slice msg_i)
+      (delta_of (min (n - 1) (tko_slice + 1)) msg_i)
+  in
+  let steady_msgs = ref 0 in
+  for i = 1 to n - 1 do
+    if i < tko_slice || i > tko_slice + 1 then
+      steady_msgs := max !steady_msgs (delta_of i msg_i)
+  done;
+  let max_parked = ref 0 in
+  Array.iter
+    (fun s -> max_parked := max !max_parked s.Moncore.sl_gauges.(parked_i))
+    slices;
+  printf
+    "dip: %d msgs in the takeover window vs %d at the steady peak; max \
+     parked waiters %d@."
+    dip_msgs !steady_msgs !max_parked;
+  assert (dip_msgs < !steady_msgs);
+  emit "e23" "tko_slices" (float_of_int n);
+  emit "e23" "tko_dip_msgs" (float_of_int dip_msgs);
+  emit "e23" "tko_steady_msgs" (float_of_int !steady_msgs);
+  emit "e23" "tko_max_parked" (float_of_int !max_parked)
+
+(* ------------------------------------------------------------------ *)
 (* the experiment registry and command line                             *)
 (* ------------------------------------------------------------------ *)
 
 let registry =
   [
-    ("e1", e1_rsbb_vs_record);
-    ("e2", e2_vsbb_wisconsin);
-    ("e3", e3_update_subset);
-    ("e4", e4_audit_compression);
-    ("e5", e5_bulk_prefetch);
-    ("e6", e6_write_behind);
-    ("e7", e7_group_commit);
-    ("e8", e8_debitcredit);
-    ("e9", e9_figure2_trace);
-    ("e10", e10_redrive);
-    ("e11", e11_blocked_insert);
-    ("e12", e12_vblock_locking);
-    ("e13", e13_partitions);
-    ("e14", e14_apply_block);
-    ("e15", e15_remote_requester);
-    ("e16", e16_distributed_tx);
-    ("e17", e17_parallel_scan);
-    ("e18", e18_agg_pushdown);
-    ("e19", e19_profile_attribution);
-    ("e20", e20_contention);
-    ("e21", e21_takeover);
-    ("e22", e22_batched_executor);
-    ("a1", a1_vsbb_buffer);
-    ("micro", micro_benchmarks);
+    ("e1", "sequential read: record-at-a-time vs SBB", e1_rsbb_vs_record);
+    ("e2", "Wisconsin selections: record vs RSBB vs VSBB", e2_vsbb_wisconsin);
+    ("e3", "UPDATE via expression vs read-then-update", e3_update_subset);
+    ("e4", "field-compressed vs full-image audit records",
+     e4_audit_compression);
+    ("e5", "cache optimizations for a key-range scan", e5_bulk_prefetch);
+    ("e6", "write-behind of dirty sequential block strings", e6_write_behind);
+    ("e7", "group-commit timer behaviour under load", e7_group_commit);
+    ("e8", "DebitCredit: NonStop SQL vs ENSCRIBE", e8_debitcredit);
+    ("e9", "Figure 2: access via alternate key", e9_figure2_trace);
+    ("e10", "continuation re-drive protocol", e10_redrive);
+    ("e11", "blocked sequential insert interface", e11_blocked_insert);
+    ("e12", "virtual-block group locking", e12_vblock_locking);
+    ("e13", "horizontally partitioned tables", e13_partitions);
+    ("e14", "buffered update/delete where current", e14_apply_block);
+    ("e15", "remote requester: VSBB across the network", e15_remote_requester);
+    ("e16", "network transactions: two-phase commit cost", e16_distributed_tx);
+    ("e17", "parallel partitioned scan via nowait fan-out", e17_parallel_scan);
+    ("e18", "aggregate evaluation at the data source", e18_agg_pushdown);
+    ("e19", "span profile attributes messages to operators",
+     e19_profile_attribution);
+    ("e20", "multi-terminal contention: waits, deadlocks, retries",
+     e20_contention);
+    ("e21", "process-pair takeover under live traffic", e21_takeover);
+    ("e22", "push-based batched executor", e22_batched_executor);
+    ("e23", "resource monitor: latency percentiles and utilization",
+     e23_monitor);
+    ("a1", "ablation: VSBB reply-buffer size", a1_vsbb_buffer);
+    ("micro", "Bechamel micro-benchmarks over the core paths",
+     micro_benchmarks);
   ]
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--only e1,e17,...] [--json results.json] [--trace DIR]\n\
-     experiment ids: e1-e22, a1, micro";
+    "usage: main.exe [--list] [--only e1,e17,...] [--json results.json] \
+     [--trace DIR] [--monitor DIR]\n\
+     experiment ids: e1-e23, a1, micro (--list for descriptions)";
   exit 2
 
 (* --trace: enable span collection on every simulation world an experiment
    creates (via the tracer creation hook) and write one Chrome trace-event
    file per experiment. Tracing never perturbs the simulation, so results
    are identical with and without the flag. *)
-let run_with_trace dir (id, f) =
+let ensure_dir dir =
+  (try
+     if not (Sys.is_directory dir) then begin
+       prerr_endline (dir ^ " is not a directory");
+       exit 2
+     end
+   with Sys_error _ -> Sys.mkdir dir 0o755)
+
+let run_with_trace dir (id, _, f) =
   let worlds = ref [] in
   Tracer.creation_hook :=
     Some
@@ -2078,17 +2264,47 @@ let run_with_trace dir (id, f) =
     (List.length spans)
     (List.fold_left (fun a l -> a + List.length l) 0 spans)
 
+(* --monitor: turn the resource monitor on for every simulation world an
+   experiment creates (via the moncore creation hook) and export one
+   monitor JSON file per experiment. Like --trace, the flag never perturbs
+   the simulation — results are identical with and without it, and the
+   exports themselves are byte-identical across runs (CI diffs them). *)
+let run_with_monitor dir (id, _, f) =
+  let worlds = ref [] in
+  Moncore.creation_hook :=
+    Some
+      (fun mc ->
+        Moncore.set_enabled mc ~now:0. true;
+        worlds := mc :: !worlds);
+  Fun.protect
+    ~finally:(fun () -> Moncore.creation_hook := None)
+    f;
+  let path = Filename.concat dir (id ^ ".monitor.json") in
+  let oc = open_out path in
+  output_string oc (Monitor.json_of_moncores (List.rev !worlds));
+  close_out oc;
+  printf "monitor export written to %s (%d worlds)@." path
+    (List.length !worlds)
+
 let () =
   let json_path = ref None in
   let trace_dir = ref None in
+  let monitor_dir = ref None in
   let only = ref None in
+  let list_only = ref false in
   let rec parse_args = function
     | [] -> ()
+    | "--list" :: rest ->
+        list_only := true;
+        parse_args rest
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse_args rest
     | "--trace" :: dir :: rest ->
         trace_dir := Some dir;
+        parse_args rest
+    | "--monitor" :: dir :: rest ->
+        monitor_dir := Some dir;
         parse_args rest
     | "--only" :: ids :: rest ->
         let ids =
@@ -2098,7 +2314,8 @@ let () =
         in
         List.iter
           (fun id ->
-            if not (List.mem_assoc id registry) then begin
+            if not (List.exists (fun (id', _, _) -> id = id') registry)
+            then begin
               prerr_endline ("unknown experiment id: " ^ id);
               usage ()
             end)
@@ -2108,25 +2325,35 @@ let () =
     | _ -> usage ()
   in
   parse_args (List.tl (Array.to_list Sys.argv));
+  if !list_only then begin
+    List.iter (fun (id, desc, _) -> printf "%-6s %s@." id desc) registry;
+    exit 0
+  end;
   let chosen =
     match !only with
     | None -> registry
-    | Some ids -> List.filter (fun (id, _) -> List.mem id ids) registry
+    | Some ids -> List.filter (fun (id, _, _) -> List.mem id ids) registry
   in
   printf "NonStop SQL reproduction — experiment harness@.";
   printf
     "(see DESIGN.md for the experiment index, EXPERIMENTS.md for the \
      paper-vs-measured discussion)@.";
-  (match !trace_dir with
-  | None -> List.iter (fun (_, f) -> f ()) chosen
-  | Some dir ->
-      (try
-         if not (Sys.is_directory dir) then begin
-           prerr_endline (dir ^ " is not a directory");
-           exit 2
-         end
-       with Sys_error _ -> Sys.mkdir dir 0o755);
-      List.iter (run_with_trace dir) chosen);
+  let runner =
+    match (!trace_dir, !monitor_dir) with
+    | None, None -> fun (_, _, f) -> f ()
+    | Some dir, None ->
+        ensure_dir dir;
+        run_with_trace dir
+    | None, Some dir ->
+        ensure_dir dir;
+        run_with_monitor dir
+    | Some tdir, Some mdir ->
+        ensure_dir tdir;
+        ensure_dir mdir;
+        fun exp -> run_with_trace tdir (match exp with
+          | (id, desc, f) -> (id, desc, fun () -> run_with_monitor mdir (id, desc, f)))
+  in
+  List.iter runner chosen;
   (match !json_path with
   | None -> ()
   | Some path ->

@@ -13,6 +13,7 @@ module Msg = Nsql_msg.Msg
 module Fs = Nsql_fs.Fs
 module Errors = Nsql_util.Errors
 module Trace = Nsql_trace.Trace
+module Monitor = Nsql_monitor.Monitor
 module Wisconsin = Nsql_workload.Wisconsin
 
 let printf = Format.printf
@@ -90,11 +91,15 @@ let backslash repl line =
           | Ok () -> printf "loaded tenktup1 (%d rows)@." rows
           | Error e -> show_error e)
       | _ -> printf "usage: \\wisconsin <rows>@.")
+  | [ "\\monitor" ] -> printf "%a@." Monitor.pp_report (N.sim repl.node)
+  | [ "\\monitor"; "reset" ] ->
+      Monitor.clear (N.sim repl.node);
+      printf "monitor cleared@."
   | [ "\\help" ] | _ ->
       printf
         "commands: \\stats \\reset \\tables \\explain <sql> \\mode \
-         <record|rsbb|vsbb|auto> \\trace <sql> \\profile <sql> \\crash <i> \
-         \\recover <i> \\wisconsin <rows> \\quit@."
+         <record|rsbb|vsbb|auto> \\trace <sql> \\profile <sql> \\monitor \
+         [reset] \\crash <i> \\recover <i> \\wisconsin <rows> \\quit@."
 
 let feed repl line =
   let line = String.trim line in
@@ -122,6 +127,9 @@ let run_script repl path =
 
 let main script volumes =
   let node = N.create_node ~volumes () in
+  (* the monitor is free when idle and bit-identical when on, so the
+     interactive session always collects — \monitor reads it *)
+  Monitor.set_enabled (N.sim node) true;
   let repl = { node; session = N.session node; baseline = N.snapshot node } in
   match script with
   | Some path -> run_script repl path
@@ -174,6 +182,7 @@ let run_trace sql out wisconsin volumes =
          exit 2);
   let sim = N.sim node in
   Trace.set_enabled sim true;
+  Monitor.set_enabled sim true;
   let status =
     match N.exec session sql with
     | Ok r ->
@@ -185,7 +194,8 @@ let run_trace sql out wisconsin volumes =
   in
   Trace.set_enabled sim false;
   let spans = Trace.take sim in
-  let json = Trace.chrome_json [ spans ] in
+  let counters = Monitor.chrome_counters (N.sim node |> Nsql_sim.Sim.moncore) in
+  let json = Trace.chrome_json ~counters [ spans ] in
   Out_channel.with_open_text out (fun oc -> Out_channel.output_string oc json);
   printf "wrote %s (%d spans)@." out (List.length spans);
   status

@@ -1,5 +1,6 @@
 module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
+module Moncore = Nsql_sim.Moncore
 module Disk = Nsql_disk.Disk
 module Tbl = Nsql_util.Tbl
 module Trace = Nsql_trace.Trace
@@ -75,7 +76,8 @@ let clean_frame t f =
   end
   else
     (* an async write may still be in flight; eviction must wait for it *)
-    Sim.wait_until t.sim f.durable_at
+    Moncore.with_cat (Sim.moncore t.sim) Moncore.C_disk (fun () ->
+        Sim.wait_until t.sim f.durable_at)
 
 let evict_frame t f =
   clean_frame t f;
@@ -122,7 +124,8 @@ let hit t f =
   touch t f;
   (* if the block was pre-fetched and has not landed yet, wait out the
      remaining latency (still cheaper than a fresh synchronous read) *)
-  Sim.wait_until t.sim f.valid_at;
+  Moncore.with_cat (Sim.moncore t.sim) Moncore.C_disk (fun () ->
+      Sim.wait_until t.sim f.valid_at);
   Sim.tick t.sim 3
 
 let miss t =
@@ -146,7 +149,8 @@ let write t block data ~lsn =
   Sim.tick t.sim 3;
   match Hashtbl.find_opt t.table block with
   | Some f ->
-      Sim.wait_until t.sim f.valid_at;
+      Moncore.with_cat (Sim.moncore t.sim) Moncore.C_disk (fun () ->
+          Sim.wait_until t.sim f.valid_at);
       touch t f;
       f.data <- data;
       f.dirty <- true;
@@ -271,8 +275,10 @@ let flush_all t =
   List.iter (fun (_, f) -> if f.dirty then clean_frame t f)
     (Tbl.sorted_bindings t.table);
   (* wait for in-flight write-behind too *)
-  List.iter (fun (_, f) -> Sim.wait_until t.sim f.durable_at)
-    (Tbl.sorted_bindings t.table)
+  Moncore.with_cat (Sim.moncore t.sim) Moncore.C_disk (fun () ->
+      List.iter
+        (fun (_, f) -> Sim.wait_until t.sim f.durable_at)
+        (Tbl.sorted_bindings t.table))
 
 let steal t n =
   let s = Sim.stats t.sim in

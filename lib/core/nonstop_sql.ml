@@ -1,6 +1,7 @@
 module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
 module Config = Nsql_sim.Config
+module Moncore = Nsql_sim.Moncore
 module Msg = Nsql_msg.Msg
 module Disk = Nsql_disk.Disk
 module Row = Nsql_row.Row
@@ -145,8 +146,9 @@ let in_tx_retry ?(max_retries = 8) ?(backoff_us = 200.) node f =
     | None ->
         (* bounded exponential backoff, charged to the simulated clock so
            competing sessions restart at staggered, deterministic times *)
-        Sim.charge node.sim
-          (backoff_us *. (2. ** float_of_int (min attempt 6)));
+        Moncore.with_cat (Sim.moncore node.sim) Moncore.C_await (fun () ->
+            Sim.charge node.sim
+              (backoff_us *. (2. ** float_of_int (min attempt 6))));
         go (attempt + 1)
   in
   go 0
@@ -254,7 +256,7 @@ let statement_kind = function
 
 (* the statement span is the root of a statement's operator tree; [?sql]
    carries the original text into the trace when the caller has it *)
-let exec_statement ?sql s stmt =
+let exec_statement_traced ?sql s stmt =
   let sim = s.node.sim in
   if not (Trace.enabled sim) then exec_statement0 s stmt
   else begin
@@ -266,6 +268,27 @@ let exec_statement ?sql s stmt =
     Fun.protect
       ~finally:(fun () -> Trace.finish sim sp)
       (fun () -> exec_statement0 s stmt)
+  end
+
+(* the monitor brackets the whole statement: its elapsed time decomposes
+   into per-category clock movement (deltas of the cumulative category
+   totals), which tiles the [Sim.now] delta exactly — see Moncore. *)
+let exec_statement ?sql s stmt =
+  let sim = s.node.sim in
+  let mc = Sim.moncore sim in
+  if not (Moncore.enabled mc) then exec_statement_traced ?sql s stmt
+  else begin
+    let t0 = Sim.now sim in
+    let before = Moncore.cat_snapshot mc in
+    Fun.protect
+      ~finally:(fun () ->
+        let after = Moncore.cat_snapshot mc in
+        let cats = Array.mapi (fun i a -> a -. before.(i)) after in
+        let elapsed = Sim.now sim -. t0 in
+        Moncore.note_stmt mc ~name:(statement_kind stmt) ~start:t0 ~elapsed
+          ~cats;
+        Moncore.observe mc "stmt" elapsed)
+      (fun () -> exec_statement_traced ?sql s stmt)
   end
 
 let exec s sql =

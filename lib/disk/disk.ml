@@ -1,6 +1,7 @@
 module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
 module Config = Nsql_sim.Config
+module Moncore = Nsql_sim.Moncore
 module Trace = Nsql_trace.Trace
 
 type t = {
@@ -103,6 +104,11 @@ let enqueue_io t ~first ~count =
   in
   let completion = start +. io_time t ~first ~count +. retry_penalty in
   t.busy_until <- completion;
+  (* device service window and caller-perceived latency (queueing
+     included); virtual times under a capture, like the spans *)
+  let mc = Sim.moncore t.sim in
+  Moncore.add_busy mc Moncore.R_disk (completion -. start);
+  Moncore.observe mc "disk" (completion -. Sim.now t.sim);
   completion
 
 let count_read t ~count ~prefetch =
@@ -153,7 +159,8 @@ let read_bulk t ~first ~count =
   in
   count_read t ~count ~prefetch:false;
   let completion = enqueue_io t ~first ~count in
-  Sim.wait_until t.sim completion;
+  Moncore.with_cat (Sim.moncore t.sim) Moncore.C_disk (fun () ->
+      Sim.wait_until t.sim completion);
   let blocks = fetch t ~first ~count in
   Trace.finish t.sim sp;
   blocks
@@ -175,7 +182,8 @@ let write_bulk t ~first data =
   count_write t ~count ~behind:false;
   store t ~first data;
   let completion = enqueue_io t ~first ~count in
-  Sim.wait_until t.sim completion;
+  Moncore.with_cat (Sim.moncore t.sim) Moncore.C_disk (fun () ->
+      Sim.wait_until t.sim completion);
   Trace.finish t.sim sp
 
 let write t i data = write_bulk t ~first:i [| data |]

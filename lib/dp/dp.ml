@@ -1,6 +1,7 @@
 module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
 module Config = Nsql_sim.Config
+module Moncore = Nsql_sim.Moncore
 module Msg = Nsql_msg.Msg
 module Disk = Nsql_disk.Disk
 module Cache = Nsql_cache.Cache
@@ -1588,9 +1589,17 @@ let request_body t req =
   end
 
 let request t req =
+  (* service duration via the capture-aware clock: virtual under a nowait
+     issue or a pump re-dispatch, real when blocking — either way the
+     requester-perceived service time of this dispatch *)
+  let mc = Sim.moncore t.sim in
+  let t0 = Sim.now t.sim in
   Sim.tick t.sim 20;
   let reply = request_body t req in
   flush_ckpt t req;
+  let dur = Sim.now t.sim -. t0 in
+  Moncore.observe mc "dp" dur;
+  Moncore.add_busy mc Moncore.R_dp dur;
   reply
 
 (* --- lock wait queue ------------------------------------------------------ *)
@@ -1624,6 +1633,8 @@ let park_tx (req : request) =
   | R_close_scb _ | R_agg_first _ | R_agg_next _ | R_record_count _ -> None
 
 let emit_wait_end t w ~outcome =
+  Moncore.observe (Sim.moncore t.sim) "lock_wait"
+    (Sim.now t.sim -. w.w_parked_at);
   if Trace.enabled t.sim then
     Trace.instant t.sim ~cat:"lock"
       ~attrs:
@@ -1637,6 +1648,7 @@ let emit_wait_end t w ~outcome =
 
 let remove_waiter t w =
   t.waiters <- List.filter (fun w' -> w' != w) t.waiters;
+  Moncore.gauge_add (Sim.moncore t.sim) Moncore.G_parked (-1);
   Lock.Waitgraph.clear_waiting t.waitgraph ~tx:w.w_tx;
   ckpt_emit t [ Ck_unpark { tx = w.w_tx } ]
 
@@ -1704,6 +1716,7 @@ let park t req ~tx ~blockers ~payload =
         }
       in
       t.waiters <- t.waiters @ [ w ];
+      Moncore.gauge_add (Sim.moncore t.sim) Moncore.G_parked 1;
       ckpt_emit t [ Ck_park { tx; payload } ];
       let s = Sim.stats t.sim in
       s.Stats.lock_waits <- s.Stats.lock_waits + 1;
@@ -1821,15 +1834,19 @@ let takeover t =
         (* waiter records survive by reference: the withheld deferrals and
            the already-scheduled wait-budget timeouts stay valid, so FIFO
            order and remaining budgets carry across the takeover *)
+        let old_parked = List.length t.waiters in
         t.waiters <-
           List.filter (fun w -> not (Msg.resolved w.w_deferral)) rp.rp_parked;
+        Moncore.gauge_add (Sim.moncore t.sim) Moncore.G_parked
+          (List.length t.waiters - old_parked);
         List.iter (fun _ -> incr items) t.waiters;
         (* the new primary has no backup: stop consuming checkpoints *)
         Msg.set_checkpoint_receiver t.endpoint None;
         t.replica <- None;
         (* rebuild cost: one message-handling quantum plus work linear in
            the replayed state *)
-        Sim.charge t.sim cfg.Config.msg_cpu_cost_us;
+        Moncore.with_cat (Sim.moncore t.sim) Moncore.C_ckpt (fun () ->
+            Sim.charge t.sim cfg.Config.msg_cpu_cost_us);
         Sim.tick t.sim (50 * !items);
         (* re-dispatch survivors: a waiter whose blocker never checkpointed
            re-parks against the restored lock table *)
@@ -1848,6 +1865,8 @@ let takeover t =
         Lock.Waitgraph.clear t.waitgraph;
         let parked = t.waiters in
         t.waiters <- [];
+        Moncore.gauge_add (Sim.moncore t.sim) Moncore.G_parked
+          (-List.length parked);
         List.iter
           (fun w ->
             if not (Msg.resolved w.w_deferral) then begin
@@ -1859,7 +1878,8 @@ let takeover t =
                          (t.dp_name ^ ": primary failed, state not checkpointed"))))
             end)
           parked;
-        Sim.charge t.sim cfg.Config.msg_cpu_cost_us);
+        Moncore.with_cat (Sim.moncore t.sim) Moncore.C_ckpt (fun () ->
+            Sim.charge t.sim cfg.Config.msg_cpu_cost_us));
     Ok ()
   end
 
@@ -1889,6 +1909,8 @@ let crash t =
   Lock.Waitgraph.clear t.waitgraph;
   let parked = t.waiters in
   t.waiters <- [];
+  Moncore.gauge_add (Sim.moncore t.sim) Moncore.G_parked
+    (-List.length parked);
   List.iter
     (fun w ->
       if not (Msg.resolved w.w_deferral) then begin

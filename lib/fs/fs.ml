@@ -62,9 +62,15 @@ let decode_or_internal reply_payload =
 
 let send t dp req =
   let payload = Dp_msg.encode_request req in
-  decode_or_internal
-    (Msg.send t.msys ~from:t.my_processor ~tag:(Dp_msg.tag req)
-       (Dp.endpoint dp) payload)
+  let t0 = Sim.now t.sim in
+  let reply =
+    decode_or_internal
+      (Msg.send t.msys ~from:t.my_processor ~tag:(Dp_msg.tag req)
+         (Dp.endpoint dp) payload)
+  in
+  (* caller-perceived request/reply round trip, hops included *)
+  Nsql_sim.Moncore.observe (Sim.moncore t.sim) "fs_req" (Sim.now t.sim -. t0);
+  reply
 
 (* overlapped request: issue now, collect the reply (and the latency) at
    the await. Every completion returned here must be awaited. *)

@@ -19,6 +19,7 @@ let registry =
   [
     ("DET-RANDOM", "no nondeterministic randomness outside lib/sim");
     ("SIM-CLOCK", "no wall-clock reads; simulated time only");
+    ("MON-PURE", "monitor code never charges, schedules, sends or does I/O");
     ("DET-HASHITER", "no order-dependent hash-table iteration");
     ("ERR-SWALLOW", "result-returning calls must not be discarded");
     ("LOCK-ORDER", "lock acquisition follows the declared order");

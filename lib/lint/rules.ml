@@ -15,6 +15,7 @@
    |---------------|---------------------------------------------------------|
    | DET-RANDOM    | all randomness flows from the chaos seed                |
    | SIM-CLOCK     | all time flows from the simulation clock                |
+   | MON-PURE      | the monitor observes without perturbing the simulation  |
    | DET-HASHITER  | no unordered hash traversal reaches state or output     |
    | ERR-SWALLOW   | protocol paths neither drop results nor raise untyped   |
    | LOCK-ORDER    | acquisitions follow the declared volume→file→key order  |
@@ -117,6 +118,71 @@ let sim_clock ~path structure =
             :: !diags
       | _ -> ());
   List.rev !diags
+
+(* --- MON-PURE ------------------------------------------------------------ *)
+
+(* The monitor layer is a pure observer: it reads the clock, snapshots
+   counters and buckets durations, but must never charge time, schedule
+   work, send messages or submit disk I/O. Any such call from the monitor
+   would perturb the simulation and break the bit-identical-with-monitoring
+   guarantee that test/test_monitor.ml enforces. The rule covers
+   lib/monitor plus the in-sim bookkeeping modules it is built on
+   (Moncore, Hist). *)
+
+let mon_pure_file path =
+  under "lib/monitor" path
+  || contains ~needle:"lib/sim/moncore" path
+  || contains ~needle:"lib/sim/hist" path
+
+(* matched against the last two components of the identifier, so
+   [Nsql_sim.Sim.charge] and [Sim.charge] are caught alike *)
+let mon_pure_forbidden =
+  [
+    [ "Sim"; "tick" ];
+    [ "Sim"; "charge" ];
+    [ "Sim"; "wait_until" ];
+    [ "Sim"; "schedule" ];
+    [ "Sim"; "after" ];
+    [ "Sim"; "drain" ];
+    [ "Msg"; "send" ];
+    [ "Msg"; "send_nowait" ];
+    [ "Msg"; "await" ];
+    [ "Msg"; "await_any" ];
+    [ "Msg"; "checkpoint" ];
+    [ "Disk"; "read" ];
+    [ "Disk"; "write" ];
+    [ "Disk"; "read_bulk" ];
+    [ "Disk"; "write_bulk" ];
+    [ "Disk"; "read_bulk_async" ];
+    [ "Disk"; "write_bulk_async" ];
+  ]
+
+let mon_pure ~path structure =
+  if not (mon_pure_file path) then []
+  else begin
+    let diags = ref [] in
+    iter_exprs structure (fun e ->
+        match ident_path e with
+        | Some p -> (
+            let tail =
+              match List.rev p with
+              | f :: m :: _ -> Some [ m; f ]
+              | _ -> None
+            in
+            match tail with
+            | Some t when List.mem t mon_pure_forbidden ->
+                diags :=
+                  Diag.of_loc ~rule:"MON-PURE" ~file:path e.pexp_loc
+                    (Printf.sprintf
+                       "monitor code calls %s; the monitor observes the \
+                        simulation and must never charge time, schedule \
+                        work, send messages or touch a disk"
+                       (String.concat "." p))
+                  :: !diags
+            | _ -> ())
+        | None -> ());
+    List.rev !diags
+  end
 
 (* --- DET-HASHITER -------------------------------------------------------- *)
 
@@ -1159,6 +1225,7 @@ let per_file ~path ~index ~ctx ~enabled structure =
   let r name f = if enabled name then f () else [] in
   r "DET-RANDOM" (fun () -> det_random ~path structure)
   @ r "SIM-CLOCK" (fun () -> sim_clock ~path structure)
+  @ r "MON-PURE" (fun () -> mon_pure ~path structure)
   @ r "DET-HASHITER" (fun () -> det_hashiter ~path structure)
   @ r "ERR-SWALLOW" (fun () -> err_swallow ~path ~index structure)
   @ r "LOCK-ORDER" (fun () -> lock_order ~path structure)

@@ -1,5 +1,6 @@
 module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
+module Moncore = Nsql_sim.Moncore
 module Keycode = Nsql_util.Keycode
 module Trace = Nsql_trace.Trace
 
@@ -150,6 +151,7 @@ let acquire t ~tx ~file res mode =
           let e = { e_tx = tx; e_file = file; e_res = res; e_iv = iv; e_mode = mode } in
           insert ft e;
           index_by_tx t e;
+          Moncore.gauge_add (Sim.moncore t.sim) Moncore.G_locks 1;
           notify_grant t ~tx ~file res mode;
           Granted)
   | cs ->
@@ -186,9 +188,18 @@ let release_all t ~tx =
   | None -> ()
   | Some es ->
       List.iter (remove_entry t) !es;
+      Moncore.gauge_add (Sim.moncore t.sim) Moncore.G_locks
+        (-List.length !es);
       Hashtbl.remove t.by_tx tx
 
 let clear_all t =
+  let held =
+    List.fold_left
+      (fun acc (_, es) -> acc + List.length !es)
+      0
+      (Nsql_util.Tbl.sorted_bindings t.by_tx)
+  in
+  Moncore.gauge_add (Sim.moncore t.sim) Moncore.G_locks (-held);
   Hashtbl.reset t.files;
   Hashtbl.reset t.by_tx
 
@@ -233,7 +244,8 @@ let restore t entries =
               e_mode = mode }
           in
           insert ft e;
-          index_by_tx t e)
+          index_by_tx t e;
+          Moncore.gauge_add (Sim.moncore t.sim) Moncore.G_locks 1)
     entries
 
 let holders t ~file res =

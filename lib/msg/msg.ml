@@ -1,6 +1,7 @@
 module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
 module Config = Nsql_sim.Config
+module Moncore = Nsql_sim.Moncore
 module Trace = Nsql_trace.Trace
 module Errors = Nsql_util.Errors
 
@@ -82,13 +83,13 @@ let distance_cost cfg ~(from : processor) ~(to_ : processor) =
   else if from.cpu <> to_.cpu then cfg.Config.msg_cpu_cost_us
   else cfg.Config.msg_local_cost_us
 
-let charge_hop t ~from ~to_ bytes =
+let charge_hop ?(cat = Moncore.C_msg) t ~from ~to_ bytes =
   let cfg = Sim.config t.sim in
   let cost =
     distance_cost cfg ~from ~to_
     +. (float_of_int bytes *. cfg.Config.msg_per_byte_us)
   in
-  Sim.charge t.sim cost
+  Moncore.with_cat (Sim.moncore t.sim) cat (fun () -> Sim.charge t.sim cost)
 
 type raw_result = R_ready of string | R_deferred of deferral
 
@@ -108,12 +109,15 @@ let do_send t ~from ~tag e request =
   | Some filter -> (
       match filter ~from ~to_name:e.name ~tag with
       | Fault_pass -> ()
-      | Fault_delay d -> Sim.charge t.sim d
+      | Fault_delay d ->
+          Moncore.with_cat (Sim.moncore t.sim) Moncore.C_msg (fun () ->
+              Sim.charge t.sim d)
       | Fault_path_retry d ->
           stats.Stats.msg_path_retries <- stats.Stats.msg_path_retries + 1;
           (* the failed attempt still cost a hop before the timeout *)
           charge_hop t ~from ~to_:e.processor (String.length request);
-          Sim.charge t.sim d));
+          Moncore.with_cat (Sim.moncore t.sim) Moncore.C_msg (fun () ->
+              Sim.charge t.sim d)));
   charge_hop t ~from ~to_:e.processor (String.length request);
   let ctx = { cc_from = from; cc_endpoint = e; cc_deferral = None } in
   let saved = t.current_call in
@@ -213,22 +217,25 @@ let pump_until_resolved t d =
   if Sim.in_capture t.sim then
     Errors.fatal
       "Msg: blocking wait on a deferred reply under a clock capture";
-  let rec loop () =
-    match d.d_state with
-    | `Resolved (reply, done_at) ->
-        Sim.wait_until t.sim done_at;
-        reply
-    | `Waiting -> (
-        match Sim.next_event t.sim with
-        | None ->
-            Errors.fatal
-              "Msg: deferred reply can never resolve (no pending events)"
-        | Some due ->
-            if due <= Sim.now t.sim then Sim.flush_events t.sim
-            else Sim.wait_until t.sim due;
-            loop ())
-  in
-  loop ()
+  (* the requester is parked on a server-side lock queue: its wall time
+     here is lock wait, whatever events happen to fire meanwhile *)
+  Moncore.with_cat (Sim.moncore t.sim) Moncore.C_lockwait (fun () ->
+      let rec loop () =
+        match d.d_state with
+        | `Resolved (reply, done_at) ->
+            Sim.wait_until t.sim done_at;
+            reply
+        | `Waiting -> (
+            match Sim.next_event t.sim with
+            | None ->
+                Errors.fatal
+                  "Msg: deferred reply can never resolve (no pending events)"
+            | Some due ->
+                if due <= Sim.now t.sim then Sim.flush_events t.sim
+                else Sim.wait_until t.sim due;
+                loop ())
+      in
+      loop ())
 
 let send t ~from ~tag e request =
   match do_send_traced t ~from ~tag e request with
@@ -254,14 +261,17 @@ let send_nowait t ~from ~tag e request =
   let r, elapsed =
     Sim.capture t.sim (fun () -> do_send_traced t ~from ~tag e request)
   in
+  Moncore.gauge_add (Sim.moncore t.sim) Moncore.G_outstanding 1;
   match r with
   | R_ready reply -> C_ready { c_reply = reply; c_done_at = Sim.now t.sim +. elapsed }
   | R_deferred d -> C_pending d
 
 let await t c =
+  Moncore.gauge_add (Sim.moncore t.sim) Moncore.G_outstanding (-1);
   match c with
   | C_ready { c_reply; c_done_at } ->
-      Sim.wait_until t.sim c_done_at;
+      Moncore.with_cat (Sim.moncore t.sim) Moncore.C_await (fun () ->
+          Sim.wait_until t.sim c_done_at);
       c_reply
   | C_pending d -> pump_until_resolved t d
 
@@ -280,6 +290,7 @@ let await_any t cs =
      the choice never depends on anything but the sim clock. While some
      completion is still parked, pump events one at a time — a pending
      request may resolve earlier than the best already-known time. *)
+  Moncore.with_cat (Sim.moncore t.sim) Moncore.C_await @@ fun () ->
   let rec loop () =
     let best = ref None in
     List.iteri
@@ -323,7 +334,9 @@ let await_any t cs =
               "Msg.await_any: every completion is parked and no events are \
                pending")
   in
-  loop ()
+  let result = loop () in
+  Moncore.gauge_add (Sim.moncore t.sim) Moncore.G_outstanding (-1);
+  result
 
 let set_checkpoint_receiver e r = e.ckpt_receiver <- r
 
@@ -345,7 +358,7 @@ let checkpoint t e payload =
       let stats = Sim.stats t.sim in
       stats.Stats.checkpoint_msgs <- stats.Stats.checkpoint_msgs + 1;
       stats.Stats.checkpoint_bytes <- stats.Stats.checkpoint_bytes + bytes_;
-      charge_hop t ~from:e.processor ~to_:backup bytes_;
+      charge_hop ~cat:Moncore.C_ckpt t ~from:e.processor ~to_:backup bytes_;
       (* deliver to the backup half: heap-only replica maintenance *)
       (match e.ckpt_receiver with None -> () | Some f -> f payload)
 

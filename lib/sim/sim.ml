@@ -4,6 +4,7 @@ type t = {
   config : Config.t;
   stats : Stats.t;
   tracer : Tracer.t;
+  moncore : Moncore.t;
   mutable now : float;
   events : (unit -> unit) Nsql_util.Heap.t;
   mutable firing : bool;
@@ -13,10 +14,24 @@ type t = {
 let create ?(config = Config.default) () =
   let tracer = Tracer.create () in
   (match !Tracer.creation_hook with None -> () | Some f -> f tracer);
+  let moncore = Moncore.create () in
+  let stats = Stats.create () in
+  (* cumulative counters the sampler snapshots at each slice close; the
+     order matches [Moncore.probe_names] *)
+  Moncore.set_probe moncore (fun () ->
+      [|
+        stats.Stats.msgs_sent;
+        stats.Stats.disk_reads;
+        stats.Stats.disk_writes;
+        stats.Stats.checkpoint_bytes;
+        stats.Stats.lock_waits;
+      |]);
+  (match !Moncore.creation_hook with None -> () | Some f -> f moncore);
   {
     config;
-    stats = Stats.create ();
+    stats;
     tracer;
+    moncore;
     now = 0.;
     events = Nsql_util.Heap.create ();
     firing = false;
@@ -26,6 +41,7 @@ let create ?(config = Config.default) () =
 let config t = t.config
 let stats t = t.stats
 let tracer t = t.tracer
+let moncore t = t.moncore
 
 let now t =
   match t.capture with
@@ -53,15 +69,21 @@ let fire_due t =
 
 let advance_to t when_ =
   (* step through intermediate event times so each event sees a clock that
-     has just reached its due time *)
+     has just reached its due time; these two assignments are the only
+     places [t.now] moves, so reporting them to the monitor here makes
+     the per-category clock attribution exhaustive by construction *)
   let rec loop () =
     match Nsql_util.Heap.min_prio t.events with
     | Some due when due <= when_ && due > t.now ->
+        Moncore.clock_advance t.moncore ~from_:t.now ~to_:due;
         t.now <- due;
         fire_due t;
         loop ()
     | _ ->
-        if when_ > t.now then t.now <- when_;
+        if when_ > t.now then begin
+          Moncore.clock_advance t.moncore ~from_:t.now ~to_:when_;
+          t.now <- when_
+        end;
         fire_due t
   in
   loop ()
@@ -75,7 +97,8 @@ let charge t us =
 let tick t n =
   if n > 0 then begin
     t.stats.Stats.cpu_ticks <- t.stats.Stats.cpu_ticks + n;
-    charge t (float_of_int n *. t.config.Config.cpu_tick_us)
+    Moncore.with_cat t.moncore Moncore.C_compute (fun () ->
+        charge t (float_of_int n *. t.config.Config.cpu_tick_us))
   end
 
 let wait_until t when_ =
@@ -111,14 +134,15 @@ let next_event t = Nsql_util.Heap.min_prio t.events
 let in_capture t = t.capture <> None
 
 let drain t =
-  let rec loop () =
-    match Nsql_util.Heap.min_prio t.events with
-    | None -> ()
-    | Some due ->
-        advance_to t (max due t.now);
-        loop ()
-  in
-  loop ()
+  Moncore.with_cat t.moncore Moncore.C_await (fun () ->
+      let rec loop () =
+        match Nsql_util.Heap.min_prio t.events with
+        | None -> ()
+        | Some due ->
+            advance_to t (max due t.now);
+            loop ()
+      in
+      loop ())
 
 let snapshot t = Stats.copy t.stats
 

@@ -17,6 +17,15 @@ val stats : t -> Stats.t
     Drive it through the high-level [Nsql_trace.Trace] API. *)
 val tracer : t -> Tracer.t
 
+(** The world's monitor storage (see {!Moncore}); disabled at creation.
+    Drive it through the high-level [Nsql_monitor.Monitor] API. While
+    enabled, every real clock advance is attributed to the current
+    {!Moncore.cat} and apportioned across sampler slices — [tick] runs
+    under [C_compute], [drain] under [C_await], and subsystems wrap
+    their own charges — so per-category totals tile [now] deltas
+    exactly. Bit-identical results, stats, and clock either way. *)
+val moncore : t -> Moncore.t
+
 (** [now t] is the current simulated time in microseconds. *)
 val now : t -> float
 

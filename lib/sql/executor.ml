@@ -464,7 +464,10 @@ let scan_batches1 ctx (plan : select_plan) =
       in
       let rec go acc =
         match Fs.scan_next_batch ctx.fs sc with
-        | Ok (Some batch) -> go (batch :: acc)
+        | Ok (Some batch) ->
+            Nsql_sim.Moncore.observe (Sim.moncore ctx.sim) "batch_rows"
+              (float_of_int (Array.length batch));
+            go (batch :: acc)
         | Ok None -> Ok (List.rev acc)
         | Error e -> Error e
       in
@@ -482,6 +485,8 @@ let scan_batches1 ctx (plan : select_plan) =
         match batch with
         | None -> Ok (List.rev acc)
         | Some batch ->
+            Nsql_sim.Moncore.observe (Sim.moncore ctx.sim) "batch_rows"
+              (float_of_int (Array.length batch));
             let batch =
               match residual with
               | None -> batch

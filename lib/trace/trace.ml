@@ -120,7 +120,7 @@ let add_event buf ~pid (sp : Tracer.span) =
     (Stats.to_assoc sp.sp_stats);
   Buffer.add_string buf "}}"
 
-let chrome_json (worlds : Tracer.span list list) =
+let chrome_json ?(counters = []) (worlds : Tracer.span list list) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
   let first = ref true in
@@ -132,6 +132,12 @@ let chrome_json (worlds : Tracer.span list list) =
           add_event buf ~pid sp)
         spans)
     worlds;
+  (* pre-rendered "ph":"C" counter events from the resource monitor *)
+  List.iter
+    (fun ev ->
+      if !first then first := false else Buffer.add_string buf ",\n";
+      Buffer.add_string buf ev)
+    counters;
   Buffer.add_string buf "]}\n";
   Buffer.contents buf
 

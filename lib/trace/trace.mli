@@ -99,8 +99,11 @@ val attr : Nsql_sim.Tracer.span -> string -> value option
 
 (** [chrome_json worlds] renders one span list per simulation world (pid =
     list index) as Chrome trace-event JSON — loadable in chrome://tracing
-    and Perfetto, byte-identical for a given seed. *)
-val chrome_json : Nsql_sim.Tracer.span list list -> string
+    and Perfetto, byte-identical for a given seed. [?counters] appends
+    pre-rendered ["ph":"C"] counter events (see
+    [Nsql_monitor.Monitor.chrome_counters]) after the span events. *)
+val chrome_json :
+  ?counters:string list -> Nsql_sim.Tracer.span list list -> string
 
 (** Default category filter for {!pp_profile}: statement, operator, file
     system and partition-leg spans. *)

@@ -266,6 +266,7 @@ let enscribe_balances node db =
 module Msg = Nsql_msg.Msg
 module Dp = Nsql_dp.Dp
 module Sim = Nsql_sim.Sim
+module Moncore = Nsql_sim.Moncore
 
 (* DebitCredit proper cannot deadlock: every terminal touches account,
    teller, branch in the same order, and reads take the lock it will
@@ -357,6 +358,7 @@ type terminal = {
   mutable t_delta : float;
   mutable t_attempt : int;  (** aborts of the current parameter set *)
   mutable t_ready_at : float;  (** earliest simulated time to (re)start *)
+  mutable t_started_at : float;  (** first attempt of the parameter set *)
 }
 
 let run_transfers ?(max_retries = 25) ?(backoff_us = 300.) ?on_commit db
@@ -408,13 +410,21 @@ let run_transfers ?(max_retries = 25) ?(backoff_us = 300.) ?on_commit db
            record })
   in
   let start t =
-    if t.t_attempt = 0 then params t;
+    if t.t_attempt = 0 then begin
+      params t;
+      t.t_started_at <- Sim.now sim
+    end;
     t.t_tx <- Tmf.begin_tx tmf;
     t.t_phase <- P_read_src;
     t.t_pending <- Some (read_account t t.t_src)
   in
+  (* terminal-perceived transfer latency, retries and backoffs included *)
+  let observe_transfer t =
+    Moncore.observe (Sim.moncore sim) "transfer" (Sim.now sim -. t.t_started_at)
+  in
   let give_up t =
     incr failures;
+    observe_transfer t;
     t.t_done <- t.t_done + 1;
     t.t_seq <- t.t_seq + 1;
     t.t_attempt <- 0;
@@ -459,6 +469,7 @@ let run_transfers ?(max_retries = 25) ?(backoff_us = 300.) ?on_commit db
     | Ok () ->
         t.t_tx <- 0;
         incr committed;
+        observe_transfer t;
         (match on_commit with
         | Some f -> f ~src:t.t_src ~dst:t.t_dst ~delta:t.t_delta
         | None -> ());
@@ -498,7 +509,7 @@ let run_transfers ?(max_retries = 25) ?(backoff_us = 300.) ?on_commit db
     Array.init terminals (fun i ->
         { t_id = i; t_done = 0; t_seq = 0; t_tx = 0; t_phase = P_read_src;
           t_pending = None; t_src = 0; t_dst = 0; t_delta = 0.;
-          t_attempt = 0; t_ready_at = 0. })
+          t_attempt = 0; t_ready_at = 0.; t_started_at = 0. })
   in
   let undone t = t.t_done < txs_per_terminal in
   let rec loop () =
@@ -530,7 +541,8 @@ let run_transfers ?(max_retries = 25) ?(backoff_us = 300.) ?on_commit db
           (fun acc t -> if undone t then min acc t.t_ready_at else acc)
           infinity terms
       in
-      Sim.wait_until sim next;
+      Moncore.with_cat (Sim.moncore sim) Moncore.C_await (fun () ->
+          Sim.wait_until sim next);
       loop ()
     end
   in

@@ -7,14 +7,14 @@
 ; Re-audited at the NOWAIT-LEAK/SPAN-LEAK -> RES-LEAK migration: neither
 ; entry names a retired rule and both sites still stand as written.
 
-((rule DET-HASHITER) (file lib/lock/lock.ml) (line 97)
+((rule DET-HASHITER) (file lib/lock/lock.ml) (line 98)
  (note "overlap probe on the point-lock hash: the fold only accumulates a
         conflict set, callers sort every escaping list (holders uses
         sort_uniq, acquire sorts blocker txs), so traversal order cannot
         reach state or output; sorting here would put an O(n log n) pass
         on the hot point-probe path"))
 
-((rule LOCK-ORDER) (file lib/dp/dp.ml) (line 353)
+((rule LOCK-ORDER) (file lib/dp/dp.ml) (line 354)
  (note "try_lock is the single acquisition wrapper and receives its
         resource as a variable, so the rule cannot rank it; every call
         site passes a literal constructor and is checked individually"))

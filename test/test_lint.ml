@@ -66,6 +66,43 @@ let sim_clock () =
   check_rules "Sim.now is clean" []
     (Rules.sim_clock ~path:"lib/tmf/fixture.ml" good)
 
+(* --- MON-PURE ------------------------------------------------------------ *)
+
+let mon_pure () =
+  let bad =
+    parse ~path:"lib/monitor/fixture.ml"
+      "let f sim = Sim.charge sim 5.0"
+  in
+  check_rules "Sim.charge in lib/monitor fires" [ "MON-PURE" ]
+    (Rules.mon_pure ~path:"lib/monitor/fixture.ml" bad);
+  let qualified =
+    parse ~path:"lib/sim/moncore.ml"
+      "let f sys ep = Nsql_msg.Msg.send sys ~from:ep ~tag:\"t\" ep \"x\""
+  in
+  check_rules "qualified Msg.send in moncore fires" [ "MON-PURE" ]
+    (Rules.mon_pure ~path:"lib/sim/moncore.ml" qualified);
+  let sched =
+    parse ~path:"lib/sim/hist.ml"
+      "let f sim = Sim.schedule sim ~at:1.0 (fun () -> ())"
+  in
+  check_rules "Sim.schedule in hist fires" [ "MON-PURE" ]
+    (Rules.mon_pure ~path:"lib/sim/hist.ml" sched);
+  (* reads are fine: the monitor observes the clock and counters *)
+  let good =
+    parse ~path:"lib/monitor/fixture.ml"
+      "let f sim = (Sim.now sim, Sim.stats sim, Moncore.cat_snapshot \
+       (Sim.moncore sim))"
+  in
+  check_rules "clock/counter reads are clean" []
+    (Rules.mon_pure ~path:"lib/monitor/fixture.ml" good);
+  (* the same call outside the monitor layer is none of this rule's
+     business — CLOCK-CHARGE territory *)
+  let elsewhere =
+    parse ~path:"lib/dp/fixture.ml" "let f sim = Sim.charge sim 5.0"
+  in
+  check_rules "charging outside the monitor is exempt" []
+    (Rules.mon_pure ~path:"lib/dp/fixture.ml" elsewhere)
+
 (* --- DET-HASHITER -------------------------------------------------------- *)
 
 let det_hashiter () =
@@ -753,6 +790,7 @@ let suite =
   [
     Alcotest.test_case "DET-RANDOM fixtures" `Quick det_random;
     Alcotest.test_case "SIM-CLOCK fixtures" `Quick sim_clock;
+    Alcotest.test_case "MON-PURE fixtures" `Quick mon_pure;
     Alcotest.test_case "DET-HASHITER fixtures" `Quick det_hashiter;
     Alcotest.test_case "ERR-SWALLOW fixtures" `Quick err_swallow;
     Alcotest.test_case "LOCK-ORDER fixtures" `Quick lock_order;

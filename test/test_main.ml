@@ -25,6 +25,7 @@ let () =
       ("fanout", Test_fanout.suite);
       ("batch", Test_batch.suite);
       ("trace", Test_trace.suite);
+      ("monitor", Test_monitor.suite);
       ("chaos", Test_chaos.suite);
       ("lint", Test_lint.suite);
     ]
