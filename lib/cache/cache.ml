@@ -1,8 +1,10 @@
 module Sim = Nsql_sim.Sim
 module Stats = Nsql_sim.Stats
+module Config = Nsql_sim.Config
 module Moncore = Nsql_sim.Moncore
 module Disk = Nsql_disk.Disk
 module Tbl = Nsql_util.Tbl
+module Errors = Nsql_util.Errors
 module Trace = Nsql_trace.Trace
 
 type frame = {
@@ -87,7 +89,7 @@ let evict_frame t f =
 let evict_lru t =
   match t.lru with
   | Some f -> evict_frame t f
-  | None -> failwith "Cache: no evictable frame"
+  | None -> Errors.fatal "Cache: no evictable frame"
 
 let make_room t =
   while Hashtbl.length t.table >= t.capacity do
@@ -189,28 +191,62 @@ let missing_strings t ~first ~count =
   flush (first + count);
   List.rev !strings
 
+(* A block the range fetched itself: same LRU touch, in-flight wait and
+   CPU charge as [hit], but no hit counting — arriving on the I/O this
+   very call issued is not a cache hit. *)
+let absorb t f =
+  touch t f;
+  Moncore.with_cat (Sim.moncore t.sim) Moncore.C_disk (fun () ->
+      Sim.wait_until t.sim f.valid_at);
+  Sim.tick t.sim 3
+
 let read_range t ~first ~count =
+  (* residency before any I/O decides hit/miss accounting: a miss per
+     absent block (not per run-string), a hit only for blocks that were
+     already in the pool when the call began *)
+  let was_resident =
+    Array.init count (fun i -> Hashtbl.mem t.table (first + i))
+  in
+  (* pump the missing strings through the device with up to
+     [disk_queue_depth] submissions in flight, retiring (and inserting)
+     in submission order before topping up — at depth 1 this is exactly
+     the historical fetch-a-string, insert-a-string sequence *)
+  let depth = max 1 (Sim.config t.sim).Config.disk_queue_depth in
+  let pending = Queue.create () in
+  let retire_one () =
+    let s, io = Queue.pop pending in
+    let datas = Disk.complete t.disk io in
+    Array.iteri
+      (fun i data ->
+        ignore
+          (insert t (s + i) data ~dirty:false ~lsn:0L
+             ~valid_at:(Sim.now t.sim)))
+      datas
+  in
   List.iter
     (fun (s, n) ->
-      miss t;
-      let datas = Disk.read_bulk t.disk ~first:s ~count:n in
-      Array.iteri
-        (fun i data ->
-          ignore
-            (insert t (s + i) data ~dirty:false ~lsn:0L
-               ~valid_at:(Sim.now t.sim)))
-        datas)
+      for _ = 1 to n do
+        miss t
+      done;
+      if Queue.length pending >= depth then retire_one ();
+      Queue.push (s, Disk.submit_read t.disk ~first:s ~count:n) pending)
     (missing_strings t ~first ~count);
+  while not (Queue.is_empty pending) do
+    retire_one ()
+  done;
   Array.init count (fun i ->
       match Hashtbl.find_opt t.table (first + i) with
       | Some f ->
-          hit t f;
+          if was_resident.(i) then hit t f else absorb t f;
           f.data
       | None ->
           (* a range larger than the pool can evict its own earlier
              blocks while later strings are fetched; re-read those *)
           read t (first + i))
 
+(* Each missing string is its own submission, so with a queue depth above
+   1 the strings transfer concurrently across the device's channels — the
+   pool keeps up to [disk_queue_depth] strings in flight. *)
 let prefetch t ~first ~count =
   List.iter
     (fun (s, n) ->
@@ -225,7 +261,8 @@ let prefetch t ~first ~count =
 (* --- write-behind ------------------------------------------------------ *)
 
 (* Find maximal strings of dirty resident blocks whose audit is durable and
-   write them asynchronously. *)
+   write them asynchronously — one submission per string, so a deeper
+   device queue drains the dirty pool that many strings at a time. *)
 let write_behind t =
   let durable = t.durable_lsn () in
   let sorted =

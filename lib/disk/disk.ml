@@ -11,7 +11,15 @@ type t = {
   mutable data : bytes array;  (** one [bytes] of [block_size] per block *)
   mutable nblocks : int;
   mutable last_block : int;  (** head position for sequential detection *)
-  mutable busy_until : float;  (** device queue: I/Os serialize *)
+  slots : float array;
+      (** busy-until per service channel ([Config.disk_queue_depth] of
+          them): a submission enters the earliest-free channel, so up to
+          [Array.length slots] I/Os are in service concurrently and the
+          rest queue behind them. One channel reproduces the historical
+          single-[busy_until] device exactly. *)
+  mutable inflight : float list;
+      (** completion times of submitted I/Os not yet retired from the
+          [Moncore.G_diskq] gauge (lazy retirement at touch points) *)
   mutable fault_hook : (unit -> float option) option;
       (** transient I/O errors: [Some penalty_us] makes this I/O fail once
           and be retried (mirror read / recalibrate), costing [penalty_us] *)
@@ -22,6 +30,10 @@ let create ?mirrored sim ~name =
   let mirrored =
     match mirrored with Some m -> m | None -> cfg.Config.mirrored
   in
+  let depth = cfg.Config.disk_queue_depth in
+  if depth < 1 then
+    invalid_arg
+      (Printf.sprintf "Disk(%s): disk_queue_depth %d < 1" name depth);
   {
     sim;
     name;
@@ -29,17 +41,40 @@ let create ?mirrored sim ~name =
     data = [||];
     nblocks = 0;
     last_block = -10;
-    busy_until = 0.;
+    slots = Array.make depth 0.;
+    inflight = [];
     fault_hook = None;
   }
 
 let set_fault_hook t h = t.fault_hook <- h
 
+(* Drop I/Os whose completion the clock has passed from the in-flight set
+   and the queue-depth gauge; returns the number still in flight. Called
+   at every submission/completion/stall touch point — the gauge cannot be
+   decremented *at* a future completion time without scheduling an event,
+   which would perturb [Sim.drain]. *)
+let retire t =
+  let now = Sim.now t.sim in
+  let live = List.filter (fun c -> c > now) t.inflight in
+  let n_done = List.length t.inflight - List.length live in
+  t.inflight <- live;
+  if n_done > 0 then begin
+    let mc = Sim.moncore t.sim in
+    let drop = min n_done (Moncore.gauge_value mc Moncore.G_diskq) in
+    if drop > 0 then Moncore.gauge_add mc Moncore.G_diskq (-drop)
+  end;
+  List.length live
+
+let queue_depth t = retire t
+
 (* [stall t ~us] makes the device unavailable for [us] microseconds from
    now: queued and future I/Os wait it out. Models a controller hiccup or
-   an own-path retry storm on the (audit) volume. *)
+   an own-path retry storm on the (audit) volume — every service channel
+   is held, but a backlog already longer than the stall absorbs it. *)
 let stall t ~us =
-  t.busy_until <- max t.busy_until (Sim.now t.sim) +. us
+  let until = Sim.now t.sim +. us in
+  Array.iteri (fun i b -> t.slots.(i) <- max b until) t.slots;
+  ignore (retire t)
 
 let name t = t.name
 let block_size t = (Sim.config t.sim).Config.block_size
@@ -86,10 +121,20 @@ let io_time t ~first ~count =
   t.last_block <- first + count - 1;
   position_cost +. (float_of_int count *. cfg.Config.disk_per_block_us)
 
-(* An I/O enters the device queue: it starts when the device is free and the
-   caller has reached that point in time. Returns the completion time. *)
+(* An I/O enters the device queue: it starts when its service channel is
+   free and the caller has reached that point in time. The channel is the
+   earliest-free slot (lowest index on ties), so submissions stack up
+   breadth-first across the configured queue depth. Returns the completion
+   time. Head movement ([io_time]'s sequential detection) follows
+   submission order regardless of depth — determinism over realism. *)
 let enqueue_io t ~first ~count =
-  let start = max t.busy_until (Sim.now t.sim) in
+  let live = retire t in
+  let si = ref 0 in
+  for i = 1 to Array.length t.slots - 1 do
+    if t.slots.(i) < t.slots.(!si) then si := i
+  done;
+  let si = !si in
+  let start = max t.slots.(si) (Sim.now t.sim) in
   let retry_penalty =
     match t.fault_hook with
     | None -> 0.
@@ -103,12 +148,19 @@ let enqueue_io t ~first ~count =
             penalty)
   in
   let completion = start +. io_time t ~first ~count +. retry_penalty in
-  t.busy_until <- completion;
+  t.slots.(si) <- completion;
+  t.inflight <- completion :: t.inflight;
   (* device service window and caller-perceived latency (queueing
-     included); virtual times under a capture, like the spans *)
+     included); virtual times under a capture, like the spans. The global
+     "disk" histogram keeps its pre-queue-model feed; the per-volume
+     latency and depth-at-submission histograms attribute tails by
+     volume and by how deep the queue ran. *)
   let mc = Sim.moncore t.sim in
   Moncore.add_busy mc Moncore.R_disk (completion -. start);
   Moncore.observe mc "disk" (completion -. Sim.now t.sim);
+  Moncore.gauge_add mc Moncore.G_diskq 1;
+  Moncore.observe mc ("disk:" ^ t.name) (completion -. Sim.now t.sim);
+  Moncore.observe mc ("diskq:" ^ t.name) (float_of_int (live + 1));
   completion
 
 let count_read t ~count ~prefetch =
@@ -149,7 +201,20 @@ let io_attrs t ~first ~count =
     ("bulk", Trace.Bool (count > 1));
   ]
 
-let read_bulk t ~first ~count =
+(* --- submission/completion handles ------------------------------------ *)
+
+type io = {
+  io_first : int;
+  io_count : int;
+  io_read : bool;
+  io_submitted : float;
+  io_done : float;
+  io_span : Trace.h;
+}
+
+let io_done_at io = io.io_done
+
+let submit_read t ~first ~count =
   check_range t ~first ~count;
   let sp =
     if Trace.enabled t.sim then
@@ -158,19 +223,18 @@ let read_bulk t ~first ~count =
     else None
   in
   count_read t ~count ~prefetch:false;
+  let submitted = Sim.now t.sim in
   let completion = enqueue_io t ~first ~count in
-  Moncore.with_cat (Sim.moncore t.sim) Moncore.C_disk (fun () ->
-      Sim.wait_until t.sim completion);
-  let blocks = fetch t ~first ~count in
-  Trace.finish t.sim sp;
-  blocks
+  {
+    io_first = first;
+    io_count = count;
+    io_read = true;
+    io_submitted = submitted;
+    io_done = completion;
+    io_span = sp;
+  }
 
-let read t i =
-  match read_bulk t ~first:i ~count:1 with
-  | [| b |] -> b
-  | _ -> assert false
-
-let write_bulk t ~first data =
+let submit_write t ~first data =
   let count = Array.length data in
   check_range t ~first ~count;
   let sp =
@@ -181,10 +245,44 @@ let write_bulk t ~first data =
   in
   count_write t ~count ~behind:false;
   store t ~first data;
+  let submitted = Sim.now t.sim in
   let completion = enqueue_io t ~first ~count in
+  {
+    io_first = first;
+    io_count = count;
+    io_read = false;
+    io_submitted = submitted;
+    io_done = completion;
+    io_span = sp;
+  }
+
+(* Reap one completion: block until the I/O's done-time, then hand the
+   data over (reads transfer into memory only now — events firing during
+   the wait run before the contents are observed). The sole blocking wait
+   in this module. *)
+let complete t io =
   Moncore.with_cat (Sim.moncore t.sim) Moncore.C_disk (fun () ->
-      Sim.wait_until t.sim completion);
-  Trace.finish t.sim sp
+      Sim.wait_until t.sim io.io_done);
+  ignore (retire t);
+  let blocks =
+    if io.io_read then fetch t ~first:io.io_first ~count:io.io_count
+    else [||]
+  in
+  Trace.finish t.sim io.io_span;
+  blocks
+
+let read_bulk t ~first ~count =
+  let io = submit_read t ~first ~count in
+  complete t io
+
+let read t i =
+  match read_bulk t ~first:i ~count:1 with
+  | [| b |] -> b
+  | _ -> assert false
+
+let write_bulk t ~first data =
+  let io = submit_write t ~first data in
+  ignore (complete t io)
 
 let write t i data = write_bulk t ~first:i [| data |]
 
@@ -210,4 +308,4 @@ let write_bulk_async t ~first data =
       "disk_write_behind";
   completion
 
-let io_busy_until t = t.busy_until
+let io_busy_until t = Array.fold_left max t.slots.(0) t.slots

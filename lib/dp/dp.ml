@@ -64,6 +64,11 @@ type scb = {
   scb_hi : string;  (** exclusive end of the key range *)
   scb_body : scb_body;
   mutable scb_prev_leaf : int;  (** pre-fetch heuristic state *)
+  mutable scb_pf_hi : int;
+      (** highest block the deep (queue-depth > 1) read-ahead has
+          submitted for this scan. Advisory only — not checkpointed, so
+          after a takeover the frontier resets and the heuristic re-arms
+          from the next sequential leaf. *)
 }
 
 (* A request parked on the lock wait queue: its reply is withheld (the
@@ -172,7 +177,14 @@ let scb_of_ckpt ~file ~lo ~hi body =
             ag_order = [];
           }
   in
-  { scb_file = file; scb_lo = lo; scb_hi = hi; scb_body; scb_prev_leaf = -10 }
+  {
+    scb_file = file;
+    scb_lo = lo;
+    scb_hi = hi;
+    scb_body;
+    scb_prev_leaf = -10;
+    scb_pf_hi = -1;
+  }
 
 (* The backup half absorbing a checkpoint message: pure heap bookkeeping,
    never touching the simulation clock or counters — the wire cost was
@@ -768,21 +780,44 @@ let find_scb t id =
 
 (* Sequential pre-fetch heuristic: when the scan enters leaf block [b] and
    the previous leaf was [b-1] (physically clustered), asynchronously read
-   ahead one bulk window. Where clustering is broken by splits, the
-   heuristic stays quiet. *)
+   ahead. Where clustering is broken by splits, the heuristic stays quiet.
+
+   At queue depth 1 the read-ahead is one bulk window, re-armed only once
+   the previous window has drained so each pre-fetch is a maximal bulk
+   I/O — the historical behaviour, byte for byte. With a deeper device
+   queue the scan keeps [disk_queue_depth] windows in flight: each
+   sequential leaf entry tops the submitted frontier ([scb_pf_hi]) up to
+   [depth] windows ahead, so the bulk transfers overlap each other and
+   the DP's reply encoding across the device's channels. *)
 let maybe_prefetch t scb block =
-  if
-    (Sim.config t.sim).Config.dp_prefetch
-    && block = scb.scb_prev_leaf + 1
-    && not (Cache.resident t.cache (block + 1))
-    (* only re-arm once the previous read-ahead window has drained, so
-       each pre-fetch is a maximal bulk I/O rather than one block *)
-  then begin
-    let window = Disk.max_bulk_blocks t.volume in
-    let first = block + 1 in
-    let avail = Disk.blocks t.volume - first in
-    if avail > 0 then Cache.prefetch t.cache ~first ~count:(min window avail)
-  end;
+  let cfg = Sim.config t.sim in
+  let depth = cfg.Config.disk_queue_depth in
+  (if cfg.Config.dp_prefetch && block = scb.scb_prev_leaf + 1 then
+     let window = Disk.max_bulk_blocks t.volume in
+     if depth <= 1 then begin
+       if not (Cache.resident t.cache (block + 1)) then begin
+         let first = block + 1 in
+         let avail = Disk.blocks t.volume - first in
+         if avail > 0 then
+           Cache.prefetch t.cache ~first ~count:(min window avail)
+       end
+     end
+     else begin
+       (* clamp the frontier to what the pool can hold: steady state keeps
+          the unconsumed read-ahead plus the same number of just-consumed
+          blocks resident (their LRU ages interleave), so a span past half
+          the pool — less slack for the index path — evicts pre-fetched
+          blocks before the scan reaches them and the scan degenerates
+          into demand re-reads with seeks *)
+       let cap = Cache.capacity t.cache in
+       let span = min (depth * window) (max window ((cap / 2) - window)) in
+       let target = min (block + span) (Disk.blocks t.volume - 1) in
+       let lo = max (block + 1) (scb.scb_pf_hi + 1) in
+       if target >= lo then begin
+         Cache.prefetch t.cache ~first:lo ~count:(target - lo + 1);
+         scb.scb_pf_hi <- target
+       end
+     end);
   scb.scb_prev_leaf <- block
 
 (* One GET^FIRST/GET^NEXT execution: fill a (virtual or real) block. *)
@@ -1366,6 +1401,7 @@ let dispatch t req : (reply, Errors.t) result =
           scb_hi = range.Expr.hi;
           scb_body = Scb_read { buffering; pred; proj; lock };
           scb_prev_leaf = -10;
+          scb_pf_hi = -1;
         }
       in
       let scb_id = alloc_scb t scb in
@@ -1406,6 +1442,7 @@ let dispatch t req : (reply, Errors.t) result =
           scb_hi = range.Expr.hi;
           scb_body = Scb_update { pred; assignments };
           scb_prev_leaf = -10;
+          scb_pf_hi = -1;
         }
       in
       let scb_id = alloc_scb t scb in
@@ -1433,6 +1470,7 @@ let dispatch t req : (reply, Errors.t) result =
           scb_hi = range.Expr.hi;
           scb_body = Scb_delete { pred };
           scb_prev_leaf = -10;
+          scb_pf_hi = -1;
         }
       in
       let scb_id = alloc_scb t scb in
@@ -1478,6 +1516,7 @@ let dispatch t req : (reply, Errors.t) result =
                 ag_order = [];
               };
           scb_prev_leaf = -10;
+          scb_pf_hi = -1;
         }
       in
       let scb_id = alloc_scb t scb in

@@ -129,9 +129,15 @@ let call_effects ~m ~fname =
   | "tick" | "charge" | "wait_until" when qualified "Sim" -> of_list [ Charges_clock ]
   (* synchronous I/O only: [read_bulk_async]/[write_bulk_async] return their
      completion time to the caller, who charges it at consumption (the cache
-     waits out [valid_at]/[durable_at]) — submission is deliberately free *)
+     waits out [valid_at]/[durable_at]) — submission is deliberately free.
+     The same split holds for the handle face of the multi-queue device:
+     [submit_read]/[submit_write] cost nothing, the transfer is observed
+     (and the clock charged) at [Disk.complete], so that is where
+     [Performs_io] lives *)
   | "read" | "write" | "read_bulk" | "write_bulk" when qualified "Disk" ->
       of_list [ Performs_io ]
+  | "complete" when qualified "Disk" ->
+      of_list [ Performs_io; Awaits_completion ]
   | "defer" when qualified "Msg" -> of_list [ Creates_deferral ]
   | "resolve" when qualified "Msg" -> of_list [ Resolves_deferral ]
   | "await" | "await_any" when qualified "Msg" -> of_list [ Awaits_completion ]
@@ -157,6 +163,7 @@ let intrinsic_of_key key =
   | "Sim.tick" | "Sim.charge" | "Sim.wait_until" -> of_list [ Charges_clock ]
   | "Disk.read" | "Disk.write" | "Disk.read_bulk" | "Disk.write_bulk" ->
       of_list [ Performs_io ]
+  | "Disk.complete" -> of_list [ Performs_io; Awaits_completion ]
   | "Msg.defer" -> of_list [ Creates_deferral ]
   | "Msg.resolve" -> of_list [ Resolves_deferral ]
   | "Msg.await" | "Msg.await_any" -> of_list [ Awaits_completion ]

@@ -20,8 +20,8 @@
    | ERR-SWALLOW   | protocol paths neither drop results nor raise untyped   |
    | LOCK-ORDER    | acquisitions follow the declared volume→file→key order  |
    | PROTO-EXHAUST | every DP request is dispatched and has a requester path |
-   | RES-LEAK      | every scan/span/completion/deferral handle reaches its  |
-   |               | paired close, even through helper functions             |
+   | RES-LEAK      | every scan/span/completion/deferral/disk-I/O handle     |
+   |               | reaches its paired close, even through helpers          |
    | CKPT-COMPLETE | every replica-visible DP mutation emits its checkpoint  |
    | CLOCK-CHARGE  | I/O and parking on dispatch paths charge the sim clock  |
    | PARK-SAFE     | only nothing-applied ops enter the lock wait queue      |
@@ -155,6 +155,10 @@ let mon_pure_forbidden =
     [ "Disk"; "write_bulk" ];
     [ "Disk"; "read_bulk_async" ];
     [ "Disk"; "write_bulk_async" ];
+    [ "Disk"; "submit_read" ];
+    [ "Disk"; "submit_write" ];
+    [ "Disk"; "complete" ];
+    [ "Disk"; "stall" ];
   ]
 
 let mon_pure ~path structure =
@@ -553,11 +557,14 @@ let build_ctx parsed =
      trace span           begin_span        Trace.finish
      nowait completion    send_nowait       Msg.await / Msg.await_any
      withheld reply       Msg.defer         Msg.resolve
+     in-flight disk I/O   Disk.submit_read  Disk.complete
+                          Disk.submit_write
 
    A dropped handle is never neutral here: an unclosed scan pins its SCB
    (and its span), an unawaited completion silently discards the latency of
    a request whose effects already happened, an unresolved deferral leaves
-   a requester blocked forever.
+   a requester blocked forever, and an uncompleted disk submission never
+   charges its transfer to the clock (its span stays open too).
 
    The per-file shapes that provably drop the handle are flagged as before:
    [ignore (opener ...)], a statement-position call, a [_] binding, and a
@@ -573,31 +580,38 @@ let build_ctx parsed =
    cross-function blind spot the old per-file NOWAIT-LEAK/SPAN-LEAK fences
    could not see. *)
 
-type res_kind = K_scan | K_span | K_completion | K_deferral
+type res_kind = K_scan | K_span | K_completion | K_deferral | K_diskio
 
 let kind_label = function
   | K_scan -> "scan"
   | K_span -> "span"
   | K_completion -> "nowait completion"
   | K_deferral -> "deferral"
+  | K_diskio -> "disk I/O"
 
 let kind_close = function
   | K_scan -> "close_scan"
   | K_span -> "Trace.finish"
   | K_completion -> "Msg.await"
   | K_deferral -> "Msg.resolve"
+  | K_diskio -> "Disk.complete"
 
 let closer_names = function
   | K_scan -> [ "close_scan"; "seq_close" ]
   | K_span -> [ "finish" ]
   | K_completion -> [ "await"; "await_any" ]
   | K_deferral -> [ "resolve" ]
+  | K_diskio -> [ "complete" ]
 
 let closing_effect = function
   | K_scan -> Effects.Closes_scan
   | K_span -> Effects.Finishes_span
   | K_completion -> Effects.Awaits_completion
   | K_deferral -> Effects.Resolves_deferral
+  (* [Disk.complete] is the only primitive carrying this effect besides the
+     [Msg] awaits; a helper that awaits *something* is trusted to be the
+     completion path — may-analysis, it can only prove a binding fine *)
+  | K_diskio -> Effects.Awaits_completion
 
 let opener_of_app e =
   match e.pexp_desc with
@@ -607,6 +621,9 @@ let opener_of_app e =
       | Some ("begin_span" :: _) -> Some K_span
       | Some ("send_nowait" :: _) -> Some K_completion
       | Some ("defer" :: "Msg" :: _) -> Some K_deferral
+      | Some ("submit_read" :: "Disk" :: _) | Some ("submit_write" :: "Disk" :: _)
+        ->
+          Some K_diskio
       | _ -> None)
   | _ -> None
 

@@ -130,6 +130,7 @@ let pp_report ppf sim =
         ("outstanding", Moncore.G_outstanding);
         ("parked", Moncore.G_parked);
         ("locks", Moncore.G_locks);
+        ("diskq", Moncore.G_diskq);
       ];
     Format.fprintf ppf "@.";
     (match Moncore.hists mc with

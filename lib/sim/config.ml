@@ -29,6 +29,14 @@ type t = {
           tight loops inside each operator; when false the executor uses
           the pull-one-row reference path (kept for A/B runs and the
           byte-identity regression gate) *)
+  disk_queue_depth : int;
+      (** number of I/Os a volume services concurrently (io_uring-style
+          submission/completion channels). 1 — the default — serializes
+          every I/O behind a single busy window, byte-identical to the
+          pre-queue-model disk (the regression gate test_diskq enforces);
+          deeper queues overlap seeks/transfers across channels and make
+          pre-fetch and the DP read-ahead keep that many bulk windows in
+          flight *)
   msg_local_cost_us : float;
   msg_cpu_cost_us : float;
   msg_node_cost_us : float;
@@ -57,6 +65,7 @@ let default =
     dp_lock_wait = false;
     dp_checkpoint = true;
     exec_batch = true;
+    disk_queue_depth = 1;
     msg_local_cost_us = 300.;
     msg_cpu_cost_us = 1_000.;
     msg_node_cost_us = 5_000.;
@@ -83,6 +92,7 @@ let v ?(block_size = default.block_size)
     ?(dp_lock_wait = default.dp_lock_wait)
     ?(dp_checkpoint = default.dp_checkpoint)
     ?(exec_batch = default.exec_batch)
+    ?(disk_queue_depth = default.disk_queue_depth)
     ?(msg_local_cost_us = default.msg_local_cost_us)
     ?(msg_cpu_cost_us = default.msg_cpu_cost_us)
     ?(msg_node_cost_us = default.msg_node_cost_us)
@@ -108,6 +118,7 @@ let v ?(block_size = default.block_size)
     dp_lock_wait;
     dp_checkpoint;
     exec_batch;
+    disk_queue_depth;
     msg_local_cost_us;
     msg_cpu_cost_us;
     msg_node_cost_us;

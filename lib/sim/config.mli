@@ -39,6 +39,14 @@ type t = {
           tight loops inside each operator; the pull-one-row reference
           path (exec_batch = false) is kept for A/B comparison and is
           byte-identical in results, message traffic, counters and clock *)
+  disk_queue_depth : int;
+      (** number of I/Os a volume services concurrently (io_uring-style
+          submission/completion channels). 1 — the default — serializes
+          every I/O behind a single busy window, byte-identical in
+          results, counters and clock to the pre-queue-model disk
+          (test-enforced); deeper queues overlap seeks and transfers
+          across channels, and pre-fetch, write-behind and the DP scan
+          read-ahead keep that many bulk windows in flight *)
   msg_local_cost_us : float;  (** fixed cost, same-processor message *)
   msg_cpu_cost_us : float;  (** fixed cost, cross-processor message *)
   msg_node_cost_us : float;  (** fixed cost, cross-node message *)
@@ -69,6 +77,7 @@ val v :
   ?dp_lock_wait:bool ->
   ?dp_checkpoint:bool ->
   ?exec_batch:bool ->
+  ?disk_queue_depth:int ->
   ?msg_local_cost_us:float ->
   ?msg_cpu_cost_us:float ->
   ?msg_node_cost_us:float ->

@@ -38,11 +38,17 @@ let cat_names =
   [| "compute"; "msg"; "disk"; "lock_wait"; "ckpt"; "await"; "other" |]
 
 (* instantaneous occupancy counters, sampled at slice close *)
-type gauge = G_outstanding | G_parked | G_locks
+type gauge = G_outstanding | G_parked | G_locks | G_diskq
 
-let n_gauges = 3
-let gauge_index = function G_outstanding -> 0 | G_parked -> 1 | G_locks -> 2
-let gauge_names = [| "outstanding"; "parked"; "locks" |]
+let n_gauges = 4
+
+let gauge_index = function
+  | G_outstanding -> 0
+  | G_parked -> 1
+  | G_locks -> 2
+  | G_diskq -> 3
+
+let gauge_names = [| "outstanding"; "parked"; "locks"; "diskq" |]
 
 (* resources whose service time is accumulated per slice (iostat-style:
    a slice's busy time is the service time of work *completed* in it,

@@ -22,8 +22,12 @@ val cat_index : cat -> int
 val cat_names : string array
 
 (** Instantaneous occupancy counters, sampled at each slice close:
-    outstanding nowait completions, parked lock waiters, held locks. *)
-type gauge = G_outstanding | G_parked | G_locks
+    outstanding nowait completions, parked lock waiters, held locks, and
+    in-flight disk I/Os. [G_diskq] is maintained by the disk layer with
+    lazy retirement — completed I/Os leave the gauge at the volume's next
+    submission/completion/stall touch point, so between disk operations
+    it reads the depth as of the last disk interaction. *)
+type gauge = G_outstanding | G_parked | G_locks | G_diskq
 
 val n_gauges : int
 val gauge_index : gauge -> int

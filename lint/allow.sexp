@@ -14,7 +14,7 @@
         reach state or output; sorting here would put an O(n log n) pass
         on the hot point-probe path"))
 
-((rule LOCK-ORDER) (file lib/dp/dp.ml) (line 354)
+((rule LOCK-ORDER) (file lib/dp/dp.ml) (line 366)
  (note "try_lock is the single acquisition wrapper and receives its
         resource as a variable, so the rule cannot rank it; every call
         site passes a literal constructor and is checked individually"))

@@ -1,0 +1,126 @@
+(* Depth-1 golden fingerprints: canonical strings of the full statistics
+   vector plus the final simulated clock for three fixed workloads. The
+   constants below were captured from the pre-queue-model build (after the
+   PR-10 stall/read_range accounting bugfixes, before the multi-queue disk
+   rework) and pin the contract that [disk_queue_depth = 1] — the default —
+   reproduces the single-[busy_until] disk byte for byte: same results,
+   same counters, same clock. test_diskq checks them on every run.
+
+   No Alcotest in here: the module is also compiled standalone by the
+   one-off capture driver that (re)generates the constants, so keep it a
+   pure library over the nsql libs. *)
+
+module N = Nsql_core.Nonstop_sql
+module Sim = Nsql_sim.Sim
+module Stats = Nsql_sim.Stats
+module Config = Nsql_sim.Config
+module Errors = Nsql_util.Errors
+module Wisconsin = Nsql_workload.Wisconsin
+module Debitcredit = Nsql_workload.Debitcredit
+module Chaos = Nsql_chaos.Chaos
+
+let get_ok = Errors.get_ok
+
+let fingerprint_of ~stats ~now =
+  String.concat ";"
+    (List.map
+       (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+       (Stats.to_assoc stats))
+  ^ Printf.sprintf ";now=%.6f" now
+
+let fingerprint node =
+  fingerprint_of ~stats:(N.snapshot node) ~now:(Sim.now (N.sim node))
+
+(* the test_monitor Wisconsin mini-suite: selections, aggregates, a join
+   and DML over a partitioned table — scans, prefetch, bulk I/O, audit *)
+let queries ?config () =
+  let config = match config with Some c -> c | None -> Config.v ~fs_fanout:true () in
+  let node = N.create_node ~config ~volumes:4 () in
+  let rows = 200 in
+  get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"t" ~rows ~partitions:4 ());
+  get_ok ~ctx:"wisc2" (Wisconsin.create node ~name:"t2" ~rows ());
+  let s = N.session node in
+  List.iter
+    (fun q -> ignore (N.exec_exn s q.Wisconsin.q_sql))
+    (Wisconsin.selection_queries ~table:"t" ~rows
+    @ Wisconsin.agg_and_join_queries ~table:"t" ~table2:"t2" ~rows);
+  ignore (N.exec_exn s "UPDATE t SET two = 1 WHERE unique2 < 20");
+  ignore (N.exec_exn s "DELETE FROM t WHERE unique2 >= 190");
+  Sim.drain (N.sim node);
+  fingerprint node
+
+(* contended DebitCredit with DP lock-wait queues: dirties the cache hard
+   enough to drive write-behind and eviction cleaning *)
+let transfers ?config () =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Config.v ~dp_lock_wait:true ~lock_wait_timeout_us:150_000. ()
+  in
+  let node = N.create_node ~config ~volumes:2 () in
+  let db =
+    get_ok ~ctx:"transfer setup" (Debitcredit.setup_transfer node ~accounts:4)
+  in
+  let rep = Debitcredit.run_transfers db ~terminals:4 ~txs_per_terminal:10 () in
+  assert (rep.Debitcredit.x_failed = 0);
+  assert (rep.Debitcredit.x_committed = 40);
+  Sim.drain (N.sim node);
+  fingerprint node
+
+(* a pool far smaller than the table: scans run cold, so demand bulk
+   reads, pre-fetch, eviction cleaning and re-reads all hit the disk *)
+let cold_scans ?config () =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Config.v ~fs_fanout:true ~cache_blocks:16 ()
+  in
+  let node = N.create_node ~config ~volumes:2 () in
+  let rows = 4000 in
+  get_ok ~ctx:"wisc" (Wisconsin.create node ~name:"t" ~rows ~partitions:2 ());
+  let s = N.session node in
+  ignore (N.exec_exn s "SELECT COUNT(*), SUM(unique1) FROM t");
+  ignore (N.exec_exn s "SELECT unique1 FROM t WHERE unique2 < 50");
+  ignore (N.exec_exn s "UPDATE t SET two = 1 WHERE unique2 < 40");
+  ignore (N.exec_exn s "SELECT COUNT(*), MIN(unique2) FROM t WHERE two = 1");
+  Sim.drain (N.sim node);
+  fingerprint node
+
+(* chaos runs whose plans include audit stalls, disk transients and VM
+   pressure (seeds 6 and 12 carry all three): pins the repaired
+   [Disk.stall] arithmetic under faults; the applied-fault counts ride
+   along in the fingerprint *)
+let chaos ~seed () =
+  let r = Chaos.run ~txs:40 ~seed () in
+  assert (r.Chaos.r_violations = []);
+  fingerprint_of ~stats:r.Chaos.r_stats
+    ~now:(float_of_int r.Chaos.r_txs_committed)
+  ^ ";"
+  ^ String.concat ";"
+      (List.map (fun (k, n) -> Printf.sprintf "fault_%s=%d" k n) r.Chaos.r_faults)
+
+let scenarios =
+  [
+    ("queries", fun () -> queries ());
+    ("transfers", fun () -> transfers ());
+    ("cold_scans", fun () -> cold_scans ());
+    ("chaos_seed6", fun () -> chaos ~seed:6 ());
+    ("chaos_seed12", fun () -> chaos ~seed:12 ());
+  ]
+(* --- captured constants (regenerate with the PR-10 capture driver) --- *)
+
+let golden_queries =
+  "msgs_sent=50;msg_req_bytes=90398;msg_reply_bytes=19683;msgs_remote=50;msgs_internode=0;checkpoint_msgs=55;checkpoint_bytes=91178;disk_reads=0;disk_writes=12;blocks_read=0;blocks_written=37;bulk_reads=0;bulk_writes=5;prefetch_reads=0;writebehind_writes=0;cache_hits=5045;cache_misses=0;cache_steals=0;cpu_ticks=86053;lock_requests=36;lock_conflicts=0;lock_waits=0;deadlocks=0;audit_records=448;audit_bytes=119212;audit_flushes=8;audit_flush_full=4;audit_flush_timer=4;group_commit_txs=4;tx_begun=14;tx_committed=14;tx_aborted=0;records_read=1652;records_returned=629;exec_batches=20;exec_rows=629;redrives=1;faults_injected=0;msg_path_retries=0;disk_transient_errors=0;takeovers=0;takeover_denials=0;now=474586.500000"
+
+let golden_transfers =
+  "msgs_sent=222;msg_req_bytes=18708;msg_reply_bytes=11558;msgs_remote=222;msgs_internode=0;checkpoint_msgs=428;checkpoint_bytes=22049;disk_reads=2;disk_writes=41;blocks_read=2;blocks_written=48;bulk_reads=0;bulk_writes=7;prefetch_reads=0;writebehind_writes=0;cache_hits=306;cache_misses=2;cache_steals=0;cpu_ticks=17532;lock_requests=315;lock_conflicts=103;lock_waits=63;deadlocks=4;audit_records=230;audit_bytes=31740;audit_flushes=41;audit_flush_full=0;audit_flush_timer=41;group_commit_txs=41;tx_begun=49;tx_committed=41;tx_aborted=8;records_read=0;records_returned=0;exec_batches=0;exec_rows=0;redrives=0;faults_injected=0;msg_path_retries=0;disk_transient_errors=0;takeovers=0;takeover_denials=0;now=2647241.000000"
+
+let golden_cold_scans =
+  "msgs_sent=52;msg_req_bytes=880809;msg_reply_bytes=1074;msgs_remote=52;msgs_internode=0;checkpoint_msgs=55;checkpoint_bytes=882802;disk_reads=102;disk_writes=373;blocks_read=578;blocks_written=614;bulk_reads=80;bulk_writes=41;prefetch_reads=80;writebehind_writes=0;cache_hits=32817;cache_misses=22;cache_steals=0;cpu_ticks=512149;lock_requests=80;lock_conflicts=0;lock_waits=0;deadlocks=0;audit_records=4047;audit_bytes=1153858;audit_flushes=42;audit_flush_full=40;audit_flush_timer=2;group_commit_txs=2;tx_begun=5;tx_committed=5;tx_aborted=0;records_read=8090;records_returned=50;exec_batches=1;exec_rows=50;redrives=4;faults_injected=0;msg_path_retries=0;disk_transient_errors=0;takeovers=0;takeover_denials=0;now=3155230.000000"
+
+let golden_chaos6 =
+  "msgs_sent=415;msg_req_bytes=13762;msg_reply_bytes=12882;msgs_remote=415;msgs_internode=0;checkpoint_msgs=302;checkpoint_bytes=15170;disk_reads=11;disk_writes=56;blocks_read=22;blocks_written=59;bulk_reads=3;bulk_writes=3;prefetch_reads=0;writebehind_writes=0;cache_hits=2114;cache_misses=8;cache_steals=5;cpu_ticks=53421;lock_requests=284;lock_conflicts=0;lock_waits=0;deadlocks=0;audit_records=399;audit_bytes=19271;audit_flushes=51;audit_flush_full=0;audit_flush_timer=51;group_commit_txs=51;tx_begun=68;tx_committed=63;tx_aborted=5;records_read=336;records_returned=290;exec_batches=28;exec_rows=274;redrives=0;faults_injected=8;msg_path_retries=0;disk_transient_errors=0;takeovers=1;takeover_denials=0;now=35.000000;fault_msg_delay=2;fault_msg_flap=0;fault_takeover=2;fault_crash=1;fault_disk_transient=1;fault_vm_pressure=1;fault_audit_stall=1;fault_2pc_crash=0"
+
+let golden_chaos12 =
+  "msgs_sent=507;msg_req_bytes=15034;msg_reply_bytes=19496;msgs_remote=507;msgs_internode=0;checkpoint_msgs=295;checkpoint_bytes=14244;disk_reads=11;disk_writes=55;blocks_read=21;blocks_written=59;bulk_reads=3;bulk_writes=4;prefetch_reads=0;writebehind_writes=0;cache_hits=2475;cache_misses=8;cache_steals=5;cpu_ticks=62089;lock_requests=284;lock_conflicts=0;lock_waits=0;deadlocks=0;audit_records=389;audit_bytes=18795;audit_flushes=50;audit_flush_full=0;audit_flush_timer=50;group_commit_txs=50;tx_begun=68;tx_committed=65;tx_aborted=3;records_read=470;records_returned=427;exec_batches=34;exec_rows=412;redrives=0;faults_injected=7;msg_path_retries=0;disk_transient_errors=2;takeovers=1;takeover_denials=0;now=37.000000;fault_msg_delay=0;fault_msg_flap=0;fault_takeover=1;fault_crash=1;fault_disk_transient=3;fault_vm_pressure=1;fault_audit_stall=1;fault_2pc_crash=0"
+

@@ -87,6 +87,13 @@ let mon_pure () =
   in
   check_rules "Sim.schedule in hist fires" [ "MON-PURE" ]
     (Rules.mon_pure ~path:"lib/sim/hist.ml" sched);
+  let submit =
+    parse ~path:"lib/monitor/fixture.ml"
+      "let f d = Disk.complete d (Disk.submit_read d ~first:0 ~count:1)"
+  in
+  check_rules "disk submission/completion in the monitor fires"
+    [ "MON-PURE"; "MON-PURE" ]
+    (Rules.mon_pure ~path:"lib/monitor/fixture.ml" submit);
   (* reads are fine: the monitor observes the clock and counters *)
   let good =
     parse ~path:"lib/monitor/fixture.ml"
@@ -375,6 +382,29 @@ let res_leak_span () =
   check_rules "stored span handles are clean" []
     (res_leak1 ~path
        "let f sc t = sc.sc_span <- Trace.begin_span t ~cat:\"fs\" \"scan\"")
+
+(* the PR-10 multi-queue disk handles: a submission that provably never
+   reaches [Disk.complete] is a leaked transfer — it was counted and its
+   span opened, but its latency is never charged to anyone *)
+let res_leak_diskio () =
+  let path = "lib/cache/fixture.ml" in
+  check_rules "ignored disk submission fires" [ "RES-LEAK" ]
+    (res_leak1 ~path
+       "let f d = ignore (Disk.submit_read d ~first:0 ~count:7)");
+  check_rules "statement-position submission fires" [ "RES-LEAK" ]
+    (res_leak1 ~path "let f d buf = Disk.submit_write d ~first:0 buf; 0");
+  check_rules "unused io binding fires" [ "RES-LEAK" ]
+    (res_leak1 ~path
+       "let f d = let io = Disk.submit_read d ~first:0 ~count:7 in 0");
+  check_rules "completed io is clean" []
+    (res_leak1 ~path
+       "let f d = let io = Disk.submit_read d ~first:0 ~count:7 in\n\
+        Disk.complete d io");
+  (* the read_range pump: pushing the handle into a queue transfers
+     ownership to the drain loop *)
+  check_rules "queued io handle is clean" []
+    (res_leak1 ~path
+       "let f d q = Queue.push (0, Disk.submit_read d ~first:0 ~count:7) q")
 
 let res_leak_deferral () =
   let path = "lib/dp/fixture.ml" in
@@ -803,6 +833,7 @@ let suite =
       res_leak_completion;
     Alcotest.test_case "RES-LEAK span fixtures" `Quick res_leak_span;
     Alcotest.test_case "RES-LEAK deferral fixtures" `Quick res_leak_deferral;
+    Alcotest.test_case "RES-LEAK disk I/O fixtures" `Quick res_leak_diskio;
     Alcotest.test_case "RES-LEAK cross-function blind spot" `Quick
       res_leak_cross_function;
     Alcotest.test_case "RES-LEAK trailing close" `Quick

@@ -28,4 +28,5 @@ let () =
       ("monitor", Test_monitor.suite);
       ("chaos", Test_chaos.suite);
       ("lint", Test_lint.suite);
+      ("diskq", Test_diskq.suite);
     ]
